@@ -1,0 +1,44 @@
+//! # sickle-baselines
+//!
+//! Re-implementations of the two state-of-the-art abstraction-based pruning
+//! baselines the Sickle paper compares against (§5.1), plugged into the
+//! same enumerative search framework (`sickle_core::synthesize`) so the
+//! search order is identical for all techniques:
+//!
+//! * [`TypeAnalyzer`] — Morpheus-style *type abstraction* tracking table
+//!   shapes (rows/columns/group counts), extended with the most precise
+//!   shape rules for analytical operators;
+//! * [`ValueAnalyzer`] — Scythe-style *value abstraction* tracking concrete
+//!   value flow, extended to keep known grouping-column values and mark
+//!   aggregate/window/arithmetic outputs unknown;
+//! * `sickle_core::NoPruneAnalyzer` — the no-pruning ablation.
+//!
+//! # Examples
+//!
+//! ```
+//! use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
+//! use sickle_core::{synthesize, Analyzer, SynthConfig, SynthTask, TaskContext};
+//! use sickle_provenance::Demo;
+//! use sickle_table::Table;
+//!
+//! let t = Table::new(
+//!     ["city", "v"],
+//!     vec![vec!["A".into(), 10.into()], vec!["B".into(), 5.into()]],
+//! )?;
+//! let demo = Demo::parse(&[&["T[1,1]", "sum(T[1,2])"], &["T[2,1]", "sum(T[2,2])"]])?;
+//! let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
+//! let config = SynthConfig { max_depth: 1, ..SynthConfig::default() };
+//! for analyzer in [&TypeAnalyzer as &dyn Analyzer, &ValueAnalyzer] {
+//!     let result = synthesize(&ctx, &config, analyzer);
+//!     assert!(!result.solutions.is_empty(), "{} failed", analyzer.name());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod type_abs;
+mod value_abs;
+
+pub use type_abs::{shape_of, CountRange, Shape, TypeAnalyzer};
+pub use value_abs::{value_evaluate, ValueAnalyzer, VCell, VTable};

@@ -1,0 +1,272 @@
+//! Morpheus-style *type abstraction* baseline (§5.1, baseline [12]).
+//!
+//! This abstraction tracks high-level table-shape information — row-count
+//! and column-count intervals — through partial queries, extended (as the
+//! paper's re-implementation does) with the most precise shape rules for
+//! the analytical operators `group`, `partition` and `arithmetic`. A
+//! partial query is pruned when the demonstration cannot fit inside any
+//! reachable output shape.
+//!
+//! Shape information is oblivious to *which* values flow where, which is
+//! why this baseline prunes poorly on analytical tasks (Observation #2).
+
+use sickle_core::{Analyzer, PQuery, TaskContext};
+
+/// An inclusive interval of possible counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountRange {
+    /// Minimum possible count.
+    pub min: usize,
+    /// Maximum possible count.
+    pub max: usize,
+}
+
+impl CountRange {
+    fn exact(n: usize) -> CountRange {
+        CountRange { min: n, max: n }
+    }
+}
+
+/// The abstract shape of a (partial) query output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape {
+    /// Possible row counts.
+    pub rows: CountRange,
+    /// Possible column counts.
+    pub cols: CountRange,
+}
+
+/// Computes the shape abstraction of a partial query.
+///
+/// Rules (mirroring the baseline's extension to analytical SQL):
+///
+/// * `filter` — rows shrink to `[0, max]`, columns unchanged;
+/// * `join` — rows multiply, columns add;
+/// * `left_join` — at least every left row survives, at most the product;
+/// * `group` — with known keys the output has `keys + 1` columns and
+///   between 1 and `rows.max` groups; the group count becomes *exact* when
+///   the subquery is concrete (the "most precise group number" extension);
+/// * `partition` / `arithmetic` — rows unchanged, one extra column;
+/// * unknown parameters widen the corresponding component.
+pub fn shape_of(pq: &PQuery, ctx: &TaskContext) -> Shape {
+    match pq {
+        PQuery::Input(k) => {
+            let t = &ctx.inputs()[*k];
+            Shape {
+                rows: CountRange::exact(t.n_rows()),
+                cols: CountRange::exact(t.n_cols()),
+            }
+        }
+        PQuery::Filter { src, .. } => {
+            let s = shape_of(src, ctx);
+            Shape {
+                rows: CountRange {
+                    min: 0,
+                    max: s.rows.max,
+                },
+                cols: s.cols,
+            }
+        }
+        PQuery::Sort { src, .. } => shape_of(src, ctx),
+        PQuery::Proj { src, cols } => {
+            let s = shape_of(src, ctx);
+            let cols = match cols {
+                Some(c) => CountRange::exact(c.len()),
+                None => CountRange {
+                    min: 1,
+                    max: s.cols.max,
+                },
+            };
+            Shape { rows: s.rows, cols }
+        }
+        PQuery::Join { left, right } => {
+            let l = shape_of(left, ctx);
+            let r = shape_of(right, ctx);
+            Shape {
+                rows: CountRange {
+                    min: l.rows.min * r.rows.min,
+                    max: l.rows.max * r.rows.max,
+                },
+                cols: CountRange {
+                    min: l.cols.min + r.cols.min,
+                    max: l.cols.max + r.cols.max,
+                },
+            }
+        }
+        PQuery::LeftJoin { left, right, .. } => {
+            let l = shape_of(left, ctx);
+            let r = shape_of(right, ctx);
+            Shape {
+                rows: CountRange {
+                    min: l.rows.min,
+                    max: l.rows.max * r.rows.max.max(1),
+                },
+                cols: CountRange {
+                    min: l.cols.min + r.cols.min,
+                    max: l.cols.max + r.cols.max,
+                },
+            }
+        }
+        PQuery::Group { src, keys, .. } => {
+            let s = shape_of(src, ctx);
+            let cols = match keys {
+                Some(k) => CountRange::exact(k.len() + 1),
+                None => CountRange {
+                    min: 1,
+                    // Any subset of columns plus the aggregate.
+                    max: s.cols.max + 1,
+                },
+            };
+            // "Most precise group number": when the subquery is concrete
+            // and the keys are known, compute the exact group count.
+            let rows = match (keys, src.to_concrete()) {
+                (Some(keys), Some(q)) => {
+                    match ctx.eval_cache.bundle(&q, ctx.inputs(), &ctx.universe) {
+                        Ok(bundle) => {
+                            let t = bundle.table(ctx.inputs());
+                            if keys.iter().all(|&c| c < t.n_cols()) {
+                                let g = sickle_table::extract_groups(t, keys).len();
+                                CountRange::exact(g)
+                            } else {
+                                CountRange { min: 0, max: 0 }
+                            }
+                        }
+                        Err(_) => CountRange { min: 0, max: 0 },
+                    }
+                }
+                _ => CountRange {
+                    min: usize::from(s.rows.min > 0),
+                    max: s.rows.max,
+                },
+            };
+            Shape { rows, cols }
+        }
+        PQuery::Partition { src, .. } | PQuery::Arith { src, .. } => {
+            let s = shape_of(src, ctx);
+            Shape {
+                rows: s.rows,
+                cols: CountRange {
+                    min: s.cols.min + 1,
+                    max: s.cols.max + 1,
+                },
+            }
+        }
+    }
+}
+
+/// The type-abstraction analyzer: prunes when the demonstration cannot fit
+/// in any output shape reachable from the partial query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TypeAnalyzer;
+
+impl Analyzer for TypeAnalyzer {
+    fn name(&self) -> &'static str {
+        "type"
+    }
+
+    fn is_feasible(&self, pq: &PQuery, ctx: &TaskContext) -> bool {
+        let shape = shape_of(pq, ctx);
+        ctx.demo().n_rows() <= shape.rows.max && ctx.demo().n_cols() <= shape.cols.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_core::{SynthTask, TaskContext};
+    use sickle_provenance::Demo;
+    use sickle_table::Table;
+
+    fn ctx() -> TaskContext {
+        let t = Table::new(
+            ["a", "b", "v"],
+            vec![
+                vec!["x".into(), 1.into(), 10.into()],
+                vec!["x".into(), 2.into(), 20.into()],
+                vec!["y".into(), 1.into(), 30.into()],
+            ],
+        )
+        .unwrap();
+        let demo = Demo::parse(&[
+            &["T[1,1]", "sum(T[1,3], T[2,3])"],
+            &["T[3,1]", "sum(T[3,3])"],
+        ])
+        .unwrap();
+        TaskContext::new(SynthTask::new(vec![t], demo))
+    }
+
+    #[test]
+    fn input_shape_is_exact() {
+        let ctx = ctx();
+        let s = shape_of(&PQuery::Input(0), &ctx);
+        assert_eq!(s.rows, CountRange::exact(3));
+        assert_eq!(s.cols, CountRange::exact(3));
+    }
+
+    #[test]
+    fn group_with_concrete_src_has_exact_group_count() {
+        let ctx = ctx();
+        let pq = PQuery::Group {
+            src: Box::new(PQuery::Input(0)),
+            keys: Some(vec![0]),
+            agg: None,
+        };
+        let s = shape_of(&pq, &ctx);
+        assert_eq!(s.rows, CountRange::exact(2)); // groups x, y
+        assert_eq!(s.cols, CountRange::exact(2));
+    }
+
+    #[test]
+    fn prunes_too_few_columns() {
+        let ctx = ctx();
+        // group by one key => 2 columns, and the demo needs 2 columns: fits.
+        let ok = PQuery::Group {
+            src: Box::new(PQuery::Input(0)),
+            keys: Some(vec![0]),
+            agg: None,
+        };
+        assert!(TypeAnalyzer.is_feasible(&ok, &ctx));
+        // proj to a single column can never fit a 2-column demo.
+        let bad = PQuery::Proj {
+            src: Box::new(PQuery::Input(0)),
+            cols: Some(vec![0]),
+        };
+        assert!(!TypeAnalyzer.is_feasible(&bad, &ctx));
+    }
+
+    #[test]
+    fn prunes_too_few_rows() {
+        let ctx = ctx();
+        // Grouping the single-valued column "a" of a filtered-empty table…
+        // simpler: group with keys=[] yields exactly one row, demo has 2.
+        let bad = PQuery::Group {
+            src: Box::new(PQuery::Input(0)),
+            keys: Some(vec![]),
+            agg: None,
+        };
+        assert!(!TypeAnalyzer.is_feasible(&bad, &ctx));
+    }
+
+    #[test]
+    fn join_shapes_multiply() {
+        let ctx = ctx();
+        let pq = PQuery::Join {
+            left: Box::new(PQuery::Input(0)),
+            right: Box::new(PQuery::Input(0)),
+        };
+        let s = shape_of(&pq, &ctx);
+        assert_eq!(s.rows, CountRange::exact(9));
+        assert_eq!(s.cols, CountRange::exact(6));
+    }
+
+    #[test]
+    fn filter_can_empty_rows() {
+        let ctx = ctx();
+        let pq = PQuery::Filter {
+            src: Box::new(PQuery::Input(0)),
+            pred: None,
+        };
+        let s = shape_of(&pq, &ctx);
+        assert_eq!(s.rows, CountRange { min: 0, max: 3 });
+    }
+}

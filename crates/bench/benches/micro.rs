@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the core machinery: the three semantics
+//! and the two consistency checks, measured on the paper's running example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sickle_benchmarks::{all_benchmarks, Benchmark};
+use sickle_core::{
+    abstract_evaluate, demo_ref_sets, evaluate, prov_evaluate, PQuery, TaskContext,
+};
+use sickle_provenance::{demo_consistent, RefUniverse};
+
+fn running_example() -> Benchmark {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.id == 44)
+        .expect("benchmark 44")
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let b = running_example();
+    let q = b.ground_truth.clone();
+    let inputs = b.inputs.clone();
+
+    c.bench_function("evaluate/running-example", |bench| {
+        bench.iter(|| evaluate(&q, &inputs).unwrap())
+    });
+    c.bench_function("prov_evaluate/running-example", |bench| {
+        bench.iter(|| prov_evaluate(&q, &inputs).unwrap())
+    });
+
+    let universe = RefUniverse::from_tables(&inputs);
+    let pq_partial = PQuery::Arith {
+        src: Box::new(PQuery::Partition {
+            src: Box::new(PQuery::Group {
+                src: Box::new(PQuery::Input(0)),
+                keys: Some(vec![0, 1, 4]),
+                agg: None,
+            }),
+            keys: None,
+            func: None,
+        }),
+        func: None,
+    };
+    c.bench_function("abstract_evaluate/partial-query", |bench| {
+        bench.iter(|| abstract_evaluate(&pq_partial, &inputs, &universe).unwrap())
+    });
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let b = running_example();
+    let (task, _gen) = b.task(2022).expect("demo generates");
+    let star = prov_evaluate(&b.ground_truth, &task.inputs).unwrap();
+    let demo = task.demo.clone();
+    c.bench_function("demo_consistent/def1", |bench| {
+        bench.iter(|| demo_consistent(&demo, &star).expect("consistent"))
+    });
+
+    let ctx = TaskContext::new(task);
+    let refs = demo_ref_sets(ctx.demo(), &ctx.universe);
+    let pq = PQuery::from_concrete(&b.ground_truth);
+    c.bench_function("abstract_consistent/def3", |bench| {
+        bench.iter(|| {
+            let abs = sickle_core::abstract_evaluate_cached(
+                &pq,
+                ctx.inputs(),
+                &ctx.universe,
+                &ctx.eval_cache,
+            )
+            .unwrap();
+            assert!(sickle_core::abstract_consistent(&refs, &abs));
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(30);
+    targets = bench_semantics, bench_consistency
+}
+criterion_main!(micro);

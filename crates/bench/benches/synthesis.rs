@@ -1,0 +1,86 @@
+//! Criterion benchmarks of end-to-end synthesis: one easy benchmark per
+//! analyzer, plus the paper's running example restricted to its skeleton
+//! (the full Fig. 12/13 sweep lives in the `experiments` binary — it runs
+//! minutes, not Criterion's millisecond regime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
+use sickle_benchmarks::all_benchmarks;
+use sickle_core::{
+    synthesize, synthesize_seeded, Analyzer, PQuery, ProvenanceAnalyzer, SynthConfig,
+    TaskContext,
+};
+
+fn bench_easy_synthesis(c: &mut Criterion) {
+    let suite = all_benchmarks();
+    let b = &suite[0]; // sales: total revenue per region (size 1)
+    let (task, _) = b.task(2022).expect("demo generates");
+    let ctx = TaskContext::new(task);
+    let config = SynthConfig {
+        max_solutions: 1,
+        ..b.config()
+    };
+
+    let mut group = c.benchmark_group("synthesize/easy-group-sum");
+    group.sample_size(20);
+    let analyzers: [(&str, &dyn Analyzer); 3] = [
+        ("sickle", &ProvenanceAnalyzer),
+        ("type", &TypeAnalyzer),
+        ("value", &ValueAnalyzer),
+    ];
+    for (name, analyzer) in analyzers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &analyzer, |bench, a| {
+            bench.iter(|| {
+                let r = synthesize(&ctx, &config, *a);
+                assert!(!r.solutions.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_running_example_skeleton(c: &mut Criterion) {
+    let suite = all_benchmarks();
+    let b = &suite[43]; // the running example
+    let (task, _) = b.task(2022).expect("demo generates");
+    let ctx = TaskContext::new(task);
+    let config = SynthConfig {
+        max_solutions: 1,
+        ..b.config()
+    };
+    let skeleton = PQuery::Arith {
+        src: Box::new(PQuery::Partition {
+            src: Box::new(PQuery::Group {
+                src: Box::new(PQuery::Input(0)),
+                keys: None,
+                agg: None,
+            }),
+            keys: None,
+            func: None,
+        }),
+        func: None,
+    };
+    let mut group = c.benchmark_group("synthesize/running-example-skeleton");
+    group.sample_size(10);
+    group.bench_function("sickle", |bench| {
+        bench.iter(|| {
+            let r = synthesize_seeded(
+                &ctx,
+                &config,
+                &ProvenanceAnalyzer,
+                vec![skeleton.clone()],
+                |_| false,
+            );
+            assert!(!r.solutions.is_empty());
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = synthesis;
+    config = Criterion::default();
+    targets = bench_easy_synthesis, bench_running_example_skeleton
+}
+criterion_main!(synthesis);

@@ -1,0 +1,28 @@
+//! E9: benchmark feature census (§5.1).
+
+use sickle_benchmarks::{all_benchmarks, Category};
+
+fn main() {
+    let suite = all_benchmarks();
+    let count = |f: &dyn Fn(&sickle_benchmarks::Benchmark) -> bool| {
+        suite.iter().filter(|b| f(b)).count()
+    };
+    println!("Benchmark census ({} tasks)", suite.len());
+    println!(
+        "easy={} hard-forum={} tpcds={}",
+        count(&|b| b.category == Category::ForumEasy),
+        count(&|b| b.category == Category::ForumHard),
+        count(&|b| b.category == Category::TpcDs),
+    );
+    println!(
+        "join={} partition={} group={} filter={} sort={}   (paper: join=24 partition=51 group=32)",
+        count(&|b| b.features().join),
+        count(&|b| b.features().partition),
+        count(&|b| b.features().group),
+        count(&|b| b.features().filter),
+        count(&|b| b.features().sort),
+    );
+    let mut sizes: Vec<usize> = suite.iter().map(|b| b.ground_truth.size()).collect();
+    sizes.sort_unstable();
+    println!("query sizes: min={} median={} max={}", sizes[0], sizes[sizes.len() / 2], sizes[sizes.len() - 1]);
+}

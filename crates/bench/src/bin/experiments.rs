@@ -1,0 +1,47 @@
+//! Runs the complete evaluation: one suite pass over all techniques, then
+//! every table and figure of §5 (E1–E9 in DESIGN.md).
+
+use sickle_bench::effort::render_userstudy;
+use sickle_bench::runner::{
+    render_fig12, render_fig13, render_obs1, render_ranking, run_suite, HarnessConfig, Technique,
+};
+use sickle_benchmarks::all_benchmarks;
+
+fn main() {
+    let hc = HarnessConfig::from_env();
+    eprintln!(
+        "running full suite: timeout={}s max_visited={} seed={}",
+        hc.timeout.as_secs(),
+        hc.max_visited,
+        hc.seed
+    );
+
+    // Cheap static experiments first.
+    let suite = all_benchmarks();
+    let joins = suite.iter().filter(|b| b.features().join).count();
+    let parts = suite.iter().filter(|b| b.features().partition).count();
+    let groups = suite.iter().filter(|b| b.features().group).count();
+    println!("\nE9 census: 80 tasks, join={joins} partition={parts} group={groups} (paper: 24/51/32)");
+
+    let mut demo_cells = 0usize;
+    let mut full_cells = 0usize;
+    for b in &suite {
+        if let Ok((_, gen)) = b.task(hc.seed) {
+            demo_cells += gen.demo.n_cells();
+            full_cells += gen.full_example_cells;
+        }
+    }
+    println!(
+        "E7 spec size: avg demo cells={:.1} (paper 9), avg full-example cells={:.1} (paper 50)",
+        demo_cells as f64 / suite.len() as f64,
+        full_cells as f64 / suite.len() as f64
+    );
+    print!("{}", render_userstudy(&suite));
+
+    // The expensive pass: every benchmark × technique.
+    let res = run_suite(&Technique::ALL, &hc);
+    print!("{}", render_fig12(&res));
+    print!("{}", render_fig13(&res));
+    print!("{}", render_obs1(&res));
+    print!("{}", render_ranking(&res));
+}

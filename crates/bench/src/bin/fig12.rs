@@ -1,0 +1,9 @@
+//! E1/E2: Fig. 12 — solve-rate vs time limit, easy and hard suites.
+
+use sickle_bench::runner::{render_fig12, run_suite, HarnessConfig, Technique};
+
+fn main() {
+    let hc = HarnessConfig::from_env();
+    let res = run_suite(&Technique::ALL, &hc);
+    print!("{}", render_fig12(&res));
+}

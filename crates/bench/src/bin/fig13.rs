@@ -1,0 +1,9 @@
+//! E3/E4: Fig. 13 — explored-query distributions, easy and hard suites.
+
+use sickle_bench::runner::{render_fig13, run_suite, HarnessConfig, Technique};
+
+fn main() {
+    let hc = HarnessConfig::from_env();
+    let res = run_suite(&Technique::ALL, &hc);
+    print!("{}", render_fig13(&res));
+}

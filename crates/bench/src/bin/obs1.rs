@@ -1,0 +1,9 @@
+//! E5: Observation #1 headline table.
+
+use sickle_bench::runner::{render_obs1, run_suite, HarnessConfig, Technique};
+
+fn main() {
+    let hc = HarnessConfig::from_env();
+    let res = run_suite(&Technique::ALL, &hc);
+    print!("{}", render_obs1(&res));
+}

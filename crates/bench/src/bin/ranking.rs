@@ -1,0 +1,9 @@
+//! E6: §5.2 ranking of the correct query among Sickle's solutions.
+
+use sickle_bench::runner::{render_ranking, run_suite, HarnessConfig, Technique};
+
+fn main() {
+    let hc = HarnessConfig::from_env();
+    let res = run_suite(&[Technique::Provenance], &hc);
+    print!("{}", render_ranking(&res));
+}

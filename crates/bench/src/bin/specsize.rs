@@ -1,0 +1,27 @@
+//! E7: demonstration size vs full-example size (§5.2: "average user
+//! demonstration size is 9 cells; it would be 50 with full output").
+
+use sickle_benchmarks::all_benchmarks;
+
+fn main() {
+    let suite = all_benchmarks();
+    let mut demo_cells = 0usize;
+    let mut full_cells = 0usize;
+    let mut n = 0usize;
+    for b in &suite {
+        if let Ok((_, gen)) = b.task(2022) {
+            demo_cells += gen.demo.n_cells();
+            full_cells += gen.full_example_cells;
+            n += 1;
+        }
+    }
+    println!("E7 — specification size over {n} benchmarks");
+    println!(
+        "avg demonstration cells: {:.1}   (paper: 9)",
+        demo_cells as f64 / n as f64
+    );
+    println!(
+        "avg full-output example cells: {:.1}   (paper: 50)",
+        full_cells as f64 / n as f64
+    );
+}

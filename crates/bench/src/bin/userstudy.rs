@@ -1,0 +1,8 @@
+//! E8: §5.3 user-study substitution (specification-effort model).
+
+use sickle_bench::effort::render_userstudy;
+use sickle_benchmarks::all_benchmarks;
+
+fn main() {
+    print!("{}", render_userstudy(&all_benchmarks()));
+}

@@ -1,0 +1,34 @@
+//! # sickle-bench
+//!
+//! Experiment harness regenerating every table and figure of the Sickle
+//! paper's evaluation (§5) on the reproduction benchmark suite. See
+//! `EXPERIMENTS.md` at the workspace root for the per-experiment index and
+//! recorded results.
+//!
+//! Binaries (`cargo run -p sickle-bench --release --bin <name>`):
+//!
+//! | bin        | reproduces            |
+//! |------------|-----------------------|
+//! | `experiments` | everything below in one pass |
+//! | `fig12`    | Fig. 12 solve-rate-vs-time curves |
+//! | `fig13`    | Fig. 13 explored-query distributions |
+//! | `obs1`     | Observation #1 headline numbers |
+//! | `ranking`  | §5.2 ground-truth ranking table |
+//! | `specsize` | §5.2 demo size vs full-example size |
+//! | `userstudy`| §5.3 specification-effort model (substituted) |
+//! | `census`   | §5.1 benchmark feature census |
+//!
+//! Environment knobs: `SICKLE_TIMEOUT_SECS` (per-run timeout, default 15),
+//! `SICKLE_MAX_VISITED` (visit budget, default 1,000,000), `SICKLE_SEED`
+//! (demo-generation seed, default 2022), `SICKLE_ONLY` (comma-separated
+//! benchmark ids).
+
+#![warn(missing_docs)]
+
+pub mod effort;
+pub mod runner;
+
+pub use runner::{
+    render_fig12, render_fig13, render_obs1, render_ranking, run_suite, technique_analyzers,
+    RunRecord, SuiteResults, Technique,
+};

@@ -1,0 +1,416 @@
+//! Shared benchmark runner: executes every (benchmark × technique) pair and
+//! renders the paper's tables and figures from the collected records.
+
+use std::time::Duration;
+
+use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
+use sickle_benchmarks::{all_benchmarks, Benchmark, Category};
+use sickle_core::{synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext};
+
+/// The compared techniques (paper names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Sickle's abstract data provenance.
+    Provenance,
+    /// Morpheus-style type abstraction.
+    TypeAbs,
+    /// Scythe-style value abstraction.
+    ValueAbs,
+}
+
+impl Technique {
+    /// All techniques, in report order.
+    pub const ALL: [Technique; 3] = [
+        Technique::Provenance,
+        Technique::TypeAbs,
+        Technique::ValueAbs,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Provenance => "sickle",
+            Technique::TypeAbs => "type-abs",
+            Technique::ValueAbs => "value-abs",
+        }
+    }
+}
+
+/// Returns the analyzer implementing a technique.
+pub fn technique_analyzers(t: Technique) -> Box<dyn Analyzer> {
+    match t {
+        Technique::Provenance => Box::new(ProvenanceAnalyzer),
+        Technique::TypeAbs => Box::new(TypeAnalyzer),
+        Technique::ValueAbs => Box::new(ValueAnalyzer),
+    }
+}
+
+/// Outcome of one (benchmark × technique) run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Benchmark id (1-based).
+    pub id: usize,
+    /// Benchmark category.
+    pub category: Category,
+    /// Technique used.
+    pub technique: Technique,
+    /// Whether the correct query was recovered within budget.
+    pub solved: bool,
+    /// Wall-clock time until the correct query (or until budget).
+    pub elapsed: Duration,
+    /// Queries (partial + concrete) visited.
+    pub visited: usize,
+    /// Partial queries pruned.
+    pub pruned: usize,
+    /// 1-based rank of the correct query among returned solutions, when
+    /// solved (consistent-but-incorrect queries found earlier push it down).
+    pub rank: Option<usize>,
+}
+
+/// Harness configuration, read from the environment.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Per-run wall-clock budget.
+    pub timeout: Duration,
+    /// Per-run visited-query budget.
+    pub max_visited: usize,
+    /// Demonstration-generation seed.
+    pub seed: u64,
+    /// Restrict to these benchmark ids (empty = all).
+    pub only: Vec<usize>,
+}
+
+impl HarnessConfig {
+    /// Reads `SICKLE_TIMEOUT_SECS`, `SICKLE_MAX_VISITED`, `SICKLE_SEED`,
+    /// `SICKLE_ONLY` with the documented defaults.
+    pub fn from_env() -> HarnessConfig {
+        let get = |k: &str| std::env::var(k).ok();
+        HarnessConfig {
+            timeout: Duration::from_secs(
+                get("SICKLE_TIMEOUT_SECS")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(15),
+            ),
+            max_visited: get("SICKLE_MAX_VISITED")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1_000_000),
+            seed: get("SICKLE_SEED")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2022),
+            only: get("SICKLE_ONLY")
+                .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Runs one benchmark with one technique; the search stops as soon as the
+/// correct query is recovered (§5.2: "the synthesizer runs until the
+/// correct query q_gt is found").
+pub fn run_one(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> RunRecord {
+    let (task, _gen) = b.task(hc.seed).expect("benchmark demos generate");
+    let ctx = TaskContext::new(task);
+    let config = SynthConfig {
+        timeout: Some(hc.timeout),
+        max_visited: Some(hc.max_visited),
+        // Collect up to N=10 consistent queries for ranking, but stop early
+        // on the correct one (the stop predicate below).
+        max_solutions: 10,
+        ..b.config()
+    };
+    let analyzer = technique_analyzers(technique);
+    let result = synthesize_until(&ctx, &config, analyzer.as_ref(), |q| b.is_correct(q));
+    let rank = result
+        .solutions
+        .iter()
+        .position(|q| b.is_correct(q))
+        .map(|i| i + 1);
+    RunRecord {
+        id: b.id,
+        category: b.category,
+        technique,
+        solved: rank.is_some(),
+        elapsed: result.stats.elapsed,
+        visited: result.stats.visited,
+        pruned: result.stats.pruned,
+        rank,
+    }
+}
+
+/// All records for a suite run.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteResults {
+    /// One record per (benchmark × technique).
+    pub records: Vec<RunRecord>,
+}
+
+impl SuiteResults {
+    /// Records of one technique.
+    pub fn of(&self, t: Technique) -> impl Iterator<Item = &RunRecord> {
+        self.records.iter().filter(move |r| r.technique == t)
+    }
+
+    /// Records of one technique restricted to easy or hard benchmarks.
+    pub fn of_cat(&self, t: Technique, hard: bool) -> Vec<&RunRecord> {
+        self.of(t).filter(|r| r.category.is_hard() == hard).collect()
+    }
+}
+
+/// Runs the whole suite for the given techniques, printing progress.
+pub fn run_suite(techniques: &[Technique], hc: &HarnessConfig) -> SuiteResults {
+    let mut results = SuiteResults::default();
+    let suite = all_benchmarks();
+    for b in &suite {
+        if !hc.only.is_empty() && !hc.only.contains(&b.id) {
+            continue;
+        }
+        for &t in techniques {
+            let rec = run_one(b, t, hc);
+            eprintln!(
+                "[{:>2}/{}] {:9} {:55} {} {:>8.2}s visited={}",
+                b.id,
+                suite.len(),
+                t.label(),
+                b.name,
+                if rec.solved { "solved " } else { "TIMEOUT" },
+                rec.elapsed.as_secs_f64(),
+                rec.visited
+            );
+            results.records.push(rec);
+        }
+    }
+    results
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Renders Fig. 12: number of benchmarks solved within a time limit, per
+/// technique, split easy/hard.
+pub fn render_fig12(res: &SuiteResults) -> String {
+    let limits = [0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0];
+    let mut out = String::new();
+    for (label, hard) in [("EASY (43 tasks)", false), ("HARD (37 tasks)", true)] {
+        out.push_str(&format!("\nFig.12 — benchmarks solved within time limit — {label}\n"));
+        out.push_str(&format!("{:>10}", "limit(s)"));
+        for t in Technique::ALL {
+            out.push_str(&format!("{:>12}", t.label()));
+        }
+        out.push('\n');
+        for &lim in &limits {
+            out.push_str(&format!("{lim:>10.1}"));
+            for t in Technique::ALL {
+                let n = res
+                    .of_cat(t, hard)
+                    .iter()
+                    .filter(|r| r.solved && r.elapsed.as_secs_f64() <= lim)
+                    .count();
+                out.push_str(&format!("{n:>12}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn quartiles(mut v: Vec<usize>) -> (usize, usize, usize, usize, usize) {
+    if v.is_empty() {
+        return (0, 0, 0, 0, 0);
+    }
+    v.sort_unstable();
+    let q = |f: f64| v[((v.len() - 1) as f64 * f).round() as usize];
+    (v[0], q(0.25), q(0.5), q(0.75), v[v.len() - 1])
+}
+
+/// Renders Fig. 13: distribution (five-number summary) of the number of
+/// queries explored per technique, split easy/hard.
+pub fn render_fig13(res: &SuiteResults) -> String {
+    let mut out = String::new();
+    for (label, hard) in [("EASY", false), ("HARD", true)] {
+        out.push_str(&format!(
+            "\nFig.13 — queries explored before solving (or budget) — {label}\n{:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+            "technique", "min", "q1", "median", "q3", "max", "mean"
+        ));
+        for t in Technique::ALL {
+            let counts: Vec<usize> = res.of_cat(t, hard).iter().map(|r| r.visited).collect();
+            let mean = if counts.is_empty() {
+                0.0
+            } else {
+                counts.iter().sum::<usize>() as f64 / counts.len() as f64
+            };
+            let (min, q1, med, q3, max) = quartiles(counts);
+            out.push_str(&format!(
+                "{:>10} {min:>9} {q1:>9} {med:>9} {q3:>9} {max:>9} {mean:>10.0}\n",
+                t.label()
+            ));
+        }
+    }
+    out
+}
+
+/// Renders Observation #1: headline solve counts, mean times, speedups and
+/// the pruning statistic.
+pub fn render_obs1(res: &SuiteResults) -> String {
+    let mut out = String::new();
+    out.push_str("\nObservation #1 — headline results\n");
+    out.push_str(&format!(
+        "{:>10} {:>7} {:>11} {:>11} {:>13} {:>13}\n",
+        "technique", "solved", "solved-easy", "solved-hard", "mean-time(s)", "mean-visited"
+    ));
+    for t in Technique::ALL {
+        let all: Vec<&RunRecord> = res.of(t).collect();
+        let solved: Vec<&&RunRecord> = all.iter().filter(|r| r.solved).collect();
+        let easy = res.of_cat(t, false).iter().filter(|r| r.solved).count();
+        let hard = res.of_cat(t, true).iter().filter(|r| r.solved).count();
+        let mean_t = if solved.is_empty() {
+            f64::NAN
+        } else {
+            solved.iter().map(|r| r.elapsed.as_secs_f64()).sum::<f64>() / solved.len() as f64
+        };
+        let mean_v = if solved.is_empty() {
+            0.0
+        } else {
+            solved.iter().map(|r| r.visited as f64).sum::<f64>() / solved.len() as f64
+        };
+        out.push_str(&format!(
+            "{:>10} {:>7} {:>11} {:>11} {:>13.2} {:>13.0}\n",
+            t.label(),
+            solved.len(),
+            easy,
+            hard,
+            mean_t,
+            mean_v
+        ));
+    }
+
+    // Pairwise comparisons on commonly-solved benchmarks.
+    for other in [Technique::TypeAbs, Technique::ValueAbs] {
+        let mut speedups = Vec::new();
+        let mut visit_ratio = Vec::new();
+        for rec in res.of(Technique::Provenance).filter(|r| r.solved) {
+            if let Some(o) = res
+                .of(other)
+                .find(|r| r.id == rec.id && r.solved)
+            {
+                let s = o.elapsed.as_secs_f64() / rec.elapsed.as_secs_f64().max(1e-4);
+                speedups.push(s);
+                visit_ratio.push(o.visited as f64 / rec.visited.max(1) as f64);
+            }
+        }
+        if !speedups.is_empty() {
+            let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+            out.push_str(&format!(
+                "vs {:9}: common-solved={} geo-mean speedup={:.1}x geo-mean visit ratio={:.1}x\n",
+                other.label(),
+                speedups.len(),
+                gm(&speedups),
+                gm(&visit_ratio)
+            ));
+        }
+    }
+
+    // Pruning statistic: fraction of the no-prune exploration avoided is
+    // approximated by visited ratios (paper: 97.08% fewer queries visited).
+    let mut reductions = Vec::new();
+    for rec in res.of(Technique::Provenance) {
+        let best_other = Technique::ALL
+            .iter()
+            .filter(|&&t| t != Technique::Provenance)
+            .filter_map(|&t| res.of(t).find(|r| r.id == rec.id))
+            .map(|r| r.visited)
+            .max();
+        if let Some(v) = best_other {
+            if v > 0 {
+                reductions.push(1.0 - rec.visited as f64 / v as f64);
+            }
+        }
+    }
+    if !reductions.is_empty() {
+        let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+        out.push_str(&format!(
+            "mean reduction in visited queries vs weakest abstraction: {:.2}%\n",
+            mean * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders the §5.2 ranking table for Sickle's returned solutions.
+pub fn render_ranking(res: &SuiteResults) -> String {
+    let mut top1 = 0;
+    let mut top2to9 = 0;
+    let mut beyond = 0;
+    let mut unsolved = 0;
+    for r in res.of(Technique::Provenance) {
+        match r.rank {
+            Some(1) => top1 += 1,
+            Some(n) if n <= 9 => top2to9 += 1,
+            Some(_) => beyond += 1,
+            None => unsolved += 1,
+        }
+    }
+    format!(
+        "\n§5.2 ranking of the correct query among Sickle's solutions\n\
+         rank 1: {top1}\nrank 2–9: {top2to9}\nrank ≥10: {beyond}\nunsolved: {unsolved}\n\
+         (paper: 71 / 4 / 1 / 4)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_five_number_summary() {
+        let (min, q1, med, q3, max) = quartiles(vec![5, 1, 3, 2, 4]);
+        assert_eq!((min, q1, med, q3, max), (1, 2, 3, 4, 5));
+        assert_eq!(quartiles(vec![]), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn harness_config_defaults() {
+        let hc = HarnessConfig::from_env();
+        assert!(hc.timeout.as_secs() > 0);
+        assert!(hc.max_visited > 0);
+    }
+
+    #[test]
+    fn easy_group_benchmark_solves_quickly_with_all_techniques() {
+        let suite = all_benchmarks();
+        let b = &suite[0]; // sales: total revenue per region
+        let hc = HarnessConfig {
+            timeout: Duration::from_secs(30),
+            max_visited: 500_000,
+            seed: 2022,
+            only: vec![],
+        };
+        for t in Technique::ALL {
+            let rec = run_one(b, t, &hc);
+            assert!(rec.solved, "{} failed on benchmark 1", t.label());
+        }
+    }
+
+    #[test]
+    fn provenance_visits_fewer_than_baselines_on_medium_task() {
+        let suite = all_benchmarks();
+        // Benchmark 8: share-of-region-total, size 2 — enough structure to
+        // differentiate pruning power.
+        let b = &suite[7];
+        let hc = HarnessConfig {
+            timeout: Duration::from_secs(60),
+            max_visited: 2_000_000,
+            seed: 2022,
+            only: vec![],
+        };
+        let prov = run_one(b, Technique::Provenance, &hc);
+        let ty = run_one(b, Technique::TypeAbs, &hc);
+        assert!(prov.solved, "provenance failed: {prov:?}");
+        assert!(
+            prov.visited <= ty.visited,
+            "provenance visited {} > type {}",
+            prov.visited,
+            ty.visited
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Deterministic synthetic input tables for the benchmark suite.
+//!
+//! The paper's 60 forum tasks and 20 TPC-DS view extracts are not
+//! redistributable; these generators produce inputs with the same shape
+//! characteristics (≤ 20 rows after sampling, 2–6 columns, 2–4 groups per
+//! key) across realistic analytics domains. All data is formula-generated
+//! so benchmarks are reproducible without files or RNG state.
+
+use sickle_table::{Table, Value};
+
+fn t<const N: usize>(names: [&str; N], rows: Vec<[Value; N]>) -> Table {
+    Table::new(names, rows.into_iter().map(|r| r.to_vec()).collect())
+        .expect("generator rows are rectangular")
+}
+
+/// Regional product sales: `region, quarter, product, units, revenue`.
+pub fn sales() -> Table {
+    let regions = ["west", "east"];
+    let products = ["widget", "gadget"];
+    let mut rows = Vec::new();
+    for (ri, region) in regions.iter().enumerate() {
+        for q in 1..=4i64 {
+            for (pi, product) in products.iter().enumerate() {
+                let units = 10 + 3 * q + 7 * ri as i64 + 5 * pi as i64;
+                let revenue = units * (19 + 4 * pi as i64) + 13 * q;
+                rows.push([
+                    (*region).into(),
+                    q.into(),
+                    (*product).into(),
+                    units.into(),
+                    revenue.into(),
+                ]);
+            }
+        }
+    }
+    t(["region", "quarter", "product", "units", "revenue"], rows)
+}
+
+/// The paper's running-example table (Fig. 1): health-program enrollment.
+pub fn enrollment() -> Table {
+    let data: [(&str, i64, &str, i64, i64); 16] = [
+        ("A", 1, "Youth", 1667, 5668),
+        ("A", 1, "Adult", 1367, 5668),
+        ("A", 2, "Youth", 256, 5668),
+        ("A", 2, "Adult", 347, 5668),
+        ("A", 3, "Youth", 148, 5668),
+        ("A", 3, "Adult", 237, 5668),
+        ("A", 4, "Youth", 556, 5668),
+        ("A", 4, "Adult", 432, 5668),
+        ("B", 1, "Youth", 2578, 10541),
+        ("B", 1, "Adult", 1200, 10541),
+        ("B", 2, "Youth", 811, 10541),
+        ("B", 2, "Adult", 904, 10541),
+        ("B", 3, "Youth", 500, 10541),
+        ("B", 3, "Adult", 492, 10541),
+        ("B", 4, "Youth", 768, 10541),
+        ("B", 4, "Adult", 801, 10541),
+    ];
+    t(
+        ["City", "Quarter", "Group", "Enrolled", "Population"],
+        data.iter()
+            .map(|&(c, q, g, e, p)| [c.into(), q.into(), g.into(), e.into(), p.into()])
+            .collect(),
+    )
+}
+
+/// Web analytics: `day, page, visits, uniques`.
+pub fn weblog() -> Table {
+    let pages = ["home", "docs", "blog"];
+    let mut rows = Vec::new();
+    for day in 1..=6i64 {
+        for (pi, page) in pages.iter().enumerate() {
+            let visits = 40 + 11 * day + 17 * pi as i64 + (day * pi as i64) % 7;
+            let uniques = visits - 5 - (day + pi as i64) % 9;
+            rows.push([day.into(), (*page).into(), visits.into(), uniques.into()]);
+        }
+    }
+    t(["day", "page", "visits", "uniques"], rows)
+}
+
+/// Monthly weather observations: `city, month, temp_c, rain_mm`.
+pub fn weather() -> Table {
+    let cities = ["oslo", "lima", "perth"];
+    let mut rows = Vec::new();
+    for (ci, city) in cities.iter().enumerate() {
+        for month in 1..=6i64 {
+            let temp = 5 * ci as i64 + month * 2 - 3 + (month * ci as i64) % 4;
+            let rain = 30 + 9 * ((month + 2 * ci as i64) % 5);
+            rows.push([(*city).into(), month.into(), temp.into(), rain.into()]);
+        }
+    }
+    t(["city", "month", "temp_c", "rain_mm"], rows)
+}
+
+/// Payroll: `dept, employee, salary, bonus`.
+pub fn payroll() -> Table {
+    let data: [(&str, &str, i64, i64); 12] = [
+        ("eng", "ada", 9800, 900),
+        ("eng", "bob", 9100, 450),
+        ("eng", "cid", 8700, 300),
+        ("eng", "dot", 9350, 610),
+        ("ops", "eve", 7200, 380),
+        ("ops", "fox", 6900, 240),
+        ("ops", "gus", 7450, 410),
+        ("ops", "hal", 7100, 150),
+        ("sales", "ivy", 8000, 1200),
+        ("sales", "joe", 7600, 900),
+        ("sales", "kim", 8300, 1500),
+        ("sales", "lou", 7900, 700),
+    ];
+    t(
+        ["dept", "employee", "salary", "bonus"],
+        data.iter()
+            .map(|&(d, e, s, b)| [d.into(), e.into(), s.into(), b.into()])
+            .collect(),
+    )
+}
+
+/// Sports results: `team, week, points, allowed`.
+pub fn games() -> Table {
+    let teams = ["ants", "bats", "cats", "dogs"];
+    let mut rows = Vec::new();
+    for (ti, team) in teams.iter().enumerate() {
+        for week in 1..=4i64 {
+            let points = 14 + ((7 * week + 5 * ti as i64) % 21);
+            let allowed = 10 + ((3 * week + 11 * ti as i64) % 24);
+            rows.push([(*team).into(), week.into(), points.into(), allowed.into()]);
+        }
+    }
+    t(["team", "week", "points", "allowed"], rows)
+}
+
+/// Warehouse stock: `warehouse, sku, qty, reorder_level`.
+pub fn inventory() -> Table {
+    let whs = ["north", "south"];
+    let skus = ["N-100", "N-200", "N-300"];
+    let mut rows = Vec::new();
+    for (wi, wh) in whs.iter().enumerate() {
+        for (si, sku) in skus.iter().enumerate() {
+            let qty = 120 + 35 * si as i64 - 35 * wi as i64 + 10 * ((wi + si) % 3) as i64;
+            let reorder = 80 + 20 * si as i64;
+            rows.push([(*wh).into(), (*sku).into(), qty.into(), reorder.into()]);
+        }
+    }
+    t(["warehouse", "sku", "qty", "reorder_level"], rows)
+}
+
+/// Daily stock quotes: `ticker, day, close, volume`.
+pub fn stocks() -> Table {
+    let tickers = ["AAA", "BBB"];
+    let mut rows = Vec::new();
+    for (ti, ticker) in tickers.iter().enumerate() {
+        for day in 1..=8i64 {
+            let close = 50 + 20 * ti as i64 + ((day * (3 + ti as i64 * 2)) % 13) - 4;
+            let volume = 1000 + 130 * day + 70 * ti as i64 * ((day % 4) + 1);
+            rows.push([(*ticker).into(), day.into(), close.into(), volume.into()]);
+        }
+    }
+    t(["ticker", "day", "close", "volume"], rows)
+}
+
+/// Clinic utilization: `clinic, month, patients, staff`.
+pub fn clinic() -> Table {
+    let clinics = ["alpha", "beta", "gamma"];
+    let mut rows = Vec::new();
+    for (ci, name) in clinics.iter().enumerate() {
+        for month in 1..=4i64 {
+            let patients = 200 + 31 * month + 54 * ci as i64 + ((month * ci as i64) % 6) * 7;
+            let staff = 8 + ci as i64 + month % 2;
+            rows.push([(*name).into(), month.into(), patients.into(), staff.into()]);
+        }
+    }
+    t(["clinic", "month", "patients", "staff"], rows)
+}
+
+/// Power generation: `plant, month, output_mwh, capacity_mwh`.
+pub fn energy() -> Table {
+    let plants = ["hydro1", "wind1", "solar1"];
+    let mut rows = Vec::new();
+    for (pi, plant) in plants.iter().enumerate() {
+        for month in 1..=5i64 {
+            let capacity = 500 + 120 * pi as i64;
+            let output = capacity - 40 - 17 * ((month + pi as i64) % 5) - 6 * month;
+            rows.push([
+                (*plant).into(),
+                month.into(),
+                output.into(),
+                capacity.into(),
+            ]);
+        }
+    }
+    t(["plant", "month", "output_mwh", "capacity_mwh"], rows)
+}
+
+/// Transit ridership: `line, month, riders, trips`.
+pub fn transit() -> Table {
+    let lines = ["red", "blue"];
+    let mut rows = Vec::new();
+    for (li, line) in lines.iter().enumerate() {
+        for month in 1..=6i64 {
+            let riders = 9000 + 410 * month + 800 * li as i64 + 37 * ((month * (li as i64 + 2)) % 5);
+            let trips = 300 + 12 * month + 25 * li as i64;
+            rows.push([(*line).into(), month.into(), riders.into(), trips.into()]);
+        }
+    }
+    t(["line", "month", "riders", "trips"], rows)
+}
+
+// ---------------------------------------------------------------------------
+// TPC-DS-style star schema (three sales channels + dimensions)
+// ---------------------------------------------------------------------------
+
+/// TPC-DS-style store channel fact: `store, category, quarter, qty, net_paid`.
+pub fn store_sales() -> Table {
+    let stores = ["S1", "S2"];
+    let cats = ["Books", "Music", "Shoes"];
+    let mut rows = Vec::new();
+    for (si, store) in stores.iter().enumerate() {
+        for (ci, cat) in cats.iter().enumerate() {
+            for q in 1..=3i64 {
+                let qty = 20 + 6 * q + 9 * ci as i64 + 4 * si as i64;
+                let net = qty * (11 + 3 * ci as i64) + 17 * q;
+                rows.push([
+                    (*store).into(),
+                    (*cat).into(),
+                    q.into(),
+                    qty.into(),
+                    net.into(),
+                ]);
+            }
+        }
+    }
+    t(["store", "category", "quarter", "qty", "net_paid"], rows)
+}
+
+/// TPC-DS-style web channel fact: `site, category, quarter, qty, net_paid`.
+pub fn web_sales() -> Table {
+    let sites = ["web1", "web2"];
+    let cats = ["Books", "Music"];
+    let mut rows = Vec::new();
+    for (si, site) in sites.iter().enumerate() {
+        for (ci, cat) in cats.iter().enumerate() {
+            for q in 1..=4i64 {
+                let qty = 12 + 5 * q + 7 * ci as i64 + 3 * si as i64;
+                let net = qty * (13 + 2 * ci as i64) + 9 * q;
+                rows.push([
+                    (*site).into(),
+                    (*cat).into(),
+                    q.into(),
+                    qty.into(),
+                    net.into(),
+                ]);
+            }
+        }
+    }
+    t(["site", "category", "quarter", "qty", "net_paid"], rows)
+}
+
+/// TPC-DS-style catalog channel fact: `page, category, quarter, qty, net_paid`.
+pub fn catalog_sales() -> Table {
+    let pages = ["cp1", "cp2"];
+    let cats = ["Music", "Shoes"];
+    let mut rows = Vec::new();
+    for (pi, page) in pages.iter().enumerate() {
+        for (ci, cat) in cats.iter().enumerate() {
+            for q in 1..=4i64 {
+                let qty = 9 + 4 * q + 6 * ci as i64 + 5 * pi as i64;
+                let net = qty * (15 + ci as i64) + 5 * q;
+                rows.push([
+                    (*page).into(),
+                    (*cat).into(),
+                    q.into(),
+                    qty.into(),
+                    net.into(),
+                ]);
+            }
+        }
+    }
+    t(["page", "category", "quarter", "qty", "net_paid"], rows)
+}
+
+/// Store dimension: `store, county, tax_rate_pct`.
+pub fn store_dim() -> Table {
+    t(
+        ["store", "county", "tax_rate_pct"],
+        vec![
+            ["S1".into(), "King".into(), 8.into()],
+            ["S2".into(), "Pierce".into(), 7.into()],
+        ],
+    )
+}
+
+/// Item-category dimension: `category, department, base_price`.
+pub fn item_dim() -> Table {
+    t(
+        ["category", "department", "base_price"],
+        vec![
+            ["Books".into(), "Media".into(), 12.into()],
+            ["Music".into(), "Media".into(), 15.into()],
+            ["Shoes".into(), "Apparel".into(), 40.into()],
+        ],
+    )
+}
+
+/// Customer demographics: `customer, state, segment`.
+pub fn customer_dim() -> Table {
+    t(
+        ["customer", "state", "segment"],
+        vec![
+            ["C1".into(), "WA".into(), "retail".into()],
+            ["C2".into(), "OR".into(), "retail".into()],
+            ["C3".into(), "WA".into(), "corp".into()],
+            ["C4".into(), "CA".into(), "corp".into()],
+        ],
+    )
+}
+
+/// Customer orders fact (pairs with [`customer_dim`]):
+/// `customer, quarter, amount`.
+pub fn orders() -> Table {
+    let customers = ["C1", "C2", "C3", "C4"];
+    let mut rows = Vec::new();
+    for (ci, customer) in customers.iter().enumerate() {
+        for q in 1..=4i64 {
+            let amount = 100 + 23 * q + 41 * ci as i64 + ((q * (ci as i64 + 3)) % 7) * 10;
+            rows.push([(*customer).into(), q.into(), amount.into()]);
+        }
+    }
+    t(["customer", "quarter", "amount"], rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_generators_produce_valid_tables() {
+        let tables = [
+            sales(),
+            enrollment(),
+            weblog(),
+            weather(),
+            payroll(),
+            games(),
+            inventory(),
+            stocks(),
+            clinic(),
+            energy(),
+            transit(),
+            store_sales(),
+            web_sales(),
+            catalog_sales(),
+            store_dim(),
+            item_dim(),
+            customer_dim(),
+            orders(),
+        ];
+        for t in &tables {
+            assert!(t.n_rows() >= 2, "table too small");
+            assert!(t.n_cols() >= 2);
+            assert!(t.n_rows() <= 24, "keep inputs near the 20-row budget");
+        }
+    }
+
+    #[test]
+    fn enrollment_matches_figure_one() {
+        let t = enrollment();
+        assert_eq!(t.n_rows(), 16);
+        assert_eq!(t.get(0, 3), Some(&Value::Int(1667)));
+        assert_eq!(t.get(7, 3), Some(&Value::Int(432)));
+        assert_eq!(t.get(8, 4), Some(&Value::Int(10541)));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(sales(), sales());
+        assert_eq!(stocks(), stocks());
+    }
+
+    #[test]
+    fn facts_have_multiple_groups() {
+        let t = store_sales();
+        let stores = sickle_table::extract_groups(&t, &[0]);
+        assert_eq!(stores.len(), 2);
+        let cats = sickle_table::extract_groups(&t, &[1]);
+        assert_eq!(cats.len(), 3);
+    }
+}

@@ -1,0 +1,871 @@
+//! The 80 benchmark task definitions (§5.1).
+//!
+//! Organized exactly as the paper's corpus: 43 easy forum tasks (1–3
+//! operators), 17 hard forum tasks, and 20 TPC-DS-style tasks. Forum tasks
+//! cover the analytics patterns that dominate online analytical-SQL
+//! questions (per-group totals, running sums, in-group ranks, shares of a
+//! total, derived metrics); the TPC-DS tasks mirror decision-support view
+//! extracts over a star schema (fact channels + dimensions).
+
+use sickle_core::{JoinKey, Pred, Query};
+use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp, Table, Value};
+
+use crate::data;
+use crate::{Benchmark, Category};
+
+// --- query constructors ----------------------------------------------------
+
+fn t(k: usize) -> Query {
+    Query::Input(k)
+}
+
+fn g(src: Query, keys: &[usize], agg: AggFunc, target: usize) -> Query {
+    Query::Group {
+        src: Box::new(src),
+        keys: keys.to_vec(),
+        agg,
+        target,
+    }
+}
+
+fn p(src: Query, keys: &[usize], func: AnalyticFunc, target: usize) -> Query {
+    Query::Partition {
+        src: Box::new(src),
+        keys: keys.to_vec(),
+        func,
+        target,
+    }
+}
+
+fn a(src: Query, func: ArithExpr, cols: &[usize]) -> Query {
+    Query::Arith {
+        src: Box::new(src),
+        func,
+        cols: cols.to_vec(),
+    }
+}
+
+fn flt(src: Query, pred: Pred) -> Query {
+    Query::Filter {
+        src: Box::new(src),
+        pred,
+    }
+}
+
+fn srt(src: Query, col: usize, asc: bool) -> Query {
+    Query::Sort {
+        src: Box::new(src),
+        cols: vec![col],
+        asc,
+    }
+}
+
+fn lj(left: Query, right: Query, pred: Pred) -> Query {
+    Query::LeftJoin {
+        left: Box::new(left),
+        right: Box::new(right),
+        pred,
+    }
+}
+
+fn le(col: usize, v: i64) -> Pred {
+    Pred::ColConst(col, CmpOp::Le, Value::Int(v))
+}
+
+fn eq_cols(l: usize, r: usize) -> Pred {
+    Pred::ColCmp(l, CmpOp::Eq, r)
+}
+
+// --- arithmetic templates ---------------------------------------------------
+
+fn pct() -> ArithExpr {
+    // x / y * 100
+    ArithExpr::bin(
+        ArithOp::Mul,
+        ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1)),
+        ArithExpr::lit(100.0),
+    )
+}
+
+fn ratio() -> ArithExpr {
+    ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1))
+}
+
+fn diff() -> ArithExpr {
+    ArithExpr::bin(ArithOp::Sub, ArithExpr::Param(0), ArithExpr::Param(1))
+}
+
+fn addx() -> ArithExpr {
+    ArithExpr::bin(ArithOp::Add, ArithExpr::Param(0), ArithExpr::Param(1))
+}
+
+fn mulx() -> ArithExpr {
+    ArithExpr::bin(ArithOp::Mul, ArithExpr::Param(0), ArithExpr::Param(1))
+}
+
+fn relpct() -> ArithExpr {
+    // (x - y) / y * 100
+    ArithExpr::bin(
+        ArithOp::Mul,
+        ArithExpr::bin(
+            ArithOp::Div,
+            ArithExpr::bin(ArithOp::Sub, ArithExpr::Param(0), ArithExpr::Param(1)),
+            ArithExpr::Param(1),
+        ),
+        ArithExpr::lit(100.0),
+    )
+}
+
+fn mul_pct() -> ArithExpr {
+    // x * y / 100 (tax application)
+    ArithExpr::bin(
+        ArithOp::Div,
+        ArithExpr::bin(ArithOp::Mul, ArithExpr::Param(0), ArithExpr::Param(1)),
+        ArithExpr::lit(100.0),
+    )
+}
+
+// --- benchmark builder -------------------------------------------------------
+
+fn bench(
+    id: usize,
+    name: &'static str,
+    category: Category,
+    inputs: Vec<Table>,
+    ground_truth: Query,
+    out_cols: &[usize],
+) -> Benchmark {
+    Benchmark {
+        id,
+        name,
+        category,
+        inputs,
+        ground_truth,
+        out_cols: out_cols.to_vec(),
+        join_keys: Vec::new(),
+        extra_constants: Vec::new(),
+        extra_arith: Vec::new(),
+    }
+}
+
+fn with_join(mut b: Benchmark, jk: JoinKey) -> Benchmark {
+    b.join_keys.push(jk);
+    b
+}
+
+fn with_const(mut b: Benchmark, v: i64) -> Benchmark {
+    b.extra_constants.push(Value::Int(v));
+    b
+}
+
+fn with_arith(mut b: Benchmark, e: ArithExpr) -> Benchmark {
+    b.extra_arith.push(e);
+    b
+}
+
+fn jk00() -> JoinKey {
+    JoinKey {
+        left_table: 0,
+        left_col: 0,
+        right_table: 1,
+        right_col: 0,
+    }
+}
+
+fn jk10() -> JoinKey {
+    // fact column 1 = dimension column 0 (category keys)
+    JoinKey {
+        left_table: 0,
+        left_col: 1,
+        right_table: 1,
+        right_col: 0,
+    }
+}
+
+/// The 43 easy forum tasks (1–3 operators each).
+pub fn forum_easy() -> Vec<Benchmark> {
+    use AggFunc::*;
+    use AnalyticFunc::{Agg, CumSum, DenseRank, Rank};
+    use Category::ForumEasy as E;
+    let s = data::sales;
+    let en = data::enrollment;
+    let wl = data::weblog;
+    let we = data::weather;
+    let pr = data::payroll;
+    let ga = data::games;
+    let iv = data::inventory;
+    let st = data::stocks;
+    let cl = data::clinic;
+    let eg = data::energy;
+    vec![
+        // sales: region0 quarter1 product2 units3 revenue4
+        bench(1, "sales: total revenue per region", E, vec![s()], g(t(0), &[0], Sum, 4), &[0, 1]),
+        bench(2, "sales: average units per product", E, vec![s()], g(t(0), &[2], Avg, 3), &[0, 1]),
+        bench(3, "sales: max revenue per region/quarter", E, vec![s()], g(t(0), &[0, 1], Max, 4), &[0, 1, 2]),
+        bench(4, "sales: products sold per region/quarter", E, vec![s()], g(t(0), &[0, 1], Count, 2), &[0, 1, 2]),
+        bench(5, "sales: running revenue within region", E, vec![s()], p(t(0), &[0], CumSum, 4), &[0, 1, 5]),
+        bench(6, "sales: revenue rank within region", E, vec![s()], p(t(0), &[0], Rank, 4), &[0, 1, 5]),
+        bench(7, "sales: price per unit", E, vec![s()], a(t(0), ratio(), &[4, 3]), &[0, 2, 5]),
+        bench(8, "sales: revenue share of region total", E, vec![s()], a(p(t(0), &[0], Agg(Sum), 4), pct(), &[4, 5]), &[0, 1, 6]),
+        // enrollment: City0 Quarter1 Group2 Enrolled3 Population4
+        bench(9, "enrollment: total per city/quarter", E, vec![en()], g(t(0), &[0, 1], Sum, 3), &[0, 1, 2]),
+        bench(10, "enrollment: average per age group", E, vec![en()], g(t(0), &[2], Avg, 3), &[0, 1]),
+        bench(11, "enrollment: running enrolled within city", E, vec![en()], p(t(0), &[0], CumSum, 3), &[0, 1, 5]),
+        bench(12, "enrollment: row share of population", E, vec![en()], a(t(0), pct(), &[3, 4]), &[0, 1, 5]),
+        // weblog: day0 page1 visits2 uniques3
+        bench(13, "weblog: total visits per page", E, vec![wl()], g(t(0), &[1], Sum, 2), &[0, 1]),
+        bench(14, "weblog: peak visits per day", E, vec![wl()], g(t(0), &[0], Max, 2), &[0, 1]),
+        bench(15, "weblog: running visits per page", E, vec![wl()], p(t(0), &[1], CumSum, 2), &[0, 1, 4]),
+        bench(16, "weblog: repeat visits per row", E, vec![wl()], a(t(0), diff(), &[2, 3]), &[0, 1, 4]),
+        bench(17, "weblog: day rank by visits per page", E, vec![wl()], p(t(0), &[1], Rank, 2), &[0, 1, 4]),
+        bench(18, "weblog: page share of daily visits", E, vec![wl()], a(p(t(0), &[0], Agg(Sum), 2), pct(), &[2, 4]), &[0, 1, 5]),
+        // weather: city0 month1 temp2 rain3
+        bench(19, "weather: average temperature per city", E, vec![we()], g(t(0), &[0], Avg, 2), &[0, 1]),
+        bench(20, "weather: total rain per month", E, vec![we()], g(t(0), &[1], Sum, 3), &[0, 1]),
+        bench(21, "weather: month dense-rank by rain per city", E, vec![we()], p(t(0), &[0], DenseRank, 3), &[0, 1, 4]),
+        bench(22, "weather: cumulative rain per city", E, vec![we()], p(t(0), &[0], CumSum, 3), &[0, 1, 4]),
+        // payroll: dept0 employee1 salary2 bonus3
+        bench(23, "payroll: total compensation per employee", E, vec![pr()], a(t(0), addx(), &[2, 3]), &[1, 4]),
+        bench(24, "payroll: salary bill per department", E, vec![pr()], g(t(0), &[0], Sum, 2), &[0, 1]),
+        bench(25, "payroll: top salary per department", E, vec![pr()], g(t(0), &[0], Max, 2), &[0, 1]),
+        bench(26, "payroll: salary rank within department", E, vec![pr()], p(t(0), &[0], Rank, 2), &[0, 1, 4]),
+        bench(27, "payroll: bonus share of department pool", E, vec![pr()], a(p(t(0), &[0], Agg(Sum), 3), pct(), &[3, 4]), &[0, 1, 5]),
+        bench(28, "payroll: headcount per department", E, vec![pr()], g(t(0), &[0], Count, 1), &[0, 1]),
+        // games: team0 week1 points2 allowed3
+        bench(29, "games: point margin per game", E, vec![ga()], a(t(0), diff(), &[2, 3]), &[0, 1, 4]),
+        bench(30, "games: season points per team", E, vec![ga()], g(t(0), &[0], Sum, 2), &[0, 1]),
+        bench(31, "games: running points per team", E, vec![ga()], p(t(0), &[0], CumSum, 2), &[0, 1, 4]),
+        bench(32, "games: week rank by points per team", E, vec![ga()], p(t(0), &[0], Rank, 2), &[0, 1, 4]),
+        bench(33, "games: average points allowed per week", E, vec![ga()], g(t(0), &[1], Avg, 3), &[0, 1]),
+        // inventory: warehouse0 sku1 qty2 reorder3
+        bench(34, "inventory: total quantity per sku", E, vec![iv()], g(t(0), &[1], Sum, 2), &[0, 1]),
+        bench(35, "inventory: headroom above reorder level", E, vec![iv()], a(t(0), diff(), &[2, 3]), &[0, 1, 4]),
+        bench(36, "inventory: share of warehouse stock", E, vec![iv()], a(p(t(0), &[0], Agg(Sum), 2), pct(), &[2, 4]), &[0, 1, 5]),
+        // stocks: ticker0 day1 close2 volume3
+        bench(37, "stocks: max close per ticker", E, vec![st()], g(t(0), &[0], Max, 2), &[0, 1]),
+        bench(38, "stocks: cumulative volume per ticker", E, vec![st()], p(t(0), &[0], CumSum, 3), &[0, 1, 4]),
+        bench(39, "stocks: day rank by close per ticker", E, vec![st()], p(t(0), &[0], Rank, 2), &[0, 1, 4]),
+        bench(40, "stocks: dollar volume per day", E, vec![st()], a(t(0), mulx(), &[2, 3]), &[0, 1, 4]),
+        // clinic: clinic0 month1 patients2 staff3
+        bench(41, "clinic: patients per staff member", E, vec![cl()], a(t(0), ratio(), &[2, 3]), &[0, 1, 4]),
+        bench(42, "clinic: total patients per clinic", E, vec![cl()], g(t(0), &[0], Sum, 2), &[0, 1]),
+        // energy: plant0 month1 output2 capacity3
+        bench(43, "energy: capacity factor percentage", E, vec![eg()], a(t(0), pct(), &[2, 3]), &[0, 1, 4]),
+    ]
+}
+
+/// The 17 hard forum tasks (3–4 operators).
+pub fn forum_hard() -> Vec<Benchmark> {
+    use AggFunc::*;
+    use AnalyticFunc::{Agg, CumSum, DenseRank, Rank};
+    use Category::ForumHard as H;
+    vec![
+        // 44: the paper's running example (Figs. 1–6).
+        bench(
+            44,
+            "enrollment: pct of population enrolled by end of quarter (running example)",
+            H,
+            vec![data::enrollment()],
+            a(
+                p(g(t(0), &[0, 1, 4], Sum, 3), &[0], CumSum, 3),
+                pct(),
+                &[4, 2],
+            ),
+            &[0, 1, 5],
+        ),
+        bench(
+            45,
+            "sales: quarter share of region revenue",
+            H,
+            vec![data::sales()],
+            a(
+                p(g(t(0), &[0, 1], Sum, 4), &[0], Agg(Sum), 2),
+                pct(),
+                &[2, 3],
+            ),
+            &[0, 1, 4],
+        ),
+        bench(
+            46,
+            "weblog: cumulative share of total daily visits",
+            H,
+            vec![data::weblog()],
+            a(
+                p(
+                    p(g(t(0), &[0], Sum, 2), &[], CumSum, 1),
+                    &[],
+                    Agg(Sum),
+                    1,
+                ),
+                pct(),
+                &[2, 3],
+            ),
+            &[0, 4],
+        ),
+        with_const(
+            bench(
+                47,
+                "weather: city rank by first-quarter rain",
+                H,
+                vec![data::weather()],
+                p(g(flt(t(0), le(1, 3)), &[0], Sum, 3), &[], Rank, 1),
+                &[0, 2],
+            ),
+            3,
+        ),
+        bench(
+            48,
+            "payroll: department share of total salary bill",
+            H,
+            vec![data::payroll()],
+            a(p(g(t(0), &[0], Sum, 2), &[], Agg(Sum), 1), pct(), &[1, 2]),
+            &[0, 3],
+        ),
+        bench(
+            49,
+            "games: team rank by season point margin",
+            H,
+            vec![data::games()],
+            p(g(a(t(0), diff(), &[2, 3]), &[0], Sum, 4), &[], Rank, 1),
+            &[0, 2],
+        ),
+        bench(
+            50,
+            "stocks: close change vs ticker low",
+            H,
+            vec![data::stocks()],
+            a(
+                p(srt(t(0), 1, true), &[0], Agg(Min), 2),
+                relpct(),
+                &[2, 4],
+            ),
+            &[0, 1, 5],
+        ),
+        with_const(
+            bench(
+                51,
+                "transit: riders-per-trip rank within line (first five months)",
+                H,
+                vec![data::transit()],
+                p(a(flt(t(0), le(1, 5)), ratio(), &[2, 3]), &[0], Rank, 4),
+                &[0, 1, 5],
+            ),
+            5,
+        ),
+        bench(
+            52,
+            "clinic: rank clinics by average monthly patients",
+            H,
+            vec![data::clinic()],
+            p(g(g(t(0), &[0, 1], Sum, 2), &[0], Avg, 2), &[], Rank, 1),
+            &[0, 2],
+        ),
+        bench(
+            53,
+            "energy: cumulative output share of cumulative capacity",
+            H,
+            vec![data::energy()],
+            a(
+                p(p(t(0), &[0], CumSum, 2), &[0], CumSum, 3),
+                pct(),
+                &[4, 5],
+            ),
+            &[0, 1, 6],
+        ),
+        with_join(
+            bench(
+                54,
+                "orders+customers: state share of total order amount",
+                H,
+                vec![data::orders(), data::customer_dim()],
+                a(
+                    p(
+                        g(lj(t(0), t(1), eq_cols(0, 3)), &[4], Sum, 2),
+                        &[],
+                        Agg(Sum),
+                        1,
+                    ),
+                    pct(),
+                    &[1, 2],
+                ),
+                &[0, 3],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                55,
+                "orders+customers: running state amount by quarter",
+                H,
+                vec![data::orders(), data::customer_dim()],
+                p(
+                    g(lj(t(0), t(1), eq_cols(0, 3)), &[4, 1], Sum, 2),
+                    &[0],
+                    CumSum,
+                    2,
+                ),
+                &[0, 1, 3],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                56,
+                "orders+customers: segment share of total",
+                H,
+                vec![data::orders(), data::customer_dim()],
+                a(
+                    p(
+                        g(lj(t(0), t(1), eq_cols(0, 3)), &[5], Sum, 2),
+                        &[],
+                        Agg(Sum),
+                        1,
+                    ),
+                    pct(),
+                    &[1, 2],
+                ),
+                &[0, 3],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                57,
+                "orders+customers: customer rank by total amount",
+                H,
+                vec![data::orders(), data::customer_dim()],
+                p(g(lj(t(0), t(1), eq_cols(0, 3)), &[0], Sum, 2), &[], Rank, 1),
+                &[0, 2],
+            ),
+            jk00(),
+        ),
+        bench(
+            58,
+            "weather: city average temperature deviation from overall",
+            H,
+            vec![data::weather()],
+            a(p(g(t(0), &[0], Avg, 2), &[], Agg(Avg), 1), diff(), &[1, 2]),
+            &[0, 3],
+        ),
+        bench(
+            59,
+            "stocks: ticker dense-rank by total dollar volume",
+            H,
+            vec![data::stocks()],
+            p(
+                g(a(t(0), mulx(), &[2, 3]), &[0], Sum, 4),
+                &[],
+                DenseRank,
+                1,
+            ),
+            &[0, 2],
+        ),
+        bench(
+            60,
+            "transit: monthly riders as pct of line's best month",
+            H,
+            vec![data::transit()],
+            a(
+                p(g(t(0), &[0, 1], Sum, 2), &[0], Agg(Max), 2),
+                pct(),
+                &[2, 3],
+            ),
+            &[0, 1, 4],
+        ),
+    ]
+}
+
+/// The 20 TPC-DS-style tasks (star-schema decision support).
+pub fn tpcds() -> Vec<Benchmark> {
+    use AggFunc::*;
+    use AnalyticFunc::{Agg, CumSum, Rank};
+    use Category::TpcDs as D;
+    let ss = data::store_sales;
+    let ws = data::web_sales;
+    let cs = data::catalog_sales;
+    let sd = data::store_dim;
+    let id = data::item_dim;
+    vec![
+        with_join(
+            bench(
+                61,
+                "tpcds: county running net by quarter (store+store_dim)",
+                D,
+                vec![ss(), sd()],
+                p(
+                    g(lj(t(0), t(1), eq_cols(0, 5)), &[6, 2], Sum, 4),
+                    &[0],
+                    CumSum,
+                    2,
+                ),
+                &[0, 1, 3],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                62,
+                "tpcds: county share of total net (store+store_dim)",
+                D,
+                vec![ss(), sd()],
+                a(
+                    p(
+                        g(lj(t(0), t(1), eq_cols(0, 5)), &[6], Sum, 4),
+                        &[],
+                        Agg(Sum),
+                        1,
+                    ),
+                    pct(),
+                    &[1, 2],
+                ),
+                &[0, 3],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                63,
+                "tpcds: department quarterly qty rank (store+item_dim)",
+                D,
+                vec![ss(), id()],
+                p(
+                    g(lj(t(0), t(1), eq_cols(1, 5)), &[6, 2], Sum, 3),
+                    &[0],
+                    Rank,
+                    2,
+                ),
+                &[0, 1, 3],
+            ),
+            jk10(),
+        ),
+        with_join(
+            bench(
+                64,
+                "tpcds: category net as pct of department net (store+item_dim)",
+                D,
+                vec![ss(), id()],
+                a(
+                    p(
+                        g(lj(t(0), t(1), eq_cols(1, 5)), &[1, 6], Sum, 4),
+                        &[1],
+                        Agg(Sum),
+                        2,
+                    ),
+                    pct(),
+                    &[2, 3],
+                ),
+                &[0, 1, 4],
+            ),
+            jk10(),
+        ),
+        bench(
+            65,
+            "tpcds: store rolling share of its total net",
+            D,
+            vec![ss()],
+            a(
+                p(
+                    p(g(t(0), &[0, 2], Sum, 4), &[0], CumSum, 2),
+                    &[0],
+                    Agg(Sum),
+                    2,
+                ),
+                pct(),
+                &[3, 4],
+            ),
+            &[0, 1, 5],
+        ),
+        bench(
+            66,
+            "tpcds: site share of category net (web)",
+            D,
+            vec![ws()],
+            a(
+                p(g(t(0), &[0, 1], Sum, 4), &[1], Agg(Sum), 2),
+                pct(),
+                &[2, 3],
+            ),
+            &[0, 1, 4],
+        ),
+        bench(
+            67,
+            "tpcds: site cumulative qty share (web)",
+            D,
+            vec![ws()],
+            a(
+                p(
+                    p(g(t(0), &[0, 2], Sum, 3), &[0], CumSum, 2),
+                    &[0],
+                    Agg(Sum),
+                    2,
+                ),
+                pct(),
+                &[3, 4],
+            ),
+            &[0, 1, 5],
+        ),
+        with_const(
+            bench(
+                68,
+                "tpcds: page net rank within quarter window (catalog)",
+                D,
+                vec![cs()],
+                p(
+                    g(flt(t(0), le(2, 3)), &[0, 2], Sum, 4),
+                    &[0],
+                    Rank,
+                    2,
+                ),
+                &[0, 1, 3],
+            ),
+            3,
+        ),
+        with_join(
+            bench(
+                69,
+                "tpcds: department share of catalog net (catalog+item_dim)",
+                D,
+                vec![cs(), id()],
+                a(
+                    p(
+                        g(lj(t(0), t(1), eq_cols(1, 5)), &[6], Sum, 4),
+                        &[],
+                        Agg(Sum),
+                        1,
+                    ),
+                    pct(),
+                    &[1, 2],
+                ),
+                &[0, 3],
+            ),
+            jk10(),
+        ),
+        bench(
+            70,
+            "tpcds: store avg quarterly net as pct of best store",
+            D,
+            vec![ss()],
+            a(
+                p(g(g(t(0), &[0, 2], Sum, 4), &[0], Avg, 2), &[], Agg(Max), 1),
+                pct(),
+                &[1, 2],
+            ),
+            &[0, 3],
+        ),
+        bench(
+            71,
+            "tpcds: cumulative quarterly share of web net",
+            D,
+            vec![ws()],
+            a(
+                p(p(g(t(0), &[2], Sum, 4), &[], CumSum, 1), &[], Agg(Sum), 1),
+                pct(),
+                &[2, 3],
+            ),
+            &[0, 4],
+        ),
+        with_const(
+            bench(
+                72,
+                "tpcds: category cumulative qty in quarter window (catalog)",
+                D,
+                vec![cs()],
+                p(
+                    g(flt(t(0), le(2, 3)), &[1, 2], Sum, 3),
+                    &[0],
+                    CumSum,
+                    2,
+                ),
+                &[0, 1, 3],
+            ),
+            3,
+        ),
+        with_arith(
+            with_join(
+                bench(
+                    73,
+                    "tpcds: county sales-tax dollars (store+store_dim)",
+                    D,
+                    vec![ss(), sd()],
+                    g(
+                        a(lj(t(0), t(1), eq_cols(0, 5)), mul_pct(), &[4, 7]),
+                        &[6],
+                        Sum,
+                        8,
+                    ),
+                    &[0, 1],
+                ),
+                jk00(),
+            ),
+            mul_pct(),
+        ),
+        bench(
+            74,
+            "tpcds: store rank by average of quarterly peaks",
+            D,
+            vec![ss()],
+            p(g(g(t(0), &[0, 2], Max, 4), &[0], Avg, 2), &[], Rank, 1),
+            &[0, 2],
+        ),
+        with_join(
+            bench(
+                75,
+                "tpcds: department cumulative web qty (single-department case)",
+                D,
+                vec![ws(), id()],
+                p(
+                    g(lj(t(0), t(1), eq_cols(1, 5)), &[6, 2], Sum, 3),
+                    &[0],
+                    CumSum,
+                    2,
+                ),
+                &[0, 1, 3],
+            ),
+            jk10(),
+        ),
+        with_join(
+            bench(
+                76,
+                "tpcds: state running average order size",
+                D,
+                vec![data::orders(), data::customer_dim()],
+                p(
+                    g(lj(t(0), t(1), eq_cols(0, 3)), &[4, 1], Avg, 2),
+                    &[0],
+                    CumSum,
+                    2,
+                ),
+                &[0, 1, 3],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                77,
+                "tpcds: segment share of quarterly amount",
+                D,
+                vec![data::orders(), data::customer_dim()],
+                a(
+                    p(
+                        g(lj(t(0), t(1), eq_cols(0, 3)), &[5, 1], Sum, 2),
+                        &[1],
+                        Agg(Sum),
+                        2,
+                    ),
+                    pct(),
+                    &[2, 3],
+                ),
+                &[0, 1, 4],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                78,
+                "tpcds: store share of county-quarter net",
+                D,
+                vec![ss(), sd()],
+                a(
+                    p(
+                        g(lj(t(0), t(1), eq_cols(0, 5)), &[0, 6, 2], Sum, 4),
+                        &[1, 2],
+                        Agg(Sum),
+                        3,
+                    ),
+                    pct(),
+                    &[3, 4],
+                ),
+                &[0, 2, 5],
+            ),
+            jk00(),
+        ),
+        with_join(
+            bench(
+                79,
+                "tpcds: average markup over base price per category",
+                D,
+                vec![cs(), id()],
+                g(
+                    a(lj(t(0), t(1), eq_cols(1, 5)), ratio(), &[4, 7]),
+                    &[1],
+                    Avg,
+                    8,
+                ),
+                &[0, 1],
+            ),
+            jk10(),
+        ),
+        with_const(
+            bench(
+                80,
+                "tpcds: site rank by early-quarter web net",
+                D,
+                vec![ws()],
+                p(g(flt(t(0), le(2, 3)), &[0], Sum, 4), &[], Rank, 1),
+                &[0, 2],
+            ),
+            3,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_contiguous_within_suites() {
+        let easy = forum_easy();
+        assert_eq!(easy.len(), 43);
+        assert_eq!(easy[0].id, 1);
+        assert_eq!(easy[42].id, 43);
+        let hard = forum_hard();
+        assert_eq!(hard.len(), 17);
+        assert_eq!(hard[0].id, 44);
+        let ds = tpcds();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds[19].id, 80);
+    }
+
+    #[test]
+    fn running_example_is_benchmark_44() {
+        let hard = forum_hard();
+        let b = &hard[0];
+        assert_eq!(b.id, 44);
+        assert_eq!(b.ground_truth.size(), 3);
+        let out = sickle_core::evaluate(&b.ground_truth, &b.inputs).unwrap();
+        // City A, quarter 4 => 88.3%.
+        let row = out
+            .rows()
+            .find(|r| r[0] == "A".into() && r[1] == 4.into())
+            .unwrap();
+        let v = row[5].as_f64().unwrap();
+        assert!((v - 88.33).abs() < 0.1, "got {v}");
+    }
+
+    #[test]
+    fn join_benchmarks_declare_join_keys() {
+        for b in forum_hard().into_iter().chain(tpcds()) {
+            if b.features().join {
+                assert!(!b.join_keys.is_empty(), "benchmark {} missing keys", b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_benchmarks_provide_constants() {
+        for b in forum_easy()
+            .into_iter()
+            .chain(forum_hard())
+            .chain(tpcds())
+        {
+            if b.features().filter {
+                assert!(
+                    !b.extra_constants.is_empty(),
+                    "benchmark {} filters without constants",
+                    b.id
+                );
+            }
+        }
+    }
+}

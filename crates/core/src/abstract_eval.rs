@@ -1,0 +1,697 @@
+//! Abstract provenance semantics `[[q(T̄)]]◦` (Fig. 11) and the abstract
+//! consistency check `E ◁ T◦` (Def. 3).
+//!
+//! Given a *partial* query, the analyzer computes, for every output cell, an
+//! over-approximation of the set of input cells that can flow into it under
+//! *any* instantiation of the remaining holes. Three precision levels apply
+//! per operator, depending on which parameters are instantiated:
+//!
+//! * **weak** — no parameters known: new cells may draw from anywhere;
+//! * **medium** — grouping/partitioning keys known: new cells draw only
+//!   from non-key columns (and only from the target column once the
+//!   aggregation target is known);
+//! * **strong** — keys known *and* the subquery concrete: the concrete key
+//!   values determine the groups, so new cells draw only from their own
+//!   group.
+//!
+//! Pruning rests on Property 2: if no injective subtable assignment embeds
+//! the demonstration's reference sets into `T◦` (Def. 3), no instantiation
+//! of the partial query can be provenance-consistent, so it is pruned.
+
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sickle_table::{Grid, Table};
+
+use sickle_provenance::{
+    find_table_match, Demo, MatchDims, RefSet, RefUniverse,
+};
+
+use crate::ast::{PQuery, Query};
+use crate::eval::EvalError;
+use crate::prov_eval::{concretize, prov_eval_step, ProvTable};
+
+/// Precise evaluation artifacts of one concrete query: its provenance table,
+/// concrete table, and per-cell exact reference sets.
+#[derive(Debug)]
+pub struct EvalBundle {
+    /// Provenance-embedded output `[[q]]★`.
+    pub star: ProvTable,
+    /// Exact per-cell reference sets (`ref` of each `star` cell).
+    pub sets: Grid<RefSet>,
+    /// Concrete output `[[q]]`, materialized on first use (only the strong
+    /// abstraction and type-directed domains need it).
+    table: OnceCell<Table>,
+}
+
+impl EvalBundle {
+    /// The concrete output table, evaluating the provenance cells on first
+    /// access.
+    pub fn table(&self, inputs: &[Table]) -> &Table {
+        self.table.get_or_init(|| concretize(&self.star, inputs))
+    }
+}
+
+/// Memoizes precise evaluations of concrete (sub)queries.
+///
+/// During search, thousands of sibling partial queries share the same
+/// concrete subquery (e.g. the instantiated inner `group`); caching its
+/// `[[·]]★` evaluation makes the per-node analysis cost proportional to the
+/// *abstract* part of the query only.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: RefCell<HashMap<Query, Rc<EvalBundle>>>,
+    abs_map: RefCell<HashMap<PQuery, Rc<AbsTable>>>,
+}
+
+/// Bound on the partial-query abstract-table cache. The search visits the
+/// children of a node consecutively (depth-first), so even a modest bound
+/// keeps the hit rate high while capping memory.
+const ABS_CACHE_CAP: usize = 8_000;
+
+/// Bound on the concrete-bundle cache (bundles hold full provenance tables
+/// and are heavier than abstract tables).
+const BUNDLE_CACHE_CAP: usize = 2_000;
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Returns the memoized precise evaluation of `q`, computing it on the
+    /// first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from evaluation (the error is not cached).
+    pub fn bundle(
+        &self,
+        q: &Query,
+        inputs: &[Table],
+        universe: &RefUniverse,
+    ) -> Result<Rc<EvalBundle>, EvalError> {
+        if let Some(hit) = self.map.borrow().get(q) {
+            return Ok(Rc::clone(hit));
+        }
+        // Evaluate one operator level at a time so shared subqueries hit
+        // the cache instead of being re-evaluated per leaf.
+        let child_bundles: Vec<Rc<EvalBundle>> = q
+            .children()
+            .into_iter()
+            .map(|c| self.bundle(c, inputs, universe))
+            .collect::<Result<_, _>>()?;
+        let child_stars: Vec<&ProvTable> = child_bundles.iter().map(|b| &b.star).collect();
+        let star = prov_eval_step(q, &child_stars, inputs)?;
+        let sets = star.map(|e| universe.set_from(e.refs()));
+        let bundle = Rc::new(EvalBundle {
+            star,
+            sets,
+            table: OnceCell::new(),
+        });
+        let mut map = self.map.borrow_mut();
+        if map.len() >= BUNDLE_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(q.clone(), Rc::clone(&bundle));
+        Ok(bundle)
+    }
+
+    /// Number of cached entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    fn abs_get(&self, pq: &PQuery) -> Option<Rc<AbsTable>> {
+        self.abs_map.borrow().get(pq).cloned()
+    }
+
+    fn abs_put(&self, pq: &PQuery, abs: Rc<AbsTable>) {
+        let mut map = self.abs_map.borrow_mut();
+        if map.len() >= ABS_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(pq.clone(), abs);
+    }
+}
+
+/// Result of abstractly evaluating a partial query.
+#[derive(Debug, Clone)]
+pub struct AbsTable {
+    /// Per-cell over-approximated provenance sets.
+    pub sets: Grid<RefSet>,
+    /// Present when the evaluated (sub)query was fully concrete: its precise
+    /// evaluation, used by parent operators to apply the strong abstraction.
+    pub concrete: Option<Rc<EvalBundle>>,
+}
+
+/// Abstractly evaluates a partial query (Fig. 11).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if instantiated parameters reference out-of-range
+/// tables or columns (the synthesizer's domain inference never does).
+pub fn abstract_evaluate(
+    pq: &PQuery,
+    inputs: &[Table],
+    universe: &RefUniverse,
+) -> Result<AbsTable, EvalError> {
+    abstract_evaluate_cached(pq, inputs, universe, &EvalCache::new())
+}
+
+/// [`abstract_evaluate`] with a shared memoization cache for concrete
+/// subquery evaluations; the synthesizer threads one cache through the
+/// whole search.
+///
+/// # Errors
+///
+/// Same as [`abstract_evaluate`].
+pub fn abstract_evaluate_cached(
+    pq: &PQuery,
+    inputs: &[Table],
+    universe: &RefUniverse,
+    cache: &EvalCache,
+) -> Result<AbsTable, EvalError> {
+    abstract_evaluate_rc(pq, inputs, universe, cache).map(|rc| (*rc).clone())
+}
+
+/// Memoized evaluator sharing whole abstract tables between the many
+/// sibling queries that contain identical subtrees; prefer this in hot
+/// paths (it avoids a deep clone of the result).
+pub fn abstract_evaluate_rc(
+    pq: &PQuery,
+    inputs: &[Table],
+    universe: &RefUniverse,
+    cache: &EvalCache,
+) -> Result<Rc<AbsTable>, EvalError> {
+    if let Some(hit) = cache.abs_get(pq) {
+        return Ok(hit);
+    }
+    let computed = abstract_evaluate_uncached(pq, inputs, universe, cache)?;
+    let rc = Rc::new(computed);
+    cache.abs_put(pq, Rc::clone(&rc));
+    Ok(rc)
+}
+
+fn abstract_evaluate_uncached(
+    pq: &PQuery,
+    inputs: &[Table],
+    universe: &RefUniverse,
+    cache: &EvalCache,
+) -> Result<AbsTable, EvalError> {
+    // A fully concrete (sub)query is evaluated precisely — the "pass the
+    // concrete output for further abstract reasoning" rule of §4.
+    if pq.is_concrete() {
+        let q = pq.to_concrete().expect("concrete by check");
+        let bundle = cache.bundle(&q, inputs, universe)?;
+        return Ok(AbsTable {
+            sets: bundle.sets.clone(),
+            concrete: Some(bundle),
+        });
+    }
+
+    match pq {
+        PQuery::Input(_) => unreachable!("inputs are concrete"),
+        // filter/sort/proj-with-hole do not create cells: propagate.
+        PQuery::Filter { src, .. } | PQuery::Sort { src, .. } => {
+            let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
+            Ok(AbsTable {
+                sets: child.sets.clone(),
+                concrete: None,
+            })
+        }
+        PQuery::Proj { src, cols } => {
+            let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
+            let sets = match cols {
+                Some(cols) => child.sets.select_columns(cols),
+                None => child.sets.clone(),
+            };
+            Ok(AbsTable {
+                sets,
+                concrete: None,
+            })
+        }
+        PQuery::Join { left, right } => {
+            let l = abstract_evaluate_rc(left, inputs, universe, cache)?;
+            let r = abstract_evaluate_rc(right, inputs, universe, cache)?;
+            Ok(AbsTable {
+                sets: cross_sets(&l.sets, &r.sets),
+                concrete: None,
+            })
+        }
+        PQuery::LeftJoin { left, right, .. } => {
+            let l = abstract_evaluate_rc(left, inputs, universe, cache)?;
+            let r = abstract_evaluate_rc(right, inputs, universe, cache)?;
+            let mut sets = cross_sets(&l.sets, &r.sets);
+            // Unmatched left rows padded with empty provenance.
+            for lrow in l.sets.rows() {
+                let mut row = lrow.to_vec();
+                row.extend(std::iter::repeat(universe.empty_set()).take(r.sets.n_cols()));
+                sets.push_row(row);
+            }
+            Ok(AbsTable {
+                sets,
+                concrete: None,
+            })
+        }
+        PQuery::Group { src, keys, agg } => {
+            let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
+            let n_rows = child.sets.n_rows();
+            let n_cols = child.sets.n_cols();
+            match keys {
+                // Weak: keys unknown. Any rows may merge, so every output
+                // key cell is the per-column union; the aggregate may draw
+                // from anything.
+                None => {
+                    let col_unions: Vec<RefSet> =
+                        (0..n_cols).map(|c| column_union(&child.sets, c, universe)).collect();
+                    let mut all = universe.empty_set();
+                    for u in &col_unions {
+                        all.union_with(u);
+                    }
+                    let mut sets = Grid::empty(n_cols + 1);
+                    for _ in 0..n_rows {
+                        let mut row = col_unions.clone();
+                        row.push(all.clone());
+                        sets.push_row(row);
+                    }
+                    Ok(AbsTable {
+                        sets,
+                        concrete: None,
+                    })
+                }
+                Some(keys) => {
+                    check_cols(keys, n_cols, "group")?;
+                    if let Some((_, target)) = agg {
+                        check_cols(&[*target], n_cols, "group")?;
+                    }
+                    let agg_cols: Vec<usize> = match agg {
+                        Some((_, target)) => vec![*target],
+                        None => (0..n_cols).filter(|c| !keys.contains(c)).collect(),
+                    };
+                    match &child.concrete {
+                        // Strong: concrete key values determine the groups.
+                        Some(conc) => {
+                            let groups =
+                                sickle_table::extract_groups(conc.table(inputs), keys);
+                            let mut sets = Grid::empty(keys.len() + 1);
+                            for g in groups {
+                                let mut row: Vec<RefSet> = keys
+                                    .iter()
+                                    .map(|&k| rows_union(&child.sets, &g, &[k], universe))
+                                    .collect();
+                                row.push(rows_union(&child.sets, &g, &agg_cols, universe));
+                                sets.push_row(row);
+                            }
+                            Ok(AbsTable {
+                                sets,
+                                concrete: None,
+                            })
+                        }
+                        // Medium: keys known, grouping unknown.
+                        None => {
+                            let all_rows: Vec<usize> = (0..n_rows).collect();
+                            let key_unions: Vec<RefSet> = keys
+                                .iter()
+                                .map(|&k| column_union(&child.sets, k, universe))
+                                .collect();
+                            let agg_union =
+                                rows_union(&child.sets, &all_rows, &agg_cols, universe);
+                            let mut sets = Grid::empty(keys.len() + 1);
+                            for _ in 0..n_rows {
+                                let mut row = key_unions.clone();
+                                row.push(agg_union.clone());
+                                sets.push_row(row);
+                            }
+                            Ok(AbsTable {
+                                sets,
+                                concrete: None,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        PQuery::Partition { src, keys, func } => {
+            let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
+            let n_rows = child.sets.n_rows();
+            let n_cols = child.sets.n_cols();
+            let mut sets = Grid::empty(n_cols + 1);
+            match keys {
+                // Weak: the window value may draw from anywhere.
+                None => {
+                    let all = table_union(&child.sets, universe);
+                    for row in child.sets.rows() {
+                        let mut r = row.to_vec();
+                        r.push(all.clone());
+                        sets.push_row(r);
+                    }
+                }
+                Some(keys) => {
+                    check_cols(keys, n_cols, "partition")?;
+                    if let Some((_, target)) = func {
+                        check_cols(&[*target], n_cols, "partition")?;
+                    }
+                    let agg_cols: Vec<usize> = match func {
+                        Some((_, target)) => vec![*target],
+                        None => (0..n_cols).filter(|c| !keys.contains(c)).collect(),
+                    };
+                    match &child.concrete {
+                        // Strong: per-group unions.
+                        Some(conc) => {
+                            let groups =
+                                sickle_table::extract_groups(conc.table(inputs), keys);
+                            let mut new_col: Vec<Option<RefSet>> = vec![None; n_rows];
+                            for g in &groups {
+                                let u = rows_union(&child.sets, g, &agg_cols, universe);
+                                for &i in g {
+                                    new_col[i] = Some(u.clone());
+                                }
+                            }
+                            for (i, row) in child.sets.rows().enumerate() {
+                                let mut r = row.to_vec();
+                                r.push(new_col[i].clone().expect("grouped"));
+                                sets.push_row(r);
+                            }
+                        }
+                        // Medium: non-key (or target) columns, any rows.
+                        None => {
+                            let all_rows: Vec<usize> = (0..n_rows).collect();
+                            let u = rows_union(&child.sets, &all_rows, &agg_cols, universe);
+                            for row in child.sets.rows() {
+                                let mut r = row.to_vec();
+                                r.push(u.clone());
+                                sets.push_row(r);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(AbsTable {
+                sets,
+                concrete: None,
+            })
+        }
+        PQuery::Arith { src, func } => {
+            let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
+            let n_cols = child.sets.n_cols();
+            let mut sets = Grid::empty(n_cols + 1);
+            for row in child.sets.rows() {
+                let mut new = universe.empty_set();
+                match func {
+                    // Medium: only the argument columns flow in.
+                    Some((_, cols)) => {
+                        check_cols(cols, n_cols, "arithmetic")?;
+                        for &c in cols {
+                            new.union_with(&row[c]);
+                        }
+                    }
+                    // Weak: any cell of the row may flow in.
+                    None => {
+                        for s in row {
+                            new.union_with(s);
+                        }
+                    }
+                }
+                let mut r = row.to_vec();
+                r.push(new);
+                sets.push_row(r);
+            }
+            Ok(AbsTable {
+                sets,
+                concrete: None,
+            })
+        }
+    }
+}
+
+/// Precomputes, for every demonstration cell, the set of referenced input
+/// cells (`ref(E[i,j])` of Def. 3).
+pub fn demo_ref_sets(demo: &Demo, universe: &RefUniverse) -> Grid<RefSet> {
+    demo.grid().map(|e| universe.set_from(e.refs()))
+}
+
+/// The abstract provenance consistency check `E ◁ T◦` (Def. 3): does an
+/// injective subtable assignment exist under which every demonstration
+/// cell's references are contained in the abstract cell?
+pub fn abstract_consistent(demo_refs: &Grid<RefSet>, abs: &AbsTable) -> bool {
+    let dims = MatchDims {
+        demo_rows: demo_refs.n_rows(),
+        demo_cols: demo_refs.n_cols(),
+        table_rows: abs.sets.n_rows(),
+        table_cols: abs.sets.n_cols(),
+    };
+    find_table_match(dims, &mut |di, dj, ti, tj| {
+        demo_refs[(di, dj)].is_subset_of(&abs.sets[(ti, tj)])
+    })
+    .is_some()
+}
+
+fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<(), EvalError> {
+    match cols.iter().find(|&&c| c >= arity) {
+        Some(&col) => Err(EvalError::ColumnOutOfRange {
+            col,
+            arity,
+            operator,
+        }),
+        None => Ok(()),
+    }
+}
+
+fn column_union(sets: &Grid<RefSet>, col: usize, u: &RefUniverse) -> RefSet {
+    let mut out = u.empty_set();
+    for row in sets.rows() {
+        out.union_with(&row[col]);
+    }
+    out
+}
+
+fn rows_union(sets: &Grid<RefSet>, rows: &[usize], cols: &[usize], u: &RefUniverse) -> RefSet {
+    let mut out = u.empty_set();
+    for &r in rows {
+        for &c in cols {
+            out.union_with(&sets[(r, c)]);
+        }
+    }
+    out
+}
+
+fn table_union(sets: &Grid<RefSet>, u: &RefUniverse) -> RefSet {
+    let mut out = u.empty_set();
+    for row in sets.rows() {
+        for s in row {
+            out.union_with(s);
+        }
+    }
+    out
+}
+
+fn cross_sets(l: &Grid<RefSet>, r: &Grid<RefSet>) -> Grid<RefSet> {
+    let mut out = Grid::empty(l.n_cols() + r.n_cols());
+    for lrow in l.rows() {
+        for rrow in r.rows() {
+            let mut row = lrow.to_vec();
+            row.extend_from_slice(rrow);
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_provenance::{CellRef, Demo};
+    use sickle_table::{AggFunc, Table, Value};
+
+    fn enrollment() -> Table {
+        Table::new(
+            ["City", "Quarter", "Group", "Enrolled", "Population"],
+            vec![
+                vec!["A".into(), 1.into(), "Youth".into(), 1667.into(), 5668.into()],
+                vec!["A".into(), 1.into(), "Adult".into(), 1367.into(), 5668.into()],
+                vec!["A".into(), 2.into(), "Youth".into(), 256.into(), 5668.into()],
+                vec!["A".into(), 2.into(), "Adult".into(), 347.into(), 5668.into()],
+                vec!["A".into(), 3.into(), "Youth".into(), 148.into(), 5668.into()],
+                vec!["A".into(), 3.into(), "Adult".into(), 237.into(), 5668.into()],
+                vec!["A".into(), 4.into(), "Youth".into(), 556.into(), 5668.into()],
+                vec!["A".into(), 4.into(), "Adult".into(), 432.into(), 5668.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Fig. 6's infeasible partial query `q_B`:
+    /// `arithmetic(group(T, [City,Quarter,Population], □, □), □)`.
+    fn q_b() -> PQuery {
+        PQuery::Arith {
+            src: Box::new(PQuery::Group {
+                src: Box::new(PQuery::Input(0)),
+                keys: Some(vec![0, 1, 4]),
+                agg: None,
+            }),
+            func: None,
+        }
+    }
+
+    /// The Fig. 3 demonstration (quarter 1 and quarter 4 of city A).
+    fn fig3_demo() -> Demo {
+        Demo::parse(&[
+            &["T[1,1]", "T[1,2]", "sum(T[1,4], T[2,4]) / T[1,5] * 100"],
+            &[
+                "T[7,1]",
+                "T[7,2]",
+                "sum(T[1,4], T[2,4], ..., T[8,4]) / T[7,5] * 100",
+            ],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure6_prunes_qb() {
+        let inputs = [enrollment()];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&q_b(), &inputs, &u).unwrap();
+        let demo_refs = demo_ref_sets(&fig3_demo(), &u);
+        // E[2,3] needs T[1,4], T[2,4] and T[8,4] in one cell, but grouping
+        // by (City, Quarter, Population) separates quarters: prune.
+        assert!(!abstract_consistent(&demo_refs, &abs));
+    }
+
+    #[test]
+    fn correct_skeleton_stays_feasible() {
+        // partition(group(T, [City,Quarter,Pop], □, □), □, □) — the path to
+        // the solution must NOT be pruned.
+        let pq = PQuery::Arith {
+            src: Box::new(PQuery::Partition {
+                src: Box::new(PQuery::Group {
+                    src: Box::new(PQuery::Input(0)),
+                    keys: Some(vec![0, 1, 4]),
+                    agg: None,
+                }),
+                keys: None,
+                func: None,
+            }),
+            func: None,
+        };
+        let inputs = [enrollment()];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let demo_refs = demo_ref_sets(&fig3_demo(), &u);
+        assert!(abstract_consistent(&demo_refs, &abs));
+    }
+
+    #[test]
+    fn strong_abstraction_restricts_to_group() {
+        // group(T, [Quarter], □, □): strong abstraction per quarter.
+        let pq = PQuery::Group {
+            src: Box::new(PQuery::Input(0)),
+            keys: Some(vec![1]),
+            agg: None,
+        };
+        let inputs = [enrollment()];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        assert_eq!(abs.sets.n_rows(), 4); // 4 quarters
+        // Aggregate cell of quarter-1 group must not contain quarter-4 data.
+        let agg = &abs.sets[(0, 1)];
+        assert!(agg.contains(&u, CellRef::new(0, 0, 3)));
+        assert!(!agg.contains(&u, CellRef::new(0, 7, 3)));
+    }
+
+    #[test]
+    fn weak_group_unions_columns() {
+        let pq = PQuery::Group {
+            src: Box::new(PQuery::Input(0)),
+            keys: None,
+            agg: None,
+        };
+        let inputs = [enrollment()];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        assert_eq!(abs.sets.n_cols(), 6);
+        assert_eq!(abs.sets.n_rows(), 8);
+        // Key cell of column 0 contains the whole City column.
+        let key = &abs.sets[(0, 0)];
+        assert!(key.contains(&u, CellRef::new(0, 7, 0)));
+        assert!(!key.contains(&u, CellRef::new(0, 0, 1)));
+        // New column contains everything.
+        assert_eq!(abs.sets[(0, 5)].len(), 40);
+    }
+
+    #[test]
+    fn medium_partition_excludes_key_columns() {
+        let pq = PQuery::Partition {
+            src: Box::new(PQuery::Group {
+                src: Box::new(PQuery::Input(0)),
+                keys: Some(vec![0, 1, 4]),
+                agg: None, // child NOT concrete -> medium at partition
+            }),
+            keys: Some(vec![0]),
+            func: None,
+        };
+        let inputs = [enrollment()];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        // New column may draw from quarter, population and the aggregate,
+        // but not from the City key column itself.
+        let new = &abs.sets[(0, 4)];
+        assert!(!new.contains(&u, CellRef::new(0, 0, 0)));
+        assert!(new.contains(&u, CellRef::new(0, 0, 3)));
+    }
+
+    #[test]
+    fn concrete_query_gets_exact_sets() {
+        let pq = PQuery::Group {
+            src: Box::new(PQuery::Input(0)),
+            keys: Some(vec![1]),
+            agg: Some((AggFunc::Sum, 3)),
+        };
+        let inputs = [enrollment()];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        assert!(abs.concrete.is_some());
+        // Aggregate of quarter 1 references exactly the two Enrolled cells.
+        let agg = &abs.sets[(0, 1)];
+        assert_eq!(agg.len(), 2);
+        assert!(agg.contains(&u, CellRef::new(0, 0, 3)));
+        assert!(agg.contains(&u, CellRef::new(0, 1, 3)));
+    }
+
+    #[test]
+    fn weak_arith_unions_row() {
+        let pq = PQuery::Arith {
+            src: Box::new(PQuery::Input(0)),
+            func: None,
+        };
+        let inputs = [enrollment()];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let new = &abs.sets[(2, 5)];
+        assert_eq!(new.len(), 5); // the five cells of row 3
+        assert!(new.contains(&u, CellRef::new(0, 2, 0)));
+        assert!(!new.contains(&u, CellRef::new(0, 3, 0)));
+    }
+
+    #[test]
+    fn left_join_abstract_includes_padded_rows() {
+        let dims = Table::new(["c"], vec![vec![Value::from("A")]]).unwrap();
+        let pq = PQuery::LeftJoin {
+            left: Box::new(PQuery::Input(0)),
+            right: Box::new(PQuery::Input(1)),
+            pred: None,
+        };
+        let inputs = [enrollment(), dims];
+        let u = RefUniverse::from_tables(&inputs);
+        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        // 8 cross rows + 8 padded rows.
+        assert_eq!(abs.sets.n_rows(), 16);
+        assert!(abs.sets[(8, 5)].is_empty());
+    }
+}

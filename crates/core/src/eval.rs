@@ -1,0 +1,443 @@
+//! Standard (concrete) evaluation of analytical SQL queries.
+//!
+//! This is the `[[q(T̄)]]` semantics: the conventional meaning of the Fig. 7
+//! language as implemented by modern databases. The provenance-tracking
+//! semantics lives in [`crate::prov_eval`]; the two agree in the sense that
+//! evaluating every provenance cell yields this table (a property test in
+//! the integration suite checks exactly that).
+
+use std::fmt;
+
+use sickle_table::{extract_groups, Table, Value};
+
+use crate::ast::{Pred, Query};
+
+/// Error raised when a query is ill-formed for its inputs (out-of-range
+/// table or column indices).
+///
+/// The synthesizer's domain inference never produces such queries; this
+/// error surfaces only for hand-written queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Query references input table `T_k` but only `available` exist.
+    NoSuchInput {
+        /// Requested table index.
+        index: usize,
+        /// Number of inputs provided.
+        available: usize,
+    },
+    /// A column index is out of range for the operator's source table.
+    ColumnOutOfRange {
+        /// The offending column.
+        col: usize,
+        /// Arity of the source.
+        arity: usize,
+        /// Operator name, for diagnostics.
+        operator: &'static str,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NoSuchInput { index, available } => {
+                write!(f, "input table T{} requested, {} available", index + 1, available)
+            }
+            EvalError::ColumnOutOfRange {
+                col,
+                arity,
+                operator,
+            } => write!(f, "column {col} out of range (arity {arity}) in {operator}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<(), EvalError> {
+    match cols.iter().find(|&&c| c >= arity) {
+        Some(&col) => Err(EvalError::ColumnOutOfRange {
+            col,
+            arity,
+            operator,
+        }),
+        None => Ok(()),
+    }
+}
+
+fn check_pred(pred: &Pred, arity: usize, operator: &'static str) -> Result<(), EvalError> {
+    match pred.max_col() {
+        Some(c) if c >= arity => Err(EvalError::ColumnOutOfRange {
+            col: c,
+            arity,
+            operator,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Evaluates `q` on the input tables under the standard semantics.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the query references missing inputs or
+/// out-of-range columns.
+///
+/// # Examples
+///
+/// ```
+/// use sickle_core::{evaluate, Query};
+/// use sickle_table::{AggFunc, Table};
+///
+/// let t = Table::new(
+///     ["id", "sales"],
+///     vec![
+///         vec!["A".into(), 10.into()],
+///         vec!["A".into(), 20.into()],
+///         vec!["B".into(), 15.into()],
+///     ],
+/// )?;
+/// let q = Query::Group {
+///     src: Box::new(Query::Input(0)),
+///     keys: vec![0],
+///     agg: AggFunc::Sum,
+///     target: 1,
+/// };
+/// let out = evaluate(&q, &[t])?;
+/// assert_eq!(out.n_rows(), 2);
+/// assert_eq!(out.get(0, 1), Some(&sickle_table::Value::Int(30)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(q: &Query, inputs: &[Table]) -> Result<Table, EvalError> {
+    match q {
+        Query::Input(k) => inputs.get(*k).cloned().ok_or(EvalError::NoSuchInput {
+            index: *k,
+            available: inputs.len(),
+        }),
+        Query::Filter { src, pred } => {
+            let t = evaluate(src, inputs)?;
+            check_pred(pred, t.n_cols(), "filter")?;
+            let rows = t
+                .rows()
+                .filter(|r| pred.eval(r))
+                .map(<[Value]>::to_vec)
+                .collect();
+            Ok(Table::new(t.names().to_vec(), rows).expect("filter preserves arity"))
+        }
+        Query::Join { left, right } => {
+            let l = evaluate(left, inputs)?;
+            let r = evaluate(right, inputs)?;
+            Ok(l.cross_product(&r))
+        }
+        Query::LeftJoin { left, right, pred } => {
+            let l = evaluate(left, inputs)?;
+            let r = evaluate(right, inputs)?;
+            check_pred(pred, l.n_cols() + r.n_cols(), "left_join")?;
+            let mut names = l.names().to_vec();
+            names.extend(r.names().iter().cloned());
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            for lrow in l.rows() {
+                let mut matched = false;
+                for rrow in r.rows() {
+                    let mut combined = lrow.to_vec();
+                    combined.extend_from_slice(rrow);
+                    if pred.eval(&combined) {
+                        rows.push(combined);
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    let mut combined = lrow.to_vec();
+                    combined.extend(std::iter::repeat(Value::Null).take(r.n_cols()));
+                    rows.push(combined);
+                }
+            }
+            Ok(Table::new(names, rows).expect("left_join arity"))
+        }
+        Query::Proj { src, cols } => {
+            let t = evaluate(src, inputs)?;
+            check_cols(cols, t.n_cols(), "proj")?;
+            Ok(t.project(cols))
+        }
+        Query::Sort { src, cols, asc } => {
+            let t = evaluate(src, inputs)?;
+            check_cols(cols, t.n_cols(), "sort")?;
+            let mut rows: Vec<Vec<Value>> = t.rows().map(<[Value]>::to_vec).collect();
+            rows.sort_by(|a, b| {
+                let ka: Vec<&Value> = cols.iter().map(|&c| &a[c]).collect();
+                let kb: Vec<&Value> = cols.iter().map(|&c| &b[c]).collect();
+                if *asc {
+                    ka.cmp(&kb)
+                } else {
+                    kb.cmp(&ka)
+                }
+            });
+            Ok(Table::new(t.names().to_vec(), rows).expect("sort preserves arity"))
+        }
+        Query::Group {
+            src,
+            keys,
+            agg,
+            target,
+        } => {
+            let t = evaluate(src, inputs)?;
+            check_cols(keys, t.n_cols(), "group")?;
+            check_cols(&[*target], t.n_cols(), "group")?;
+            let groups = extract_groups(&t, keys);
+            let mut names: Vec<String> =
+                keys.iter().map(|&k| t.names()[k].clone()).collect();
+            names.push(format!("{agg}({})", t.names()[*target]));
+            let mut rows = Vec::with_capacity(groups.len());
+            for g in groups {
+                let mut row: Vec<Value> =
+                    keys.iter().map(|&k| t.row(g[0])[k].clone()).collect();
+                let vals: Vec<Value> = g.iter().map(|&i| t.row(i)[*target].clone()).collect();
+                row.push(agg.apply(&vals));
+                rows.push(row);
+            }
+            Ok(Table::new(names, rows).expect("group arity"))
+        }
+        Query::Partition {
+            src,
+            keys,
+            func,
+            target,
+        } => {
+            let t = evaluate(src, inputs)?;
+            check_cols(keys, t.n_cols(), "partition")?;
+            check_cols(&[*target], t.n_cols(), "partition")?;
+            let groups = extract_groups(&t, keys);
+            let mut new_col: Vec<Value> = vec![Value::Null; t.n_rows()];
+            for g in &groups {
+                let vals: Vec<Value> = g.iter().map(|&i| t.row(i)[*target].clone()).collect();
+                let outs = func.apply(&vals);
+                for (&i, v) in g.iter().zip(outs) {
+                    new_col[i] = v;
+                }
+            }
+            let mut names = t.names().to_vec();
+            names.push(format!("{func}({}) over {keys:?}", t.names()[*target]));
+            let rows = t
+                .rows()
+                .zip(new_col)
+                .map(|(r, v)| {
+                    let mut row = r.to_vec();
+                    row.push(v);
+                    row
+                })
+                .collect();
+            Ok(Table::new(names, rows).expect("partition arity"))
+        }
+        Query::Arith { src, func, cols } => {
+            let t = evaluate(src, inputs)?;
+            check_cols(cols, t.n_cols(), "arithmetic")?;
+            let mut names = t.names().to_vec();
+            names.push(format!("{func}{cols:?}"));
+            let rows = t
+                .rows()
+                .map(|r| {
+                    let args: Vec<Value> = cols.iter().map(|&c| r[c].clone()).collect();
+                    let mut row = r.to_vec();
+                    row.push(func.eval(&args));
+                    row
+                })
+                .collect();
+            Ok(Table::new(names, rows).expect("arith arity"))
+        }
+    }
+}
+
+/// Converts a table to a grid of values; helper shared with tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp};
+
+    fn input() -> Table {
+        Table::new(
+            ["city", "quarter", "enrolled", "pop"],
+            vec![
+                vec!["A".into(), 1.into(), 30.into(), 100.into()],
+                vec!["A".into(), 2.into(), 20.into(), 100.into()],
+                vec!["B".into(), 1.into(), 10.into(), 50.into()],
+                vec!["B".into(), 2.into(), 40.into(), 50.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let q = Query::Filter {
+            src: Box::new(Query::Input(0)),
+            pred: Pred::ColConst(0, CmpOp::Eq, "A".into()),
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert!(out.rows().all(|r| r[0] == "A".into()));
+    }
+
+    #[test]
+    fn group_sum_per_city() {
+        let q = Query::Group {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            agg: AggFunc::Sum,
+            target: 2,
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.get(0, 1), Some(&Value::Int(50)));
+        assert_eq!(out.get(1, 1), Some(&Value::Int(50)));
+    }
+
+    #[test]
+    fn partition_cumsum_per_city() {
+        let q = Query::Partition {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            func: AnalyticFunc::CumSum,
+            target: 2,
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.n_cols(), 5);
+        let col: Vec<&Value> = (0..4).map(|i| out.get(i, 4).unwrap()).collect();
+        assert_eq!(
+            col,
+            vec![&Value::Int(30), &Value::Int(50), &Value::Int(10), &Value::Int(50)]
+        );
+    }
+
+    #[test]
+    fn partition_rank_descending_values() {
+        let q = Query::Partition {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            func: AnalyticFunc::Rank,
+            target: 2,
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        // city A: 30 -> rank 2, 20 -> rank 1
+        assert_eq!(out.get(0, 4), Some(&Value::Int(2)));
+        assert_eq!(out.get(1, 4), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn arithmetic_percentage() {
+        let pct = ArithExpr::bin(
+            ArithOp::Mul,
+            ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1)),
+            ArithExpr::lit(100.0),
+        );
+        let q = Query::Arith {
+            src: Box::new(Query::Input(0)),
+            func: pct,
+            cols: vec![2, 3],
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.get(0, 4), Some(&Value::Float(30.0)));
+        assert_eq!(out.get(3, 4), Some(&Value::Float(80.0)));
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let dims = Table::new(
+            ["name", "region"],
+            vec![vec!["A".into(), "west".into()]],
+        )
+        .unwrap();
+        let q = Query::LeftJoin {
+            left: Box::new(Query::Input(0)),
+            right: Box::new(Query::Input(1)),
+            pred: Pred::ColCmp(0, CmpOp::Eq, 4),
+        };
+        let out = evaluate(&q, &[input(), dims]).unwrap();
+        assert_eq!(out.n_rows(), 4);
+        // city B rows have null padding
+        let b_row = out.rows().find(|r| r[0] == "B".into()).unwrap();
+        assert!(b_row[4].is_null() && b_row[5].is_null());
+    }
+
+    #[test]
+    fn join_is_cross_product() {
+        let q = Query::Join {
+            left: Box::new(Query::Input(0)),
+            right: Box::new(Query::Input(0)),
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.n_rows(), 16);
+        assert_eq!(out.n_cols(), 8);
+    }
+
+    #[test]
+    fn sort_desc() {
+        let q = Query::Sort {
+            src: Box::new(Query::Input(0)),
+            cols: vec![2],
+            asc: false,
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.get(0, 2), Some(&Value::Int(40)));
+        assert_eq!(out.get(3, 2), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn proj_selects_columns() {
+        let q = Query::Proj {
+            src: Box::new(Query::Input(0)),
+            cols: vec![3, 0],
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.n_cols(), 2);
+        assert_eq!(out.get(0, 0), Some(&Value::Int(100)));
+    }
+
+    #[test]
+    fn errors_on_bad_indices() {
+        let q = Query::Input(3);
+        assert!(matches!(
+            evaluate(&q, &[input()]),
+            Err(EvalError::NoSuchInput { index: 3, .. })
+        ));
+        let q = Query::Proj {
+            src: Box::new(Query::Input(0)),
+            cols: vec![9],
+        };
+        let err = evaluate(&q, &[input()]).unwrap_err();
+        assert!(err.to_string().contains("column 9"));
+    }
+
+    #[test]
+    fn nested_group_then_partition_running_shape() {
+        // group by (city, quarter, pop) sum enrolled, then cumsum per city,
+        // then pct of pop — the Fig. 1 pipeline on a small table.
+        let pct = ArithExpr::bin(
+            ArithOp::Mul,
+            ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1)),
+            ArithExpr::lit(100.0),
+        );
+        let q = Query::Arith {
+            src: Box::new(Query::Partition {
+                src: Box::new(Query::Group {
+                    src: Box::new(Query::Input(0)),
+                    keys: vec![0, 1, 3],
+                    agg: AggFunc::Sum,
+                    target: 2,
+                }),
+                keys: vec![0],
+                func: AnalyticFunc::CumSum,
+                target: 3,
+            }),
+            func: pct,
+            cols: vec![4, 2],
+        };
+        let out = evaluate(&q, &[input()]).unwrap();
+        assert_eq!(out.n_rows(), 4);
+        // city A, quarter 2: cumsum = 50, pop = 100 -> 50%
+        let row = out
+            .rows()
+            .find(|r| r[0] == "A".into() && r[1] == 2.into())
+            .unwrap();
+        assert_eq!(row[5], Value::Float(50.0));
+    }
+}

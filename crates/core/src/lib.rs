@@ -1,0 +1,66 @@
+//! # sickle-core
+//!
+//! The core of the Sickle analytical SQL synthesizer (PLDI 2022
+//! reproduction): query AST, the three semantics (standard,
+//! provenance-tracking, abstract provenance), and the abstraction-based
+//! enumerative synthesis algorithm.
+//!
+//! * [`Query`] / [`PQuery`] — the Fig. 7 language and partial queries with
+//!   holes;
+//! * [`evaluate`] — standard semantics `[[q(T̄)]]`;
+//! * [`prov_evaluate`] — provenance-tracking semantics `[[q(T̄)]]★` (Fig. 9);
+//! * [`abstract_evaluate`] / [`abstract_consistent`] — abstract provenance
+//!   `[[q(T̄)]]◦` and the Def. 3 check (Fig. 11);
+//! * [`synthesize`] — Algorithm 1, parameterized by an [`Analyzer`]
+//!   ([`ProvenanceAnalyzer`] is the paper's; baselines live in
+//!   `sickle-baselines`).
+//!
+//! # Examples
+//!
+//! Synthesizing "sum Enrolled per City" from a two-row demonstration:
+//!
+//! ```
+//! use sickle_core::{synthesize, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext};
+//! use sickle_provenance::Demo;
+//! use sickle_table::Table;
+//!
+//! let t = Table::new(
+//!     ["City", "Enrolled"],
+//!     vec![
+//!         vec!["A".into(), 10.into()],
+//!         vec!["A".into(), 20.into()],
+//!         vec!["B".into(), 5.into()],
+//!     ],
+//! )?;
+//! let demo = Demo::parse(&[
+//!     &["T[1,1]", "sum(T[1,2], T[2,2])"],
+//!     &["T[3,1]", "sum(T[3,2])"],
+//! ])?;
+//! let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
+//! let config = SynthConfig { max_depth: 1, ..SynthConfig::default() };
+//! let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+//! assert!(!result.solutions.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod abstract_eval;
+mod ast;
+mod eval;
+mod prov_eval;
+mod synth;
+
+pub use abstract_eval::{
+    abstract_consistent, abstract_evaluate, abstract_evaluate_cached, demo_ref_sets, AbsTable,
+    EvalBundle, EvalCache,
+};
+pub use ast::{PQuery, Pred, Query};
+pub use eval::{evaluate, EvalError};
+pub use prov_eval::{concretize, expand_arith, prov_eval_step, prov_evaluate, ProvTable};
+pub use synth::{
+    synthesize_seeded,
+    construct_skeletons, expand, synthesize, synthesize_until, Analyzer, JoinKey,
+    NoPruneAnalyzer, OpKind, ProvenanceAnalyzer, SearchStats, SynthConfig, SynthResult,
+    SynthTask, TaskContext,
+};

@@ -1,0 +1,292 @@
+//! The consistency relation `e ≺ e★` (Fig. 10) and provenance consistency
+//! of whole tables (Def. 1).
+
+use sickle_table::Grid;
+
+use crate::demo::{Demo, DemoExpr};
+use crate::expr::Expr;
+use crate::matching::{find_table_match, MatchDims, TableMatch};
+
+/// Decides `e ≺ e★`: the provenance expression `e★` *generalizes* the
+/// demonstration expression `e` (Fig. 10).
+///
+/// * constants / references must be identical;
+/// * `e ≺ group{…}` holds when `e` matches any member (all members of a
+///   group carry the same value, §3.2);
+/// * applications must use the same function; for commutative functions
+///   arguments match up to injective assignment, for non-commutative
+///   functions in order; a partial application `f♦` may omit arguments at
+///   any position.
+///
+/// # Examples
+///
+/// ```
+/// use sickle_provenance::{expr_consistent, parse_expr, CellRef, Expr, FuncName};
+/// use sickle_table::AggFunc;
+///
+/// let demo = parse_expr("sum(T[1,4], ..., T[8,4])").unwrap();
+/// let star = Expr::apply(
+///     FuncName::Agg(AggFunc::Sum),
+///     (0..8).map(|r| Expr::Ref(CellRef::new(0, r, 3))).collect(),
+/// );
+/// assert!(expr_consistent(&demo, &star));
+/// ```
+pub fn expr_consistent(e: &DemoExpr, star: &Expr) -> bool {
+    // Rule: e ≺ group{ē★} if some member generalizes e.
+    if let Expr::Group(members) = star {
+        return members.iter().any(|m| expr_consistent(e, m));
+    }
+    match (e, star) {
+        (DemoExpr::Const(a), Expr::Const(b)) => a == b,
+        (DemoExpr::Ref(a), Expr::Ref(b)) => a == b,
+        (
+            DemoExpr::Apply {
+                func,
+                args,
+                partial,
+            },
+            Expr::Apply(sfunc, sargs),
+        ) => {
+            if func != sfunc {
+                return false;
+            }
+            match (func.is_commutative(), *partial) {
+                (true, true) => injective_args_match(args, sargs),
+                (true, false) => args.len() == sargs.len() && injective_args_match(args, sargs),
+                (false, true) => subsequence_args_match(args, sargs),
+                (false, false) => {
+                    args.len() == sargs.len()
+                        && args
+                            .iter()
+                            .zip(sargs)
+                            .all(|(a, s)| expr_consistent(a, s))
+                }
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Commutative matching: every demo argument maps to a *distinct*
+/// provenance argument that generalizes it (bipartite matching via Kuhn's
+/// augmenting paths).
+fn injective_args_match(args: &[DemoExpr], sargs: &[Expr]) -> bool {
+    if args.len() > sargs.len() {
+        return false;
+    }
+    // edges[i] = provenance args compatible with demo arg i.
+    let edges: Vec<Vec<usize>> = args
+        .iter()
+        .map(|a| {
+            (0..sargs.len())
+                .filter(|&j| expr_consistent(a, &sargs[j]))
+                .collect()
+        })
+        .collect();
+    let mut matched = vec![usize::MAX; sargs.len()];
+
+    fn augment(i: usize, edges: &[Vec<usize>], seen: &mut [bool], matched: &mut [usize]) -> bool {
+        for &j in &edges[i] {
+            if !seen[j] {
+                seen[j] = true;
+                if matched[j] == usize::MAX || augment(matched[j], edges, seen, matched) {
+                    matched[j] = i;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    (0..args.len()).all(|i| {
+        let mut seen = vec![false; sargs.len()];
+        augment(i, &edges, &mut seen, &mut matched)
+    })
+}
+
+/// Ordered matching with omissions: demo arguments must match a
+/// *subsequence* of the provenance arguments (omissions may fall at the
+/// beginning, middle or end, per §3.2).
+fn subsequence_args_match(args: &[DemoExpr], sargs: &[Expr]) -> bool {
+    // Greedy two-pointer is correct here only with backtracking; use DP:
+    // can[i][j] = first i demo args matched within first j provenance args.
+    let (m, n) = (args.len(), sargs.len());
+    if m > n {
+        return false;
+    }
+    let mut can = vec![false; m + 1];
+    can[0] = true;
+    let mut prev = can.clone();
+    for j in 1..=n {
+        std::mem::swap(&mut prev, &mut can);
+        can[0] = true;
+        for i in 1..=m {
+            can[i] = prev[i] || (prev[i - 1] && expr_consistent(&args[i - 1], &sargs[j - 1]));
+        }
+    }
+    can[m]
+}
+
+/// Decides Def. 1: is the provenance-embedded table `star` consistent with
+/// the demonstration? Returns the witnessing subtable assignment.
+///
+/// A table is consistent when a subtable of `star` (a choice of rows and
+/// columns) cell-wise generalizes the demonstration under
+/// [`expr_consistent`].
+pub fn demo_consistent(demo: &Demo, star: &Grid<Expr>) -> Option<TableMatch> {
+    let dims = MatchDims {
+        demo_rows: demo.n_rows(),
+        demo_cols: demo.n_cols(),
+        table_rows: star.n_rows(),
+        table_cols: star.n_cols(),
+    };
+    find_table_match(dims, &mut |di, dj, ti, tj| {
+        expr_consistent(demo.cell(di, dj), &star[(ti, tj)])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::parse_expr;
+    use crate::expr::{CellRef, FuncName};
+    use sickle_table::{AggFunc, ArithOp, Value};
+
+    fn r(row: usize, col: usize) -> Expr {
+        Expr::Ref(CellRef::new(0, row, col))
+    }
+
+    fn sum(args: Vec<Expr>) -> Expr {
+        Expr::apply(FuncName::Agg(AggFunc::Sum), args)
+    }
+
+    #[test]
+    fn identical_refs_match() {
+        let d = parse_expr("T[1,1]").unwrap();
+        assert!(expr_consistent(&d, &r(0, 0)));
+        assert!(!expr_consistent(&d, &r(0, 1)));
+    }
+
+    #[test]
+    fn ref_matches_group_member() {
+        let d = parse_expr("T[2,1]").unwrap();
+        let g = Expr::group(vec![r(0, 0), r(1, 0)]);
+        assert!(expr_consistent(&d, &g));
+        let g2 = Expr::group(vec![r(2, 0), r(3, 0)]);
+        assert!(!expr_consistent(&d, &g2));
+    }
+
+    #[test]
+    fn commutative_permutation_matches() {
+        let d = parse_expr("sum(T[2,2], T[1,2])").unwrap();
+        let s = sum(vec![r(0, 1), r(1, 1)]);
+        assert!(expr_consistent(&d, &s));
+    }
+
+    #[test]
+    fn commutative_full_arity_enforced() {
+        // Complete sum with fewer args than provenance term must NOT match.
+        let d = parse_expr("sum(T[1,2])").unwrap();
+        let s = sum(vec![r(0, 1), r(1, 1)]);
+        assert!(!expr_consistent(&d, &s));
+    }
+
+    #[test]
+    fn partial_sum_subset_matches() {
+        let d = parse_expr("sum(T[1,2], ..., T[4,2])").unwrap();
+        let s = sum(vec![r(0, 1), r(1, 1), r(2, 1), r(3, 1)]);
+        assert!(expr_consistent(&d, &s));
+        // ...but the provided values must all appear.
+        let d2 = parse_expr("sum(T[1,2], ..., T[9,2])").unwrap();
+        assert!(!expr_consistent(&d2, &s));
+    }
+
+    #[test]
+    fn injective_matching_no_double_use() {
+        // Demo lists T[1,2] twice; provenance term has only one copy.
+        let d = parse_expr("sum(T[1,2], T[1,2], ...)").unwrap();
+        let s = sum(vec![r(0, 1), r(1, 1)]);
+        assert!(!expr_consistent(&d, &s));
+        let s2 = sum(vec![r(0, 1), r(0, 1)]);
+        assert!(expr_consistent(&d, &s2));
+    }
+
+    #[test]
+    fn noncommutative_positional() {
+        // div(a, b) must not match div(b, a).
+        let d = parse_expr("T[1,1] / T[1,2]").unwrap();
+        let ok = Expr::apply(FuncName::Op(ArithOp::Div), vec![r(0, 0), r(0, 1)]);
+        let swapped = Expr::apply(FuncName::Op(ArithOp::Div), vec![r(0, 1), r(0, 0)]);
+        assert!(expr_consistent(&d, &ok));
+        assert!(!expr_consistent(&d, &swapped));
+    }
+
+    #[test]
+    fn nested_arithmetic_with_groups() {
+        // Demo:  sum(T[1,4], T[2,4]) / T[1,5] * 100
+        // Star:  (sum(T[1,4], T[2,4]) / group{T[1,5], T[2,5]}) * 100
+        let d = parse_expr("sum(T[1,4], T[2,4]) / T[1,5] * 100").unwrap();
+        let star = Expr::apply(
+            FuncName::Op(ArithOp::Mul),
+            vec![
+                Expr::apply(
+                    FuncName::Op(ArithOp::Div),
+                    vec![
+                        sum(vec![r(0, 3), r(1, 3)]),
+                        Expr::group(vec![r(0, 4), r(1, 4)]),
+                    ],
+                ),
+                Expr::Const(Value::Int(100)),
+            ],
+        );
+        assert!(expr_consistent(&d, &star));
+    }
+
+    #[test]
+    fn different_functions_never_match() {
+        let d = parse_expr("avg(T[1,2], T[2,2])").unwrap();
+        let s = sum(vec![r(0, 1), r(1, 1)]);
+        assert!(!expr_consistent(&d, &s));
+    }
+
+    #[test]
+    fn omission_in_middle_of_ordered_function() {
+        // rank is non-commutative; demo omits middle peers.
+        let d = parse_expr("rank(T[1,2], ..., T[4,2])").unwrap();
+        let s = Expr::Apply(FuncName::Rank, vec![r(0, 1), r(1, 1), r(2, 1), r(3, 1)]);
+        assert!(expr_consistent(&d, &s));
+        // Order must be preserved: T[4,2] before T[1,2] fails.
+        let d2 = parse_expr("rank(T[4,2], ..., T[1,2])").unwrap();
+        assert!(!expr_consistent(&d2, &s));
+    }
+
+    #[test]
+    fn table_level_consistency_running_shape() {
+        // Star table: 2 rows x 2 cols; demo 1 row x 2 cols drawn from row 1.
+        let star = Grid::from_rows(vec![
+            vec![Expr::group(vec![r(0, 0), r(1, 0)]), sum(vec![r(0, 1), r(1, 1)])],
+            vec![Expr::group(vec![r(2, 0)]), sum(vec![r(2, 1)])],
+        ])
+        .unwrap();
+        let demo = Demo::parse(&[&["T[2,1]", "sum(T[1,2], T[2,2])"]]).unwrap();
+        let m = demo_consistent(&demo, &star).unwrap();
+        assert_eq!(m.row_map, vec![0]);
+        assert_eq!(m.col_map, vec![0, 1]);
+    }
+
+    #[test]
+    fn table_level_consistency_rejects() {
+        let star = Grid::from_rows(vec![vec![sum(vec![r(0, 1)])]]).unwrap();
+        let demo = Demo::parse(&[&["sum(T[1,2], T[2,2])"]]).unwrap();
+        assert!(demo_consistent(&demo, &star).is_none());
+    }
+
+    #[test]
+    fn demo_column_permutation_found() {
+        let star = Grid::from_rows(vec![vec![r(0, 0), r(0, 1)]]).unwrap();
+        // Demo lists the columns in reverse order.
+        let demo = Demo::parse(&[&["T[1,2]", "T[1,1]"]]).unwrap();
+        let m = demo_consistent(&demo, &star).unwrap();
+        assert_eq!(m.col_map, vec![1, 0]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Subtable matching: injective row/column assignments.
+//!
+//! Both consistency criteria of the paper reduce to the same combinatorial
+//! question: given a demonstration with `m × n` cells and a (provenance or
+//! abstract) table with `M × N` cells, do injective maps
+//! `rows: [m] → [M]`, `cols: [n] → [N]` exist such that every demonstration
+//! cell is compatible with its image? (Def. 1 uses `≺` as compatibility,
+//! Def. 3 uses `ref(E[i,j]) ⊆ T◦[r,c]`.)
+//!
+//! [`find_table_match`] solves this by backtracking over column assignments
+//! (most-constrained column first), maintaining per-demo-row candidate sets,
+//! and finishing with a bipartite row matching (Kuhn's algorithm).
+
+/// Dimensions of a matching problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchDims {
+    /// Demonstration rows (`m`).
+    pub demo_rows: usize,
+    /// Demonstration columns (`n`).
+    pub demo_cols: usize,
+    /// Candidate table rows (`M`).
+    pub table_rows: usize,
+    /// Candidate table columns (`N`).
+    pub table_cols: usize,
+}
+
+/// A successful assignment: `row_map[i]` / `col_map[j]` give the table
+/// row/column matched to demonstration row `i` / column `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMatch {
+    /// Demo row → table row (injective).
+    pub row_map: Vec<usize>,
+    /// Demo column → table column (injective).
+    pub col_map: Vec<usize>,
+}
+
+/// Lazily-memoized cell compatibility oracle.
+struct CellOracle<'f> {
+    dims: MatchDims,
+    memo: Vec<Option<bool>>,
+    f: &'f mut dyn FnMut(usize, usize, usize, usize) -> bool,
+}
+
+impl<'f> CellOracle<'f> {
+    fn ok(&mut self, di: usize, dj: usize, ti: usize, tj: usize) -> bool {
+        let idx = ((di * self.dims.demo_cols + dj) * self.dims.table_rows + ti)
+            * self.dims.table_cols
+            + tj;
+        if let Some(v) = self.memo[idx] {
+            return v;
+        }
+        let v = (self.f)(di, dj, ti, tj);
+        self.memo[idx] = Some(v);
+        v
+    }
+}
+
+/// Searches for an injective row/column assignment under which every
+/// demonstration cell `(di, dj)` is compatible with its image
+/// `(row_map[di], col_map[dj])` according to `cell_ok`.
+///
+/// Returns the first assignment found, or `None` when no assignment exists
+/// (this is the pruning signal of Def. 3 / the rejection signal of Def. 1).
+///
+/// `cell_ok(di, dj, ti, tj)` may be expensive; results are memoized, so it
+/// is invoked at most once per cell pair.
+pub fn find_table_match(
+    dims: MatchDims,
+    cell_ok: &mut dyn FnMut(usize, usize, usize, usize) -> bool,
+) -> Option<TableMatch> {
+    if dims.demo_rows > dims.table_rows || dims.demo_cols > dims.table_cols {
+        return None;
+    }
+    if dims.demo_rows == 0 || dims.demo_cols == 0 {
+        return Some(TableMatch {
+            row_map: Vec::new(),
+            col_map: Vec::new(),
+        });
+    }
+    let mut oracle = CellOracle {
+        dims,
+        memo: vec![None; dims.demo_rows * dims.demo_cols * dims.table_rows * dims.table_cols],
+        f: cell_ok,
+    };
+
+    // Feasible table columns per demo column: column tj is a candidate for
+    // dj iff every demo row has at least one compatible table row there.
+    let mut col_candidates: Vec<Vec<usize>> = Vec::with_capacity(dims.demo_cols);
+    for dj in 0..dims.demo_cols {
+        let mut cands = Vec::new();
+        'cols: for tj in 0..dims.table_cols {
+            for di in 0..dims.demo_rows {
+                if !(0..dims.table_rows).any(|ti| oracle.ok(di, dj, ti, tj)) {
+                    continue 'cols;
+                }
+            }
+            cands.push(tj);
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        col_candidates.push(cands);
+    }
+
+    // Assign most-constrained demo columns first.
+    let mut order: Vec<usize> = (0..dims.demo_cols).collect();
+    order.sort_by_key(|&dj| col_candidates[dj].len());
+
+    let mut col_map = vec![usize::MAX; dims.demo_cols];
+    let mut used_cols = vec![false; dims.table_cols];
+    // row_candidates[di] = set of table rows compatible with all columns
+    // assigned so far (as a bitmask-free bool vec for simplicity).
+    let row_candidates: Vec<Vec<bool>> =
+        vec![vec![true; dims.table_rows]; dims.demo_rows];
+
+    fn assign(
+        depth: usize,
+        order: &[usize],
+        col_candidates: &[Vec<usize>],
+        col_map: &mut [usize],
+        used_cols: &mut [bool],
+        row_candidates: &[Vec<bool>],
+        oracle: &mut CellOracle<'_>,
+    ) -> Option<Vec<usize>> {
+        let dims = oracle.dims;
+        if depth == order.len() {
+            return bipartite_rows(row_candidates, dims.table_rows);
+        }
+        let dj = order[depth];
+        'next: for &tj in &col_candidates[dj] {
+            if used_cols[tj] {
+                continue;
+            }
+            // Narrow row candidates under this column choice.
+            let mut narrowed: Vec<Vec<bool>> = Vec::with_capacity(row_candidates.len());
+            for (di, cands) in row_candidates.iter().enumerate() {
+                let mut nc = vec![false; dims.table_rows];
+                let mut any = false;
+                for (ti, &alive) in cands.iter().enumerate() {
+                    if alive && oracle.ok(di, dj, ti, tj) {
+                        nc[ti] = true;
+                        any = true;
+                    }
+                }
+                if !any {
+                    continue 'next;
+                }
+                narrowed.push(nc);
+            }
+            col_map[dj] = tj;
+            used_cols[tj] = true;
+            if let Some(rows) = assign(
+                depth + 1,
+                order,
+                col_candidates,
+                col_map,
+                used_cols,
+                &narrowed,
+                oracle,
+            ) {
+                return Some(rows);
+            }
+            used_cols[tj] = false;
+            col_map[dj] = usize::MAX;
+        }
+        None
+    }
+
+    let row_map = assign(
+        0,
+        &order,
+        &col_candidates,
+        &mut col_map,
+        &mut used_cols,
+        &row_candidates,
+        &mut oracle,
+    )?;
+    Some(TableMatch { row_map, col_map })
+}
+
+/// Kuhn's augmenting-path bipartite matching: matches every demo row to a
+/// distinct table row within its candidate set. Returns the demo→table map.
+fn bipartite_rows(candidates: &[Vec<bool>], table_rows: usize) -> Option<Vec<usize>> {
+    let m = candidates.len();
+    let mut table_to_demo = vec![usize::MAX; table_rows];
+
+    fn try_augment(
+        di: usize,
+        candidates: &[Vec<bool>],
+        visited: &mut [bool],
+        table_to_demo: &mut [usize],
+    ) -> bool {
+        for (ti, &alive) in candidates[di].iter().enumerate() {
+            if alive && !visited[ti] {
+                visited[ti] = true;
+                if table_to_demo[ti] == usize::MAX
+                    || try_augment(table_to_demo[ti], candidates, visited, table_to_demo)
+                {
+                    table_to_demo[ti] = di;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    for di in 0..m {
+        let mut visited = vec![false; table_rows];
+        if !try_augment(di, candidates, &mut visited, &mut table_to_demo) {
+            return None;
+        }
+    }
+    let mut row_map = vec![usize::MAX; m];
+    for (ti, &di) in table_to_demo.iter().enumerate() {
+        if di != usize::MAX {
+            row_map[di] = ti;
+        }
+    }
+    Some(row_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(m: usize, n: usize, mm: usize, nn: usize) -> MatchDims {
+        MatchDims {
+            demo_rows: m,
+            demo_cols: n,
+            table_rows: mm,
+            table_cols: nn,
+        }
+    }
+
+    #[test]
+    fn identity_match() {
+        let got = find_table_match(dims(2, 2, 2, 2), &mut |di, dj, ti, tj| {
+            di == ti && dj == tj
+        })
+        .unwrap();
+        assert_eq!(got.col_map, vec![0, 1]);
+        assert_eq!(got.row_map, vec![0, 1]);
+    }
+
+    #[test]
+    fn demo_larger_than_table_fails() {
+        assert!(find_table_match(dims(3, 1, 2, 5), &mut |_, _, _, _| true).is_none());
+        assert!(find_table_match(dims(1, 3, 5, 2), &mut |_, _, _, _| true).is_none());
+    }
+
+    #[test]
+    fn permuted_columns_found() {
+        // Demo column 0 only fits table column 2, demo column 1 only table 0.
+        let got = find_table_match(dims(1, 2, 1, 3), &mut |_, dj, _, tj| {
+            (dj == 0 && tj == 2) || (dj == 1 && tj == 0)
+        })
+        .unwrap();
+        assert_eq!(got.col_map, vec![2, 0]);
+    }
+
+    #[test]
+    fn injectivity_on_rows_enforced() {
+        // Both demo rows only compatible with table row 0 -> impossible.
+        assert!(
+            find_table_match(dims(2, 1, 2, 1), &mut |_, _, ti, _| ti == 0).is_none()
+        );
+    }
+
+    #[test]
+    fn row_matching_needs_augmenting_paths() {
+        // demo row 0 fits table rows {0,1}, demo row 1 fits {0} only:
+        // matching must route row 0 to table row 1.
+        let got = find_table_match(dims(2, 1, 2, 1), &mut |di, _, ti, _| {
+            (di == 0 && (ti == 0 || ti == 1)) || (di == 1 && ti == 0)
+        })
+        .unwrap();
+        assert_eq!(got.row_map, vec![1, 0]);
+    }
+
+    #[test]
+    fn column_choice_constrains_rows() {
+        // With table col 0, demo rows map only to table row 0 (conflict);
+        // with table col 1, rows map to distinct table rows.
+        let got = find_table_match(dims(2, 1, 2, 2), &mut |di, _, ti, tj| match tj {
+            0 => ti == 0,
+            1 => di == ti,
+            _ => false,
+        })
+        .unwrap();
+        assert_eq!(got.col_map, vec![1]);
+        assert_eq!(got.row_map, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_demo_trivially_matches() {
+        let got = find_table_match(dims(0, 0, 3, 3), &mut |_, _, _, _| false).unwrap();
+        assert!(got.row_map.is_empty());
+        assert!(got.col_map.is_empty());
+    }
+
+    #[test]
+    fn no_match_when_cell_incompatible() {
+        assert!(find_table_match(dims(1, 1, 1, 1), &mut |_, _, _, _| false).is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Compact sets of input-cell references.
+//!
+//! The abstract provenance semantics (Fig. 11) manipulates *sets* of input
+//! cells per output cell; the abstract consistency check (Def. 3) is a
+//! subset test `ref(E[i,j]) ⊆ T◦[r,c]`. Since these checks run for every
+//! partial query visited by the search, sets are represented as bitsets over
+//! a [`RefUniverse`] — a fixed enumeration of every cell of every input
+//! table.
+
+use std::fmt;
+
+use sickle_table::Table;
+
+use crate::expr::CellRef;
+
+/// A fixed enumeration of every input cell, mapping [`CellRef`]s to bit
+/// positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefUniverse {
+    /// `(n_rows, n_cols)` per input table.
+    dims: Vec<(usize, usize)>,
+    /// Starting bit offset per input table.
+    offsets: Vec<usize>,
+    /// Total number of bits.
+    n_bits: usize,
+}
+
+impl RefUniverse {
+    /// Builds the universe for a list of input tables.
+    pub fn from_tables(inputs: &[Table]) -> RefUniverse {
+        let mut dims = Vec::with_capacity(inputs.len());
+        let mut offsets = Vec::with_capacity(inputs.len());
+        let mut n_bits = 0;
+        for t in inputs {
+            dims.push((t.n_rows(), t.n_cols()));
+            offsets.push(n_bits);
+            n_bits += t.n_rows() * t.n_cols();
+        }
+        RefUniverse {
+            dims,
+            offsets,
+            n_bits,
+        }
+    }
+
+    /// Number of cells in the universe.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Bit index of a reference, or `None` if it falls outside the inputs.
+    pub fn index(&self, r: CellRef) -> Option<usize> {
+        let (rows, cols) = *self.dims.get(r.table)?;
+        if r.row >= rows || r.col >= cols {
+            return None;
+        }
+        Some(self.offsets[r.table] + r.row * cols + r.col)
+    }
+
+    /// Inverse of [`RefUniverse::index`].
+    pub fn ref_at(&self, bit: usize) -> Option<CellRef> {
+        for (t, (&(rows, cols), &off)) in self.dims.iter().zip(&self.offsets).enumerate() {
+            let size = rows * cols;
+            if bit < off + size {
+                let local = bit - off;
+                return Some(CellRef::new(t, local / cols, local % cols));
+            }
+        }
+        None
+    }
+
+    /// An empty set over this universe.
+    pub fn empty_set(&self) -> RefSet {
+        RefSet {
+            words: vec![0; self.n_bits.div_ceil(64)],
+        }
+    }
+
+    /// A set containing every cell of input table `table`.
+    pub fn full_table_set(&self, table: usize) -> RefSet {
+        let mut s = self.empty_set();
+        let (rows, cols) = self.dims[table];
+        for r in 0..rows {
+            for c in 0..cols {
+                s.insert(self, CellRef::new(table, r, c));
+            }
+        }
+        s
+    }
+
+    /// The set of references for one cell `T_table[row, col]`.
+    pub fn singleton(&self, r: CellRef) -> RefSet {
+        let mut s = self.empty_set();
+        s.insert(self, r);
+        s
+    }
+
+    /// Builds a set from an iterator of references; out-of-universe
+    /// references are ignored (they can never be satisfied anyway and the
+    /// caller detects that via subset checks against non-full sets).
+    pub fn set_from<I: IntoIterator<Item = CellRef>>(&self, refs: I) -> RefSet {
+        let mut s = self.empty_set();
+        for r in refs {
+            s.insert(self, r);
+        }
+        s
+    }
+}
+
+/// A bitset of input-cell references over a [`RefUniverse`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RefSet {
+    words: Vec<u64>,
+}
+
+impl RefSet {
+    /// Inserts a reference. References outside the universe are ignored.
+    pub fn insert(&mut self, universe: &RefUniverse, r: CellRef) {
+        if let Some(bit) = universe.index(r) {
+            self.words[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, universe: &RefUniverse, r: CellRef) -> bool {
+        match universe.index(r) {
+            Some(bit) => self.words[bit / 64] & (1 << (bit % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RefSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &RefSet) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+    }
+
+    /// Number of references in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no references are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates the contained references (ascending bit order).
+    pub fn iter<'u>(&'u self, universe: &'u RefUniverse) -> impl Iterator<Item = CellRef> + 'u {
+        (0..universe.n_bits())
+            .filter(move |bit| self.words[bit / 64] & (1 << (bit % 64)) != 0)
+            .filter_map(move |bit| universe.ref_at(bit))
+    }
+}
+
+impl fmt::Debug for RefSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RefSet({} refs)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_table::Value;
+
+    fn tables() -> Vec<Table> {
+        let t1 = Table::new(
+            ["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(4)],
+            ],
+        )
+        .unwrap();
+        let t2 = Table::new(["x"], vec![vec![Value::Int(5)]]).unwrap();
+        vec![t1, t2]
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let u = RefUniverse::from_tables(&tables());
+        assert_eq!(u.n_bits(), 5);
+        for bit in 0..u.n_bits() {
+            let r = u.ref_at(bit).unwrap();
+            assert_eq!(u.index(r), Some(bit));
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_ref_has_no_index() {
+        let u = RefUniverse::from_tables(&tables());
+        assert_eq!(u.index(CellRef::new(0, 5, 0)), None);
+        assert_eq!(u.index(CellRef::new(7, 0, 0)), None);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let u = RefUniverse::from_tables(&tables());
+        let a = u.set_from([CellRef::new(0, 0, 0)]);
+        let mut b = u.set_from([CellRef::new(0, 1, 1), CellRef::new(1, 0, 0)]);
+        assert!(!a.is_subset_of(&b));
+        b.union_with(&a);
+        assert!(a.is_subset_of(&b));
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn full_table_set_counts_cells() {
+        let u = RefUniverse::from_tables(&tables());
+        assert_eq!(u.full_table_set(0).len(), 4);
+        assert_eq!(u.full_table_set(1).len(), 1);
+    }
+
+    #[test]
+    fn iter_lists_members() {
+        let u = RefUniverse::from_tables(&tables());
+        let s = u.set_from([CellRef::new(1, 0, 0), CellRef::new(0, 0, 1)]);
+        let listed: Vec<CellRef> = s.iter(&u).collect();
+        assert_eq!(listed, vec![CellRef::new(0, 0, 1), CellRef::new(1, 0, 0)]);
+    }
+
+    #[test]
+    fn empty_set_is_empty() {
+        let u = RefUniverse::from_tables(&tables());
+        let s = u.empty_set();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.is_subset_of(&u.full_table_set(0)));
+    }
+}

@@ -1,0 +1,72 @@
+//! # sickle
+//!
+//! Synthesize analytical SQL queries from *computation demonstrations* — a
+//! clean-room Rust reproduction of "Synthesizing Analytical SQL Queries
+//! from Computation Demonstration" (PLDI 2022).
+//!
+//! Instead of input-output examples, the user demonstrates *how* a few
+//! output cells are computed, with spreadsheet-style formulas over input
+//! cell references — possibly with omitted arguments (`...`):
+//!
+//! ```
+//! use sickle::{
+//!     synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, Table, TaskContext,
+//! };
+//!
+//! // Input: sales per (region, quarter).
+//! let t = Table::new(
+//!     ["region", "quarter", "revenue"],
+//!     vec![
+//!         vec!["west".into(), 1.into(), 10.into()],
+//!         vec!["west".into(), 2.into(), 20.into()],
+//!         vec!["east".into(), 1.into(), 5.into()],
+//!         vec!["east".into(), 2.into(), 8.into()],
+//!     ],
+//! )?;
+//!
+//! // "For each region, the total revenue" — demonstrated for both regions.
+//! let demo = Demo::parse(&[
+//!     &["T[1,1]", "sum(T[1,3], T[2,3])"],
+//!     &["T[3,1]", "sum(T[3,3], T[4,3])"],
+//! ])?;
+//!
+//! let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
+//! let config = SynthConfig { max_depth: 1, ..SynthConfig::default() };
+//! let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+//! println!("best query: {}", result.solutions[0]);
+//! # assert!(!result.solutions.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`sickle_table`] — values, tables, aggregation/window/arithmetic
+//!   functions (re-exported: [`Table`], [`Value`], [`AggFunc`], …);
+//! * [`sickle_provenance`] — provenance expressions `e★`, demonstrations
+//!   `E`, the `≺` consistency rules;
+//! * [`sickle_core`] — the Fig. 7 query language, the three semantics and
+//!   the Algorithm 1 synthesizer;
+//! * [`sickle_baselines`] — the type/value-abstraction baselines of §5;
+//! * [`sickle_benchmarks`] — the 80-task evaluation suite.
+
+#![warn(missing_docs)]
+
+pub use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
+pub use sickle_core::{
+    abstract_consistent, abstract_evaluate, concretize, evaluate, prov_evaluate, synthesize,
+    synthesize_until, Analyzer, EvalError, JoinKey, NoPruneAnalyzer, OpKind, PQuery, Pred,
+    ProvenanceAnalyzer, Query, SearchStats, SynthConfig, SynthResult, SynthTask, TaskContext,
+};
+pub use sickle_provenance::{
+    demo_consistent, expr_consistent, parse_expr, CellRef, Demo, DemoExpr, Expr, FuncName,
+    ParseError,
+};
+pub use sickle_table::{
+    default_arith_templates, extract_groups, AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp,
+    Grid, Table, TableError, Value,
+};
+
+/// The benchmark suite, re-exported for examples and downstream evaluation.
+pub mod benchmarks {
+    pub use sickle_benchmarks::*;
+}

@@ -1,0 +1,567 @@
+//! Aggregation, analytical (window) and arithmetic functions (Fig. 7).
+//!
+//! * [`AggFunc`] — `α ::= sum | avg | max | min | count`, usable in both
+//!   `group` and `partition`.
+//! * [`AnalyticFunc`] — `α′ ::= α | dense_rank | rank | cumsum`, usable only
+//!   in `partition` (order-dependent members consume row order).
+//! * [`ArithExpr`] — the arithmetic functions `γ`, small expression trees
+//!   over column parameters (e.g. `λx,y. x / y * 100`).
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Aggregation functions `α` (return one value per group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    /// Sum of numeric values (nulls skipped).
+    Sum,
+    /// Arithmetic mean (nulls skipped).
+    Avg,
+    /// Maximum under the total value order.
+    Max,
+    /// Minimum under the total value order.
+    Min,
+    /// Count of non-null values.
+    Count,
+}
+
+impl AggFunc {
+    /// All aggregation functions, in a stable enumeration order.
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Max,
+        AggFunc::Min,
+        AggFunc::Count,
+    ];
+
+    /// The function's surface name, as it appears in demonstrations.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Max => "max",
+            AggFunc::Min => "min",
+            AggFunc::Count => "count",
+        }
+    }
+
+    /// True for functions where argument order is irrelevant.
+    ///
+    /// All five aggregation functions are commutative; this hook exists so
+    /// the consistency rules (Fig. 10) can ask uniformly.
+    pub fn is_commutative(self) -> bool {
+        true
+    }
+
+    /// Applies the aggregate to a multiset of values.
+    ///
+    /// Nulls are skipped (SQL semantics). An all-null or empty input yields
+    /// `Null` for `sum/avg/max/min` and `Int(0)` for `count`.
+    ///
+    /// ```
+    /// use sickle_table::{AggFunc, Value};
+    /// let v = [Value::Int(1), Value::Int(2), Value::Null];
+    /// assert_eq!(AggFunc::Sum.apply(&v), Value::Int(3));
+    /// assert_eq!(AggFunc::Count.apply(&v), Value::Int(2));
+    /// assert_eq!(AggFunc::Avg.apply(&v), Value::Float(1.5));
+    /// ```
+    pub fn apply(self, values: &[Value]) -> Value {
+        let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        if self == AggFunc::Count {
+            return Value::Int(non_null.len() as i64);
+        }
+        if non_null.is_empty() {
+            return Value::Null;
+        }
+        match self {
+            AggFunc::Sum => sum_values(&non_null),
+            AggFunc::Avg => {
+                let total: f64 = non_null.iter().filter_map(|v| v.as_f64()).sum();
+                Value::Float(total / non_null.len() as f64)
+            }
+            AggFunc::Max => (*non_null.iter().max().expect("non-empty")).clone(),
+            AggFunc::Min => (*non_null.iter().min().expect("non-empty")).clone(),
+            AggFunc::Count => unreachable!("handled above"),
+        }
+    }
+}
+
+fn sum_values(non_null: &[&Value]) -> Value {
+    if non_null.iter().all(|v| matches!(v, Value::Int(_))) {
+        Value::Int(non_null.iter().filter_map(|v| v.as_i64()).sum())
+    } else {
+        Value::Float(non_null.iter().filter_map(|v| v.as_f64()).sum())
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Analytical functions `α′` for the `partition` operator.
+///
+/// These return a value *per row*; `rank`, `dense_rank` and `cumsum` are
+/// order-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AnalyticFunc {
+    /// An aggregation broadcast to every row of its partition.
+    Agg(AggFunc),
+    /// 1-based rank of the row's value within its partition (ties share a
+    /// rank; subsequent ranks are skipped).
+    Rank,
+    /// Like [`AnalyticFunc::Rank`] but without gaps after ties.
+    DenseRank,
+    /// Running (prefix) sum within the partition, in row order.
+    CumSum,
+}
+
+impl AnalyticFunc {
+    /// All analytical functions, in a stable enumeration order.
+    pub const ALL: [AnalyticFunc; 8] = [
+        AnalyticFunc::Agg(AggFunc::Sum),
+        AnalyticFunc::Agg(AggFunc::Avg),
+        AnalyticFunc::Agg(AggFunc::Max),
+        AnalyticFunc::Agg(AggFunc::Min),
+        AnalyticFunc::Agg(AggFunc::Count),
+        AnalyticFunc::Rank,
+        AnalyticFunc::DenseRank,
+        AnalyticFunc::CumSum,
+    ];
+
+    /// The function's surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalyticFunc::Agg(a) => a.name(),
+            AnalyticFunc::Rank => "rank",
+            AnalyticFunc::DenseRank => "dense_rank",
+            AnalyticFunc::CumSum => "cumsum",
+        }
+    }
+
+    /// Applies the function to one partition.
+    ///
+    /// `values` are the target-column values of the partition's rows *in
+    /// table order*; the result has one output per input, aligned by index.
+    ///
+    /// ```
+    /// use sickle_table::{AnalyticFunc, Value};
+    /// let v: Vec<Value> = [10, 20, 10].map(Value::Int).to_vec();
+    /// assert_eq!(
+    ///     AnalyticFunc::CumSum.apply(&v),
+    ///     [10, 30, 40].map(Value::Int).to_vec(),
+    /// );
+    /// assert_eq!(
+    ///     AnalyticFunc::Rank.apply(&v),
+    ///     [1, 3, 1].map(Value::Int).to_vec(),
+    /// );
+    /// ```
+    pub fn apply(self, values: &[Value]) -> Vec<Value> {
+        match self {
+            AnalyticFunc::Agg(a) => {
+                let v = a.apply(values);
+                vec![v; values.len()]
+            }
+            AnalyticFunc::CumSum => {
+                let mut out = Vec::with_capacity(values.len());
+                for i in 0..values.len() {
+                    out.push(AggFunc::Sum.apply(&values[..=i]));
+                }
+                out
+            }
+            AnalyticFunc::Rank => values
+                .iter()
+                .map(|v| {
+                    let less = values.iter().filter(|w| *w < v).count();
+                    Value::Int(less as i64 + 1)
+                })
+                .collect(),
+            AnalyticFunc::DenseRank => {
+                let mut distinct: Vec<&Value> = values.iter().collect();
+                distinct.sort();
+                distinct.dedup();
+                values
+                    .iter()
+                    .map(|v| {
+                        let pos = distinct
+                            .iter()
+                            .position(|w| *w == v)
+                            .expect("value present in its own partition");
+                        Value::Int(pos as i64 + 1)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for AnalyticFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Comparison operators for predicates and `sort`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `==`
+    Eq,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// All comparison operators.
+    pub const ALL: [CmpOp; 5] = [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Gt, CmpOp::Ge];
+
+    /// Evaluates `a op b` under the total value order.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "==",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Binary numeric operators used by arithmetic functions `γ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArithOp {
+    /// Addition (commutative).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (commutative).
+    Mul,
+    /// Division (always yields a float).
+    Div,
+}
+
+impl ArithOp {
+    /// The function name used in provenance terms (`add`, `sub`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArithOp::Add => "add",
+            ArithOp::Sub => "sub",
+            ArithOp::Mul => "mul",
+            ArithOp::Div => "div",
+        }
+    }
+
+    /// True for `+` and `*`: argument order is irrelevant, so the Fig. 10
+    /// commutative matching rule applies.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, ArithOp::Add | ArithOp::Mul)
+    }
+
+    /// Applies the operator. Null operands propagate to `Null`.
+    pub fn eval(self, a: &Value, b: &Value) -> Value {
+        let (x, y) = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return Value::Null,
+        };
+        match self {
+            ArithOp::Add | ArithOp::Sub | ArithOp::Mul => {
+                if let (Value::Int(i), Value::Int(j)) = (a, b) {
+                    return Value::Int(match self {
+                        ArithOp::Add => i + j,
+                        ArithOp::Sub => i - j,
+                        ArithOp::Mul => i * j,
+                        ArithOp::Div => unreachable!(),
+                    });
+                }
+                Value::Float(match self {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => unreachable!(),
+                })
+            }
+            ArithOp::Div => Value::Float(x / y),
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An arithmetic function `γ`: a small expression tree over positional
+/// column parameters.
+///
+/// The paper writes these as lambdas (`λx,y. x/y * 100%`); we represent the
+/// body as a tree so that provenance evaluation can expand it into nested
+/// function applications that the Fig. 10 consistency rules match
+/// structurally.
+///
+/// # Examples
+///
+/// ```
+/// use sickle_table::{ArithExpr, ArithOp, Value};
+///
+/// // λx,y. x / y * 100
+/// let pct = ArithExpr::bin(
+///     ArithOp::Mul,
+///     ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1)),
+///     ArithExpr::lit(100.0),
+/// );
+/// assert_eq!(pct.arity(), 2);
+/// assert_eq!(pct.eval(&[Value::Int(1), Value::Int(4)]), Value::Float(25.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArithExpr {
+    /// The `i`-th column argument.
+    Param(usize),
+    /// A numeric literal (stored as a [`Value`] for exact int/float identity).
+    Lit(Value),
+    /// A binary operation.
+    Bin(ArithOp, Box<ArithExpr>, Box<ArithExpr>),
+}
+
+impl ArithExpr {
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: ArithOp, lhs: ArithExpr, rhs: ArithExpr) -> ArithExpr {
+        ArithExpr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a float literal.
+    pub fn lit(v: f64) -> ArithExpr {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            ArithExpr::Lit(Value::Int(v as i64))
+        } else {
+            ArithExpr::Lit(Value::Float(v))
+        }
+    }
+
+    /// Number of parameters: one plus the largest `Param` index (0 if none).
+    pub fn arity(&self) -> usize {
+        match self {
+            ArithExpr::Param(i) => i + 1,
+            ArithExpr::Lit(_) => 0,
+            ArithExpr::Bin(_, l, r) => l.arity().max(r.arity()),
+        }
+    }
+
+    /// Evaluates the function on concrete argument values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than [`ArithExpr::arity`] arguments are supplied.
+    pub fn eval(&self, args: &[Value]) -> Value {
+        match self {
+            ArithExpr::Param(i) => args[*i].clone(),
+            ArithExpr::Lit(v) => v.clone(),
+            ArithExpr::Bin(op, l, r) => op.eval(&l.eval(args), &r.eval(args)),
+        }
+    }
+}
+
+impl fmt::Display for ArithExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithExpr::Param(i) => write!(f, "x{i}"),
+            ArithExpr::Lit(v) => write!(f, "{v}"),
+            ArithExpr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+        }
+    }
+}
+
+/// The default template library of arithmetic functions the synthesizer
+/// enumerates, mirroring the custom arithmetic seen in the paper's
+/// benchmarks (ratios, percentages, differences, relative changes).
+pub fn default_arith_templates() -> Vec<ArithExpr> {
+    use ArithExpr as E;
+    use ArithOp::*;
+    let p0 = || E::Param(0);
+    let p1 = || E::Param(1);
+    vec![
+        // x + y
+        E::bin(Add, p0(), p1()),
+        // x - y
+        E::bin(Sub, p0(), p1()),
+        // x * y
+        E::bin(Mul, p0(), p1()),
+        // x / y
+        E::bin(Div, p0(), p1()),
+        // x / y * 100  (percentage)
+        E::bin(Mul, E::bin(Div, p0(), p1()), E::lit(100.0)),
+        // (x - y) / y  (relative change)
+        E::bin(Div, E::bin(Sub, p0(), p1()), p1()),
+        // (x - y) / y * 100
+        E::bin(
+            Mul,
+            E::bin(Div, E::bin(Sub, p0(), p1()), p1()),
+            E::lit(100.0),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn sum_stays_int_when_all_int() {
+        assert_eq!(AggFunc::Sum.apply(&ints(&[1, 2, 3])), Value::Int(6));
+    }
+
+    #[test]
+    fn sum_promotes_to_float() {
+        let v = [Value::Int(1), Value::Float(0.5)];
+        assert_eq!(AggFunc::Sum.apply(&v), Value::Float(1.5));
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        let v = [Value::Null, Value::Int(4), Value::Null, Value::Int(6)];
+        assert_eq!(AggFunc::Avg.apply(&v), Value::Float(5.0));
+        assert_eq!(AggFunc::Count.apply(&v), Value::Int(2));
+        assert_eq!(AggFunc::Max.apply(&v), Value::Int(6));
+        assert_eq!(AggFunc::Min.apply(&v), Value::Int(4));
+    }
+
+    #[test]
+    fn empty_aggregate_is_null_or_zero() {
+        assert_eq!(AggFunc::Sum.apply(&[]), Value::Null);
+        assert_eq!(AggFunc::Count.apply(&[]), Value::Int(0));
+    }
+
+    #[test]
+    fn max_works_on_strings() {
+        let v = [Value::from("pear"), Value::from("apple")];
+        assert_eq!(AggFunc::Max.apply(&v), Value::from("pear"));
+    }
+
+    #[test]
+    fn cumsum_is_prefix_sum() {
+        assert_eq!(
+            AnalyticFunc::CumSum.apply(&ints(&[1, 2, 3])),
+            ints(&[1, 3, 6])
+        );
+    }
+
+    #[test]
+    fn rank_with_ties_has_gaps() {
+        // values 10, 20, 10, 30 -> ranks 1, 3, 1, 4
+        assert_eq!(
+            AnalyticFunc::Rank.apply(&ints(&[10, 20, 10, 30])),
+            ints(&[1, 3, 1, 4])
+        );
+    }
+
+    #[test]
+    fn dense_rank_has_no_gaps() {
+        assert_eq!(
+            AnalyticFunc::DenseRank.apply(&ints(&[10, 20, 10, 30])),
+            ints(&[1, 2, 1, 3])
+        );
+    }
+
+    #[test]
+    fn broadcast_aggregate() {
+        assert_eq!(
+            AnalyticFunc::Agg(AggFunc::Max).apply(&ints(&[1, 5, 3])),
+            ints(&[5, 5, 5])
+        );
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(CmpOp::Ge.eval(&Value::Int(2), &Value::Int(2)));
+        assert!(CmpOp::Eq.eval(&Value::Float(2.0), &Value::Int(2)));
+        assert!(!CmpOp::Gt.eval(&Value::from("a"), &Value::from("b")));
+    }
+
+    #[test]
+    fn div_always_float() {
+        assert_eq!(
+            ArithOp::Div.eval(&Value::Int(1), &Value::Int(2)),
+            Value::Float(0.5)
+        );
+    }
+
+    #[test]
+    fn int_ops_stay_int() {
+        assert_eq!(
+            ArithOp::Mul.eval(&Value::Int(3), &Value::Int(4)),
+            Value::Int(12)
+        );
+    }
+
+    #[test]
+    fn null_propagates_through_arith() {
+        assert_eq!(ArithOp::Add.eval(&Value::Null, &Value::Int(1)), Value::Null);
+    }
+
+    #[test]
+    fn arith_expr_percentage() {
+        let pct = ArithExpr::bin(
+            ArithOp::Mul,
+            ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1)),
+            ArithExpr::lit(100.0),
+        );
+        assert_eq!(pct.arity(), 2);
+        assert_eq!(
+            pct.eval(&[Value::Int(3034), Value::Int(5668)]),
+            Value::Float(3034.0 / 5668.0 * 100.0)
+        );
+        assert_eq!(pct.to_string(), "((x0 / x1) * 100)");
+    }
+
+    #[test]
+    fn default_templates_all_binary() {
+        for t in default_arith_templates() {
+            assert_eq!(t.arity(), 2, "template {t} is not binary");
+        }
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(ArithOp::Add.is_commutative());
+        assert!(ArithOp::Mul.is_commutative());
+        assert!(!ArithOp::Sub.is_commutative());
+        assert!(!ArithOp::Div.is_commutative());
+        assert!(AggFunc::Sum.is_commutative());
+    }
+}

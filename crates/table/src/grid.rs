@@ -1,0 +1,241 @@
+//! A generic row-major matrix of cells.
+//!
+//! Concrete tables, provenance-embedded tables (`T★`) and abstract tables
+//! (`T◦`) all share this shape; only the cell type differs.
+
+use std::fmt;
+
+/// A rectangular grid of cells with a fixed column count.
+///
+/// Row indices and column indices are 0-based throughout the code base; the
+/// paper's `T[i, j]` (1-based) corresponds to `grid[(i - 1, j - 1)]`.
+///
+/// # Examples
+///
+/// ```
+/// use sickle_table::Grid;
+///
+/// let g = Grid::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+/// assert_eq!(g.n_rows(), 2);
+/// assert_eq!(g.n_cols(), 2);
+/// assert_eq!(g[(1, 0)], 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Grid<C> {
+    n_cols: usize,
+    rows: Vec<Vec<C>>,
+}
+
+/// Error returned when constructing a [`Grid`] from ragged rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaggedRowsError {
+    /// Index of the first offending row.
+    pub row: usize,
+    /// Its length.
+    pub found: usize,
+    /// The expected length (length of row 0).
+    pub expected: usize,
+}
+
+impl fmt::Display for RaggedRowsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "row {} has {} cells, expected {}",
+            self.row, self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for RaggedRowsError {}
+
+impl<C> Grid<C> {
+    /// Creates an empty grid with `n_cols` columns and no rows.
+    pub fn empty(n_cols: usize) -> Self {
+        Grid {
+            n_cols,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a grid from rows, all of which must have equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaggedRowsError`] if any row's length differs from row 0's.
+    pub fn from_rows(rows: Vec<Vec<C>>) -> Result<Self, RaggedRowsError> {
+        let n_cols = rows.first().map_or(0, Vec::len);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != n_cols {
+                return Err(RaggedRowsError {
+                    row: i,
+                    found: r.len(),
+                    expected: n_cols,
+                });
+            }
+        }
+        Ok(Grid { n_cols, rows })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Borrow of the cell at `(row, col)`, or `None` if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<&C> {
+        self.rows.get(row).and_then(|r| r.get(col))
+    }
+
+    /// Borrow of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[C] {
+        &self.rows[row]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[C]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.n_cols()`. (Grids never hold ragged rows.)
+    pub fn push_row(&mut self, row: Vec<C>) {
+        assert_eq!(
+            row.len(),
+            self.n_cols,
+            "pushed row has wrong arity for grid"
+        );
+        self.rows.push(row);
+    }
+
+    /// Consumes the grid and returns its rows.
+    pub fn into_rows(self) -> Vec<Vec<C>> {
+        self.rows
+    }
+
+    /// New grid with only the given columns, in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of bounds.
+    pub fn select_columns(&self, cols: &[usize]) -> Grid<C>
+    where
+        C: Clone,
+    {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+            .collect();
+        Grid {
+            n_cols: cols.len(),
+            rows,
+        }
+    }
+
+    /// New grid with only the given rows, in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Grid<C>
+    where
+        C: Clone,
+    {
+        Grid {
+            n_cols: self.n_cols,
+            rows: rows.iter().map(|&r| self.rows[r].clone()).collect(),
+        }
+    }
+
+    /// Applies `f` to every cell, producing a grid of the same shape.
+    pub fn map<D>(&self, mut f: impl FnMut(&C) -> D) -> Grid<D> {
+        Grid {
+            n_cols: self.n_cols,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| r.iter().map(&mut f).collect())
+                .collect(),
+        }
+    }
+}
+
+impl<C> std::ops::Index<(usize, usize)> for Grid<C> {
+    type Output = C;
+
+    fn index(&self, (row, col): (usize, usize)) -> &C {
+        &self.rows[row][col]
+    }
+}
+
+impl<C> std::ops::IndexMut<(usize, usize)> for Grid<C> {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut C {
+        &mut self.rows[row][col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Grid::from_rows(vec![vec![1, 2], vec![3]]).unwrap_err();
+        assert_eq!(err.row, 1);
+        assert_eq!(err.expected, 2);
+        assert_eq!(err.found, 1);
+        assert!(err.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let g = Grid::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+        let s = g.select_columns(&[2, 0]);
+        assert_eq!(s.row(0), &[3, 1]);
+        assert_eq!(s.row(1), &[6, 4]);
+        assert_eq!(s.n_cols(), 2);
+    }
+
+    #[test]
+    fn select_rows_picks_subset() {
+        let g = Grid::from_rows(vec![vec![1], vec![2], vec![3]]).unwrap();
+        let s = g.select_rows(&[2, 0]);
+        assert_eq!(s.into_rows(), vec![vec![3], vec![1]]);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let g = Grid::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        let m = g.map(|c| c * 10);
+        assert_eq!(m[(1, 1)], 40);
+        assert_eq!(m.n_cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn push_row_checks_arity() {
+        let mut g: Grid<i32> = Grid::empty(2);
+        g.push_row(vec![1]);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g: Grid<i32> = Grid::empty(3);
+        assert_eq!(g.n_rows(), 0);
+        assert_eq!(g.n_cols(), 3);
+        assert!(g.get(0, 0).is_none());
+    }
+}

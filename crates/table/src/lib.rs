@@ -1,0 +1,56 @@
+//! # sickle-table
+//!
+//! Value and table substrate for the Sickle analytical SQL synthesizer
+//! (PLDI 2022, "Synthesizing Analytical SQL Queries from Computation
+//! Demonstration").
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — scalar cell values with a total order (grouping/sorting);
+//! * [`Grid`] — a generic row-major matrix shared by concrete, provenance
+//!   and abstract tables;
+//! * [`Table`] — the paper's *ordered bag of tuples* (§3.1) with bag
+//!   equality, containment, projection, cross product and the
+//!   `extractGroups` primitive ([`extract_groups`]);
+//! * [`AggFunc`], [`AnalyticFunc`], [`ArithExpr`] — the function library of
+//!   the Fig. 7 language.
+//!
+//! # Examples
+//!
+//! ```
+//! use sickle_table::{extract_groups, AggFunc, Table, Value};
+//!
+//! let t = Table::new(
+//!     ["id", "sales"],
+//!     vec![
+//!         vec!["A".into(), 10.into()],
+//!         vec!["A".into(), 20.into()],
+//!         vec!["B".into(), 15.into()],
+//!     ],
+//! )?;
+//! // Group by `id` and sum `sales`:
+//! let groups = extract_groups(&t, &[0]);
+//! let sums: Vec<Value> = groups
+//!     .iter()
+//!     .map(|g| {
+//!         let vals: Vec<Value> = g.iter().map(|&r| t.row(r)[1].clone()).collect();
+//!         AggFunc::Sum.apply(&vals)
+//!     })
+//!     .collect();
+//! assert_eq!(sums, vec![Value::Int(30), Value::Int(15)]);
+//! # Ok::<(), sickle_table::TableError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod funcs;
+mod grid;
+mod table;
+mod value;
+
+pub use funcs::{
+    default_arith_templates, AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp,
+};
+pub use grid::{Grid, RaggedRowsError};
+pub use table::{extract_groups, Table, TableError};
+pub use value::Value;

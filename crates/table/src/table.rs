@@ -1,0 +1,363 @@
+//! Concrete tables: ordered bags of tuples (§3.1 of the paper).
+//!
+//! A [`Table`] is an *ordered bag*: row order is meaningful only for
+//! order-dependent analytical functions (`rank`, `cumsum`); two tables are
+//! *equivalent* when they contain the same rows as multisets
+//! (`T1 ⊆ T2 ∧ T2 ⊆ T1`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::grid::Grid;
+use crate::value::Value;
+
+/// A concrete table: named columns over a [`Grid`] of [`Value`]s.
+///
+/// Column names are a convenience for users and pretty-printing; the
+/// synthesis algorithms refer to columns by index, as in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use sickle_table::Table;
+///
+/// let t = Table::new(
+///     ["id", "sales"],
+///     vec![
+///         vec!["A".into(), 10.into()],
+///         vec!["B".into(), 20.into()],
+///     ],
+/// ).unwrap();
+/// assert_eq!(t.n_rows(), 2);
+/// assert_eq!(t.column_index("sales"), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    names: Vec<String>,
+    grid: Grid<Value>,
+}
+
+/// Error constructing a [`Table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Rows have inconsistent arity.
+    Ragged(crate::grid::RaggedRowsError),
+    /// The number of column names does not match the row arity.
+    NameArity {
+        /// Number of names given.
+        names: usize,
+        /// Number of columns in the data.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Ragged(e) => write!(f, "ragged rows: {e}"),
+            TableError::NameArity { names, cols } => {
+                write!(f, "{names} column names given for {cols} data columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl Table {
+    /// Builds a table from column names and rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::Ragged`] for ragged rows and
+    /// [`TableError::NameArity`] when names and data disagree on arity.
+    pub fn new<S: Into<String>, N: IntoIterator<Item = S>>(
+        names: N,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self, TableError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let grid = Grid::from_rows(rows).map_err(TableError::Ragged)?;
+        let cols = if grid.n_rows() == 0 {
+            names.len()
+        } else {
+            grid.n_cols()
+        };
+        if names.len() != cols {
+            return Err(TableError::NameArity {
+                names: names.len(),
+                cols,
+            });
+        }
+        // For an empty table, trust the names for the arity.
+        let grid = if grid.n_rows() == 0 {
+            Grid::empty(names.len())
+        } else {
+            grid
+        };
+        Ok(Table { names, grid })
+    }
+
+    /// Builds a table with synthesized column names `c0, c1, ...`.
+    pub fn from_grid(grid: Grid<Value>) -> Self {
+        let names = (0..grid.n_cols()).map(|i| format!("c{i}")).collect();
+        Table { names, grid }
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Underlying grid.
+    pub fn grid(&self) -> &Grid<Value> {
+        &self.grid
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.grid.n_rows()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.grid.n_cols()
+    }
+
+    /// Cell at `(row, col)`, if in bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<&Value> {
+        self.grid.get(row, col)
+    }
+
+    /// Row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, row: usize) -> &[Value] {
+        self.grid.row(row)
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.grid.rows()
+    }
+
+    /// Index of the column named `name`, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Projection onto `cols` (`T[c̄]` in the paper), preserving row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of bounds.
+    pub fn project(&self, cols: &[usize]) -> Table {
+        Table {
+            names: cols.iter().map(|&c| self.names[c].clone()).collect(),
+            grid: self.grid.select_columns(cols),
+        }
+    }
+
+    /// Multiset containment `self ⊆ other` (row order ignored).
+    pub fn contained_in(&self, other: &Table) -> bool {
+        if self.n_cols() != other.n_cols() {
+            return false;
+        }
+        let mut counts: BTreeMap<&[Value], isize> = BTreeMap::new();
+        for r in other.rows() {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        for r in self.rows() {
+            match counts.get_mut(r) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Bag equivalence: mutual containment, ignoring row order and names.
+    pub fn bag_eq(&self, other: &Table) -> bool {
+        self.n_rows() == other.n_rows() && self.contained_in(other)
+    }
+
+    /// Cross product `self × other`: every row of `self` concatenated with
+    /// every row of `other`, names concatenated.
+    pub fn cross_product(&self, other: &Table) -> Table {
+        let mut names = self.names.clone();
+        names.extend(other.names.iter().cloned());
+        let mut grid = Grid::empty(self.n_cols() + other.n_cols());
+        for a in self.rows() {
+            for b in other.rows() {
+                let mut row = a.to_vec();
+                row.extend_from_slice(b);
+                grid.push_row(row);
+            }
+        }
+        Table { names, grid }
+    }
+}
+
+/// Partitions the row indices of `table` into equivalence groups by equality
+/// of the projection onto `cols` (the paper's `extractGroups`).
+///
+/// Groups are returned in order of first occurrence and each group lists row
+/// indices in ascending order, so downstream order-dependent aggregation
+/// (`cumsum`, `rank`) sees rows in table order.
+///
+/// # Examples
+///
+/// ```
+/// use sickle_table::{extract_groups, Table};
+///
+/// let t = Table::new(
+///     ["city", "v"],
+///     vec![
+///         vec!["A".into(), 1.into()],
+///         vec!["B".into(), 2.into()],
+///         vec!["A".into(), 3.into()],
+///     ],
+/// ).unwrap();
+/// assert_eq!(extract_groups(&t, &[0]), vec![vec![0, 2], vec![1]]);
+/// ```
+pub fn extract_groups(table: &Table, cols: &[usize]) -> Vec<Vec<usize>> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, row) in table.rows().enumerate() {
+        let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+        match order.iter().position(|k| *k == key) {
+            Some(g) => groups[g].push(i),
+            None => {
+                order.push(key);
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.names.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows()
+            .map(|r| r.iter().map(ToString::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, cell) in cells.iter().enumerate() {
+                write!(f, " {:w$} |", cell, w = widths[c])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.names.iter().cloned().collect::<Vec<_>>())?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &sep)?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: Vec<Vec<Value>>) -> Table {
+        Table::from_grid(Grid::from_rows(rows).unwrap())
+    }
+
+    #[test]
+    fn name_arity_checked() {
+        let err = Table::new(["a"], vec![vec![1.into(), 2.into()]]).unwrap_err();
+        assert!(matches!(err, TableError::NameArity { names: 1, cols: 2 }));
+    }
+
+    #[test]
+    fn empty_table_uses_names_for_arity() {
+        let t = Table::new(["a", "b"], vec![]).unwrap();
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.n_rows(), 0);
+    }
+
+    #[test]
+    fn bag_eq_ignores_order() {
+        let t1 = t(vec![vec![1.into()], vec![2.into()]]);
+        let t2 = t(vec![vec![2.into()], vec![1.into()]]);
+        assert!(t1.bag_eq(&t2));
+    }
+
+    #[test]
+    fn bag_eq_respects_multiplicity() {
+        let t1 = t(vec![vec![1.into()], vec![1.into()]]);
+        let t2 = t(vec![vec![1.into()], vec![2.into()]]);
+        assert!(!t1.bag_eq(&t2));
+        assert!(t1.contained_in(&t1));
+    }
+
+    #[test]
+    fn containment_is_multiset() {
+        let small = t(vec![vec![1.into()]]);
+        let big = t(vec![vec![1.into()], vec![1.into()]]);
+        assert!(small.contained_in(&big));
+        assert!(!big.contained_in(&small));
+    }
+
+    #[test]
+    fn cross_product_shape() {
+        let a = t(vec![vec![1.into()], vec![2.into()]]);
+        let b = t(vec![vec!["x".into()], vec!["y".into()], vec!["z".into()]]);
+        let c = a.cross_product(&b);
+        assert_eq!(c.n_rows(), 6);
+        assert_eq!(c.n_cols(), 2);
+        assert_eq!(c.row(0), &[1.into(), "x".into()]);
+        assert_eq!(c.row(5), &[2.into(), "z".into()]);
+    }
+
+    #[test]
+    fn extract_groups_multi_column() {
+        let t = Table::new(
+            ["a", "b", "v"],
+            vec![
+                vec!["x".into(), 1.into(), 10.into()],
+                vec!["x".into(), 2.into(), 20.into()],
+                vec!["x".into(), 1.into(), 30.into()],
+                vec!["y".into(), 1.into(), 40.into()],
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            extract_groups(&t, &[0, 1]),
+            vec![vec![0, 2], vec![1], vec![3]]
+        );
+        // Grouping on no columns puts everything in one group.
+        assert_eq!(extract_groups(&t, &[]), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn project_reorders_names() {
+        let t = Table::new(
+            ["a", "b"],
+            vec![vec![1.into(), 2.into()]],
+        )
+        .unwrap();
+        let p = t.project(&[1, 0]);
+        assert_eq!(p.names(), &["b".to_string(), "a".to_string()]);
+        assert_eq!(p.row(0), &[2.into(), 1.into()]);
+    }
+
+    #[test]
+    fn display_renders_header() {
+        let t = Table::new(["id"], vec![vec![1.into()]]).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("id"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,299 @@
+//! Scalar cell values.
+//!
+//! Tables in the analytical SQL language of the paper (§3.1) hold strings and
+//! numbers; we additionally support booleans (for predicates) and `Null`
+//! (produced by `left_join` padding). [`Value`] has a *total* order — floats
+//! are compared with [`f64::total_cmp`] — so values can be used directly as
+//! grouping keys and sort keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A scalar value stored in a table cell.
+///
+/// # Examples
+///
+/// ```
+/// use sickle_table::Value;
+///
+/// let a = Value::Int(2);
+/// let b = Value::Float(2.0);
+/// // Ints and floats compare numerically equal:
+/// assert_eq!(a, b);
+/// assert!(Value::from("apple") < Value::from("banana"));
+/// ```
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Missing value (e.g. the `∅` padding of an unmatched `left_join` row).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float; ordered via `total_cmp`, hashed via normalized bits.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean (predicate results).
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the value as a float if it is numeric.
+    ///
+    /// ```
+    /// use sickle_table::Value;
+    /// assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+    /// assert_eq!(Value::from("x").as_f64(), None);
+    /// ```
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content, if any.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string content, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if the value is numeric (`Int` or `Float`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Normalized float key used for cross-type numeric comparison.
+    fn num_key(&self) -> Option<f64> {
+        self.as_f64()
+    }
+
+    /// Rank of the variant for ordering values of different kinds.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+            Value::Bool(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if let (Some(a), Some(b)) = (self.num_key(), other.num_key()) {
+            // Normalize zeros so `-0.0 == 0.0`, consistent with `Hash`.
+            let a = if a == 0.0 { 0.0 } else { a };
+            let b = if b == 0.0 { 0.0 } else { b };
+            return a.total_cmp(&b);
+        }
+        let (ra, rb) = (self.kind_rank(), other.kind_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => unreachable!("kind ranks matched but variants differ"),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Int and Float hash identically when numerically equal,
+            // consistent with `Eq`.
+            Value::Int(i) => {
+                1u8.hash(state);
+                normalize_bits(*i as f64).hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                normalize_bits(*f).hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+/// Collapses `-0.0` to `+0.0` and all NaNs to a single bit pattern so the
+/// `Hash` impl agrees with `total_cmp`-based equality for the values we
+/// actually produce (we never produce distinct NaN payloads).
+fn normalize_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0f64.to_bits()
+    } else if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_numeric_equality() {
+        assert_eq!(Value::Int(5), Value::Float(5.0));
+        assert_ne!(Value::Int(5), Value::Float(5.5));
+    }
+
+    #[test]
+    fn int_float_hash_agreement() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn cross_kind_ordering_is_total() {
+        let mut vals = vec![
+            Value::from("b"),
+            Value::Null,
+            Value::Int(2),
+            Value::Bool(true),
+            Value::Float(1.5),
+            Value::from("a"),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::from("a"),
+                Value::from("b"),
+                Value::Bool(true),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_round_floats() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Int(2).to_string(), "2");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn as_accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_f64(), Some(4.5));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert!(Value::Null.is_null());
+        assert!(!Value::from("s").is_numeric());
+    }
+}

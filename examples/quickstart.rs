@@ -1,0 +1,54 @@
+//! Quickstart: synthesize a group-by-sum query from a two-row computation
+//! demonstration.
+//!
+//! Run with `cargo run -p sickle --release --example quickstart`.
+
+use sickle::{
+    synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, Table, TaskContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The input table the user starts from.
+    let sales = Table::new(
+        ["region", "quarter", "revenue"],
+        vec![
+            vec!["west".into(), 1.into(), 120.into()],
+            vec!["west".into(), 2.into(), 150.into()],
+            vec!["west".into(), 3.into(), 90.into()],
+            vec!["east".into(), 1.into(), 80.into()],
+            vec!["east".into(), 2.into(), 110.into()],
+            vec!["east".into(), 3.into(), 95.into()],
+        ],
+    )?;
+    println!("Input table:\n{sales}");
+
+    // The user demonstrates "total revenue per region" by dragging input
+    // cells into formulas — one row per region, no final values needed.
+    let demo = Demo::parse(&[
+        &["T[1,1]", "sum(T[1,3], T[2,3], T[3,3])"],
+        &["T[4,1]", "sum(T[4,3], T[5,3], T[6,3])"],
+    ])?;
+    println!("Demonstration:\n{demo}");
+
+    let ctx = TaskContext::new(SynthTask::new(vec![sales], demo));
+    let config = SynthConfig {
+        max_depth: 1,
+        max_solutions: 3,
+        ..SynthConfig::default()
+    };
+    let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+
+    println!(
+        "visited {} queries, pruned {}, found {} consistent quer{}:",
+        result.stats.visited,
+        result.stats.pruned,
+        result.solutions.len(),
+        if result.solutions.len() == 1 { "y" } else { "ies" },
+    );
+    for (i, q) in result.solutions.iter().enumerate() {
+        println!("  #{}: {q}", i + 1);
+        let out = sickle::evaluate(q, ctx.inputs())?;
+        println!("{out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use sickle_core::Query;
+use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, Table};
+
+/// The Fig. 1 input table (both cities, all four quarters).
+pub fn enrollment() -> Table {
+    sickle_benchmarks::data::enrollment()
+}
+
+/// The Fig. 2 ground-truth query in instruction form:
+///
+/// ```text
+/// t1 <- group(T, [City, Quarter, Population], sum, Enrolled)
+/// t2 <- partition(t1, [City], cumsum, C1)
+/// t3 <- arithmetic(t2, λx,y. x / y * 100, [C2, Population])
+/// ```
+pub fn running_example_query() -> Query {
+    Query::Arith {
+        src: Box::new(Query::Partition {
+            src: Box::new(Query::Group {
+                src: Box::new(Query::Input(0)),
+                keys: vec![0, 1, 4],
+                agg: AggFunc::Sum,
+                target: 3,
+            }),
+            keys: vec![0],
+            func: AnalyticFunc::CumSum,
+            target: 3,
+        }),
+        func: ArithExpr::bin(
+            ArithOp::Mul,
+            ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1)),
+            ArithExpr::lit(100.0),
+        ),
+        cols: vec![4, 2],
+    }
+}

@@ -1,0 +1,340 @@
+//! Property-based tests of the core invariants:
+//!
+//! * the provenance-tracking semantics agrees with direct evaluation
+//!   (`[[ [[q]]★ ]] = [[q]]`, §3.1);
+//! * Property 1/2: the abstract semantics over-approximates the provenance
+//!   of every instantiation, so a consistent query is never pruned;
+//! * demonstrations generated from a provenance table are always accepted
+//!   by the `≺` rules (truncation and permutation preserve consistency);
+//! * surface syntax round-trips through the parser.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sickle_benchmarks::demo_expr_of;
+use sickle_core::{
+    abstract_consistent, abstract_evaluate, concretize, demo_ref_sets, evaluate, prov_evaluate,
+    AbsTable, PQuery, Pred, Query,
+};
+use sickle_provenance::{expr_consistent, parse_expr, Demo, RefUniverse};
+use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp, Grid, Table, Value};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..6).prop_map(Value::Int),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Value::from),
+    ]
+}
+
+prop_compose! {
+    fn table_strategy()(n_rows in 1usize..7, n_cols in 2usize..5)
+        (rows in prop::collection::vec(
+            prop::collection::vec(value_strategy(), n_cols..=n_cols),
+            n_rows..=n_rows,
+        )) -> Table {
+        Table::from_grid(Grid::from_rows(rows).expect("rectangular"))
+    }
+}
+
+/// A small well-formed query over a table with `n_cols` columns.
+fn query_strategy(n_cols: usize) -> impl Strategy<Value = Query> {
+    let agg = prop_oneof![
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Max),
+        Just(AggFunc::Min),
+        Just(AggFunc::Count),
+    ];
+    let func = prop_oneof![
+        Just(AnalyticFunc::CumSum),
+        Just(AnalyticFunc::Rank),
+        Just(AnalyticFunc::DenseRank),
+        Just(AnalyticFunc::Agg(AggFunc::Sum)),
+        Just(AnalyticFunc::Agg(AggFunc::Max)),
+    ];
+    let leaf = Just(Query::Input(0)).boxed();
+    leaf.prop_recursive(2, 8, 2, move |inner| {
+        let n = n_cols;
+        prop_oneof![
+            // group: the inner query's arity shifts, so restrict keys and
+            // target to column 0/1 which every level preserves or creates.
+            (inner.clone(), 0..n.min(2), agg.clone()).prop_map(move |(src, key, agg)| {
+                Query::Group {
+                    src: Box::new(src),
+                    keys: vec![key],
+                    agg,
+                    target: key + 1, // distinct from the key, in range for all levels
+                }
+            }),
+            (inner.clone(), 0..n.min(2), func.clone()).prop_map(move |(src, key, func)| {
+                Query::Partition {
+                    src: Box::new(src),
+                    keys: vec![key],
+                    func,
+                    target: key + 1,
+                }
+            }),
+            (inner.clone(), prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul), Just(ArithOp::Div)])
+                .prop_map(|(src, op)| Query::Arith {
+                    src: Box::new(src),
+                    func: ArithExpr::bin(op, ArithExpr::Param(0), ArithExpr::Param(1)),
+                    cols: vec![0, 1],
+                }),
+            (inner.clone(), 0i64..4).prop_map(|(src, k)| Query::Filter {
+                src: Box::new(src),
+                pred: Pred::ColConst(0, CmpOp::Le, Value::Int(k)),
+            }),
+            (inner, 0..n.min(2), any::<bool>()).prop_map(|(src, c, asc)| Query::Sort {
+                src: Box::new(src),
+                cols: vec![c],
+                asc,
+            }),
+        ]
+    })
+}
+
+/// Randomly re-open some parameters of a concrete query as holes.
+fn punch_holes(q: &Query, mask: u32) -> PQuery {
+    fn go(q: &Query, mask: u32, i: &mut u32) -> PQuery {
+        let take = |i: &mut u32| {
+            let bit = mask >> (*i % 32) & 1 == 1;
+            *i += 1;
+            bit
+        };
+        match q {
+            Query::Input(k) => PQuery::Input(*k),
+            Query::Filter { src, pred } => {
+                let src = Box::new(go(src, mask, i));
+                let keep = take(i);
+                PQuery::Filter {
+                    src,
+                    pred: keep.then(|| pred.clone()),
+                }
+            }
+            Query::Join { left, right } => PQuery::Join {
+                left: Box::new(go(left, mask, i)),
+                right: Box::new(go(right, mask, i)),
+            },
+            Query::LeftJoin { left, right, pred } => {
+                let left = Box::new(go(left, mask, i));
+                let right = Box::new(go(right, mask, i));
+                let keep = take(i);
+                PQuery::LeftJoin {
+                    left,
+                    right,
+                    pred: keep.then(|| pred.clone()),
+                }
+            }
+            Query::Proj { src, cols } => {
+                let src = Box::new(go(src, mask, i));
+                let keep = take(i);
+                PQuery::Proj {
+                    src,
+                    cols: keep.then(|| cols.clone()),
+                }
+            }
+            Query::Sort { src, cols, asc } => {
+                let src = Box::new(go(src, mask, i));
+                let keep = take(i);
+                PQuery::Sort {
+                    src,
+                    params: keep.then(|| (cols.clone(), *asc)),
+                }
+            }
+            Query::Group {
+                src,
+                keys,
+                agg,
+                target,
+            } => {
+                let src = Box::new(go(src, mask, i));
+                let keep_keys = take(i);
+                let keep_agg = take(i);
+                PQuery::Group {
+                    src,
+                    keys: keep_keys.then(|| keys.clone()),
+                    agg: keep_agg.then_some((*agg, *target)),
+                }
+            }
+            Query::Partition {
+                src,
+                keys,
+                func,
+                target,
+            } => {
+                let src = Box::new(go(src, mask, i));
+                let keep_keys = take(i);
+                let keep_func = take(i);
+                PQuery::Partition {
+                    src,
+                    keys: keep_keys.then(|| keys.clone()),
+                    func: keep_func.then_some((*func, *target)),
+                }
+            }
+            Query::Arith { src, func, cols } => {
+                let src = Box::new(go(src, mask, i));
+                let keep = take(i);
+                PQuery::Arith {
+                    src,
+                    func: keep.then(|| (func.clone(), cols.clone())),
+                }
+            }
+        }
+    }
+    let mut i = 0;
+    go(q, mask, &mut i)
+}
+
+/// Draws the `n`-th query from the (deterministic) strategy stream, so the
+/// proptest-provided seed actually varies the query under test.
+fn draw_query(n_cols: usize, n: u32) -> Query {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strat = query_strategy(n_cols);
+    let mut q = Query::Input(0);
+    for _ in 0..(n % 24) + 1 {
+        if let Ok(tree) = strat.new_tree(&mut runner) {
+            q = tree.current();
+        }
+    }
+    q
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// §3.1: evaluating every provenance cell recovers the concrete table.
+    #[test]
+    fn semantics_agree(t in table_strategy(), q_seed in any::<u32>()) {
+        let q = draw_query(t.n_cols(), q_seed);
+        let inputs = [t];
+        if let Ok(direct) = evaluate(&q, &inputs) {
+            let star = prov_evaluate(&q, &inputs).expect("both semantics accept");
+            let via_star = concretize(&star, &inputs);
+            prop_assert!(via_star.bag_eq(&direct), "query {q}");
+        }
+    }
+
+    /// Property 1/2: the abstraction never prunes an instantiation.
+    /// The exact reference sets of `[[q]]★` must embed into the abstract
+    /// table of any hole-punched generalization of `q`.
+    #[test]
+    fn abstraction_is_sound(t in table_strategy(), mask in any::<u32>()) {
+        let q = draw_query(t.n_cols(), mask);
+        let inputs = [t];
+        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
+        if star.n_rows() == 0 {
+            return Ok(());
+        }
+        let universe = RefUniverse::from_tables(&inputs);
+        let exact: Grid<_> = star.map(|e| universe.set_from(e.refs()));
+        let pq = punch_holes(&q, mask);
+        let abs: AbsTable = abstract_evaluate(&pq, &inputs, &universe).expect("abstract evaluates");
+        // Treat the exact sets as the "demonstration": Def. 3 must hold.
+        prop_assert!(
+            abstract_consistent(&exact, &abs),
+            "query {q} pruned via partial {pq}"
+        );
+    }
+
+    /// Demonstrations generated from provenance cells are accepted by ≺:
+    /// argument permutation and ♦-truncation preserve consistency.
+    #[test]
+    fn generated_demos_stay_consistent(t in table_strategy(), seed in any::<u64>()) {
+        let q = draw_query(t.n_cols(), seed as u32);
+        let inputs = [t];
+        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for row in 0..star.n_rows().min(2) {
+            for col in 0..star.n_cols() {
+                let cell = &star[(row, col)];
+                let demo = demo_expr_of(cell, &mut rng);
+                prop_assert!(
+                    expr_consistent(&demo, cell),
+                    "demo {demo} not ≺ {cell} (query {q})"
+                );
+            }
+        }
+    }
+
+    /// A demonstration accepted by Def. 1 has every cell's references
+    /// embedded per Def. 3 on the exact sets (the prefilter the search
+    /// relies on is a necessary condition).
+    #[test]
+    fn def1_implies_exact_def3(t in table_strategy(), seed in any::<u64>()) {
+        let q = draw_query(t.n_cols(), seed as u32);
+        let inputs = [t];
+        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
+        if star.n_rows() == 0 {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cells: Vec<_> = (0..star.n_cols())
+            .map(|c| demo_expr_of(&star[(0, c)], &mut rng))
+            .collect();
+        let demo = Demo::new(vec![cells]).expect("one row");
+        if sickle_provenance::demo_consistent(&demo, &star).is_some() {
+            let universe = RefUniverse::from_tables(&inputs);
+            let refs = demo_ref_sets(&demo, &universe);
+            let exact = AbsTable {
+                sets: star.map(|e| universe.set_from(e.refs())),
+                concrete: None,
+            };
+            prop_assert!(abstract_consistent(&refs, &exact));
+        }
+    }
+
+    /// Demonstration surface syntax round-trips through the parser.
+    #[test]
+    fn demo_syntax_round_trips(t in table_strategy(), seed in any::<u64>()) {
+        let q = draw_query(t.n_cols(), seed as u32);
+        let inputs = [t];
+        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for row in 0..star.n_rows().min(1) {
+            for col in 0..star.n_cols() {
+                let demo = demo_expr_of(&star[(row, col)], &mut rng);
+                // Skip string constants with quotes-in-display subtleties.
+                let shown = demo.to_string();
+                if shown.contains('◇') || shown.chars().all(|c| c != '"') {
+                    if let Ok(reparsed) = parse_expr(&shown.replace('◇', "...")) {
+                        let back = reparsed.to_string();
+                        prop_assert_eq!(shown, back, "query {}", q);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bag_equality_is_permutation_invariant() {
+    let t = Table::new(
+        ["a", "b"],
+        vec![
+            vec![1.into(), 2.into()],
+            vec![3.into(), 4.into()],
+            vec![1.into(), 2.into()],
+        ],
+    )
+    .unwrap();
+    let shuffled = Table::new(
+        ["a", "b"],
+        vec![
+            vec![3.into(), 4.into()],
+            vec![1.into(), 2.into()],
+            vec![1.into(), 2.into()],
+        ],
+    )
+    .unwrap();
+    assert!(t.bag_eq(&shuffled));
+}

@@ -1,0 +1,94 @@
+//! Cross-crate smoke tests: a slice of the benchmark suite must be
+//! solvable end-to-end by all three techniques, and the provenance
+//! abstraction must dominate the baselines in pruning power (the
+//! qualitative claim of Observation #2).
+
+use std::time::Duration;
+
+use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
+use sickle_benchmarks::all_benchmarks;
+use sickle_core::{
+    synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext,
+};
+
+fn solve(
+    b: &sickle_benchmarks::Benchmark,
+    analyzer: &dyn Analyzer,
+    secs: u64,
+) -> (bool, usize) {
+    let (task, _) = b.task(2022).expect("demo generates");
+    let ctx = TaskContext::new(task);
+    let config = SynthConfig {
+        timeout: Some(Duration::from_secs(secs)),
+        max_visited: Some(2_000_000),
+        max_solutions: 10,
+        ..b.config()
+    };
+    let res = synthesize_until(&ctx, &config, analyzer, |q| b.is_correct(q));
+    let solved = res.solutions.iter().any(|q| b.is_correct(q));
+    (solved, res.stats.visited)
+}
+
+#[test]
+fn easy_suite_sample_solves_for_all_techniques() {
+    let suite = all_benchmarks();
+    // A spread across schemas and operator kinds (group / partition / arith).
+    for id in [1, 5, 7, 13, 21, 29, 34, 40] {
+        let b = &suite[id - 1];
+        for analyzer in [
+            &ProvenanceAnalyzer as &dyn Analyzer,
+            &TypeAnalyzer,
+            &ValueAnalyzer,
+        ] {
+            let (solved, _) = solve(b, analyzer, 30);
+            assert!(solved, "{} failed benchmark {} ({})", analyzer.name(), b.id, b.name);
+        }
+    }
+}
+
+#[test]
+fn provenance_prunes_at_least_as_well_on_share_task() {
+    let suite = all_benchmarks();
+    let b = &suite[7]; // sales: revenue share of region total (size 2)
+    let (solved_p, visited_p) = solve(b, &ProvenanceAnalyzer, 60);
+    let (solved_t, visited_t) = solve(b, &TypeAnalyzer, 60);
+    let (solved_v, visited_v) = solve(b, &ValueAnalyzer, 60);
+    assert!(solved_p && solved_t && solved_v);
+    assert!(
+        visited_p < visited_t && visited_p < visited_v,
+        "provenance {visited_p} vs type {visited_t} vs value {visited_v}"
+    );
+}
+
+#[test]
+fn running_example_solved_by_provenance() {
+    let suite = all_benchmarks();
+    let b = &suite[43];
+    let (solved, visited) = solve(b, &ProvenanceAnalyzer, 120);
+    assert!(solved, "running example not solved (visited {visited})");
+}
+
+#[test]
+fn join_benchmark_solved_by_provenance() {
+    let suite = all_benchmarks();
+    let b = &suite[56]; // orders+customers: customer rank by total
+    let (solved, _) = solve(b, &ProvenanceAnalyzer, 120);
+    assert!(solved, "join benchmark {} not solved", b.id);
+}
+
+#[test]
+fn demo_sizes_are_small() {
+    // §5.2: demonstrations average ~9 cells while full examples need ~50.
+    let suite = all_benchmarks();
+    let mut demo = 0usize;
+    let mut full = 0usize;
+    for b in &suite {
+        let (_, gen) = b.task(2022).expect("demo generates");
+        demo += gen.demo.n_cells();
+        full += gen.full_example_cells;
+    }
+    let demo_avg = demo as f64 / suite.len() as f64;
+    let full_avg = full as f64 / suite.len() as f64;
+    assert!(demo_avg < 10.0, "demo avg {demo_avg}");
+    assert!(full_avg / demo_avg > 3.0, "ratio {}", full_avg / demo_avg);
+}
