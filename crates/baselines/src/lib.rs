@@ -41,4 +41,4 @@ mod type_abs;
 mod value_abs;
 
 pub use type_abs::{shape_of, CountRange, Shape, TypeAnalyzer};
-pub use value_abs::{value_evaluate, ValueAnalyzer, VCell, VTable};
+pub use value_abs::{value_evaluate, VCell, VTable, ValueAnalyzer};

@@ -121,9 +121,14 @@ pub fn shape_of(pq: &PQuery, ctx: &TaskContext) -> Shape {
             // and the keys are known, compute the exact group count.
             let rows = match (keys, src.to_concrete()) {
                 (Some(keys), Some(q)) => {
-                    match ctx.eval_cache.bundle(&q, ctx.inputs(), &ctx.universe) {
-                        Ok(bundle) => {
-                            let t = bundle.table(ctx.inputs());
+                    // Values-level engine evaluation: the group count needs
+                    // the concrete table only.
+                    match ctx
+                        .eval_cache
+                        .exec(&q, sickle_core::Semantics::Values, ctx.inputs())
+                    {
+                        Ok(exec) => {
+                            let t = exec.table();
                             if keys.iter().all(|&c| c < t.n_cols()) {
                                 let g = sickle_table::extract_groups(t, keys).len();
                                 CountRange::exact(g)

@@ -41,10 +41,14 @@ pub type VTable = Grid<VCell>;
 /// * `partition`/`arithmetic` preserve the source cells and append an
 ///   `Unknown` column.
 pub fn value_evaluate(pq: &PQuery, ctx: &TaskContext) -> VTable {
-    // Concrete subqueries evaluate exactly (via the shared cache).
+    // Concrete subqueries evaluate exactly (via the shared engine cache,
+    // at the values level — this analyzer never needs provenance).
     if let Some(q) = pq.to_concrete() {
-        if let Ok(bundle) = ctx.eval_cache.bundle(&q, ctx.inputs(), &ctx.universe) {
-            return bundle.table(ctx.inputs()).grid().map(|v| VCell::Known(v.clone()));
+        if let Ok(exec) = ctx
+            .eval_cache
+            .exec(&q, sickle_core::Semantics::Values, ctx.inputs())
+        {
+            return exec.table().grid().map(|v| VCell::Known(v.clone()));
         }
         // Ill-formed query: empty abstraction (prunes immediately).
         return Grid::empty(0);
@@ -74,7 +78,7 @@ pub fn value_evaluate(pq: &PQuery, ctx: &TaskContext) -> VTable {
             for lrow in l.rows() {
                 let mut row = lrow.to_vec();
                 // Padding is null *or* matched values: unknown.
-                row.extend(std::iter::repeat(VCell::Unknown).take(r.n_cols()));
+                row.extend(std::iter::repeat_n(VCell::Unknown, r.n_cols()));
                 out.push_row(row);
             }
             out
@@ -90,10 +94,8 @@ pub fn value_evaluate(pq: &PQuery, ctx: &TaskContext) -> VTable {
                             let groups = extract_groups(&t, keys);
                             let mut out = Grid::empty(keys.len() + 1);
                             for g in groups {
-                                let mut row: Vec<VCell> = keys
-                                    .iter()
-                                    .map(|&k| child[(g[0], k)].clone())
-                                    .collect();
+                                let mut row: Vec<VCell> =
+                                    keys.iter().map(|&k| child[(g[0], k)].clone()).collect();
                                 row.push(VCell::Unknown);
                                 out.push_row(row);
                             }
@@ -153,15 +155,8 @@ fn materialize(v: &VTable) -> Option<Table> {
 }
 
 fn cross(l: &VTable, r: &VTable) -> VTable {
-    let mut out = Grid::empty(l.n_cols() + r.n_cols());
-    for lrow in l.rows() {
-        for rrow in r.rows() {
-            let mut row = lrow.to_vec();
-            row.extend_from_slice(rrow);
-            out.push_row(row);
-        }
-    }
-    out
+    let (lsel, rsel) = sickle_table::cross_selection(l.n_rows(), r.n_rows());
+    l.select_rows(&lsel).hcat(&r.select_rows(&rsel))
 }
 
 /// The value-abstraction analyzer.
@@ -191,11 +186,14 @@ impl Analyzer for ValueAnalyzer {
             table_rows: abs.n_rows(),
             table_cols: abs.n_cols(),
         };
-        find_table_match(dims, &mut |di, dj, ti, tj| match (&demo_vals[di][dj], &abs[(ti, tj)]) {
-            (None, _) => true,
-            (Some(_), VCell::Unknown) => true,
-            (Some(v), VCell::Known(w)) => v == w,
-        })
+        find_table_match(
+            dims,
+            &mut |di, dj, ti, tj| match (&demo_vals[di][dj], &abs[(ti, tj)]) {
+                (None, _) => true,
+                (Some(_), VCell::Unknown) => true,
+                (Some(v), VCell::Known(w)) => v == w,
+            },
+        )
         .is_some()
     }
 }

@@ -1,70 +1,80 @@
-//! Criterion benchmarks of end-to-end synthesis: one easy benchmark per
-//! analyzer, plus the paper's running example restricted to its skeleton
-//! (the full Fig. 12/13 sweep lives in the `experiments` binary — it runs
-//! minutes, not Criterion's millisecond regime).
+//! End-to-end synthesis benchmarks: one easy benchmark per analyzer, plus
+//! the paper's running example restricted to its skeleton, plus the
+//! parallel-vs-sequential skeleton search (the full Fig. 12/13 sweep lives
+//! in the `experiments` binary — it runs minutes, not milliseconds).
+//!
+//! Plain `harness = false` timing (the offline environment has no
+//! `criterion`). Run with `cargo bench -p sickle-bench --bench synthesis`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 use sickle_benchmarks::all_benchmarks;
 use sickle_core::{
-    synthesize, synthesize_seeded, Analyzer, PQuery, ProvenanceAnalyzer, SynthConfig,
-    TaskContext,
+    synthesize, synthesize_parallel, synthesize_seeded, Analyzer, PQuery, ProvenanceAnalyzer,
+    SynthConfig, TaskContext,
 };
 
-fn bench_easy_synthesis(c: &mut Criterion) {
-    let suite = all_benchmarks();
-    let b = &suite[0]; // sales: total revenue per region (size 1)
-    let (task, _) = b.task(2022).expect("demo generates");
-    let ctx = TaskContext::new(task);
-    let config = SynthConfig {
-        max_solutions: 1,
-        ..b.config()
-    };
-
-    let mut group = c.benchmark_group("synthesize/easy-group-sum");
-    group.sample_size(20);
-    let analyzers: [(&str, &dyn Analyzer); 3] = [
-        ("sickle", &ProvenanceAnalyzer),
-        ("type", &TypeAnalyzer),
-        ("value", &ValueAnalyzer),
-    ];
-    for (name, analyzer) in analyzers {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &analyzer, |bench, a| {
-            bench.iter(|| {
-                let r = synthesize(&ctx, &config, *a);
-                assert!(!r.solutions.is_empty());
-            })
-        });
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
     }
-    group.finish();
+    best
 }
 
-fn bench_running_example_skeleton(c: &mut Criterion) {
+fn main() {
     let suite = all_benchmarks();
-    let b = &suite[43]; // the running example
-    let (task, _) = b.task(2022).expect("demo generates");
-    let ctx = TaskContext::new(task);
-    let config = SynthConfig {
-        max_solutions: 1,
-        ..b.config()
-    };
-    let skeleton = PQuery::Arith {
-        src: Box::new(PQuery::Partition {
-            src: Box::new(PQuery::Group {
-                src: Box::new(PQuery::Input(0)),
+
+    // Easy group-sum task, all three analyzers.
+    {
+        let b = &suite[0]; // sales: total revenue per region (size 1)
+        let (task, _) = b.task(2022).expect("demo generates");
+        let config = SynthConfig {
+            max_solutions: 1,
+            ..b.config()
+        };
+        let analyzers: [(&str, &dyn Analyzer); 3] = [
+            ("sickle", &ProvenanceAnalyzer),
+            ("type", &TypeAnalyzer),
+            ("value", &ValueAnalyzer),
+        ];
+        for (name, analyzer) in analyzers {
+            let ctx = TaskContext::new(task.clone());
+            let dt = time_best(5, || {
+                let r = synthesize(&ctx, &config, analyzer);
+                assert!(!r.solutions.is_empty());
+                r
+            });
+            println!("synthesize/easy-group-sum/{name:6} {dt:>12.2?}");
+        }
+    }
+
+    // The running example restricted to its solution skeleton.
+    {
+        let b = &suite[43];
+        let (task, _) = b.task(2022).expect("demo generates");
+        let ctx = TaskContext::new(task);
+        let config = SynthConfig {
+            max_solutions: 1,
+            ..b.config()
+        };
+        let skeleton = PQuery::Arith {
+            src: Box::new(PQuery::Partition {
+                src: Box::new(PQuery::Group {
+                    src: Box::new(PQuery::Input(0)),
+                    keys: None,
+                    agg: None,
+                }),
                 keys: None,
-                agg: None,
+                func: None,
             }),
-            keys: None,
             func: None,
-        }),
-        func: None,
-    };
-    let mut group = c.benchmark_group("synthesize/running-example-skeleton");
-    group.sample_size(10);
-    group.bench_function("sickle", |bench| {
-        bench.iter(|| {
+        };
+        let dt = time_best(3, || {
             let r = synthesize_seeded(
                 &ctx,
                 &config,
@@ -73,14 +83,50 @@ fn bench_running_example_skeleton(c: &mut Criterion) {
                 |_| false,
             );
             assert!(!r.solutions.is_empty());
-        })
-    });
-    group.finish();
-}
+            r
+        });
+        println!("synthesize/running-example-skeleton    {dt:>12.2?}");
+    }
 
-criterion_group! {
-    name = synthesis;
-    config = Criterion::default();
-    targets = bench_easy_synthesis, bench_running_example_skeleton
+    // Parallel skeleton expansion vs sequential: exhaust the same
+    // bounded search space (depth-2 over the running example's demo, no
+    // early exit), so both sides visit the identical node set and the
+    // wall-clock ratio is the honest parallel speedup.
+    {
+        let b = &suite[43];
+        let (task, _) = b.task(2022).expect("demo generates");
+        let config = SynthConfig {
+            max_depth: 2,
+            max_solutions: usize::MAX,
+            timeout: None,
+            ..b.config()
+        };
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        println!(
+            "synthesize/exhaust-depth2: host has {cores} core(s); \
+             expect ~flat scaling when cores=1"
+        );
+        let mut seq = Duration::ZERO;
+        for workers in [1usize, 2, 4] {
+            let mut visited = 0;
+            let dt = time_best(3, || {
+                let r = synthesize_parallel(
+                    &task,
+                    &config,
+                    || Box::new(ProvenanceAnalyzer),
+                    workers,
+                    |_| false,
+                );
+                visited = r.stats.visited;
+                r
+            });
+            if workers == 1 {
+                seq = dt;
+            }
+            let speedup = seq.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+            println!(
+                "synthesize/exhaust-depth2/workers={workers} {dt:>12.2?}  visited={visited}  speedup {speedup:.2}x"
+            );
+        }
+    }
 }
-criterion_main!(synthesis);

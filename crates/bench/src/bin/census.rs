@@ -4,9 +4,8 @@ use sickle_benchmarks::{all_benchmarks, Category};
 
 fn main() {
     let suite = all_benchmarks();
-    let count = |f: &dyn Fn(&sickle_benchmarks::Benchmark) -> bool| {
-        suite.iter().filter(|b| f(b)).count()
-    };
+    let count =
+        |f: &dyn Fn(&sickle_benchmarks::Benchmark) -> bool| suite.iter().filter(|b| f(b)).count();
     println!("Benchmark census ({} tasks)", suite.len());
     println!(
         "easy={} hard-forum={} tpcds={}",
@@ -24,5 +23,10 @@ fn main() {
     );
     let mut sizes: Vec<usize> = suite.iter().map(|b| b.ground_truth.size()).collect();
     sizes.sort_unstable();
-    println!("query sizes: min={} median={} max={}", sizes[0], sizes[sizes.len() / 2], sizes[sizes.len() - 1]);
+    println!(
+        "query sizes: min={} median={} max={}",
+        sizes[0],
+        sizes[sizes.len() / 2],
+        sizes[sizes.len() - 1]
+    );
 }

@@ -21,7 +21,9 @@ fn main() {
     let joins = suite.iter().filter(|b| b.features().join).count();
     let parts = suite.iter().filter(|b| b.features().partition).count();
     let groups = suite.iter().filter(|b| b.features().group).count();
-    println!("\nE9 census: 80 tasks, join={joins} partition={parts} group={groups} (paper: 24/51/32)");
+    println!(
+        "\nE9 census: 80 tasks, join={joins} partition={parts} group={groups} (paper: 24/51/32)"
+    );
 
     let mut demo_cells = 0usize;
     let mut full_cells = 0usize;

@@ -4,6 +4,7 @@ use sickle_bench::runner::{render_obs1, run_suite, HarnessConfig, Technique};
 
 fn main() {
     let hc = HarnessConfig::from_env();
+    eprintln!("{}: {}", env!("CARGO_BIN_NAME"), hc.banner());
     let res = run_suite(&Technique::ALL, &hc);
     print!("{}", render_obs1(&res));
 }

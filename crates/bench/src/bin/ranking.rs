@@ -4,6 +4,7 @@ use sickle_bench::runner::{render_ranking, run_suite, HarnessConfig, Technique};
 
 fn main() {
     let hc = HarnessConfig::from_env();
+    eprintln!("{}: {}", env!("CARGO_BIN_NAME"), hc.banner());
     let res = run_suite(&[Technique::Provenance], &hc);
     print!("{}", render_ranking(&res));
 }

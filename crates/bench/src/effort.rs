@@ -115,9 +115,7 @@ pub fn render_userstudy(suite: &[Benchmark]) -> String {
             .filter_map(|b| task_effort(b, 3))
             .collect();
         let n = efforts.len();
-        let avg = |f: fn(&TaskEffort) -> f64| {
-            efforts.iter().map(f).sum::<f64>() / n.max(1) as f64
-        };
+        let avg = |f: fn(&TaskEffort) -> f64| efforts.iter().map(f).sum::<f64>() / n.max(1) as f64;
         let (e, fx, px) = (
             avg(|t| t.example),
             avg(|t| t.full_expr),
@@ -214,7 +212,10 @@ mod tests {
         let suite = all_benchmarks();
         let out = render_userstudy(&suite);
         // The hard row must not declare "example" the winner.
-        let hard_line = out.lines().find(|l| l.trim_start().starts_with("hard")).unwrap();
+        let hard_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("hard"))
+            .unwrap();
         assert!(
             !hard_line.contains("example"),
             "hard suite should favor expressions: {hard_line}"

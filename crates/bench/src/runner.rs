@@ -5,7 +5,9 @@ use std::time::Duration;
 
 use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 use sickle_benchmarks::{all_benchmarks, Benchmark, Category};
-use sickle_core::{synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext};
+use sickle_core::{
+    synthesize_parallel, synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext,
+};
 
 /// The compared techniques (paper names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,11 +80,13 @@ pub struct HarnessConfig {
     pub seed: u64,
     /// Restrict to these benchmark ids (empty = all).
     pub only: Vec<usize>,
+    /// Worker threads for skeleton expansion (1 = sequential search).
+    pub workers: usize,
 }
 
 impl HarnessConfig {
     /// Reads `SICKLE_TIMEOUT_SECS`, `SICKLE_MAX_VISITED`, `SICKLE_SEED`,
-    /// `SICKLE_ONLY` with the documented defaults.
+    /// `SICKLE_ONLY`, `SICKLE_WORKERS` with the documented defaults.
     pub fn from_env() -> HarnessConfig {
         let get = |k: &str| std::env::var(k).ok();
         HarnessConfig {
@@ -100,7 +104,27 @@ impl HarnessConfig {
             only: get("SICKLE_ONLY")
                 .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
                 .unwrap_or_default(),
+            workers: get("SICKLE_WORKERS")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1)
+                .max(1),
         }
+    }
+
+    /// One-line render of the knobs, for run banners.
+    pub fn banner(&self) -> String {
+        format!(
+            "timeout={}s max_visited={} seed={} workers={}{}",
+            self.timeout.as_secs(),
+            self.max_visited,
+            self.seed,
+            self.workers,
+            if self.only.is_empty() {
+                String::new()
+            } else {
+                format!(" only={:?}", self.only)
+            }
+        )
     }
 }
 
@@ -109,7 +133,6 @@ impl HarnessConfig {
 /// correct query q_gt is found").
 pub fn run_one(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> RunRecord {
     let (task, _gen) = b.task(hc.seed).expect("benchmark demos generate");
-    let ctx = TaskContext::new(task);
     let config = SynthConfig {
         timeout: Some(hc.timeout),
         max_visited: Some(hc.max_visited),
@@ -118,8 +141,19 @@ pub fn run_one(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> RunRe
         max_solutions: 10,
         ..b.config()
     };
-    let analyzer = technique_analyzers(technique);
-    let result = synthesize_until(&ctx, &config, analyzer.as_ref(), |q| b.is_correct(q));
+    let result = if hc.workers > 1 {
+        synthesize_parallel(
+            &task,
+            &config,
+            || technique_analyzers(technique),
+            hc.workers,
+            |q| b.is_correct(q),
+        )
+    } else {
+        let ctx = TaskContext::new(task);
+        let analyzer = technique_analyzers(technique);
+        synthesize_until(&ctx, &config, analyzer.as_ref(), |q| b.is_correct(q))
+    };
     let rank = result
         .solutions
         .iter()
@@ -152,7 +186,9 @@ impl SuiteResults {
 
     /// Records of one technique restricted to easy or hard benchmarks.
     pub fn of_cat(&self, t: Technique, hard: bool) -> Vec<&RunRecord> {
-        self.of(t).filter(|r| r.category.is_hard() == hard).collect()
+        self.of(t)
+            .filter(|r| r.category.is_hard() == hard)
+            .collect()
     }
 }
 
@@ -189,10 +225,14 @@ pub fn run_suite(techniques: &[Technique], hc: &HarnessConfig) -> SuiteResults {
 /// Renders Fig. 12: number of benchmarks solved within a time limit, per
 /// technique, split easy/hard.
 pub fn render_fig12(res: &SuiteResults) -> String {
-    let limits = [0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0];
+    let limits = [
+        0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+    ];
     let mut out = String::new();
     for (label, hard) in [("EASY (43 tasks)", false), ("HARD (37 tasks)", true)] {
-        out.push_str(&format!("\nFig.12 — benchmarks solved within time limit — {label}\n"));
+        out.push_str(&format!(
+            "\nFig.12 — benchmarks solved within time limit — {label}\n"
+        ));
         out.push_str(&format!("{:>10}", "limit(s)"));
         for t in Technique::ALL {
             out.push_str(&format!("{:>12}", t.label()));
@@ -289,10 +329,7 @@ pub fn render_obs1(res: &SuiteResults) -> String {
         let mut speedups = Vec::new();
         let mut visit_ratio = Vec::new();
         for rec in res.of(Technique::Provenance).filter(|r| r.solved) {
-            if let Some(o) = res
-                .of(other)
-                .find(|r| r.id == rec.id && r.solved)
-            {
+            if let Some(o) = res.of(other).find(|r| r.id == rec.id && r.solved) {
                 let s = o.elapsed.as_secs_f64() / rec.elapsed.as_secs_f64().max(1e-4);
                 speedups.push(s);
                 visit_ratio.push(o.visited as f64 / rec.visited.max(1) as f64);
@@ -384,6 +421,7 @@ mod tests {
             max_visited: 500_000,
             seed: 2022,
             only: vec![],
+            workers: 1,
         };
         for t in Technique::ALL {
             let rec = run_one(b, t, &hc);
@@ -402,6 +440,7 @@ mod tests {
             max_visited: 2_000_000,
             seed: 2022,
             only: vec![],
+            workers: 1,
         };
         let prov = run_one(b, Technique::Provenance, &hc);
         let ty = run_one(b, Technique::TypeAbs, &hc);

@@ -198,7 +198,8 @@ pub fn transit() -> Table {
     let mut rows = Vec::new();
     for (li, line) in lines.iter().enumerate() {
         for month in 1..=6i64 {
-            let riders = 9000 + 410 * month + 800 * li as i64 + 37 * ((month * (li as i64 + 2)) % 5);
+            let riders =
+                9000 + 410 * month + 800 * li as i64 + 37 * ((month * (li as i64 + 2)) % 5);
             let trips = 300 + 12 * month + 25 * li as i64;
             rows.push([(*line).into(), month.into(), riders.into(), trips.into()]);
         }

@@ -10,9 +10,7 @@
 //! 4. replace expressions with more than four values by an incomplete
 //!    expression keeping at most four values plus `♦`.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 use sickle_core::{prov_evaluate, Query};
 use sickle_provenance::{Demo, DemoExpr, Expr, FuncName};
@@ -75,7 +73,7 @@ pub fn generate_demo(
     out_cols: &[usize],
     seed: u64,
 ) -> Result<GeneratedDemo, DemoGenError> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // Step 1: sample inputs down to MAX_INPUT_ROWS rows.
     let inputs: Vec<Table> = raw_inputs
@@ -93,7 +91,7 @@ pub fn generate_demo(
     // demonstrate different values in the first output column (the paper
     // notes single-group demonstrations generalize poorly).
     let mut row_order: Vec<usize> = (0..star.n_rows()).collect();
-    row_order.shuffle(&mut rng);
+    rng.shuffle(&mut row_order);
     let mut chosen: Vec<usize> = Vec::new();
     for &r in &row_order {
         if chosen.len() >= DEMO_ROWS {
@@ -139,16 +137,15 @@ pub fn generate_demo(
 
 /// Samples at most `max` rows, preserving the original relative order
 /// (row order matters for order-dependent window functions).
-fn sample_rows(t: &Table, max: usize, rng: &mut StdRng) -> Table {
+fn sample_rows(t: &Table, max: usize, rng: &mut Rng) -> Table {
     if t.n_rows() <= max {
         return t.clone();
     }
     let mut idx: Vec<usize> = (0..t.n_rows()).collect();
-    idx.shuffle(rng);
+    rng.shuffle(&mut idx);
     let mut keep: Vec<usize> = idx.into_iter().take(max).collect();
     keep.sort_unstable();
-    let rows: Vec<Vec<sickle_table::Value>> =
-        keep.iter().map(|&r| t.row(r).to_vec()).collect();
+    let rows: Vec<Vec<sickle_table::Value>> = keep.iter().map(|&r| t.row(r).to_vec()).collect();
     Table::new(t.names().to_vec(), rows).expect("sampling preserves arity")
 }
 
@@ -161,29 +158,28 @@ fn sample_rows(t: &Table, max: usize, rng: &mut StdRng) -> Table {
 /// * applications with more than [`MAX_DEMO_VALUES`] arguments — truncated
 ///   to a random size-4 subset (an order-preserving subsequence for
 ///   non-commutative functions) and marked partial (`f♦`).
-pub fn demo_expr_of(e: &Expr, rng: &mut StdRng) -> DemoExpr {
+pub fn demo_expr_of(e: &Expr, rng: &mut Rng) -> DemoExpr {
     match e {
         Expr::Const(v) => DemoExpr::Const(v.clone()),
         Expr::Ref(r) => DemoExpr::Ref(*r),
         Expr::Group(members) => {
-            let pick = &members[rng.gen_range(0..members.len())];
+            let pick = &members[rng.gen_range(members.len())];
             demo_expr_of(pick, rng)
         }
         Expr::Apply(func, args) => {
-            let mut converted: Vec<DemoExpr> =
-                args.iter().map(|a| demo_expr_of(a, rng)).collect();
+            let mut converted: Vec<DemoExpr> = args.iter().map(|a| demo_expr_of(a, rng)).collect();
             let mut partial = false;
             if converted.len() > MAX_DEMO_VALUES {
                 // Keep an order-preserving subset of MAX_DEMO_VALUES args.
                 let mut keep: Vec<usize> = (0..converted.len()).collect();
-                keep.shuffle(rng);
+                rng.shuffle(&mut keep);
                 let mut keep: Vec<usize> = keep.into_iter().take(MAX_DEMO_VALUES).collect();
                 keep.sort_unstable();
                 converted = keep.into_iter().map(|i| converted[i].clone()).collect();
                 partial = true;
             }
             if func.is_commutative() {
-                converted.shuffle(rng);
+                rng.shuffle(&mut converted);
             }
             DemoExpr::Apply {
                 func: *func,

@@ -25,12 +25,14 @@
 
 pub mod data;
 mod demogen;
+pub mod rng;
 mod suite;
 
 pub use demogen::{
     demo_expr_of, demo_is_consistent_with_gt, generate_demo, DemoGenError, GeneratedDemo,
     DEMO_ROWS, MAX_DEMO_VALUES, MAX_INPUT_ROWS,
 };
+pub use rng::Rng;
 
 use sickle_core::{evaluate, JoinKey, OpKind, Query, SynthConfig, SynthTask};
 use sickle_table::{ArithExpr, Table, Value};
@@ -288,7 +290,10 @@ mod tests {
             .iter()
             .filter(|b| b.category == Category::ForumHard)
             .count();
-        let tpcds = suite.iter().filter(|b| b.category == Category::TpcDs).count();
+        let tpcds = suite
+            .iter()
+            .filter(|b| b.category == Category::TpcDs)
+            .count();
         assert_eq!((easy, hard, tpcds), (43, 17, 20));
     }
 

@@ -199,58 +199,359 @@ pub fn forum_easy() -> Vec<Benchmark> {
     let eg = data::energy;
     vec![
         // sales: region0 quarter1 product2 units3 revenue4
-        bench(1, "sales: total revenue per region", E, vec![s()], g(t(0), &[0], Sum, 4), &[0, 1]),
-        bench(2, "sales: average units per product", E, vec![s()], g(t(0), &[2], Avg, 3), &[0, 1]),
-        bench(3, "sales: max revenue per region/quarter", E, vec![s()], g(t(0), &[0, 1], Max, 4), &[0, 1, 2]),
-        bench(4, "sales: products sold per region/quarter", E, vec![s()], g(t(0), &[0, 1], Count, 2), &[0, 1, 2]),
-        bench(5, "sales: running revenue within region", E, vec![s()], p(t(0), &[0], CumSum, 4), &[0, 1, 5]),
-        bench(6, "sales: revenue rank within region", E, vec![s()], p(t(0), &[0], Rank, 4), &[0, 1, 5]),
-        bench(7, "sales: price per unit", E, vec![s()], a(t(0), ratio(), &[4, 3]), &[0, 2, 5]),
-        bench(8, "sales: revenue share of region total", E, vec![s()], a(p(t(0), &[0], Agg(Sum), 4), pct(), &[4, 5]), &[0, 1, 6]),
+        bench(
+            1,
+            "sales: total revenue per region",
+            E,
+            vec![s()],
+            g(t(0), &[0], Sum, 4),
+            &[0, 1],
+        ),
+        bench(
+            2,
+            "sales: average units per product",
+            E,
+            vec![s()],
+            g(t(0), &[2], Avg, 3),
+            &[0, 1],
+        ),
+        bench(
+            3,
+            "sales: max revenue per region/quarter",
+            E,
+            vec![s()],
+            g(t(0), &[0, 1], Max, 4),
+            &[0, 1, 2],
+        ),
+        bench(
+            4,
+            "sales: products sold per region/quarter",
+            E,
+            vec![s()],
+            g(t(0), &[0, 1], Count, 2),
+            &[0, 1, 2],
+        ),
+        bench(
+            5,
+            "sales: running revenue within region",
+            E,
+            vec![s()],
+            p(t(0), &[0], CumSum, 4),
+            &[0, 1, 5],
+        ),
+        bench(
+            6,
+            "sales: revenue rank within region",
+            E,
+            vec![s()],
+            p(t(0), &[0], Rank, 4),
+            &[0, 1, 5],
+        ),
+        bench(
+            7,
+            "sales: price per unit",
+            E,
+            vec![s()],
+            a(t(0), ratio(), &[4, 3]),
+            &[0, 2, 5],
+        ),
+        bench(
+            8,
+            "sales: revenue share of region total",
+            E,
+            vec![s()],
+            a(p(t(0), &[0], Agg(Sum), 4), pct(), &[4, 5]),
+            &[0, 1, 6],
+        ),
         // enrollment: City0 Quarter1 Group2 Enrolled3 Population4
-        bench(9, "enrollment: total per city/quarter", E, vec![en()], g(t(0), &[0, 1], Sum, 3), &[0, 1, 2]),
-        bench(10, "enrollment: average per age group", E, vec![en()], g(t(0), &[2], Avg, 3), &[0, 1]),
-        bench(11, "enrollment: running enrolled within city", E, vec![en()], p(t(0), &[0], CumSum, 3), &[0, 1, 5]),
-        bench(12, "enrollment: row share of population", E, vec![en()], a(t(0), pct(), &[3, 4]), &[0, 1, 5]),
+        bench(
+            9,
+            "enrollment: total per city/quarter",
+            E,
+            vec![en()],
+            g(t(0), &[0, 1], Sum, 3),
+            &[0, 1, 2],
+        ),
+        bench(
+            10,
+            "enrollment: average per age group",
+            E,
+            vec![en()],
+            g(t(0), &[2], Avg, 3),
+            &[0, 1],
+        ),
+        bench(
+            11,
+            "enrollment: running enrolled within city",
+            E,
+            vec![en()],
+            p(t(0), &[0], CumSum, 3),
+            &[0, 1, 5],
+        ),
+        bench(
+            12,
+            "enrollment: row share of population",
+            E,
+            vec![en()],
+            a(t(0), pct(), &[3, 4]),
+            &[0, 1, 5],
+        ),
         // weblog: day0 page1 visits2 uniques3
-        bench(13, "weblog: total visits per page", E, vec![wl()], g(t(0), &[1], Sum, 2), &[0, 1]),
-        bench(14, "weblog: peak visits per day", E, vec![wl()], g(t(0), &[0], Max, 2), &[0, 1]),
-        bench(15, "weblog: running visits per page", E, vec![wl()], p(t(0), &[1], CumSum, 2), &[0, 1, 4]),
-        bench(16, "weblog: repeat visits per row", E, vec![wl()], a(t(0), diff(), &[2, 3]), &[0, 1, 4]),
-        bench(17, "weblog: day rank by visits per page", E, vec![wl()], p(t(0), &[1], Rank, 2), &[0, 1, 4]),
-        bench(18, "weblog: page share of daily visits", E, vec![wl()], a(p(t(0), &[0], Agg(Sum), 2), pct(), &[2, 4]), &[0, 1, 5]),
+        bench(
+            13,
+            "weblog: total visits per page",
+            E,
+            vec![wl()],
+            g(t(0), &[1], Sum, 2),
+            &[0, 1],
+        ),
+        bench(
+            14,
+            "weblog: peak visits per day",
+            E,
+            vec![wl()],
+            g(t(0), &[0], Max, 2),
+            &[0, 1],
+        ),
+        bench(
+            15,
+            "weblog: running visits per page",
+            E,
+            vec![wl()],
+            p(t(0), &[1], CumSum, 2),
+            &[0, 1, 4],
+        ),
+        bench(
+            16,
+            "weblog: repeat visits per row",
+            E,
+            vec![wl()],
+            a(t(0), diff(), &[2, 3]),
+            &[0, 1, 4],
+        ),
+        bench(
+            17,
+            "weblog: day rank by visits per page",
+            E,
+            vec![wl()],
+            p(t(0), &[1], Rank, 2),
+            &[0, 1, 4],
+        ),
+        bench(
+            18,
+            "weblog: page share of daily visits",
+            E,
+            vec![wl()],
+            a(p(t(0), &[0], Agg(Sum), 2), pct(), &[2, 4]),
+            &[0, 1, 5],
+        ),
         // weather: city0 month1 temp2 rain3
-        bench(19, "weather: average temperature per city", E, vec![we()], g(t(0), &[0], Avg, 2), &[0, 1]),
-        bench(20, "weather: total rain per month", E, vec![we()], g(t(0), &[1], Sum, 3), &[0, 1]),
-        bench(21, "weather: month dense-rank by rain per city", E, vec![we()], p(t(0), &[0], DenseRank, 3), &[0, 1, 4]),
-        bench(22, "weather: cumulative rain per city", E, vec![we()], p(t(0), &[0], CumSum, 3), &[0, 1, 4]),
+        bench(
+            19,
+            "weather: average temperature per city",
+            E,
+            vec![we()],
+            g(t(0), &[0], Avg, 2),
+            &[0, 1],
+        ),
+        bench(
+            20,
+            "weather: total rain per month",
+            E,
+            vec![we()],
+            g(t(0), &[1], Sum, 3),
+            &[0, 1],
+        ),
+        bench(
+            21,
+            "weather: month dense-rank by rain per city",
+            E,
+            vec![we()],
+            p(t(0), &[0], DenseRank, 3),
+            &[0, 1, 4],
+        ),
+        bench(
+            22,
+            "weather: cumulative rain per city",
+            E,
+            vec![we()],
+            p(t(0), &[0], CumSum, 3),
+            &[0, 1, 4],
+        ),
         // payroll: dept0 employee1 salary2 bonus3
-        bench(23, "payroll: total compensation per employee", E, vec![pr()], a(t(0), addx(), &[2, 3]), &[1, 4]),
-        bench(24, "payroll: salary bill per department", E, vec![pr()], g(t(0), &[0], Sum, 2), &[0, 1]),
-        bench(25, "payroll: top salary per department", E, vec![pr()], g(t(0), &[0], Max, 2), &[0, 1]),
-        bench(26, "payroll: salary rank within department", E, vec![pr()], p(t(0), &[0], Rank, 2), &[0, 1, 4]),
-        bench(27, "payroll: bonus share of department pool", E, vec![pr()], a(p(t(0), &[0], Agg(Sum), 3), pct(), &[3, 4]), &[0, 1, 5]),
-        bench(28, "payroll: headcount per department", E, vec![pr()], g(t(0), &[0], Count, 1), &[0, 1]),
+        bench(
+            23,
+            "payroll: total compensation per employee",
+            E,
+            vec![pr()],
+            a(t(0), addx(), &[2, 3]),
+            &[1, 4],
+        ),
+        bench(
+            24,
+            "payroll: salary bill per department",
+            E,
+            vec![pr()],
+            g(t(0), &[0], Sum, 2),
+            &[0, 1],
+        ),
+        bench(
+            25,
+            "payroll: top salary per department",
+            E,
+            vec![pr()],
+            g(t(0), &[0], Max, 2),
+            &[0, 1],
+        ),
+        bench(
+            26,
+            "payroll: salary rank within department",
+            E,
+            vec![pr()],
+            p(t(0), &[0], Rank, 2),
+            &[0, 1, 4],
+        ),
+        bench(
+            27,
+            "payroll: bonus share of department pool",
+            E,
+            vec![pr()],
+            a(p(t(0), &[0], Agg(Sum), 3), pct(), &[3, 4]),
+            &[0, 1, 5],
+        ),
+        bench(
+            28,
+            "payroll: headcount per department",
+            E,
+            vec![pr()],
+            g(t(0), &[0], Count, 1),
+            &[0, 1],
+        ),
         // games: team0 week1 points2 allowed3
-        bench(29, "games: point margin per game", E, vec![ga()], a(t(0), diff(), &[2, 3]), &[0, 1, 4]),
-        bench(30, "games: season points per team", E, vec![ga()], g(t(0), &[0], Sum, 2), &[0, 1]),
-        bench(31, "games: running points per team", E, vec![ga()], p(t(0), &[0], CumSum, 2), &[0, 1, 4]),
-        bench(32, "games: week rank by points per team", E, vec![ga()], p(t(0), &[0], Rank, 2), &[0, 1, 4]),
-        bench(33, "games: average points allowed per week", E, vec![ga()], g(t(0), &[1], Avg, 3), &[0, 1]),
+        bench(
+            29,
+            "games: point margin per game",
+            E,
+            vec![ga()],
+            a(t(0), diff(), &[2, 3]),
+            &[0, 1, 4],
+        ),
+        bench(
+            30,
+            "games: season points per team",
+            E,
+            vec![ga()],
+            g(t(0), &[0], Sum, 2),
+            &[0, 1],
+        ),
+        bench(
+            31,
+            "games: running points per team",
+            E,
+            vec![ga()],
+            p(t(0), &[0], CumSum, 2),
+            &[0, 1, 4],
+        ),
+        bench(
+            32,
+            "games: week rank by points per team",
+            E,
+            vec![ga()],
+            p(t(0), &[0], Rank, 2),
+            &[0, 1, 4],
+        ),
+        bench(
+            33,
+            "games: average points allowed per week",
+            E,
+            vec![ga()],
+            g(t(0), &[1], Avg, 3),
+            &[0, 1],
+        ),
         // inventory: warehouse0 sku1 qty2 reorder3
-        bench(34, "inventory: total quantity per sku", E, vec![iv()], g(t(0), &[1], Sum, 2), &[0, 1]),
-        bench(35, "inventory: headroom above reorder level", E, vec![iv()], a(t(0), diff(), &[2, 3]), &[0, 1, 4]),
-        bench(36, "inventory: share of warehouse stock", E, vec![iv()], a(p(t(0), &[0], Agg(Sum), 2), pct(), &[2, 4]), &[0, 1, 5]),
+        bench(
+            34,
+            "inventory: total quantity per sku",
+            E,
+            vec![iv()],
+            g(t(0), &[1], Sum, 2),
+            &[0, 1],
+        ),
+        bench(
+            35,
+            "inventory: headroom above reorder level",
+            E,
+            vec![iv()],
+            a(t(0), diff(), &[2, 3]),
+            &[0, 1, 4],
+        ),
+        bench(
+            36,
+            "inventory: share of warehouse stock",
+            E,
+            vec![iv()],
+            a(p(t(0), &[0], Agg(Sum), 2), pct(), &[2, 4]),
+            &[0, 1, 5],
+        ),
         // stocks: ticker0 day1 close2 volume3
-        bench(37, "stocks: max close per ticker", E, vec![st()], g(t(0), &[0], Max, 2), &[0, 1]),
-        bench(38, "stocks: cumulative volume per ticker", E, vec![st()], p(t(0), &[0], CumSum, 3), &[0, 1, 4]),
-        bench(39, "stocks: day rank by close per ticker", E, vec![st()], p(t(0), &[0], Rank, 2), &[0, 1, 4]),
-        bench(40, "stocks: dollar volume per day", E, vec![st()], a(t(0), mulx(), &[2, 3]), &[0, 1, 4]),
+        bench(
+            37,
+            "stocks: max close per ticker",
+            E,
+            vec![st()],
+            g(t(0), &[0], Max, 2),
+            &[0, 1],
+        ),
+        bench(
+            38,
+            "stocks: cumulative volume per ticker",
+            E,
+            vec![st()],
+            p(t(0), &[0], CumSum, 3),
+            &[0, 1, 4],
+        ),
+        bench(
+            39,
+            "stocks: day rank by close per ticker",
+            E,
+            vec![st()],
+            p(t(0), &[0], Rank, 2),
+            &[0, 1, 4],
+        ),
+        bench(
+            40,
+            "stocks: dollar volume per day",
+            E,
+            vec![st()],
+            a(t(0), mulx(), &[2, 3]),
+            &[0, 1, 4],
+        ),
         // clinic: clinic0 month1 patients2 staff3
-        bench(41, "clinic: patients per staff member", E, vec![cl()], a(t(0), ratio(), &[2, 3]), &[0, 1, 4]),
-        bench(42, "clinic: total patients per clinic", E, vec![cl()], g(t(0), &[0], Sum, 2), &[0, 1]),
+        bench(
+            41,
+            "clinic: patients per staff member",
+            E,
+            vec![cl()],
+            a(t(0), ratio(), &[2, 3]),
+            &[0, 1, 4],
+        ),
+        bench(
+            42,
+            "clinic: total patients per clinic",
+            E,
+            vec![cl()],
+            g(t(0), &[0], Sum, 2),
+            &[0, 1],
+        ),
         // energy: plant0 month1 output2 capacity3
-        bench(43, "energy: capacity factor percentage", E, vec![eg()], a(t(0), pct(), &[2, 3]), &[0, 1, 4]),
+        bench(
+            43,
+            "energy: capacity factor percentage",
+            E,
+            vec![eg()],
+            a(t(0), pct(), &[2, 3]),
+            &[0, 1, 4],
+        ),
     ]
 }
 
@@ -291,12 +592,7 @@ pub fn forum_hard() -> Vec<Benchmark> {
             H,
             vec![data::weblog()],
             a(
-                p(
-                    p(g(t(0), &[0], Sum, 2), &[], CumSum, 1),
-                    &[],
-                    Agg(Sum),
-                    1,
-                ),
+                p(p(g(t(0), &[0], Sum, 2), &[], CumSum, 1), &[], Agg(Sum), 1),
                 pct(),
                 &[2, 3],
             ),
@@ -334,11 +630,7 @@ pub fn forum_hard() -> Vec<Benchmark> {
             "stocks: close change vs ticker low",
             H,
             vec![data::stocks()],
-            a(
-                p(srt(t(0), 1, true), &[0], Agg(Min), 2),
-                relpct(),
-                &[2, 4],
-            ),
+            a(p(srt(t(0), 1, true), &[0], Agg(Min), 2), relpct(), &[2, 4]),
             &[0, 1, 5],
         ),
         with_const(
@@ -365,11 +657,7 @@ pub fn forum_hard() -> Vec<Benchmark> {
             "energy: cumulative output share of cumulative capacity",
             H,
             vec![data::energy()],
-            a(
-                p(p(t(0), &[0], CumSum, 2), &[0], CumSum, 3),
-                pct(),
-                &[4, 5],
-            ),
+            a(p(p(t(0), &[0], CumSum, 2), &[0], CumSum, 3), pct(), &[4, 5]),
             &[0, 1, 6],
         ),
         with_join(
@@ -452,12 +740,7 @@ pub fn forum_hard() -> Vec<Benchmark> {
             "stocks: ticker dense-rank by total dollar volume",
             H,
             vec![data::stocks()],
-            p(
-                g(a(t(0), mulx(), &[2, 3]), &[0], Sum, 4),
-                &[],
-                DenseRank,
-                1,
-            ),
+            p(g(a(t(0), mulx(), &[2, 3]), &[0], Sum, 4), &[], DenseRank, 1),
             &[0, 2],
         ),
         bench(
@@ -610,12 +893,7 @@ pub fn tpcds() -> Vec<Benchmark> {
                 "tpcds: page net rank within quarter window (catalog)",
                 D,
                 vec![cs()],
-                p(
-                    g(flt(t(0), le(2, 3)), &[0, 2], Sum, 4),
-                    &[0],
-                    Rank,
-                    2,
-                ),
+                p(g(flt(t(0), le(2, 3)), &[0, 2], Sum, 4), &[0], Rank, 2),
                 &[0, 1, 3],
             ),
             3,
@@ -670,12 +948,7 @@ pub fn tpcds() -> Vec<Benchmark> {
                 "tpcds: category cumulative qty in quarter window (catalog)",
                 D,
                 vec![cs()],
-                p(
-                    g(flt(t(0), le(2, 3)), &[1, 2], Sum, 3),
-                    &[0],
-                    CumSum,
-                    2,
-                ),
+                p(g(flt(t(0), le(2, 3)), &[1, 2], Sum, 3), &[0], CumSum, 2),
                 &[0, 1, 3],
             ),
             3,
@@ -854,11 +1127,7 @@ mod tests {
 
     #[test]
     fn filter_benchmarks_provide_constants() {
-        for b in forum_easy()
-            .into_iter()
-            .chain(forum_hard())
-            .chain(tpcds())
-        {
+        for b in forum_easy().into_iter().chain(forum_hard()).chain(tpcds()) {
             if b.features().filter {
                 assert!(
                     !b.extra_constants.is_empty(),

@@ -14,132 +14,27 @@
 //!   values determine the groups, so new cells draw only from their own
 //!   group.
 //!
+//! Fully concrete (sub)queries are evaluated precisely through the shared
+//! columnar pipeline ([`crate::engine`]), whose lazily-derived ref-set
+//! channel ([`ExecTable::sets`]) *is* the exact abstraction — this is the
+//! third instantiation of the unified engine. Hole-bearing operators manipulate
+//! columnar [`Grid`]`<`[`RefSet`]`>` tables with `Arc`-shared columns, so
+//! the structural rules (`filter`, `sort`, `proj`) are pointer copies.
+//!
 //! Pruning rests on Property 2: if no injective subtable assignment embeds
 //! the demonstration's reference sets into `T◦` (Def. 3), no instantiation
 //! of the partial query can be provenance-consistent, so it is pruned.
 
-use std::cell::{OnceCell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use sickle_table::{Grid, Table};
 
-use sickle_provenance::{
-    find_table_match, Demo, MatchDims, RefSet, RefUniverse,
-};
+use sickle_provenance::{find_table_match, Demo, MatchDims, RefSet, RefUniverse};
 
 use crate::ast::{PQuery, Query};
+use crate::engine::{EvalCache, ExecTable, Semantics};
 use crate::eval::EvalError;
-use crate::prov_eval::{concretize, prov_eval_step, ProvTable};
-
-/// Precise evaluation artifacts of one concrete query: its provenance table,
-/// concrete table, and per-cell exact reference sets.
-#[derive(Debug)]
-pub struct EvalBundle {
-    /// Provenance-embedded output `[[q]]★`.
-    pub star: ProvTable,
-    /// Exact per-cell reference sets (`ref` of each `star` cell).
-    pub sets: Grid<RefSet>,
-    /// Concrete output `[[q]]`, materialized on first use (only the strong
-    /// abstraction and type-directed domains need it).
-    table: OnceCell<Table>,
-}
-
-impl EvalBundle {
-    /// The concrete output table, evaluating the provenance cells on first
-    /// access.
-    pub fn table(&self, inputs: &[Table]) -> &Table {
-        self.table.get_or_init(|| concretize(&self.star, inputs))
-    }
-}
-
-/// Memoizes precise evaluations of concrete (sub)queries.
-///
-/// During search, thousands of sibling partial queries share the same
-/// concrete subquery (e.g. the instantiated inner `group`); caching its
-/// `[[·]]★` evaluation makes the per-node analysis cost proportional to the
-/// *abstract* part of the query only.
-#[derive(Debug, Default)]
-pub struct EvalCache {
-    map: RefCell<HashMap<Query, Rc<EvalBundle>>>,
-    abs_map: RefCell<HashMap<PQuery, Rc<AbsTable>>>,
-}
-
-/// Bound on the partial-query abstract-table cache. The search visits the
-/// children of a node consecutively (depth-first), so even a modest bound
-/// keeps the hit rate high while capping memory.
-const ABS_CACHE_CAP: usize = 8_000;
-
-/// Bound on the concrete-bundle cache (bundles hold full provenance tables
-/// and are heavier than abstract tables).
-const BUNDLE_CACHE_CAP: usize = 2_000;
-
-impl EvalCache {
-    /// Creates an empty cache.
-    pub fn new() -> EvalCache {
-        EvalCache::default()
-    }
-
-    /// Returns the memoized precise evaluation of `q`, computing it on the
-    /// first request.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`EvalError`] from evaluation (the error is not cached).
-    pub fn bundle(
-        &self,
-        q: &Query,
-        inputs: &[Table],
-        universe: &RefUniverse,
-    ) -> Result<Rc<EvalBundle>, EvalError> {
-        if let Some(hit) = self.map.borrow().get(q) {
-            return Ok(Rc::clone(hit));
-        }
-        // Evaluate one operator level at a time so shared subqueries hit
-        // the cache instead of being re-evaluated per leaf.
-        let child_bundles: Vec<Rc<EvalBundle>> = q
-            .children()
-            .into_iter()
-            .map(|c| self.bundle(c, inputs, universe))
-            .collect::<Result<_, _>>()?;
-        let child_stars: Vec<&ProvTable> = child_bundles.iter().map(|b| &b.star).collect();
-        let star = prov_eval_step(q, &child_stars, inputs)?;
-        let sets = star.map(|e| universe.set_from(e.refs()));
-        let bundle = Rc::new(EvalBundle {
-            star,
-            sets,
-            table: OnceCell::new(),
-        });
-        let mut map = self.map.borrow_mut();
-        if map.len() >= BUNDLE_CACHE_CAP {
-            map.clear();
-        }
-        map.insert(q.clone(), Rc::clone(&bundle));
-        Ok(bundle)
-    }
-
-    /// Number of cached entries (diagnostics).
-    pub fn len(&self) -> usize {
-        self.map.borrow().len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.map.borrow().is_empty()
-    }
-
-    fn abs_get(&self, pq: &PQuery) -> Option<Rc<AbsTable>> {
-        self.abs_map.borrow().get(pq).cloned()
-    }
-
-    fn abs_put(&self, pq: &PQuery, abs: Rc<AbsTable>) {
-        let mut map = self.abs_map.borrow_mut();
-        if map.len() >= ABS_CACHE_CAP {
-            map.clear();
-        }
-        map.insert(pq.clone(), abs);
-    }
-}
 
 /// Result of abstractly evaluating a partial query.
 #[derive(Debug, Clone)]
@@ -147,8 +42,9 @@ pub struct AbsTable {
     /// Per-cell over-approximated provenance sets.
     pub sets: Grid<RefSet>,
     /// Present when the evaluated (sub)query was fully concrete: its precise
-    /// evaluation, used by parent operators to apply the strong abstraction.
-    pub concrete: Option<Rc<EvalBundle>>,
+    /// engine evaluation, used by parent operators to apply the strong
+    /// abstraction.
+    pub concrete: Option<Rc<ExecTable>>,
 }
 
 /// Abstractly evaluates a partial query (Fig. 11).
@@ -184,6 +80,10 @@ pub fn abstract_evaluate_cached(
 /// Memoized evaluator sharing whole abstract tables between the many
 /// sibling queries that contain identical subtrees; prefer this in hot
 /// paths (it avoids a deep clone of the result).
+///
+/// # Errors
+///
+/// Same as [`abstract_evaluate`].
 pub fn abstract_evaluate_rc(
     pq: &PQuery,
     inputs: &[Table],
@@ -199,26 +99,39 @@ pub fn abstract_evaluate_rc(
     Ok(rc)
 }
 
+/// Builds a grid whose every row is the same vector of sets (the weak /
+/// medium broadcast shapes), sharing one column allocation per distinct
+/// set.
+fn broadcast_rows(row: &[RefSet], n_rows: usize) -> Grid<RefSet> {
+    Grid::from_columns(
+        row.iter()
+            .map(|s| Arc::new(vec![s.clone(); n_rows]))
+            .collect(),
+    )
+}
+
 fn abstract_evaluate_uncached(
     pq: &PQuery,
     inputs: &[Table],
     universe: &RefUniverse,
     cache: &EvalCache,
 ) -> Result<AbsTable, EvalError> {
-    // A fully concrete (sub)query is evaluated precisely — the "pass the
-    // concrete output for further abstract reasoning" rule of §4.
+    // A fully concrete (sub)query is evaluated precisely by the engine —
+    // the "pass the concrete output for further abstract reasoning" rule
+    // of §4. The engine's ref-set channel is the exact abstraction.
     if pq.is_concrete() {
-        let q = pq.to_concrete().expect("concrete by check");
-        let bundle = cache.bundle(&q, inputs, universe)?;
+        let q: Query = pq.to_concrete().expect("concrete by check");
+        let exec = cache.exec(&q, Semantics::Provenance, inputs)?;
         return Ok(AbsTable {
-            sets: bundle.sets.clone(),
-            concrete: Some(bundle),
+            sets: exec.sets(universe).clone(),
+            concrete: Some(exec),
         });
     }
 
     match pq {
         PQuery::Input(_) => unreachable!("inputs are concrete"),
-        // filter/sort/proj-with-hole do not create cells: propagate.
+        // filter/sort with a hole do not create cells: propagate (columns
+        // shared, not copied).
         PQuery::Filter { src, .. } | PQuery::Sort { src, .. } => {
             let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
             Ok(AbsTable {
@@ -229,7 +142,10 @@ fn abstract_evaluate_uncached(
         PQuery::Proj { src, cols } => {
             let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
             let sets = match cols {
-                Some(cols) => child.sets.select_columns(cols),
+                Some(cols) => {
+                    check_cols(cols, child.sets.n_cols(), "proj")?;
+                    child.sets.select_columns(cols)
+                }
                 None => child.sets.clone(),
             };
             Ok(AbsTable {
@@ -248,15 +164,14 @@ fn abstract_evaluate_uncached(
         PQuery::LeftJoin { left, right, .. } => {
             let l = abstract_evaluate_rc(left, inputs, universe, cache)?;
             let r = abstract_evaluate_rc(right, inputs, universe, cache)?;
-            let mut sets = cross_sets(&l.sets, &r.sets);
+            let crossed = cross_sets(&l.sets, &r.sets);
             // Unmatched left rows padded with empty provenance.
-            for lrow in l.sets.rows() {
-                let mut row = lrow.to_vec();
-                row.extend(std::iter::repeat(universe.empty_set()).take(r.sets.n_cols()));
-                sets.push_row(row);
-            }
+            let padded = l.sets.hcat(&broadcast_rows(
+                &vec![universe.empty_set(); r.sets.n_cols()],
+                l.sets.n_rows(),
+            ));
             Ok(AbsTable {
-                sets,
+                sets: vcat(&crossed, &padded),
                 concrete: None,
             })
         }
@@ -269,20 +184,17 @@ fn abstract_evaluate_uncached(
                 // key cell is the per-column union; the aggregate may draw
                 // from anything.
                 None => {
-                    let col_unions: Vec<RefSet> =
-                        (0..n_cols).map(|c| column_union(&child.sets, c, universe)).collect();
+                    let col_unions: Vec<RefSet> = (0..n_cols)
+                        .map(|c| column_union(&child.sets, c, universe))
+                        .collect();
                     let mut all = universe.empty_set();
                     for u in &col_unions {
                         all.union_with(u);
                     }
-                    let mut sets = Grid::empty(n_cols + 1);
-                    for _ in 0..n_rows {
-                        let mut row = col_unions.clone();
-                        row.push(all.clone());
-                        sets.push_row(row);
-                    }
+                    let mut row = col_unions;
+                    row.push(all);
                     Ok(AbsTable {
-                        sets,
+                        sets: broadcast_rows(&row, n_rows),
                         concrete: None,
                     })
                 }
@@ -298,39 +210,48 @@ fn abstract_evaluate_uncached(
                     match &child.concrete {
                         // Strong: concrete key values determine the groups.
                         Some(conc) => {
-                            let groups =
-                                sickle_table::extract_groups(conc.table(inputs), keys);
-                            let mut sets = Grid::empty(keys.len() + 1);
-                            for g in groups {
-                                let mut row: Vec<RefSet> = keys
-                                    .iter()
-                                    .map(|&k| rows_union(&child.sets, &g, &[k], universe))
-                                    .collect();
-                                row.push(rows_union(&child.sets, &g, &agg_cols, universe));
-                                sets.push_row(row);
+                            let groups = sickle_table::extract_groups(conc.table(), keys);
+                            let mut cols: Vec<Vec<RefSet>> = Vec::with_capacity(keys.len() + 1);
+                            for &k in keys {
+                                let col = child.sets.column(k);
+                                cols.push(
+                                    groups.iter().map(|g| union_of(col, g, universe)).collect(),
+                                );
                             }
+                            cols.push(
+                                groups
+                                    .iter()
+                                    .map(|g| {
+                                        let mut out = universe.empty_set();
+                                        for &c in &agg_cols {
+                                            out.union_with(&union_of(
+                                                child.sets.column(c),
+                                                g,
+                                                universe,
+                                            ));
+                                        }
+                                        out
+                                    })
+                                    .collect(),
+                            );
                             Ok(AbsTable {
-                                sets,
+                                sets: Grid::from_columns(cols.into_iter().map(Arc::new).collect()),
                                 concrete: None,
                             })
                         }
                         // Medium: keys known, grouping unknown.
                         None => {
-                            let all_rows: Vec<usize> = (0..n_rows).collect();
-                            let key_unions: Vec<RefSet> = keys
+                            let mut row: Vec<RefSet> = keys
                                 .iter()
                                 .map(|&k| column_union(&child.sets, k, universe))
                                 .collect();
-                            let agg_union =
-                                rows_union(&child.sets, &all_rows, &agg_cols, universe);
-                            let mut sets = Grid::empty(keys.len() + 1);
-                            for _ in 0..n_rows {
-                                let mut row = key_unions.clone();
-                                row.push(agg_union.clone());
-                                sets.push_row(row);
+                            let mut agg_union = universe.empty_set();
+                            for &c in &agg_cols {
+                                agg_union.union_with(&column_union(&child.sets, c, universe));
                             }
+                            row.push(agg_union);
                             Ok(AbsTable {
-                                sets,
+                                sets: broadcast_rows(&row, n_rows),
                                 concrete: None,
                             })
                         }
@@ -342,16 +263,11 @@ fn abstract_evaluate_uncached(
             let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
             let n_rows = child.sets.n_rows();
             let n_cols = child.sets.n_cols();
-            let mut sets = Grid::empty(n_cols + 1);
-            match keys {
+            let new_col: Vec<RefSet> = match keys {
                 // Weak: the window value may draw from anywhere.
                 None => {
                     let all = table_union(&child.sets, universe);
-                    for row in child.sets.rows() {
-                        let mut r = row.to_vec();
-                        r.push(all.clone());
-                        sets.push_row(r);
-                    }
+                    vec![all; n_rows]
                 }
                 Some(keys) => {
                     check_cols(keys, n_cols, "partition")?;
@@ -365,66 +281,59 @@ fn abstract_evaluate_uncached(
                     match &child.concrete {
                         // Strong: per-group unions.
                         Some(conc) => {
-                            let groups =
-                                sickle_table::extract_groups(conc.table(inputs), keys);
-                            let mut new_col: Vec<Option<RefSet>> = vec![None; n_rows];
+                            let groups = sickle_table::extract_groups(conc.table(), keys);
+                            let mut out: Vec<Option<RefSet>> = vec![None; n_rows];
                             for g in &groups {
-                                let u = rows_union(&child.sets, g, &agg_cols, universe);
+                                let mut u = universe.empty_set();
+                                for &c in &agg_cols {
+                                    u.union_with(&union_of(child.sets.column(c), g, universe));
+                                }
                                 for &i in g {
-                                    new_col[i] = Some(u.clone());
+                                    out[i] = Some(u.clone());
                                 }
                             }
-                            for (i, row) in child.sets.rows().enumerate() {
-                                let mut r = row.to_vec();
-                                r.push(new_col[i].clone().expect("grouped"));
-                                sets.push_row(r);
-                            }
+                            out.into_iter().map(|s| s.expect("grouped")).collect()
                         }
                         // Medium: non-key (or target) columns, any rows.
                         None => {
-                            let all_rows: Vec<usize> = (0..n_rows).collect();
-                            let u = rows_union(&child.sets, &all_rows, &agg_cols, universe);
-                            for row in child.sets.rows() {
-                                let mut r = row.to_vec();
-                                r.push(u.clone());
-                                sets.push_row(r);
+                            let mut u = universe.empty_set();
+                            for &c in &agg_cols {
+                                u.union_with(&column_union(&child.sets, c, universe));
                             }
+                            vec![u; n_rows]
                         }
                     }
                 }
-            }
+            };
             Ok(AbsTable {
-                sets,
+                sets: child.sets.with_column(new_col),
                 concrete: None,
             })
         }
         PQuery::Arith { src, func } => {
             let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
             let n_cols = child.sets.n_cols();
-            let mut sets = Grid::empty(n_cols + 1);
-            for row in child.sets.rows() {
-                let mut new = universe.empty_set();
-                match func {
-                    // Medium: only the argument columns flow in.
-                    Some((_, cols)) => {
-                        check_cols(cols, n_cols, "arithmetic")?;
-                        for &c in cols {
-                            new.union_with(&row[c]);
-                        }
-                    }
-                    // Weak: any cell of the row may flow in.
-                    None => {
-                        for s in row {
-                            new.union_with(s);
-                        }
-                    }
+            let arg_cols: Vec<usize> = match func {
+                // Medium: only the argument columns flow in.
+                Some((_, cols)) => {
+                    check_cols(cols, n_cols, "arithmetic")?;
+                    cols.clone()
                 }
-                let mut r = row.to_vec();
-                r.push(new);
-                sets.push_row(r);
-            }
+                // Weak: any cell of the row may flow in.
+                None => (0..n_cols).collect(),
+            };
+            let set_cols: Vec<&[RefSet]> = arg_cols.iter().map(|&c| child.sets.column(c)).collect();
+            let new_col: Vec<RefSet> = (0..child.sets.n_rows())
+                .map(|r| {
+                    let mut out = universe.empty_set();
+                    for col in &set_cols {
+                        out.union_with(&col[r]);
+                    }
+                    out
+                })
+                .collect();
             Ok(AbsTable {
-                sets,
+                sets: child.sets.with_column(new_col),
                 concrete: None,
             })
         }
@@ -464,28 +373,26 @@ fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<()
     }
 }
 
-fn column_union(sets: &Grid<RefSet>, col: usize, u: &RefUniverse) -> RefSet {
+fn union_of(col: &[RefSet], rows: &[usize], u: &RefUniverse) -> RefSet {
     let mut out = u.empty_set();
-    for row in sets.rows() {
-        out.union_with(&row[col]);
+    for &r in rows {
+        out.union_with(&col[r]);
     }
     out
 }
 
-fn rows_union(sets: &Grid<RefSet>, rows: &[usize], cols: &[usize], u: &RefUniverse) -> RefSet {
+fn column_union(sets: &Grid<RefSet>, col: usize, u: &RefUniverse) -> RefSet {
     let mut out = u.empty_set();
-    for &r in rows {
-        for &c in cols {
-            out.union_with(&sets[(r, c)]);
-        }
+    for s in sets.column(col) {
+        out.union_with(s);
     }
     out
 }
 
 fn table_union(sets: &Grid<RefSet>, u: &RefUniverse) -> RefSet {
     let mut out = u.empty_set();
-    for row in sets.rows() {
-        for s in row {
+    for c in 0..sets.n_cols() {
+        for s in sets.column(c) {
             out.union_with(s);
         }
     }
@@ -493,35 +400,90 @@ fn table_union(sets: &Grid<RefSet>, u: &RefUniverse) -> RefSet {
 }
 
 fn cross_sets(l: &Grid<RefSet>, r: &Grid<RefSet>) -> Grid<RefSet> {
-    let mut out = Grid::empty(l.n_cols() + r.n_cols());
-    for lrow in l.rows() {
-        for rrow in r.rows() {
-            let mut row = lrow.to_vec();
-            row.extend_from_slice(rrow);
-            out.push_row(row);
-        }
-    }
-    out
+    let (lsel, rsel) = sickle_table::cross_selection(l.n_rows(), r.n_rows());
+    l.select_rows(&lsel).hcat(&r.select_rows(&rsel))
+}
+
+/// Vertical concatenation of two grids with equal column counts.
+fn vcat(top: &Grid<RefSet>, bottom: &Grid<RefSet>) -> Grid<RefSet> {
+    assert_eq!(top.n_cols(), bottom.n_cols(), "vcat arity");
+    Grid::from_columns(
+        (0..top.n_cols())
+            .map(|c| {
+                let mut col = top.column(c).to_vec();
+                col.extend(bottom.column(c).iter().cloned());
+                Arc::new(col)
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sickle_provenance::{CellRef, Demo};
+    use sickle_provenance::CellRef;
     use sickle_table::{AggFunc, Table, Value};
 
     fn enrollment() -> Table {
         Table::new(
             ["City", "Quarter", "Group", "Enrolled", "Population"],
             vec![
-                vec!["A".into(), 1.into(), "Youth".into(), 1667.into(), 5668.into()],
-                vec!["A".into(), 1.into(), "Adult".into(), 1367.into(), 5668.into()],
-                vec!["A".into(), 2.into(), "Youth".into(), 256.into(), 5668.into()],
-                vec!["A".into(), 2.into(), "Adult".into(), 347.into(), 5668.into()],
-                vec!["A".into(), 3.into(), "Youth".into(), 148.into(), 5668.into()],
-                vec!["A".into(), 3.into(), "Adult".into(), 237.into(), 5668.into()],
-                vec!["A".into(), 4.into(), "Youth".into(), 556.into(), 5668.into()],
-                vec!["A".into(), 4.into(), "Adult".into(), 432.into(), 5668.into()],
+                vec![
+                    "A".into(),
+                    1.into(),
+                    "Youth".into(),
+                    1667.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    1.into(),
+                    "Adult".into(),
+                    1367.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    2.into(),
+                    "Youth".into(),
+                    256.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    2.into(),
+                    "Adult".into(),
+                    347.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    3.into(),
+                    "Youth".into(),
+                    148.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    3.into(),
+                    "Adult".into(),
+                    237.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    4.into(),
+                    "Youth".into(),
+                    556.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    4.into(),
+                    "Adult".into(),
+                    432.into(),
+                    5668.into(),
+                ],
             ],
         )
         .unwrap()
@@ -599,7 +561,7 @@ mod tests {
         let u = RefUniverse::from_tables(&inputs);
         let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
         assert_eq!(abs.sets.n_rows(), 4); // 4 quarters
-        // Aggregate cell of quarter-1 group must not contain quarter-4 data.
+                                          // Aggregate cell of quarter-1 group must not contain quarter-4 data.
         let agg = &abs.sets[(0, 1)];
         assert!(agg.contains(&u, CellRef::new(0, 0, 3)));
         assert!(!agg.contains(&u, CellRef::new(0, 7, 3)));

@@ -25,11 +25,18 @@ pub enum Pred {
 impl Pred {
     /// Evaluates the predicate on a row.
     pub fn eval(&self, row: &[Value]) -> bool {
+        self.eval_with(&|c| &row[c])
+    }
+
+    /// Evaluates the predicate through a cell accessor — the shared core
+    /// used both for contiguous rows ([`Pred::eval`]) and for the engine's
+    /// columnar / virtually-concatenated row views.
+    pub fn eval_with<'a>(&self, get: &impl Fn(usize) -> &'a Value) -> bool {
         match self {
             Pred::True => true,
-            Pred::ColCmp(a, op, b) => op.eval(&row[*a], &row[*b]),
-            Pred::ColConst(c, op, v) => op.eval(&row[*c], v),
-            Pred::And(l, r) => l.eval(row) && r.eval(row),
+            Pred::ColCmp(a, op, b) => op.eval(get(*a), get(*b)),
+            Pred::ColConst(c, op, v) => op.eval(get(*c), v),
+            Pred::And(l, r) => l.eval_with(get) && r.eval_with(get),
         }
     }
 
@@ -199,7 +206,11 @@ impl fmt::Display for Query {
             }
             Query::Proj { src, cols } => write!(f, "proj({src}, {cols:?})"),
             Query::Sort { src, cols, asc } => {
-                write!(f, "sort({src}, {cols:?}, {})", if *asc { "asc" } else { "desc" })
+                write!(
+                    f,
+                    "sort({src}, {cols:?}, {})",
+                    if *asc { "asc" } else { "desc" }
+                )
             }
             Query::Group {
                 src,
@@ -473,9 +484,7 @@ impl PQuery {
             PQuery::Input(_) => 0,
             PQuery::Filter { src, pred } => opt(pred) + src.n_holes(),
             PQuery::Join { left, right } => left.n_holes() + right.n_holes(),
-            PQuery::LeftJoin { left, right, pred } => {
-                opt(pred) + left.n_holes() + right.n_holes()
-            }
+            PQuery::LeftJoin { left, right, pred } => opt(pred) + left.n_holes() + right.n_holes(),
             PQuery::Proj { src, cols } => opt(cols) + src.n_holes(),
             PQuery::Sort { src, params } => opt(params) + src.n_holes(),
             PQuery::Group { src, keys, agg } => opt(keys) + opt(agg) + src.n_holes(),

@@ -1,0 +1,927 @@
+//! The unified execution engine behind all three query semantics.
+//!
+//! Historically this crate had three independent tree-walking interpreters
+//! (`eval`, `prov_eval`, `abstract_eval`), each re-implementing every
+//! operator over row-major tables. The engine replaces them with *one*
+//! columnar operator pipeline: every operator is implemented once, over
+//! [`Table`]s with `Arc`-shared columns, and produces an [`ExecTable`] whose
+//! channels are filled according to the requested [`Semantics`]:
+//!
+//! * **values** — the concrete output `[[q]]` (always computed; it also
+//!   drives filtering, sorting and grouping for the star channel, which
+//!   removes the per-cell `Expr::eval` calls the old provenance interpreter
+//!   performed);
+//! * **star** — the provenance-embedded output `[[q]]★` (Fig. 9), on
+//!   request;
+//! * **sets** — per-cell reference bitsets (`ref` of each star cell), the
+//!   substrate of the abstract analysis. Sets are *derived* from the star
+//!   channel on first access ([`ExecTable::sets`]) and memoized, so
+//!   pipelines that never reach the abstract analysis pay nothing for
+//!   them.
+//!
+//! [`Engine`] is the trait over the pipeline; [`ConcreteEngine`],
+//! [`ProvenanceEngine`] and [`AnalysisEngine`] are its three
+//! instantiations, backing `evaluate`, `prov_evaluate` and the concrete
+//! leaves of `abstract_evaluate` respectively. [`EvalCache`] memoizes
+//! engine results keyed by `(query, semantics)` so skeleton refinement
+//! reuses inner-subquery evaluations across sibling expansions.
+//!
+//! The pipeline also fuses `filter ∘ join`: the cross product is never
+//! materialized — a selection-vector pair is built from the predicate and
+//! each surviving column is gathered once.
+
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sickle_table::{cross_selection, group_rows_by_keys, AnalyticFunc, Grid, Table, Value};
+
+use sickle_provenance::{CellRef, Expr, RefSet, RefUniverse};
+
+use crate::ast::{Pred, Query};
+use crate::eval::EvalError;
+use crate::prov_eval::{expand_arith, window_term, ProvTable};
+
+/// Which channels of an [`ExecTable`] a caller needs.
+///
+/// Levels are strictly ordered: [`Semantics::Provenance`] computes
+/// everything [`Semantics::Values`] does. (The abstract analysis needs no
+/// third level: its per-cell reference sets are derived lazily from the
+/// star channel via [`ExecTable::sets`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Semantics {
+    /// Concrete values only (`[[q]]`).
+    Values,
+    /// Values plus provenance expressions (`[[q]]★`).
+    Provenance,
+}
+
+impl Semantics {
+    fn wants_star(self) -> bool {
+        self >= Semantics::Provenance
+    }
+}
+
+/// Output of the engine for one (sub)query: the concrete table plus the
+/// optional provenance side-channel and the lazily-derived abstract
+/// ref-set side-channel.
+#[derive(Debug, Clone)]
+pub struct ExecTable {
+    values: Table,
+    star: Option<ProvTable>,
+    sets: OnceCell<Grid<RefSet>>,
+}
+
+impl ExecTable {
+    /// The concrete output table `[[q]]`.
+    pub fn table(&self) -> &Table {
+        &self.values
+    }
+
+    /// Consumes the result, returning the concrete table.
+    pub fn into_table(self) -> Table {
+        self.values
+    }
+
+    /// The provenance-embedded output `[[q]]★`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was computed at [`Semantics::Values`].
+    pub fn star(&self) -> &ProvTable {
+        self.star
+            .as_ref()
+            .expect("provenance channel not requested")
+    }
+
+    /// Per-cell reference sets (`ref` of each star cell), computed from the
+    /// star channel on first access and memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was computed at [`Semantics::Values`].
+    pub fn sets(&self, universe: &RefUniverse) -> &Grid<RefSet> {
+        self.sets
+            .get_or_init(|| self.star().map(|e| universe.set_from(e.refs())))
+    }
+
+    /// The semantics level this result was computed at.
+    pub fn semantics(&self) -> Semantics {
+        if self.star.is_some() {
+            Semantics::Provenance
+        } else {
+            Semantics::Values
+        }
+    }
+
+    /// A values-only view of this result (columns shared, star dropped).
+    /// Used by the cache when a [`Semantics::Values`] request is assembled
+    /// from children that happen to be cached at the provenance level, so
+    /// the parent step does not build star terms nobody asked for.
+    fn values_only(&self) -> ExecTable {
+        ExecTable {
+            values: self.values.clone(),
+            star: None,
+            sets: OnceCell::new(),
+        }
+    }
+}
+
+/// An execution engine: one of the three semantics of the paper, as an
+/// instantiation of the shared columnar operator pipeline.
+pub trait Engine {
+    /// Which channels this engine fills.
+    fn semantics(&self) -> Semantics;
+
+    /// Evaluates a whole query tree (recursively, with `filter ∘ join`
+    /// fusion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when the query references missing inputs or
+    /// out-of-range columns.
+    fn exec(&self, q: &Query, inputs: &[Table]) -> Result<ExecTable, EvalError> {
+        let sem = self.semantics();
+        if let Some((left, right, pred)) = fused_filter_join(q) {
+            let l = self.exec(left, inputs)?;
+            let r = self.exec(right, inputs)?;
+            return exec_filtered_join(&l, &r, pred);
+        }
+        let children = q
+            .children()
+            .into_iter()
+            .map(|c| self.exec(c, inputs))
+            .collect::<Result<Vec<_>, _>>()?;
+        let child_refs: Vec<&ExecTable> = children.iter().collect();
+        exec_step(sem, q, &child_refs, inputs)
+    }
+
+    /// Applies the rule of `q`'s *top* operator, given the already-evaluated
+    /// results of its children (empty for `Input`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for out-of-range table/column references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` does not match the operator's arity.
+    fn exec_step(
+        &self,
+        q: &Query,
+        children: &[&ExecTable],
+        inputs: &[Table],
+    ) -> Result<ExecTable, EvalError> {
+        exec_step(self.semantics(), q, children, inputs)
+    }
+}
+
+/// The standard semantics `[[q]]`: concrete values only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConcreteEngine;
+
+impl Engine for ConcreteEngine {
+    fn semantics(&self) -> Semantics {
+        Semantics::Values
+    }
+}
+
+/// The provenance-tracking semantics `[[q]]★` (Fig. 9): values plus
+/// provenance terms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProvenanceEngine;
+
+impl Engine for ProvenanceEngine {
+    fn semantics(&self) -> Semantics {
+        Semantics::Provenance
+    }
+}
+
+/// The analysis semantics: the precise leaves of the abstract evaluation
+/// (Fig. 11). Runs the pipeline with the star channel enabled; per-cell
+/// reference bitsets are then derived through
+/// [`ExecTable::sets`]`(universe)`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisEngine<'u> {
+    /// The reference universe of the task's input tables.
+    pub universe: &'u RefUniverse,
+}
+
+impl<'u> AnalysisEngine<'u> {
+    /// Evaluates `q` and returns the result together with its materialized
+    /// reference sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] as [`Engine::exec`] does.
+    pub fn exec_with_sets(&self, q: &Query, inputs: &[Table]) -> Result<ExecTable, EvalError> {
+        let out = self.exec(q, inputs)?;
+        out.sets(self.universe);
+        Ok(out)
+    }
+}
+
+impl<'u> Engine for AnalysisEngine<'u> {
+    fn semantics(&self) -> Semantics {
+        Semantics::Provenance
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared operator pipeline
+// ---------------------------------------------------------------------------
+
+/// Recognizes `filter(join(l, r), p)`, the shape fused into a single
+/// selection-vector pass.
+fn fused_filter_join(q: &Query) -> Option<(&Query, &Query, &Pred)> {
+    if let Query::Filter { src, pred } = q {
+        if let Query::Join { left, right } = src.as_ref() {
+            return Some((left, right, pred));
+        }
+    }
+    None
+}
+
+/// One-operator step of the shared pipeline.
+pub fn exec_step(
+    sem: Semantics,
+    q: &Query,
+    children: &[&ExecTable],
+    inputs: &[Table],
+) -> Result<ExecTable, EvalError> {
+    match q {
+        Query::Input(k) => exec_input(sem, *k, inputs),
+        Query::Filter { pred, .. } => exec_filter(children[0], pred),
+        Query::Join { .. } => Ok(exec_join(children[0], children[1])),
+        Query::LeftJoin { pred, .. } => exec_left_join(sem, children[0], children[1], pred),
+        Query::Proj { cols, .. } => exec_proj(children[0], cols),
+        Query::Sort { cols, asc, .. } => exec_sort(children[0], cols, *asc),
+        Query::Group {
+            keys, agg, target, ..
+        } => exec_group(sem, children[0], keys, *agg, *target),
+        Query::Partition {
+            keys, func, target, ..
+        } => exec_partition(sem, children[0], keys, *func, *target),
+        Query::Arith { func, cols, .. } => exec_arith(children[0], func, cols),
+    }
+}
+
+fn table(values: Table, star: Option<ProvTable>) -> ExecTable {
+    ExecTable {
+        values,
+        star,
+        sets: OnceCell::new(),
+    }
+}
+
+fn exec_input(sem: Semantics, k: usize, inputs: &[Table]) -> Result<ExecTable, EvalError> {
+    let t = inputs.get(k).ok_or(EvalError::NoSuchInput {
+        index: k,
+        available: inputs.len(),
+    })?;
+    let values = t.clone(); // columns are shared, not copied
+    let star = sem.wants_star().then(|| {
+        Grid::from_columns(
+            (0..t.n_cols())
+                .map(|j| {
+                    std::sync::Arc::new(
+                        (0..t.n_rows())
+                            .map(|i| Expr::Ref(CellRef::new(k, i, j)))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    });
+    Ok(table(values, star))
+}
+
+/// Row accessor for predicate evaluation over (possibly virtually
+/// concatenated) columnar data.
+enum RowAccess<'a> {
+    One(&'a Grid<Value>, usize),
+    Concat {
+        left: &'a Grid<Value>,
+        right: &'a Grid<Value>,
+        lrow: usize,
+        rrow: usize,
+    },
+}
+
+impl RowAccess<'_> {
+    fn get(&self, col: usize) -> &Value {
+        match self {
+            RowAccess::One(g, r) => &g[(*r, col)],
+            RowAccess::Concat {
+                left,
+                right,
+                lrow,
+                rrow,
+            } => {
+                if col < left.n_cols() {
+                    &left[(*lrow, col)]
+                } else {
+                    &right[(*rrow, col - left.n_cols())]
+                }
+            }
+        }
+    }
+}
+
+fn pred_holds(pred: &Pred, row: &RowAccess<'_>) -> bool {
+    pred.eval_with(&|c| row.get(c))
+}
+
+/// Applies one selection vector to every channel of an exec table.
+fn select_rows(src: &ExecTable, sel: &[usize], names: Vec<String>) -> ExecTable {
+    table(
+        Table::from_named_grid(names, src.values.grid().select_rows(sel)),
+        src.star.as_ref().map(|s| s.select_rows(sel)),
+    )
+}
+
+fn exec_filter(src: &ExecTable, pred: &Pred) -> Result<ExecTable, EvalError> {
+    check_pred(pred, src.values.n_cols(), "filter")?;
+    let grid = src.values.grid();
+    let keep: Vec<usize> = (0..grid.n_rows())
+        .filter(|&r| pred_holds(pred, &RowAccess::One(grid, r)))
+        .collect();
+    Ok(select_rows(src, &keep, src.values.names().to_vec()))
+}
+
+fn joined_names(l: &ExecTable, r: &ExecTable) -> Vec<String> {
+    let mut names = l.values.names().to_vec();
+    names.extend(r.values.names().iter().cloned());
+    names
+}
+
+/// Gathers the two sides of a join through a selection-vector pair and
+/// concatenates the channels column-wise.
+fn gather_join(l: &ExecTable, r: &ExecTable, lsel: &[usize], rsel: &[usize]) -> ExecTable {
+    table(
+        Table::from_named_grid(
+            joined_names(l, r),
+            l.values
+                .grid()
+                .select_rows(lsel)
+                .hcat(&r.values.grid().select_rows(rsel)),
+        ),
+        match (&l.star, &r.star) {
+            (Some(ls), Some(rs)) => Some(ls.select_rows(lsel).hcat(&rs.select_rows(rsel))),
+            _ => None,
+        },
+    )
+}
+
+fn exec_join(l: &ExecTable, r: &ExecTable) -> ExecTable {
+    let (lsel, rsel) = cross_selection(l.values.n_rows(), r.values.n_rows());
+    gather_join(l, r, &lsel, &rsel)
+}
+
+/// `filter(join(l, r), p)` without materializing the cross product: the
+/// predicate runs over virtual concatenated rows and only surviving row
+/// pairs are gathered.
+fn exec_filtered_join(l: &ExecTable, r: &ExecTable, pred: &Pred) -> Result<ExecTable, EvalError> {
+    check_pred(pred, l.values.n_cols() + r.values.n_cols(), "filter")?;
+    let (lg, rg) = (l.values.grid(), r.values.grid());
+    let mut lsel = Vec::new();
+    let mut rsel = Vec::new();
+    for lrow in 0..lg.n_rows() {
+        for rrow in 0..rg.n_rows() {
+            let row = RowAccess::Concat {
+                left: lg,
+                right: rg,
+                lrow,
+                rrow,
+            };
+            if pred_holds(pred, &row) {
+                lsel.push(lrow);
+                rsel.push(rrow);
+            }
+        }
+    }
+    Ok(gather_join(l, r, &lsel, &rsel))
+}
+
+fn exec_left_join(
+    sem: Semantics,
+    l: &ExecTable,
+    r: &ExecTable,
+    pred: &Pred,
+) -> Result<ExecTable, EvalError> {
+    let (ln, rn) = (l.values.n_cols(), r.values.n_cols());
+    check_pred(pred, ln + rn, "left_join")?;
+    let (lg, rg) = (l.values.grid(), r.values.grid());
+    // Selection pair with `None` marking null padding on the right.
+    let mut lsel: Vec<usize> = Vec::new();
+    let mut rsel: Vec<Option<usize>> = Vec::new();
+    for lrow in 0..lg.n_rows() {
+        let mut matched = false;
+        for rrow in 0..rg.n_rows() {
+            let row = RowAccess::Concat {
+                left: lg,
+                right: rg,
+                lrow,
+                rrow,
+            };
+            if pred_holds(pred, &row) {
+                lsel.push(lrow);
+                rsel.push(Some(rrow));
+                matched = true;
+            }
+        }
+        if !matched {
+            lsel.push(lrow);
+            rsel.push(None);
+        }
+    }
+
+    fn gather_padded<C: Clone>(g: &Grid<C>, sel: &[Option<usize>], pad: &C) -> Grid<C> {
+        Grid::from_columns(
+            (0..g.n_cols())
+                .map(|c| {
+                    let col = g.column(c);
+                    std::sync::Arc::new(
+                        sel.iter()
+                            .map(|s| match s {
+                                Some(r) => col[*r].clone(),
+                                None => pad.clone(),
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    let values = Table::from_named_grid(
+        joined_names(l, r),
+        lg.select_rows(&lsel)
+            .hcat(&gather_padded(rg, &rsel, &Value::Null)),
+    );
+    let star = sem.wants_star().then(|| {
+        l.star()
+            .select_rows(&lsel)
+            .hcat(&gather_padded(r.star(), &rsel, &Expr::Const(Value::Null)))
+    });
+    Ok(table(values, star))
+}
+
+fn exec_proj(src: &ExecTable, cols: &[usize]) -> Result<ExecTable, EvalError> {
+    check_cols(cols, src.values.n_cols(), "proj")?;
+    Ok(table(
+        src.values.project(cols),
+        src.star.as_ref().map(|s| s.select_columns(cols)),
+    ))
+}
+
+fn exec_sort(src: &ExecTable, cols: &[usize], asc: bool) -> Result<ExecTable, EvalError> {
+    check_cols(cols, src.values.n_cols(), "sort")?;
+    let key_cols: Vec<&[Value]> = cols.iter().map(|&c| src.values.column(c)).collect();
+    let mut order: Vec<usize> = (0..src.values.n_rows()).collect();
+    // Stable sort keeps input order among equal keys, matching the
+    // order-sensitivity contract of `cumsum`/`rank` downstream.
+    order.sort_by(|&a, &b| {
+        let cmp = key_cols
+            .iter()
+            .map(|col| col[a].cmp(&col[b]))
+            .find(|c| !c.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal);
+        if asc {
+            cmp
+        } else {
+            cmp.reverse()
+        }
+    });
+    Ok(select_rows(src, &order, src.values.names().to_vec()))
+}
+
+fn exec_group(
+    sem: Semantics,
+    src: &ExecTable,
+    keys: &[usize],
+    agg: sickle_table::AggFunc,
+    target: usize,
+) -> Result<ExecTable, EvalError> {
+    let n_cols = src.values.n_cols();
+    check_cols(keys, n_cols, "group")?;
+    check_cols(&[target], n_cols, "group")?;
+    let groups = group_rows_by_keys(src.values.grid(), keys);
+
+    let mut names: Vec<String> = keys
+        .iter()
+        .map(|&k| src.values.names()[k].clone())
+        .collect();
+    names.push(format!("{agg}({})", src.values.names()[target]));
+
+    // Values channel: representative key cells + the aggregate.
+    let mut value_cols: Vec<Vec<Value>> = Vec::with_capacity(keys.len() + 1);
+    for &k in keys {
+        let col = src.values.column(k);
+        value_cols.push(groups.iter().map(|g| col[g[0]].clone()).collect());
+    }
+    let target_col = src.values.column(target);
+    value_cols.push(
+        groups
+            .iter()
+            .map(|g| {
+                let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
+                agg.apply(&vals)
+            })
+            .collect(),
+    );
+    let values = Table::from_named_grid(
+        names,
+        Grid::from_columns(value_cols.into_iter().map(std::sync::Arc::new).collect()),
+    );
+
+    // Star channel: group{…} key terms and α(members…) aggregates.
+    let star = sem.wants_star().then(|| {
+        let sg = src.star();
+        let mut cols: Vec<Vec<Expr>> = Vec::with_capacity(keys.len() + 1);
+        for &k in keys {
+            let col = sg.column(k);
+            cols.push(
+                groups
+                    .iter()
+                    .map(|g| Expr::group(g.iter().map(|&i| col[i].clone()).collect()))
+                    .collect(),
+            );
+        }
+        let tcol = sg.column(target);
+        cols.push(
+            groups
+                .iter()
+                .map(|g| {
+                    Expr::apply(
+                        sickle_provenance::FuncName::Agg(agg),
+                        g.iter().map(|&i| tcol[i].clone()).collect(),
+                    )
+                })
+                .collect(),
+        );
+        Grid::from_columns(cols.into_iter().map(std::sync::Arc::new).collect())
+    });
+
+    Ok(table(values, star))
+}
+
+fn exec_partition(
+    sem: Semantics,
+    src: &ExecTable,
+    keys: &[usize],
+    func: AnalyticFunc,
+    target: usize,
+) -> Result<ExecTable, EvalError> {
+    let n_cols = src.values.n_cols();
+    check_cols(keys, n_cols, "partition")?;
+    check_cols(&[target], n_cols, "partition")?;
+    let n_rows = src.values.n_rows();
+    let groups = group_rows_by_keys(src.values.grid(), keys);
+
+    let mut names = src.values.names().to_vec();
+    names.push(format!(
+        "{func}({}) over {keys:?}",
+        src.values.names()[target]
+    ));
+
+    // Values channel: existing columns shared, one window column appended.
+    let target_col = src.values.column(target);
+    let mut new_col: Vec<Value> = vec![Value::Null; n_rows];
+    for g in &groups {
+        let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
+        for (&i, v) in g.iter().zip(func.apply(&vals)) {
+            new_col[i] = v;
+        }
+    }
+    let values = Table::from_named_grid(names, src.values.grid().with_column(new_col));
+
+    // Star channel: per-row window terms over the partition's members.
+    let star = sem.wants_star().then(|| {
+        let sg = src.star();
+        let tcol = sg.column(target);
+        let mut new_col: Vec<Option<Expr>> = vec![None; n_rows];
+        for g in &groups {
+            let members: Vec<Expr> = g.iter().map(|&i| tcol[i].clone()).collect();
+            for (pos, &i) in g.iter().enumerate() {
+                new_col[i] = Some(window_term(func, &members, pos));
+            }
+        }
+        sg.with_column(
+            new_col
+                .into_iter()
+                .map(|e| e.expect("every row belongs to a group"))
+                .collect(),
+        )
+    });
+
+    Ok(table(values, star))
+}
+
+fn exec_arith(
+    src: &ExecTable,
+    func: &sickle_table::ArithExpr,
+    cols: &[usize],
+) -> Result<ExecTable, EvalError> {
+    let n_cols = src.values.n_cols();
+    check_cols(cols, n_cols, "arithmetic")?;
+    let n_rows = src.values.n_rows();
+
+    let mut names = src.values.names().to_vec();
+    names.push(format!("{func}{cols:?}"));
+
+    let arg_cols: Vec<&[Value]> = cols.iter().map(|&c| src.values.column(c)).collect();
+    let mut new_col = Vec::with_capacity(n_rows);
+    let mut args = vec![Value::Null; cols.len()];
+    for r in 0..n_rows {
+        for (a, col) in args.iter_mut().zip(&arg_cols) {
+            *a = col[r].clone();
+        }
+        new_col.push(func.eval(&args));
+    }
+    let values = Table::from_named_grid(names, src.values.grid().with_column(new_col));
+
+    let star = src.star.as_ref().map(|sg| {
+        let arg_cols: Vec<&[Expr]> = cols.iter().map(|&c| sg.column(c)).collect();
+        sg.with_column(
+            (0..n_rows)
+                .map(|r| {
+                    let args: Vec<Expr> = arg_cols.iter().map(|col| col[r].clone()).collect();
+                    expand_arith(func, &args)
+                })
+                .collect(),
+        )
+    });
+
+    Ok(table(values, star))
+}
+
+fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<(), EvalError> {
+    match cols.iter().find(|&&c| c >= arity) {
+        Some(&col) => Err(EvalError::ColumnOutOfRange {
+            col,
+            arity,
+            operator,
+        }),
+        None => Ok(()),
+    }
+}
+
+fn check_pred(pred: &Pred, arity: usize, operator: &'static str) -> Result<(), EvalError> {
+    match pred.max_col() {
+        Some(c) if c >= arity => Err(EvalError::ColumnOutOfRange {
+            col: c,
+            arity,
+            operator,
+        }),
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified evaluation cache
+// ---------------------------------------------------------------------------
+
+/// Memoizes engine evaluations of concrete (sub)queries, keyed by
+/// `(query, semantics)`, plus abstract tables of partial queries.
+///
+/// During search, thousands of sibling partial queries share the same
+/// concrete subquery (e.g. the instantiated inner `group`); caching its
+/// engine evaluation makes the per-node analysis cost proportional to the
+/// *abstract* part of the query only. One cache is threaded through the
+/// whole search by [`crate::TaskContext`].
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    /// Per-query slot indexed by semantics level
+    /// (`[Values, Provenance]`) — keying by `Query` alone lets cache hits
+    /// probe with `map.get(q)` instead of cloning the whole AST into a
+    /// tuple key on the search's innermost loop.
+    map: RefCell<HashMap<Query, [Option<Rc<ExecTable>>; 2]>>,
+    abs_map: RefCell<HashMap<crate::ast::PQuery, Rc<crate::abstract_eval::AbsTable>>>,
+}
+
+/// Bound on the concrete exec-table cache (entries hold full provenance
+/// tables at the provenance level).
+const EXEC_CACHE_CAP: usize = 4_000;
+
+/// Bound on the partial-query abstract-table cache. The search visits the
+/// children of a node consecutively (depth-first), so even a modest bound
+/// keeps the hit rate high while capping memory.
+const ABS_CACHE_CAP: usize = 8_000;
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Memoized engine evaluation of `q` at semantics level `sem`. A cached
+    /// result at a *higher* level serves lower-level requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from evaluation (the error is not cached).
+    pub fn exec(
+        &self,
+        q: &Query,
+        sem: Semantics,
+        inputs: &[Table],
+    ) -> Result<Rc<ExecTable>, EvalError> {
+        {
+            let map = self.map.borrow();
+            if let Some(slot) = map.get(q) {
+                // Probe from the highest level down to the requested one.
+                for level in [Semantics::Provenance, Semantics::Values] {
+                    if level < sem {
+                        break;
+                    }
+                    if let Some(hit) = &slot[level as usize] {
+                        return Ok(Rc::clone(hit));
+                    }
+                }
+            }
+        }
+        // Evaluate one operator level at a time so shared subqueries hit
+        // the cache instead of being re-evaluated per leaf; `filter ∘ join`
+        // fuses into a selection-vector pass. A child served from a
+        // higher-level cache entry is narrowed to the requested level so
+        // structure-propagating operators don't build star terms nobody
+        // asked for.
+        let narrow = |child: Rc<ExecTable>| {
+            if sem == Semantics::Values && child.semantics() > sem {
+                Rc::new(child.values_only())
+            } else {
+                child
+            }
+        };
+        let computed = if let Some((left, right, pred)) = fused_filter_join(q) {
+            let l = narrow(self.exec(left, sem, inputs)?);
+            let r = narrow(self.exec(right, sem, inputs)?);
+            exec_filtered_join(&l, &r, pred)?
+        } else {
+            let children = q
+                .children()
+                .into_iter()
+                .map(|c| self.exec(c, sem, inputs).map(&narrow))
+                .collect::<Result<Vec<_>, _>>()?;
+            let child_refs: Vec<&ExecTable> = children.iter().map(Rc::as_ref).collect();
+            exec_step(sem, q, &child_refs, inputs)?
+        };
+        // Store under the level actually computed (equals `sem` now that
+        // children are narrowed, but derive it rather than assume).
+        let actual = computed.semantics();
+        debug_assert!(
+            actual >= sem,
+            "pipeline produced fewer channels than requested"
+        );
+        let rc = Rc::new(computed);
+        let mut map = self.map.borrow_mut();
+        if map.len() >= EXEC_CACHE_CAP {
+            map.clear();
+        }
+        map.entry(q.clone()).or_default()[actual as usize] = Some(Rc::clone(&rc));
+        Ok(rc)
+    }
+
+    /// Number of cached concrete entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    pub(crate) fn abs_get(
+        &self,
+        pq: &crate::ast::PQuery,
+    ) -> Option<Rc<crate::abstract_eval::AbsTable>> {
+        self.abs_map.borrow().get(pq).cloned()
+    }
+
+    pub(crate) fn abs_put(&self, pq: &crate::ast::PQuery, abs: Rc<crate::abstract_eval::AbsTable>) {
+        let mut map = self.abs_map.borrow_mut();
+        if map.len() >= ABS_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(pq.clone(), abs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_table::{AggFunc, ArithExpr, ArithOp, CmpOp};
+
+    fn input() -> Table {
+        Table::new(
+            ["city", "quarter", "enrolled", "pop"],
+            vec![
+                vec!["A".into(), 1.into(), 30.into(), 100.into()],
+                vec!["A".into(), 2.into(), 20.into(), 100.into()],
+                vec!["B".into(), 1.into(), 10.into(), 50.into()],
+                vec!["B".into(), 2.into(), 40.into(), 50.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn channels_match_requested_semantics() {
+        let q = Query::Input(0);
+        let inputs = [input()];
+        let v = ConcreteEngine.exec(&q, &inputs).unwrap();
+        assert_eq!(v.semantics(), Semantics::Values);
+        let p = ProvenanceEngine.exec(&q, &inputs).unwrap();
+        assert_eq!(p.semantics(), Semantics::Provenance);
+        let u = RefUniverse::from_tables(&inputs);
+        let a = AnalysisEngine { universe: &u }
+            .exec_with_sets(&q, &inputs)
+            .unwrap();
+        assert_eq!(a.sets(&u)[(0, 0)].len(), 1);
+    }
+
+    #[test]
+    fn star_values_agree_with_values_channel() {
+        let q = Query::Group {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            agg: AggFunc::Sum,
+            target: 2,
+        };
+        let inputs = [input()];
+        let out = ProvenanceEngine.exec(&q, &inputs).unwrap();
+        let via_star = crate::prov_eval::concretize(out.star(), &inputs);
+        assert!(via_star.bag_eq(out.table()));
+    }
+
+    #[test]
+    fn sets_agree_with_star_refs() {
+        let q = Query::Arith {
+            src: Box::new(Query::Partition {
+                src: Box::new(Query::Group {
+                    src: Box::new(Query::Input(0)),
+                    keys: vec![0, 1, 3],
+                    agg: AggFunc::Sum,
+                    target: 2,
+                }),
+                keys: vec![0],
+                func: AnalyticFunc::CumSum,
+                target: 3,
+            }),
+            func: ArithExpr::bin(
+                ArithOp::Mul,
+                ArithExpr::bin(ArithOp::Div, ArithExpr::Param(0), ArithExpr::Param(1)),
+                ArithExpr::lit(100.0),
+            ),
+            cols: vec![4, 2],
+        };
+        let inputs = [input()];
+        let u = RefUniverse::from_tables(&inputs);
+        let out = AnalysisEngine { universe: &u }.exec(&q, &inputs).unwrap();
+        // The lazily-derived sets equal ref-collection over star.
+        let from_star = out.star().map(|e| u.set_from(e.refs()));
+        assert_eq!(*out.sets(&u), from_star);
+    }
+
+    #[test]
+    fn fused_filter_join_equals_unfused() {
+        let join = Query::Join {
+            left: Box::new(Query::Input(0)),
+            right: Box::new(Query::Input(0)),
+        };
+        let q = Query::Filter {
+            src: Box::new(join.clone()),
+            pred: Pred::ColCmp(0, CmpOp::Eq, 4),
+        };
+        let inputs = [input()];
+        let fused = ProvenanceEngine.exec(&q, &inputs).unwrap();
+        // Unfused: evaluate the join, then filter as a separate step.
+        let j = ProvenanceEngine.exec(&join, &inputs).unwrap();
+        let unfused = exec_filter(&j, &Pred::ColCmp(0, CmpOp::Eq, 4)).unwrap();
+        assert!(fused.table().bag_eq(unfused.table()));
+        assert_eq!(fused.star(), unfused.star());
+        // Equi-join on city: 2 matches per row.
+        assert_eq!(fused.table().n_rows(), 8);
+    }
+
+    #[test]
+    fn cache_serves_lower_semantics_from_higher() {
+        let cache = EvalCache::new();
+        let inputs = [input()];
+        let q = Query::Input(0);
+        let full = cache.exec(&q, Semantics::Provenance, &inputs).unwrap();
+        let low = cache.exec(&q, Semantics::Values, &inputs).unwrap();
+        assert!(Rc::ptr_eq(&full, &low));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let err = ConcreteEngine
+            .exec(&Query::Input(3), &[input()])
+            .unwrap_err();
+        assert!(matches!(err, EvalError::NoSuchInput { index: 3, .. }));
+    }
+}

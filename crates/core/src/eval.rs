@@ -1,16 +1,19 @@
 //! Standard (concrete) evaluation of analytical SQL queries.
 //!
 //! This is the `[[q(T̄)]]` semantics: the conventional meaning of the Fig. 7
-//! language as implemented by modern databases. The provenance-tracking
-//! semantics lives in [`crate::prov_eval`]; the two agree in the sense that
-//! evaluating every provenance cell yields this table (a property test in
-//! the integration suite checks exactly that).
+//! language as implemented by modern databases. Since the engine refactor,
+//! [`evaluate`] is a thin wrapper over the values channel of the shared
+//! columnar pipeline ([`crate::engine::ConcreteEngine`]); the
+//! provenance-tracking semantics is the same pipeline with its star channel
+//! enabled, and the two agree by construction (a property test in the
+//! integration suite still checks exactly that).
 
 use std::fmt;
 
-use sickle_table::{extract_groups, Table, Value};
+use sickle_table::Table;
 
-use crate::ast::{Pred, Query};
+use crate::ast::Query;
+use crate::engine::{ConcreteEngine, Engine};
 
 /// Error raised when a query is ill-formed for its inputs (out-of-range
 /// table or column indices).
@@ -41,7 +44,12 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::NoSuchInput { index, available } => {
-                write!(f, "input table T{} requested, {} available", index + 1, available)
+                write!(
+                    f,
+                    "input table T{} requested, {} available",
+                    index + 1,
+                    available
+                )
             }
             EvalError::ColumnOutOfRange {
                 col,
@@ -53,28 +61,6 @@ impl fmt::Display for EvalError {
 }
 
 impl std::error::Error for EvalError {}
-
-fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<(), EvalError> {
-    match cols.iter().find(|&&c| c >= arity) {
-        Some(&col) => Err(EvalError::ColumnOutOfRange {
-            col,
-            arity,
-            operator,
-        }),
-        None => Ok(()),
-    }
-}
-
-fn check_pred(pred: &Pred, arity: usize, operator: &'static str) -> Result<(), EvalError> {
-    match pred.max_col() {
-        Some(c) if c >= arity => Err(EvalError::ColumnOutOfRange {
-            col: c,
-            arity,
-            operator,
-        }),
-        _ => Ok(()),
-    }
-}
 
 /// Evaluates `q` on the input tables under the standard semantics.
 ///
@@ -109,149 +95,14 @@ fn check_pred(pred: &Pred, arity: usize, operator: &'static str) -> Result<(), E
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn evaluate(q: &Query, inputs: &[Table]) -> Result<Table, EvalError> {
-    match q {
-        Query::Input(k) => inputs.get(*k).cloned().ok_or(EvalError::NoSuchInput {
-            index: *k,
-            available: inputs.len(),
-        }),
-        Query::Filter { src, pred } => {
-            let t = evaluate(src, inputs)?;
-            check_pred(pred, t.n_cols(), "filter")?;
-            let rows = t
-                .rows()
-                .filter(|r| pred.eval(r))
-                .map(<[Value]>::to_vec)
-                .collect();
-            Ok(Table::new(t.names().to_vec(), rows).expect("filter preserves arity"))
-        }
-        Query::Join { left, right } => {
-            let l = evaluate(left, inputs)?;
-            let r = evaluate(right, inputs)?;
-            Ok(l.cross_product(&r))
-        }
-        Query::LeftJoin { left, right, pred } => {
-            let l = evaluate(left, inputs)?;
-            let r = evaluate(right, inputs)?;
-            check_pred(pred, l.n_cols() + r.n_cols(), "left_join")?;
-            let mut names = l.names().to_vec();
-            names.extend(r.names().iter().cloned());
-            let mut rows: Vec<Vec<Value>> = Vec::new();
-            for lrow in l.rows() {
-                let mut matched = false;
-                for rrow in r.rows() {
-                    let mut combined = lrow.to_vec();
-                    combined.extend_from_slice(rrow);
-                    if pred.eval(&combined) {
-                        rows.push(combined);
-                        matched = true;
-                    }
-                }
-                if !matched {
-                    let mut combined = lrow.to_vec();
-                    combined.extend(std::iter::repeat(Value::Null).take(r.n_cols()));
-                    rows.push(combined);
-                }
-            }
-            Ok(Table::new(names, rows).expect("left_join arity"))
-        }
-        Query::Proj { src, cols } => {
-            let t = evaluate(src, inputs)?;
-            check_cols(cols, t.n_cols(), "proj")?;
-            Ok(t.project(cols))
-        }
-        Query::Sort { src, cols, asc } => {
-            let t = evaluate(src, inputs)?;
-            check_cols(cols, t.n_cols(), "sort")?;
-            let mut rows: Vec<Vec<Value>> = t.rows().map(<[Value]>::to_vec).collect();
-            rows.sort_by(|a, b| {
-                let ka: Vec<&Value> = cols.iter().map(|&c| &a[c]).collect();
-                let kb: Vec<&Value> = cols.iter().map(|&c| &b[c]).collect();
-                if *asc {
-                    ka.cmp(&kb)
-                } else {
-                    kb.cmp(&ka)
-                }
-            });
-            Ok(Table::new(t.names().to_vec(), rows).expect("sort preserves arity"))
-        }
-        Query::Group {
-            src,
-            keys,
-            agg,
-            target,
-        } => {
-            let t = evaluate(src, inputs)?;
-            check_cols(keys, t.n_cols(), "group")?;
-            check_cols(&[*target], t.n_cols(), "group")?;
-            let groups = extract_groups(&t, keys);
-            let mut names: Vec<String> =
-                keys.iter().map(|&k| t.names()[k].clone()).collect();
-            names.push(format!("{agg}({})", t.names()[*target]));
-            let mut rows = Vec::with_capacity(groups.len());
-            for g in groups {
-                let mut row: Vec<Value> =
-                    keys.iter().map(|&k| t.row(g[0])[k].clone()).collect();
-                let vals: Vec<Value> = g.iter().map(|&i| t.row(i)[*target].clone()).collect();
-                row.push(agg.apply(&vals));
-                rows.push(row);
-            }
-            Ok(Table::new(names, rows).expect("group arity"))
-        }
-        Query::Partition {
-            src,
-            keys,
-            func,
-            target,
-        } => {
-            let t = evaluate(src, inputs)?;
-            check_cols(keys, t.n_cols(), "partition")?;
-            check_cols(&[*target], t.n_cols(), "partition")?;
-            let groups = extract_groups(&t, keys);
-            let mut new_col: Vec<Value> = vec![Value::Null; t.n_rows()];
-            for g in &groups {
-                let vals: Vec<Value> = g.iter().map(|&i| t.row(i)[*target].clone()).collect();
-                let outs = func.apply(&vals);
-                for (&i, v) in g.iter().zip(outs) {
-                    new_col[i] = v;
-                }
-            }
-            let mut names = t.names().to_vec();
-            names.push(format!("{func}({}) over {keys:?}", t.names()[*target]));
-            let rows = t
-                .rows()
-                .zip(new_col)
-                .map(|(r, v)| {
-                    let mut row = r.to_vec();
-                    row.push(v);
-                    row
-                })
-                .collect();
-            Ok(Table::new(names, rows).expect("partition arity"))
-        }
-        Query::Arith { src, func, cols } => {
-            let t = evaluate(src, inputs)?;
-            check_cols(cols, t.n_cols(), "arithmetic")?;
-            let mut names = t.names().to_vec();
-            names.push(format!("{func}{cols:?}"));
-            let rows = t
-                .rows()
-                .map(|r| {
-                    let args: Vec<Value> = cols.iter().map(|&c| r[c].clone()).collect();
-                    let mut row = r.to_vec();
-                    row.push(func.eval(&args));
-                    row
-                })
-                .collect();
-            Ok(Table::new(names, rows).expect("arith arity"))
-        }
-    }
+    Ok(ConcreteEngine.exec(q, inputs)?.into_table())
 }
 
-/// Converts a table to a grid of values; helper shared with tests.
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp};
+    use crate::ast::Pred;
+    use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp, Value};
 
     fn input() -> Table {
         Table::new(
@@ -304,7 +155,12 @@ mod tests {
         let col: Vec<&Value> = (0..4).map(|i| out.get(i, 4).unwrap()).collect();
         assert_eq!(
             col,
-            vec![&Value::Int(30), &Value::Int(50), &Value::Int(10), &Value::Int(50)]
+            vec![
+                &Value::Int(30),
+                &Value::Int(50),
+                &Value::Int(10),
+                &Value::Int(50)
+            ]
         );
     }
 
@@ -341,11 +197,7 @@ mod tests {
 
     #[test]
     fn left_join_pads_unmatched() {
-        let dims = Table::new(
-            ["name", "region"],
-            vec![vec!["A".into(), "west".into()]],
-        )
-        .unwrap();
+        let dims = Table::new(["name", "region"], vec![vec!["A".into(), "west".into()]]).unwrap();
         let q = Query::LeftJoin {
             left: Box::new(Query::Input(0)),
             right: Box::new(Query::Input(1)),

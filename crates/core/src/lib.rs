@@ -1,19 +1,35 @@
 //! # sickle-core
 //!
 //! The core of the Sickle analytical SQL synthesizer (PLDI 2022
-//! reproduction): query AST, the three semantics (standard,
-//! provenance-tracking, abstract provenance), and the abstraction-based
-//! enumerative synthesis algorithm.
+//! reproduction): query AST, the unified execution engine behind the three
+//! semantics (standard, provenance-tracking, abstract provenance), and the
+//! abstraction-based enumerative synthesis algorithm.
 //!
-//! * [`Query`] / [`PQuery`] — the Fig. 7 language and partial queries with
-//!   holes;
-//! * [`evaluate`] — standard semantics `[[q(T̄)]]`;
-//! * [`prov_evaluate`] — provenance-tracking semantics `[[q(T̄)]]★` (Fig. 9);
-//! * [`abstract_evaluate`] / [`abstract_consistent`] — abstract provenance
-//!   `[[q(T̄)]]◦` and the Def. 3 check (Fig. 11);
-//! * [`synthesize`] — Algorithm 1, parameterized by an [`Analyzer`]
-//!   ([`ProvenanceAnalyzer`] is the paper's; baselines live in
-//!   `sickle-baselines`).
+//! ## Crate map
+//!
+//! * [`Query`] / [`PQuery`] (`ast`) — the Fig. 7 language and partial
+//!   queries with holes;
+//! * [`Engine`] / [`ExecTable`] (`engine`) — the shared columnar operator
+//!   pipeline. Every operator (`group`, `partition`, `arithmetic`,
+//!   `filter`, `sort`, joins) is implemented *once*; an [`ExecTable`]
+//!   carries the concrete values plus optional provenance-term and
+//!   abstract-ref-set side-channels, selected by [`Semantics`]. The three
+//!   instantiations are [`ConcreteEngine`], [`ProvenanceEngine`] and
+//!   [`AnalysisEngine`];
+//! * [`evaluate`] (`eval`) — standard semantics `[[q(T̄)]]`, the values
+//!   channel of the pipeline;
+//! * [`prov_evaluate`] (`prov_eval`) — provenance-tracking semantics
+//!   `[[q(T̄)]]★` (Fig. 9), the star channel;
+//! * [`abstract_evaluate`] / [`abstract_consistent`] (`abstract_eval`) —
+//!   abstract provenance `[[q(T̄)]]◦` and the Def. 3 check (Fig. 11);
+//!   concrete leaves run through the pipeline's ref-set channel;
+//! * [`EvalCache`] — memoized engine results keyed by
+//!   `(query, semantics)`, threaded through the search so sibling partial
+//!   queries share inner-subquery evaluations;
+//! * [`synthesize`] / [`synthesize_parallel`] (`synth`) — Algorithm 1,
+//!   sequential or with skeleton expansion fanned out over worker threads,
+//!   parameterized by an [`Analyzer`] ([`ProvenanceAnalyzer`] is the
+//!   paper's; baselines live in `sickle-baselines`).
 //!
 //! # Examples
 //!
@@ -47,20 +63,23 @@
 
 mod abstract_eval;
 mod ast;
+mod engine;
 mod eval;
 mod prov_eval;
 mod synth;
 
 pub use abstract_eval::{
-    abstract_consistent, abstract_evaluate, abstract_evaluate_cached, demo_ref_sets, AbsTable,
-    EvalBundle, EvalCache,
+    abstract_consistent, abstract_evaluate, abstract_evaluate_cached, abstract_evaluate_rc,
+    demo_ref_sets, AbsTable,
 };
 pub use ast::{PQuery, Pred, Query};
+pub use engine::{
+    AnalysisEngine, ConcreteEngine, Engine, EvalCache, ExecTable, ProvenanceEngine, Semantics,
+};
 pub use eval::{evaluate, EvalError};
-pub use prov_eval::{concretize, expand_arith, prov_eval_step, prov_evaluate, ProvTable};
+pub use prov_eval::{concretize, expand_arith, prov_evaluate, ProvTable};
 pub use synth::{
-    synthesize_seeded,
-    construct_skeletons, expand, synthesize, synthesize_until, Analyzer, JoinKey,
-    NoPruneAnalyzer, OpKind, ProvenanceAnalyzer, SearchStats, SynthConfig, SynthResult,
-    SynthTask, TaskContext,
+    construct_skeletons, expand, synthesize, synthesize_parallel, synthesize_seeded,
+    synthesize_until, Analyzer, JoinKey, NoPruneAnalyzer, OpKind, ProvenanceAnalyzer, SearchStats,
+    SharedStats, SynthConfig, SynthResult, SynthTask, TaskContext,
 };

@@ -9,15 +9,21 @@
 //!   over the row's prefix within its partition (which then flattens with
 //!   inner `sum`s, yielding the Fig. 4 terms), `rank`/`dense_rank` become
 //!   `rank(own, peers…)`;
-//! * `arithmetic` expands the function body `γ` into nested applications;
-//! * order- and value-sensitive operators (`filter`, `sort`, grouping)
-//!   consult the *concrete* value of a cell by evaluating its expression.
+//! * `arithmetic` expands the function body `γ` into nested applications.
+//!
+//! Since the engine refactor, [`prov_evaluate`] is the star channel of the
+//! shared columnar pipeline ([`crate::engine::ProvenanceEngine`]). The
+//! order- and value-sensitive operators (`filter`, `sort`, grouping) read
+//! the pipeline's *values* channel directly instead of re-evaluating each
+//! cell's expression, which the old row-major interpreter did on every
+//! consultation.
 
-use sickle_table::{AnalyticFunc, ArithExpr, Grid, Table, Value};
+use sickle_table::{AnalyticFunc, ArithExpr, Grid, Table};
 
-use sickle_provenance::{CellRef, Expr, FuncName};
+use sickle_provenance::{Expr, FuncName};
 
-use crate::ast::{Pred, Query};
+use crate::ast::Query;
+use crate::engine::{Engine, ProvenanceEngine};
 use crate::eval::EvalError;
 
 /// A provenance-embedded table `T★`: a grid of expressions.
@@ -52,166 +58,7 @@ pub type ProvTable = Grid<Expr>;
 /// # Ok::<(), sickle_core::EvalError>(())
 /// ```
 pub fn prov_evaluate(q: &Query, inputs: &[Table]) -> Result<ProvTable, EvalError> {
-    match q.children().as_slice() {
-        [] => prov_eval_step(q, &[], inputs),
-        children => {
-            let stars: Vec<ProvTable> = children
-                .iter()
-                .map(|c| prov_evaluate(c, inputs))
-                .collect::<Result<_, _>>()?;
-            let refs: Vec<&ProvTable> = stars.iter().collect();
-            prov_eval_step(q, &refs, inputs)
-        }
-    }
-}
-
-/// Applies the Fig. 9 rule of `q`'s *top* operator, given the
-/// already-evaluated provenance tables of its children (empty for
-/// `Input`). The synthesizer's evaluation cache composes this level by
-/// level so shared subqueries are evaluated once.
-///
-/// # Errors
-///
-/// Returns [`EvalError`] for out-of-range table/column references.
-///
-/// # Panics
-///
-/// Panics if `children` does not match the operator's arity.
-pub fn prov_eval_step(
-    q: &Query,
-    children: &[&ProvTable],
-    inputs: &[Table],
-) -> Result<ProvTable, EvalError> {
-    match q {
-        Query::Input(k) => {
-            let t = inputs.get(*k).ok_or(EvalError::NoSuchInput {
-                index: *k,
-                available: inputs.len(),
-            })?;
-            let mut g = Grid::empty(t.n_cols());
-            for i in 0..t.n_rows() {
-                g.push_row(
-                    (0..t.n_cols())
-                        .map(|j| Expr::Ref(CellRef::new(*k, i, j)))
-                        .collect(),
-                );
-            }
-            Ok(g)
-        }
-        Query::Filter { pred, .. } => {
-            let star = children[0];
-            check_pred_arity(pred, star.n_cols(), "filter")?;
-            let mut out = Grid::empty(star.n_cols());
-            for row in star.rows() {
-                let vals = eval_row(row, inputs);
-                if pred.eval(&vals) {
-                    out.push_row(row.to_vec());
-                }
-            }
-            Ok(out)
-        }
-        Query::Join { .. } => Ok(cross(children[0], children[1])),
-        Query::LeftJoin { pred, .. } => {
-            let (l, r) = (children[0], children[1]);
-            check_pred_arity(pred, l.n_cols() + r.n_cols(), "left_join")?;
-            let mut out = Grid::empty(l.n_cols() + r.n_cols());
-            for lrow in l.rows() {
-                let mut matched = false;
-                for rrow in r.rows() {
-                    let mut combined = lrow.to_vec();
-                    combined.extend_from_slice(rrow);
-                    let vals = eval_row(&combined, inputs);
-                    if pred.eval(&vals) {
-                        out.push_row(combined);
-                        matched = true;
-                    }
-                }
-                if !matched {
-                    let mut combined = lrow.to_vec();
-                    combined
-                        .extend(std::iter::repeat(Expr::Const(Value::Null)).take(r.n_cols()));
-                    out.push_row(combined);
-                }
-            }
-            Ok(out)
-        }
-        Query::Proj { cols, .. } => {
-            let star = children[0];
-            check_cols_arity(cols, star.n_cols(), "proj")?;
-            Ok(star.select_columns(cols))
-        }
-        Query::Sort { cols, asc, .. } => {
-            let star = children[0];
-            check_cols_arity(cols, star.n_cols(), "sort")?;
-            let mut indexed: Vec<(Vec<Value>, usize)> = star
-                .rows()
-                .enumerate()
-                .map(|(i, row)| {
-                    (
-                        cols.iter().map(|&c| row[c].eval(inputs)).collect(),
-                        i,
-                    )
-                })
-                .collect();
-            indexed.sort_by(|a, b| if *asc { a.0.cmp(&b.0) } else { b.0.cmp(&a.0) });
-            let order: Vec<usize> = indexed.into_iter().map(|(_, i)| i).collect();
-            Ok(star.select_rows(&order))
-        }
-        Query::Group {
-            keys, agg, target, ..
-        } => {
-            let star = children[0];
-            check_cols_arity(keys, star.n_cols(), "group")?;
-            check_cols_arity(&[*target], star.n_cols(), "group")?;
-            let groups = extract_groups_star(star, keys, inputs);
-            let mut out = Grid::empty(keys.len() + 1);
-            for g in groups {
-                let mut row: Vec<Expr> = keys
-                    .iter()
-                    .map(|&k| Expr::group(g.iter().map(|&i| star[(i, k)].clone()).collect()))
-                    .collect();
-                let members: Vec<Expr> = g.iter().map(|&i| star[(i, *target)].clone()).collect();
-                row.push(Expr::apply(FuncName::Agg(*agg), members));
-                out.push_row(row);
-            }
-            Ok(out)
-        }
-        Query::Partition {
-            keys, func, target, ..
-        } => {
-            let star = children[0];
-            check_cols_arity(keys, star.n_cols(), "partition")?;
-            check_cols_arity(&[*target], star.n_cols(), "partition")?;
-            let groups = extract_groups_star(star, keys, inputs);
-            let mut new_col: Vec<Option<Expr>> = vec![None; star.n_rows()];
-            for g in &groups {
-                let members: Vec<Expr> =
-                    g.iter().map(|&i| star[(i, *target)].clone()).collect();
-                for (pos, &i) in g.iter().enumerate() {
-                    new_col[i] = Some(window_term(*func, &members, pos));
-                }
-            }
-            let mut out = Grid::empty(star.n_cols() + 1);
-            for (i, row) in star.rows().enumerate() {
-                let mut r = row.to_vec();
-                r.push(new_col[i].clone().expect("every row belongs to a group"));
-                out.push_row(r);
-            }
-            Ok(out)
-        }
-        Query::Arith { func, cols, .. } => {
-            let star = children[0];
-            check_cols_arity(cols, star.n_cols(), "arithmetic")?;
-            let mut out = Grid::empty(star.n_cols() + 1);
-            for row in star.rows() {
-                let args: Vec<Expr> = cols.iter().map(|&c| row[c].clone()).collect();
-                let mut r = row.to_vec();
-                r.push(expand_arith(func, &args));
-                out.push_row(r);
-            }
-            Ok(out)
-        }
-    }
+    Ok(ProvenanceEngine.exec(q, inputs)?.star().clone())
 }
 
 /// Evaluates every cell of a provenance table, recovering the concrete
@@ -227,7 +74,7 @@ pub fn concretize(star: &ProvTable, inputs: &[Table]) -> Table {
 /// * aggregates broadcast — `α(member₁, …)` for every row;
 /// * `cumsum` takes the prefix — `sum(member₁, …, member_pos)`;
 /// * `rank`/`dense_rank` prepend the row's own value — `rank(own, peers…)`.
-fn window_term(func: AnalyticFunc, members: &[Expr], pos: usize) -> Expr {
+pub(crate) fn window_term(func: AnalyticFunc, members: &[Expr], pos: usize) -> Expr {
     match func {
         AnalyticFunc::Agg(a) => Expr::apply(FuncName::Agg(a), members.to_vec()),
         AnalyticFunc::CumSum => Expr::apply(
@@ -262,67 +109,13 @@ pub fn expand_arith(func: &ArithExpr, args: &[Expr]) -> Expr {
     }
 }
 
-/// `extractGroups` over a provenance table: groups rows by the *concrete
-/// values* of the key columns.
-fn extract_groups_star(star: &ProvTable, keys: &[usize], inputs: &[Table]) -> Vec<Vec<usize>> {
-    let mut seen: Vec<Vec<Value>> = Vec::new();
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (i, row) in star.rows().enumerate() {
-        let key: Vec<Value> = keys.iter().map(|&c| row[c].eval(inputs)).collect();
-        match seen.iter().position(|k| *k == key) {
-            Some(g) => groups[g].push(i),
-            None => {
-                seen.push(key);
-                groups.push(vec![i]);
-            }
-        }
-    }
-    groups
-}
-
-fn eval_row(row: &[Expr], inputs: &[Table]) -> Vec<Value> {
-    row.iter().map(|e| e.eval(inputs)).collect()
-}
-
-fn cross(l: &ProvTable, r: &ProvTable) -> ProvTable {
-    let mut out = Grid::empty(l.n_cols() + r.n_cols());
-    for lrow in l.rows() {
-        for rrow in r.rows() {
-            let mut row = lrow.to_vec();
-            row.extend_from_slice(rrow);
-            out.push_row(row);
-        }
-    }
-    out
-}
-
-fn check_cols_arity(cols: &[usize], arity: usize, operator: &'static str) -> Result<(), EvalError> {
-    match cols.iter().find(|&&c| c >= arity) {
-        Some(&col) => Err(EvalError::ColumnOutOfRange {
-            col,
-            arity,
-            operator,
-        }),
-        None => Ok(()),
-    }
-}
-
-fn check_pred_arity(pred: &Pred, arity: usize, operator: &'static str) -> Result<(), EvalError> {
-    match pred.max_col() {
-        Some(c) if c >= arity => Err(EvalError::ColumnOutOfRange {
-            col: c,
-            arity,
-            operator,
-        }),
-        _ => Ok(()),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Pred;
     use crate::eval::evaluate;
-    use sickle_table::{AggFunc, ArithOp, CmpOp};
+    use sickle_provenance::CellRef;
+    use sickle_table::{AggFunc, ArithOp, CmpOp, Value};
 
     /// Fig. 1's input table (8 rows of city A and 2 of city B for brevity
     /// in some tests; the full running example lives in the integration
@@ -331,14 +124,62 @@ mod tests {
         Table::new(
             ["City", "Quarter", "Group", "Enrolled", "Population"],
             vec![
-                vec!["A".into(), 1.into(), "Youth".into(), 1667.into(), 5668.into()],
-                vec!["A".into(), 1.into(), "Adult".into(), 1367.into(), 5668.into()],
-                vec!["A".into(), 2.into(), "Youth".into(), 256.into(), 5668.into()],
-                vec!["A".into(), 2.into(), "Adult".into(), 347.into(), 5668.into()],
-                vec!["A".into(), 3.into(), "Youth".into(), 148.into(), 5668.into()],
-                vec!["A".into(), 3.into(), "Adult".into(), 237.into(), 5668.into()],
-                vec!["A".into(), 4.into(), "Youth".into(), 556.into(), 5668.into()],
-                vec!["A".into(), 4.into(), "Adult".into(), 432.into(), 5668.into()],
+                vec![
+                    "A".into(),
+                    1.into(),
+                    "Youth".into(),
+                    1667.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    1.into(),
+                    "Adult".into(),
+                    1367.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    2.into(),
+                    "Youth".into(),
+                    256.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    2.into(),
+                    "Adult".into(),
+                    347.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    3.into(),
+                    "Youth".into(),
+                    148.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    3.into(),
+                    "Adult".into(),
+                    237.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    4.into(),
+                    "Youth".into(),
+                    556.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    4.into(),
+                    "Adult".into(),
+                    432.into(),
+                    5668.into(),
+                ],
             ],
         )
         .unwrap()
@@ -374,7 +215,10 @@ mod tests {
         let cell = &star[(3, 5)];
         let refs = cell.refs();
         let enrolled_refs = refs.iter().filter(|r| r.col == 3).count();
-        assert_eq!(enrolled_refs, 8, "cumsum must flatten to 8 enrolled cells: {cell}");
+        assert_eq!(
+            enrolled_refs, 8,
+            "cumsum must flatten to 8 enrolled cells: {cell}"
+        );
         let shown = cell.to_string();
         assert!(shown.starts_with("((sum(T1[1,4]"), "{shown}");
         assert!(shown.contains("* 100"), "{shown}");

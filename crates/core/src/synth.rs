@@ -19,6 +19,8 @@
 //!    timeout, or when a caller-supplied stop predicate fires.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sickle_table::{
@@ -27,8 +29,9 @@ use sickle_table::{
 
 use sickle_provenance::{demo_consistent, Demo, RefUniverse};
 
-use crate::abstract_eval::{abstract_consistent, abstract_evaluate_rc, demo_ref_sets, EvalCache};
+use crate::abstract_eval::{abstract_consistent, abstract_evaluate_rc, demo_ref_sets};
 use crate::ast::{PQuery, Pred, Query};
+use crate::engine::{EvalCache, Semantics};
 
 /// A primary/foreign-key pair declared on the inputs; join predicates are
 /// enumerated from these only (§5.1).
@@ -125,6 +128,10 @@ pub struct SynthConfig {
     /// Forbid immediately repeated `filter`/`sort` (they compose to a
     /// single equivalent operator, so repeats only duplicate work).
     pub forbid_trivial_repeats: bool,
+    /// External cancellation flag: the search stops (reporting a timeout)
+    /// as soon as this is set. Used by [`synthesize_parallel`] workers to
+    /// stop each other once enough solutions are found.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SynthConfig {
@@ -141,6 +148,7 @@ impl Default for SynthConfig {
             enable_join: false,
             arith_templates: default_arith_templates(),
             forbid_trivial_repeats: true,
+            cancel: None,
         }
     }
 }
@@ -272,6 +280,28 @@ pub struct SynthResult {
     pub stats: SearchStats,
 }
 
+/// Atomic search counters shared across [`synthesize_parallel`] workers:
+/// live aggregate visited/pruned/solution counts that every worker updates
+/// as it goes (per-worker wall-clock numbers are merged at the end), plus
+/// the internal "pool satisfied" flag that winds the other workers down.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    /// Queries taken off any worker's work list.
+    pub visited: AtomicUsize,
+    /// Partial queries pruned by the analyzer, across workers.
+    pub pruned: AtomicUsize,
+    /// Concrete queries checked against Def. 1, across workers.
+    pub concrete_checked: AtomicUsize,
+    /// Solutions found so far, across workers.
+    pub solutions: AtomicUsize,
+    /// Set when the pooled solution count satisfied the target (or a
+    /// worker's stop predicate fired): peers stop without reporting a
+    /// timeout. Distinct from `SynthConfig::cancel`, which is the
+    /// *caller's* abort switch and is reported as a timeout, exactly as
+    /// the sequential search reports it.
+    pub satisfied: AtomicBool,
+}
+
 /// Runs Algorithm 1 until `N` solutions are found or budgets expire.
 pub fn synthesize(ctx: &TaskContext, config: &SynthConfig, analyzer: &dyn Analyzer) -> SynthResult {
     synthesize_until(ctx, config, analyzer, |_| false)
@@ -286,7 +316,13 @@ pub fn synthesize_until(
     analyzer: &dyn Analyzer,
     stop: impl FnMut(&Query) -> bool,
 ) -> SynthResult {
-    synthesize_seeded(ctx, config, analyzer, construct_skeletons(ctx, config), stop)
+    synthesize_seeded(
+        ctx,
+        config,
+        analyzer,
+        construct_skeletons(ctx, config),
+        stop,
+    )
 }
 
 /// Runs the search from an explicit work list of seed (partial) queries
@@ -297,7 +333,20 @@ pub fn synthesize_seeded(
     config: &SynthConfig,
     analyzer: &dyn Analyzer,
     seeds: Vec<PQuery>,
+    stop: impl FnMut(&Query) -> bool,
+) -> SynthResult {
+    synthesize_seeded_with(ctx, config, analyzer, seeds, stop, None)
+}
+
+/// [`synthesize_seeded`] with optional live counters shared across parallel
+/// workers.
+fn synthesize_seeded_with(
+    ctx: &TaskContext,
+    config: &SynthConfig,
+    analyzer: &dyn Analyzer,
+    seeds: Vec<PQuery>,
     mut stop: impl FnMut(&Query) -> bool,
+    shared: Option<&SharedStats>,
 ) -> SynthResult {
     let started = Instant::now();
     let mut stats = SearchStats::default();
@@ -305,6 +354,11 @@ pub fn synthesize_seeded(
     let mut work: VecDeque<PQuery> = seeds.into();
     // pop_back consumes from the end: reverse so smaller skeletons run first.
     work.make_contiguous().reverse();
+    let bump = |counter: fn(&SharedStats) -> &AtomicUsize| {
+        if let Some(s) = shared {
+            counter(s).fetch_add(1, Ordering::Relaxed);
+        }
+    };
 
     // Depth-first exploration: the skeleton seeds are size-ordered, and
     // LIFO keeps the live frontier small (the BFS of Algorithm 1 is
@@ -324,34 +378,52 @@ pub fn synthesize_seeded(
                 break;
             }
         }
+        if let Some(cancel) = &config.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                stats.timed_out = true;
+                break;
+            }
+        }
+        if let Some(s) = shared {
+            // Another worker satisfied the pooled solution target (or its
+            // stop predicate): stop quietly — this is a successful finish,
+            // not a budget expiry.
+            if s.satisfied.load(Ordering::Relaxed)
+                || s.solutions.load(Ordering::Relaxed) >= config.max_solutions
+            {
+                break;
+            }
+        }
         stats.visited += 1;
+        bump(|s| &s.visited);
 
         if pq.is_concrete() {
             stats.concrete_checked += 1;
+            bump(|s| &s.concrete_checked);
             let t0 = Instant::now();
             let q = pq.to_concrete().expect("concrete by check");
-            if let Ok(bundle) = ctx.eval_cache.bundle(&q, ctx.inputs(), &ctx.universe) {
+            if let Ok(exec) = ctx.eval_cache.exec(&q, Semantics::Provenance, ctx.inputs()) {
                 // Cheap necessary condition first: the demonstration's
                 // references must embed into the exact per-cell reference
                 // sets (Def. 3 on exact provenance) before the full Def. 1
                 // expression matching is attempted.
+                let sets = exec.sets(&ctx.universe);
                 let dims = sickle_provenance::MatchDims {
                     demo_rows: ctx.demo_refs.n_rows(),
                     demo_cols: ctx.demo_refs.n_cols(),
-                    table_rows: bundle.sets.n_rows(),
-                    table_cols: bundle.sets.n_cols(),
+                    table_rows: sets.n_rows(),
+                    table_cols: sets.n_cols(),
                 };
-                let ref_feasible = sickle_provenance::find_table_match(
-                    dims,
-                    &mut |di, dj, ti, tj| {
-                        ctx.demo_refs[(di, dj)].is_subset_of(&bundle.sets[(ti, tj)])
-                    },
-                )
-                .is_some();
-                if ref_feasible && demo_consistent(ctx.demo(), &bundle.star).is_some() {
+                let ref_feasible =
+                    sickle_provenance::find_table_match(dims, &mut |di, dj, ti, tj| {
+                        ctx.demo_refs[(di, dj)].is_subset_of(&sets[(ti, tj)])
+                    })
+                    .is_some();
+                if ref_feasible && demo_consistent(ctx.demo(), exec.star()).is_some() {
                     stats.time_concrete += t0.elapsed();
                     let done = stop(&q);
                     solutions.push(q);
+                    bump(|s| &s.solutions);
                     if done || solutions.len() >= config.max_solutions {
                         break 'search;
                     }
@@ -367,6 +439,7 @@ pub fn synthesize_seeded(
         stats.time_analyze += t0.elapsed();
         if !feasible {
             stats.pruned += 1;
+            bump(|s| &s.pruned);
             continue;
         }
 
@@ -382,6 +455,124 @@ pub fn synthesize_seeded(
     // the paper's size-based ranking of consistent queries.
     solutions.sort_by_key(Query::size);
     SynthResult { solutions, stats }
+}
+
+/// Runs Algorithm 1 with top-level skeleton expansion parallelized across
+/// `workers` OS threads.
+///
+/// The size-ordered skeleton list is dealt round-robin to the workers, so
+/// every thread starts on small skeletons. Each worker owns a private
+/// [`TaskContext`] (evaluation caches are thread-local by design — the
+/// engine's `Rc`-shared tables are not `Sync`) and all workers update one
+/// [`SharedStats`] (live pruned/visited counts) and watch one cancellation
+/// flag: as soon as the pooled solution count reaches
+/// `config.max_solutions` (or any worker's `stop` fires), everyone winds
+/// down.
+///
+/// Merged results are ranked by query size exactly as the sequential
+/// search ranks them.
+pub fn synthesize_parallel(
+    task: &SynthTask,
+    config: &SynthConfig,
+    make_analyzer: impl Fn() -> Box<dyn Analyzer> + Sync,
+    workers: usize,
+    stop: impl Fn(&Query) -> bool + Sync,
+) -> SynthResult {
+    let workers = workers.max(1);
+    let seed_ctx = TaskContext::new(task.clone());
+    let skeletons = construct_skeletons(&seed_ctx, config);
+    if workers == 1 {
+        let mut result = synthesize_seeded_with(
+            &seed_ctx,
+            config,
+            make_analyzer().as_ref(),
+            skeletons,
+            |q| stop(q),
+            None,
+        );
+        result.solutions.sort_by_key(Query::size);
+        return result;
+    }
+
+    // Deal skeletons round-robin so each worker sees small sizes first.
+    let mut shards: Vec<Vec<PQuery>> = vec![Vec::new(); workers];
+    for (i, sk) in skeletons.into_iter().enumerate() {
+        shards[i % workers].push(sk);
+    }
+
+    let shared = SharedStats::default();
+
+    let results: Vec<SynthResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let cfg = config.clone();
+                let shared = &shared;
+                let make_analyzer = &make_analyzer;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let ctx = TaskContext::new(task.clone());
+                    let analyzer = make_analyzer();
+                    let max_solutions = cfg.max_solutions;
+                    synthesize_seeded_with(
+                        &ctx,
+                        &cfg,
+                        analyzer.as_ref(),
+                        shard,
+                        |q| {
+                            // `shared.solutions` is incremented *after* this
+                            // callback returns, so count the solution at hand
+                            // too: once the pool reaches the target, stop the
+                            // other workers as well (they also watch the
+                            // pooled count directly, covering concurrent
+                            // finds that each see a stale count here).
+                            let found = shared.solutions.load(Ordering::Relaxed) + 1;
+                            if stop(q) || found >= max_solutions {
+                                shared.satisfied.store(true, Ordering::Relaxed);
+                                true
+                            } else {
+                                false
+                            }
+                        },
+                        Some(shared),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("synthesis worker panicked"))
+            .collect()
+    });
+
+    let mut merged = SynthResult {
+        solutions: Vec::new(),
+        stats: SearchStats::default(),
+    };
+    for r in results {
+        for q in r.solutions {
+            if !merged.solutions.contains(&q) {
+                merged.solutions.push(q);
+            }
+        }
+        merged.stats.visited += r.stats.visited;
+        merged.stats.pruned += r.stats.pruned;
+        merged.stats.concrete_checked += r.stats.concrete_checked;
+        merged.stats.expanded += r.stats.expanded;
+        merged.stats.elapsed = merged.stats.elapsed.max(r.stats.elapsed);
+        merged.stats.time_analyze += r.stats.time_analyze;
+        merged.stats.time_concrete += r.stats.time_concrete;
+        merged.stats.time_expand += r.stats.time_expand;
+        // Workers stopped by pool satisfaction break quietly (no timeout
+        // flag); a budget expiry racing the winning worker is still not a
+        // timeout for the run as a whole. External cancellation
+        // (`config.cancel`) and genuine budget expiry both surface as
+        // `timed_out`, exactly as in the sequential search.
+        merged.stats.timed_out |= r.stats.timed_out && !shared.satisfied.load(Ordering::Relaxed);
+    }
+    merged.solutions.sort_by_key(Query::size);
+    merged.solutions.truncate(config.max_solutions);
+    merged
 }
 
 // ---------------------------------------------------------------------------
@@ -787,11 +978,13 @@ fn fill_hole(
 /// concrete: `true` marks a numeric column.
 fn numeric_cols(src: &PQuery, ctx: &TaskContext) -> Option<Vec<bool>> {
     let q = src.to_concrete()?;
-    let bundle = ctx
+    // Values-level evaluation suffices here; the abstract analyzer will
+    // upgrade the cache entry to the full channels when it needs them.
+    let exec = ctx
         .eval_cache
-        .bundle(&q, ctx.inputs(), &ctx.universe)
+        .exec(&q, Semantics::Values, ctx.inputs())
         .ok()?;
-    let t = bundle.table(ctx.inputs());
+    let t = exec.table();
     let mut numeric = vec![false; t.n_cols()];
     for (c, flag) in numeric.iter_mut().enumerate() {
         let mut any = false;
@@ -810,7 +1003,12 @@ fn numeric_cols(src: &PQuery, ctx: &TaskContext) -> Option<Vec<bool>> {
 
 /// Key-column subsets in increasing size (optionally including the empty
 /// set), up to `max_cols` columns.
-fn key_subsets(src: &PQuery, ctx: &TaskContext, config: &SynthConfig, max_cols: usize) -> Vec<Vec<usize>> {
+fn key_subsets(
+    src: &PQuery,
+    ctx: &TaskContext,
+    config: &SynthConfig,
+    max_cols: usize,
+) -> Vec<Vec<usize>> {
     let Some(n) = src.n_cols(&ctx.input_arities) else {
         return Vec::new();
     };
@@ -929,7 +1127,7 @@ fn arith_domain(
         return Vec::new();
     };
     let numeric = numeric_cols(src, ctx);
-    let is_num = |c: usize| numeric.as_ref().map_or(true, |v| v[c]);
+    let is_num = |c: usize| numeric.as_ref().is_none_or(|v| v[c]);
     let mut out = Vec::new();
     for template in &config.arith_templates {
         match template.arity() {
@@ -992,9 +1190,17 @@ fn join_pred_domain(left: &PQuery, right: &PQuery, ctx: &TaskContext) -> Vec<Pre
         .iter()
         .filter_map(|jk| {
             if jk.left_table == *li && jk.right_table == *ri {
-                Some(Pred::ColCmp(jk.left_col, CmpOp::Eq, left_arity + jk.right_col))
+                Some(Pred::ColCmp(
+                    jk.left_col,
+                    CmpOp::Eq,
+                    left_arity + jk.right_col,
+                ))
             } else if jk.left_table == *ri && jk.right_table == *li {
-                Some(Pred::ColCmp(jk.right_col, CmpOp::Eq, left_arity + jk.left_col))
+                Some(Pred::ColCmp(
+                    jk.right_col,
+                    CmpOp::Eq,
+                    left_arity + jk.left_col,
+                ))
             } else {
                 None
             }
@@ -1011,16 +1217,76 @@ mod tests {
         Table::new(
             ["City", "Quarter", "Group", "Enrolled", "Population"],
             vec![
-                vec!["A".into(), 1.into(), "Youth".into(), 1667.into(), 5668.into()],
-                vec!["A".into(), 1.into(), "Adult".into(), 1367.into(), 5668.into()],
-                vec!["A".into(), 2.into(), "Youth".into(), 256.into(), 5668.into()],
-                vec!["A".into(), 2.into(), "Adult".into(), 347.into(), 5668.into()],
-                vec!["A".into(), 3.into(), "Youth".into(), 148.into(), 5668.into()],
-                vec!["A".into(), 3.into(), "Adult".into(), 237.into(), 5668.into()],
-                vec!["A".into(), 4.into(), "Youth".into(), 556.into(), 5668.into()],
-                vec!["A".into(), 4.into(), "Adult".into(), 432.into(), 5668.into()],
-                vec!["B".into(), 1.into(), "Youth".into(), 2578.into(), 10541.into()],
-                vec!["B".into(), 1.into(), "Adult".into(), 1200.into(), 10541.into()],
+                vec![
+                    "A".into(),
+                    1.into(),
+                    "Youth".into(),
+                    1667.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    1.into(),
+                    "Adult".into(),
+                    1367.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    2.into(),
+                    "Youth".into(),
+                    256.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    2.into(),
+                    "Adult".into(),
+                    347.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    3.into(),
+                    "Youth".into(),
+                    148.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    3.into(),
+                    "Adult".into(),
+                    237.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    4.into(),
+                    "Youth".into(),
+                    556.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "A".into(),
+                    4.into(),
+                    "Adult".into(),
+                    432.into(),
+                    5668.into(),
+                ],
+                vec![
+                    "B".into(),
+                    1.into(),
+                    "Youth".into(),
+                    2578.into(),
+                    10541.into(),
+                ],
+                vec![
+                    "B".into(),
+                    1.into(),
+                    "Adult".into(),
+                    1200.into(),
+                    10541.into(),
+                ],
             ],
         )
         .unwrap()

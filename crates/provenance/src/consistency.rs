@@ -56,10 +56,7 @@ pub fn expr_consistent(e: &DemoExpr, star: &Expr) -> bool {
                 (false, true) => subsequence_args_match(args, sargs),
                 (false, false) => {
                     args.len() == sargs.len()
-                        && args
-                            .iter()
-                            .zip(sargs)
-                            .all(|(a, s)| expr_consistent(a, s))
+                        && args.iter().zip(sargs).all(|(a, s)| expr_consistent(a, s))
                 }
             }
         }
@@ -264,7 +261,10 @@ mod tests {
     fn table_level_consistency_running_shape() {
         // Star table: 2 rows x 2 cols; demo 1 row x 2 cols drawn from row 1.
         let star = Grid::from_rows(vec![
-            vec![Expr::group(vec![r(0, 0), r(1, 0)]), sum(vec![r(0, 1), r(1, 1)])],
+            vec![
+                Expr::group(vec![r(0, 0), r(1, 0)]),
+                sum(vec![r(0, 1), r(1, 1)]),
+            ],
             vec![Expr::group(vec![r(2, 0)]), sum(vec![r(2, 1)])],
         ])
         .unwrap();

@@ -114,10 +114,8 @@ impl DemoExpr {
                 if *partial {
                     return None;
                 }
-                let vals: Vec<Value> = args
-                    .iter()
-                    .map(|a| a.eval(inputs))
-                    .collect::<Option<_>>()?;
+                let vals: Vec<Value> =
+                    args.iter().map(|a| a.eval(inputs)).collect::<Option<_>>()?;
                 Some(match func {
                     FuncName::Agg(a) => a.apply(&vals),
                     FuncName::Op(o) => {
@@ -319,7 +317,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {} in {:?}: {}", self.pos, self.src, self.msg)
+        write!(
+            f,
+            "parse error at byte {} in {:?}: {}",
+            self.pos, self.src, self.msg
+        )
     }
 }
 
@@ -469,7 +471,7 @@ impl<'s> Parser<'s> {
         }
         let s = &self.src[start..self.pos];
         self.pos += 1;
-        Ok(DemoExpr::Const(Value::Str(s.to_owned())))
+        Ok(DemoExpr::Const(Value::from(s)))
     }
 
     fn number(&mut self) -> Result<DemoExpr, ParseError> {

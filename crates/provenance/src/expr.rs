@@ -357,10 +357,7 @@ mod tests {
                 Expr::Const(Value::Int(100)),
             ],
         );
-        assert_eq!(
-            e.to_string(),
-            "((sum(T1[1,4], T1[2,4]) / T1[1,5]) * 100)"
-        );
+        assert_eq!(e.to_string(), "((sum(T1[1,4], T1[2,4]) / T1[1,5]) * 100)");
     }
 
     #[test]

@@ -110,8 +110,7 @@ pub fn find_table_match(
     let mut used_cols = vec![false; dims.table_cols];
     // row_candidates[di] = set of table rows compatible with all columns
     // assigned so far (as a bitmask-free bool vec for simplicity).
-    let row_candidates: Vec<Vec<bool>> =
-        vec![vec![true; dims.table_rows]; dims.demo_rows];
+    let row_candidates: Vec<Vec<bool>> = vec![vec![true; dims.table_rows]; dims.demo_rows];
 
     fn assign(
         depth: usize,
@@ -234,10 +233,8 @@ mod tests {
 
     #[test]
     fn identity_match() {
-        let got = find_table_match(dims(2, 2, 2, 2), &mut |di, dj, ti, tj| {
-            di == ti && dj == tj
-        })
-        .unwrap();
+        let got =
+            find_table_match(dims(2, 2, 2, 2), &mut |di, dj, ti, tj| di == ti && dj == tj).unwrap();
         assert_eq!(got.col_map, vec![0, 1]);
         assert_eq!(got.row_map, vec![0, 1]);
     }
@@ -261,9 +258,7 @@ mod tests {
     #[test]
     fn injectivity_on_rows_enforced() {
         // Both demo rows only compatible with table row 0 -> impossible.
-        assert!(
-            find_table_match(dims(2, 1, 2, 1), &mut |_, _, ti, _| ti == 0).is_none()
-        );
+        assert!(find_table_match(dims(2, 1, 2, 1), &mut |_, _, ti, _| ti == 0).is_none());
     }
 
     #[test]

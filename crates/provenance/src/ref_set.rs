@@ -140,7 +140,10 @@ impl RefSet {
     /// `self ⊆ other`.
     pub fn is_subset_of(&self, other: &RefSet) -> bool {
         debug_assert_eq!(self.words.len(), other.words.len());
-        self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(w, o)| w & !o == 0)
     }
 
     /// Number of references in the set.

@@ -40,12 +40,14 @@
 //!
 //! ## Crate map
 //!
-//! * [`sickle_table`] — values, tables, aggregation/window/arithmetic
-//!   functions (re-exported: [`Table`], [`Value`], [`AggFunc`], …);
+//! * [`sickle_table`] — columnar values/tables with `Arc`-shared columns,
+//!   the value interner, aggregation/window/arithmetic functions
+//!   (re-exported: [`Table`], [`Value`], [`AggFunc`], …);
 //! * [`sickle_provenance`] — provenance expressions `e★`, demonstrations
 //!   `E`, the `≺` consistency rules;
-//! * [`sickle_core`] — the Fig. 7 query language, the three semantics and
-//!   the Algorithm 1 synthesizer;
+//! * [`sickle_core`] — the Fig. 7 query language, the unified execution
+//!   [`Engine`] behind the three semantics, and the Algorithm 1
+//!   synthesizer (sequential and [`synthesize_parallel`]);
 //! * [`sickle_baselines`] — the type/value-abstraction baselines of §5;
 //! * [`sickle_benchmarks`] — the 80-task evaluation suite.
 
@@ -54,8 +56,10 @@
 pub use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 pub use sickle_core::{
     abstract_consistent, abstract_evaluate, concretize, evaluate, prov_evaluate, synthesize,
-    synthesize_until, Analyzer, EvalError, JoinKey, NoPruneAnalyzer, OpKind, PQuery, Pred,
-    ProvenanceAnalyzer, Query, SearchStats, SynthConfig, SynthResult, SynthTask, TaskContext,
+    synthesize_parallel, synthesize_until, AnalysisEngine, Analyzer, ConcreteEngine, Engine,
+    EvalCache, EvalError, ExecTable, JoinKey, NoPruneAnalyzer, OpKind, PQuery, Pred,
+    ProvenanceAnalyzer, ProvenanceEngine, Query, SearchStats, Semantics, SharedStats, SynthConfig,
+    SynthResult, SynthTask, TaskContext,
 };
 pub use sickle_provenance::{
     demo_consistent, expr_consistent, parse_expr, CellRef, Demo, DemoExpr, Expr, FuncName,

@@ -1,0 +1,157 @@
+//! Value interning: fixed-width equality keys for grouping, joins and bag
+//! comparison.
+//!
+//! The synthesizer's hot loops (`extractGroups`, bag equality, join
+//! predicates) compare cell values millions of times. Deep [`Value`]
+//! comparison walks enum variants and string bytes; a [`ValueInterner`]
+//! instead maps every value to a [`ValueKey`] — a tagged 64-bit payload —
+//! once, after which equality and hashing are integer operations.
+//!
+//! Keys agree exactly with [`Value`]'s equality: `Int(5)` and `Float(5.0)`
+//! intern to the same numeric key (both normalize through `f64` bits, like
+//! `Value`'s `Hash`), `-0.0` collapses to `+0.0`, and strings intern to
+//! dense ids.
+//!
+//! # Examples
+//!
+//! ```
+//! use sickle_table::{Value, ValueInterner};
+//!
+//! let mut interner = ValueInterner::new();
+//! let a = interner.key(&Value::Int(5));
+//! let b = interner.key(&Value::Float(5.0));
+//! assert_eq!(a, b);
+//! let x = interner.key(&"apple".into());
+//! let y = interner.key(&"apple".into());
+//! let z = interner.key(&"pear".into());
+//! assert_eq!(x, y);
+//! assert_ne!(x, z);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::value::{normalize_bits, Value};
+
+/// A fixed-width equality key for a [`Value`], produced by a
+/// [`ValueInterner`].
+///
+/// Keys from the *same* interner compare equal iff the original values
+/// compare equal (`Value::eq`); keys from different interners must not be
+/// mixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueKey {
+    tag: u8,
+    bits: u64,
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_NUM: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_BOOL: u8 = 3;
+
+/// Interns values to integer [`ValueKey`]s.
+///
+/// String ids are assigned densely in first-seen order; numeric, boolean
+/// and null keys are computed without any table lookup.
+#[derive(Debug, Default)]
+pub struct ValueInterner {
+    ids: HashMap<Arc<str>, u64>,
+}
+
+impl ValueInterner {
+    /// Creates an empty interner.
+    pub fn new() -> ValueInterner {
+        ValueInterner::default()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn n_strings(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The equality key of `v`.
+    pub fn key(&mut self, v: &Value) -> ValueKey {
+        match v {
+            Value::Null => ValueKey {
+                tag: TAG_NULL,
+                bits: 0,
+            },
+            // Int and Float share the numeric tag and normalize through
+            // f64 bits, exactly as Value's Eq/Hash do.
+            Value::Int(i) => ValueKey {
+                tag: TAG_NUM,
+                bits: normalize_bits(*i as f64),
+            },
+            Value::Float(f) => ValueKey {
+                tag: TAG_NUM,
+                bits: normalize_bits(*f),
+            },
+            Value::Str(s) => {
+                let next = self.ids.len() as u64;
+                let id = *self.ids.entry(Arc::clone(s)).or_insert(next);
+                ValueKey {
+                    tag: TAG_STR,
+                    bits: id,
+                }
+            }
+            Value::Bool(b) => ValueKey {
+                tag: TAG_BOOL,
+                bits: u64::from(*b),
+            },
+        }
+    }
+
+    /// Keys for one row's cells at the given columns (a grouping key).
+    pub fn row_key<'a>(&mut self, cells: impl IntoIterator<Item = &'a Value>) -> Vec<ValueKey> {
+        cells.into_iter().map(|v| self.key(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_keys_cross_type() {
+        let mut i = ValueInterner::new();
+        assert_eq!(i.key(&Value::Int(2)), i.key(&Value::Float(2.0)));
+        assert_ne!(i.key(&Value::Int(2)), i.key(&Value::Float(2.5)));
+        assert_eq!(i.key(&Value::Float(-0.0)), i.key(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn kinds_never_collide() {
+        let mut i = ValueInterner::new();
+        let keys = [
+            i.key(&Value::Null),
+            i.key(&Value::Int(0)),
+            i.key(&"0".into()),
+            i.key(&Value::Bool(false)),
+        ];
+        for a in 0..keys.len() {
+            for b in a + 1..keys.len() {
+                assert_ne!(keys[a], keys[b], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn string_ids_are_stable() {
+        let mut i = ValueInterner::new();
+        let a1 = i.key(&"a".into());
+        let b = i.key(&"b".into());
+        let a2 = i.key(&"a".into());
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(i.n_strings(), 2);
+    }
+
+    #[test]
+    fn row_key_matches_per_cell_keys() {
+        let mut i = ValueInterner::new();
+        let row = [Value::Int(1), "x".into()];
+        let rk = i.row_key(row.iter());
+        assert_eq!(rk, vec![i.key(&row[0]), i.key(&row[1])]);
+    }
+}

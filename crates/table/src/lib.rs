@@ -7,11 +7,15 @@
 //! This crate provides:
 //!
 //! * [`Value`] — scalar cell values with a total order (grouping/sorting);
-//! * [`Grid`] — a generic row-major matrix shared by concrete, provenance
-//!   and abstract tables;
+//! * [`Grid`] — a generic *columnar* matrix with `Arc`-shared columns,
+//!   shared by concrete, provenance and abstract tables (projection is a
+//!   pointer copy, cloning never copies cell data);
 //! * [`Table`] — the paper's *ordered bag of tuples* (§3.1) with bag
-//!   equality, containment, projection, cross product and the
-//!   `extractGroups` primitive ([`extract_groups`]);
+//!   equality, containment, projection, selection-vector cross product and
+//!   the `extractGroups` primitive ([`extract_groups`]);
+//! * [`ValueInterner`] / [`ValueKey`] — integer equality keys, so grouping,
+//!   joins and bag comparison hash and compare integers instead of deep
+//!   values;
 //! * [`AggFunc`], [`AnalyticFunc`], [`ArithExpr`] — the function library of
 //!   the Fig. 7 language.
 //!
@@ -45,12 +49,14 @@
 
 mod funcs;
 mod grid;
+mod intern;
 mod table;
 mod value;
 
-pub use funcs::{
-    default_arith_templates, AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp,
+pub use funcs::{default_arith_templates, AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp};
+pub use grid::{Grid, RaggedRowsError, Row, RowIter};
+pub use intern::{ValueInterner, ValueKey};
+pub use table::{
+    cross_selection, extract_groups, gather_column, group_rows_by_keys, Table, TableError,
 };
-pub use grid::{Grid, RaggedRowsError};
-pub use table::{extract_groups, Table, TableError};
 pub use value::Value;

@@ -4,11 +4,18 @@
 //! order-dependent analytical functions (`rank`, `cumsum`); two tables are
 //! *equivalent* when they contain the same rows as multisets
 //! (`T1 ⊆ T2 ∧ T2 ⊆ T1`).
+//!
+//! Storage is columnar ([`Grid`]) with `Arc`-shared columns, and all
+//! multiset operations (`extract_groups`, [`Table::bag_eq`],
+//! [`Table::contained_in`]) run over interned [`ValueKey`]s — hashed
+//! integer comparisons instead of deep value equality.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use crate::grid::Grid;
+use crate::grid::{Grid, Row};
+use crate::intern::{ValueInterner, ValueKey};
 use crate::value::Value;
 
 /// A concrete table: named columns over a [`Grid`] of [`Value`]s.
@@ -103,6 +110,16 @@ impl Table {
         Table { names, grid }
     }
 
+    /// Builds a table from names and an existing grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when names and grid disagree on arity.
+    pub fn from_named_grid(names: Vec<String>, grid: Grid<Value>) -> Self {
+        assert_eq!(names.len(), grid.n_cols(), "name/grid arity mismatch");
+        Table { names, grid }
+    }
+
     /// Column names.
     pub fn names(&self) -> &[String] {
         &self.names
@@ -128,18 +145,27 @@ impl Table {
         self.grid.get(row, col)
     }
 
-    /// Row `row` as a slice.
+    /// View of row `row`.
     ///
     /// # Panics
     ///
     /// Panics if out of bounds.
-    pub fn row(&self, row: usize) -> &[Value] {
+    pub fn row(&self, row: usize) -> Row<'_, Value> {
         self.grid.row(row)
     }
 
-    /// Iterator over rows.
-    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+    /// Iterator over row views.
+    pub fn rows(&self) -> impl Iterator<Item = Row<'_, Value>> {
         self.grid.rows()
+    }
+
+    /// Column `col` as a slice (the columnar fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn column(&self, col: usize) -> &[Value] {
+        self.grid.column(col)
     }
 
     /// Index of the column named `name`, if present.
@@ -148,6 +174,7 @@ impl Table {
     }
 
     /// Projection onto `cols` (`T[c̄]` in the paper), preserving row order.
+    /// Columns are shared, not copied.
     ///
     /// # Panics
     ///
@@ -159,17 +186,40 @@ impl Table {
         }
     }
 
+    /// Gather: new table with the given rows, in the given order (selection
+    /// vector application).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of bounds.
+    pub fn gather(&self, rows: &[usize]) -> Table {
+        Table {
+            names: self.names.clone(),
+            grid: self.grid.select_rows(rows),
+        }
+    }
+
+    /// Hashed multiset of interned row keys; the shared core of
+    /// [`Table::contained_in`] / [`Table::bag_eq`].
+    fn row_multiset(&self, interner: &mut ValueInterner) -> HashMap<Vec<ValueKey>, isize> {
+        let mut counts: HashMap<Vec<ValueKey>, isize> = HashMap::with_capacity(self.n_rows());
+        for r in 0..self.n_rows() {
+            let key = interner.row_key(self.grid.row(r).iter());
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        counts
+    }
+
     /// Multiset containment `self ⊆ other` (row order ignored).
     pub fn contained_in(&self, other: &Table) -> bool {
         if self.n_cols() != other.n_cols() {
             return false;
         }
-        let mut counts: BTreeMap<&[Value], isize> = BTreeMap::new();
-        for r in other.rows() {
-            *counts.entry(r).or_insert(0) += 1;
-        }
-        for r in self.rows() {
-            match counts.get_mut(r) {
+        let mut interner = ValueInterner::new();
+        let mut counts = other.row_multiset(&mut interner);
+        for r in 0..self.n_rows() {
+            let key = interner.row_key(self.grid.row(r).iter());
+            match counts.get_mut(&key) {
                 Some(c) if *c > 0 => *c -= 1,
                 _ => return false,
             }
@@ -184,19 +234,48 @@ impl Table {
 
     /// Cross product `self × other`: every row of `self` concatenated with
     /// every row of `other`, names concatenated.
+    ///
+    /// Implemented with selection vectors: two row-index vectors (repeat for
+    /// the left side, tile for the right) are built once and each output
+    /// column is gathered directly from its base column — no intermediate
+    /// per-row buffers are materialized.
     pub fn cross_product(&self, other: &Table) -> Table {
         let mut names = self.names.clone();
         names.extend(other.names.iter().cloned());
-        let mut grid = Grid::empty(self.n_cols() + other.n_cols());
-        for a in self.rows() {
-            for b in other.rows() {
-                let mut row = a.to_vec();
-                row.extend_from_slice(b);
-                grid.push_row(row);
-            }
+        let (lsel, rsel) = cross_selection(self.n_rows(), other.n_rows());
+        let mut cols: Vec<Arc<Vec<Value>>> = Vec::with_capacity(self.n_cols() + other.n_cols());
+        for c in 0..self.n_cols() {
+            cols.push(Arc::new(gather_column(self.column(c), &lsel)));
         }
-        Table { names, grid }
+        for c in 0..other.n_cols() {
+            cols.push(Arc::new(gather_column(other.column(c), &rsel)));
+        }
+        Table {
+            names,
+            grid: Grid::from_columns(cols),
+        }
     }
+}
+
+/// The selection-vector pair of a cross product: `left[i]`/`right[i]` give
+/// the source rows of output row `i` (left rows repeated, right rows tiled).
+pub fn cross_selection(left_rows: usize, right_rows: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = left_rows * right_rows;
+    let mut lsel = Vec::with_capacity(n);
+    let mut rsel = Vec::with_capacity(n);
+    for l in 0..left_rows {
+        for r in 0..right_rows {
+            lsel.push(l);
+            rsel.push(r);
+        }
+    }
+    (lsel, rsel)
+}
+
+/// Gathers `col[sel[i]]` for every selection index (one output column of a
+/// selection-vector view, materialized).
+pub fn gather_column<C: Clone>(col: &[C], sel: &[usize]) -> Vec<C> {
+    sel.iter().map(|&r| col[r].clone()).collect()
 }
 
 /// Partitions the row indices of `table` into equivalence groups by equality
@@ -205,6 +284,9 @@ impl Table {
 /// Groups are returned in order of first occurrence and each group lists row
 /// indices in ascending order, so downstream order-dependent aggregation
 /// (`cumsum`, `rank`) sees rows in table order.
+///
+/// Runs in O(rows × keys) via interned keys and hashing (the previous
+/// row-major implementation scanned all prior distinct keys per row).
 ///
 /// # Examples
 ///
@@ -222,14 +304,22 @@ impl Table {
 /// assert_eq!(extract_groups(&t, &[0]), vec![vec![0, 2], vec![1]]);
 /// ```
 pub fn extract_groups(table: &Table, cols: &[usize]) -> Vec<Vec<usize>> {
-    let mut order: Vec<Vec<Value>> = Vec::new();
+    group_rows_by_keys(table.grid(), cols)
+}
+
+/// `extractGroups` over any value grid (shared by the engine, which groups
+/// provenance and abstract tables by their concrete value channel).
+pub fn group_rows_by_keys(grid: &Grid<Value>, cols: &[usize]) -> Vec<Vec<usize>> {
+    let mut interner = ValueInterner::new();
+    let mut index: HashMap<Vec<ValueKey>, usize> = HashMap::new();
     let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (i, row) in table.rows().enumerate() {
-        let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-        match order.iter().position(|k| *k == key) {
-            Some(g) => groups[g].push(i),
+    let key_cols: Vec<&[Value]> = cols.iter().map(|&c| grid.column(c)).collect();
+    for i in 0..grid.n_rows() {
+        let key: Vec<ValueKey> = key_cols.iter().map(|col| interner.key(&col[i])).collect();
+        match index.get(&key) {
+            Some(&g) => groups[g].push(i),
             None => {
-                order.push(key);
+                index.insert(key, groups.len());
                 groups.push(vec![i]);
             }
         }
@@ -256,7 +346,7 @@ impl fmt::Display for Table {
             }
             writeln!(f)
         };
-        line(f, &self.names.iter().cloned().collect::<Vec<_>>())?;
+        line(f, &self.names.to_vec())?;
         let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
         line(f, &sep)?;
         for row in &rendered {
@@ -303,6 +393,13 @@ mod tests {
     }
 
     #[test]
+    fn bag_eq_crosses_numeric_types() {
+        let t1 = t(vec![vec![Value::Int(1)]]);
+        let t2 = t(vec![vec![Value::Float(1.0)]]);
+        assert!(t1.bag_eq(&t2));
+    }
+
+    #[test]
     fn containment_is_multiset() {
         let small = t(vec![vec![1.into()]]);
         let big = t(vec![vec![1.into()], vec![1.into()]]);
@@ -317,8 +414,8 @@ mod tests {
         let c = a.cross_product(&b);
         assert_eq!(c.n_rows(), 6);
         assert_eq!(c.n_cols(), 2);
-        assert_eq!(c.row(0), &[1.into(), "x".into()]);
-        assert_eq!(c.row(5), &[2.into(), "z".into()]);
+        assert_eq!(c.row(0), [1.into(), "x".into()]);
+        assert_eq!(c.row(5), [2.into(), "z".into()]);
     }
 
     #[test]
@@ -342,15 +439,37 @@ mod tests {
     }
 
     #[test]
+    fn extract_groups_crosses_numeric_types() {
+        let t = t(vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(1.0)],
+            vec![Value::Int(2)],
+        ]);
+        assert_eq!(extract_groups(&t, &[0]), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
     fn project_reorders_names() {
-        let t = Table::new(
-            ["a", "b"],
-            vec![vec![1.into(), 2.into()]],
-        )
-        .unwrap();
+        let t = Table::new(["a", "b"], vec![vec![1.into(), 2.into()]]).unwrap();
         let p = t.project(&[1, 0]);
         assert_eq!(p.names(), &["b".to_string(), "a".to_string()]);
-        assert_eq!(p.row(0), &[2.into(), 1.into()]);
+        assert_eq!(p.row(0), [2.into(), 1.into()]);
+    }
+
+    #[test]
+    fn gather_reorders_rows() {
+        let t = t(vec![vec![1.into()], vec![2.into()], vec![3.into()]]);
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.row(0), [3.into()]);
+        assert_eq!(g.row(1), [1.into()]);
+    }
+
+    #[test]
+    fn cross_selection_repeats_and_tiles() {
+        let (l, r) = cross_selection(2, 3);
+        assert_eq!(l, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(r, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A scalar value stored in a table cell.
 ///
@@ -23,16 +24,18 @@ use std::hash::{Hash, Hasher};
 /// assert_eq!(a, b);
 /// assert!(Value::from("apple") < Value::from("banana"));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// Missing value (e.g. the `∅` padding of an unmatched `left_join` row).
+    #[default]
     Null,
     /// 64-bit integer.
     Int(i64),
     /// 64-bit float; ordered via `total_cmp`, hashed via normalized bits.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string. Reference-counted so that cloning cells during
+    /// columnar gathers and cross products is a pointer copy.
+    Str(Arc<str>),
     /// Boolean (predicate results).
     Bool(bool),
 }
@@ -64,7 +67,7 @@ impl Value {
     /// Returns the string content, if any.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(&**s),
             _ => None,
         }
     }
@@ -158,8 +161,10 @@ impl Hash for Value {
 
 /// Collapses `-0.0` to `+0.0` and all NaNs to a single bit pattern so the
 /// `Hash` impl agrees with `total_cmp`-based equality for the values we
-/// actually produce (we never produce distinct NaN payloads).
-fn normalize_bits(f: f64) -> u64 {
+/// actually produce (we never produce distinct NaN payloads). Shared with
+/// the interner (`crate::intern`), whose numeric keys must agree with this
+/// equality.
+pub(crate) fn normalize_bits(f: f64) -> u64 {
     if f == 0.0 {
         0f64.to_bits()
     } else if f.is_nan() {
@@ -207,12 +212,18 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
@@ -220,12 +231,6 @@ impl From<String> for Value {
 impl From<bool> for Value {
     fn from(v: bool) -> Self {
         Value::Bool(v)
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

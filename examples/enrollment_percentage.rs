@@ -12,9 +12,7 @@
 use std::time::Duration;
 
 use sickle::benchmarks::data::enrollment;
-use sickle::{
-    evaluate, synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext,
-};
+use sickle::{evaluate, synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = enrollment();

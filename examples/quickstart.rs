@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run -p sickle --release --example quickstart`.
 
-use sickle::{
-    synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, Table, TaskContext,
-};
+use sickle::{synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, Table, TaskContext};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The input table the user starts from.
@@ -43,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.stats.visited,
         result.stats.pruned,
         result.solutions.len(),
-        if result.solutions.len() == 1 { "y" } else { "ies" },
+        if result.solutions.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
     );
     for (i, q) in result.solutions.iter().enumerate() {
         println!("  #{}: {q}", i + 1);

@@ -10,8 +10,8 @@ use std::time::Duration;
 
 use sickle::benchmarks::data::{store_dim, store_sales};
 use sickle::{
-    evaluate, synthesize_until, Demo, JoinKey, OpKind, ProvenanceAnalyzer, SynthConfig,
-    SynthTask, TaskContext,
+    evaluate, synthesize_until, Demo, JoinKey, OpKind, ProvenanceAnalyzer, SynthConfig, SynthTask,
+    TaskContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

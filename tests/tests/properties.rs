@@ -1,102 +1,86 @@
-//! Property-based tests of the core invariants:
+//! Property-based tests of the core invariants, driven by a deterministic
+//! in-repo generator (the offline environment has no `proptest`):
 //!
 //! * the provenance-tracking semantics agrees with direct evaluation
-//!   (`[[ [[q]]★ ]] = [[q]]`, §3.1);
+//!   (`[[ [[q]]★ ]] = [[q]]`, §3.1) — on random query/table pairs AND on
+//!   every ground-truth query of the 80-task benchmark suite;
 //! * Property 1/2: the abstract semantics over-approximates the provenance
-//!   of every instantiation, so a consistent query is never pruned;
+//!   of every instantiation, so a consistent query is never pruned
+//!   (Def. 3 soundness) — again on random pairs and the full suite;
+//! * the engine's ref-set channel agrees exactly with `ref(·)` collection
+//!   over the star channel;
 //! * demonstrations generated from a provenance table are always accepted
 //!   by the `≺` rules (truncation and permutation preserve consistency);
 //! * surface syntax round-trips through the parser.
 
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use sickle_benchmarks::demo_expr_of;
+use sickle_benchmarks::{all_benchmarks, demo_expr_of, rng::Rng};
 use sickle_core::{
     abstract_consistent, abstract_evaluate, concretize, demo_ref_sets, evaluate, prov_evaluate,
-    AbsTable, PQuery, Pred, Query,
+    AbsTable, AnalysisEngine, PQuery, Pred, Query,
 };
 use sickle_provenance::{expr_consistent, parse_expr, Demo, RefUniverse};
 use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp, Grid, Table, Value};
 
 // ---------------------------------------------------------------------------
-// Strategies
+// Deterministic generators
 // ---------------------------------------------------------------------------
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0i64..6).prop_map(Value::Int),
-        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Value::from),
-    ]
-}
-
-prop_compose! {
-    fn table_strategy()(n_rows in 1usize..7, n_cols in 2usize..5)
-        (rows in prop::collection::vec(
-            prop::collection::vec(value_strategy(), n_cols..=n_cols),
-            n_rows..=n_rows,
-        )) -> Table {
-        Table::from_grid(Grid::from_rows(rows).expect("rectangular"))
+fn random_value(rng: &mut Rng) -> Value {
+    match rng.gen_range(5) {
+        0..=2 => Value::Int(rng.gen_range(6) as i64),
+        3 => "a".into(),
+        _ => ["b", "c"][rng.gen_range(2)].into(),
     }
 }
 
-/// A small well-formed query over a table with `n_cols` columns.
-fn query_strategy(n_cols: usize) -> impl Strategy<Value = Query> {
-    let agg = prop_oneof![
-        Just(AggFunc::Sum),
-        Just(AggFunc::Avg),
-        Just(AggFunc::Max),
-        Just(AggFunc::Min),
-        Just(AggFunc::Count),
-    ];
-    let func = prop_oneof![
-        Just(AnalyticFunc::CumSum),
-        Just(AnalyticFunc::Rank),
-        Just(AnalyticFunc::DenseRank),
-        Just(AnalyticFunc::Agg(AggFunc::Sum)),
-        Just(AnalyticFunc::Agg(AggFunc::Max)),
-    ];
-    let leaf = Just(Query::Input(0)).boxed();
-    leaf.prop_recursive(2, 8, 2, move |inner| {
-        let n = n_cols;
-        prop_oneof![
-            // group: the inner query's arity shifts, so restrict keys and
-            // target to column 0/1 which every level preserves or creates.
-            (inner.clone(), 0..n.min(2), agg.clone()).prop_map(move |(src, key, agg)| {
-                Query::Group {
-                    src: Box::new(src),
-                    keys: vec![key],
-                    agg,
-                    target: key + 1, // distinct from the key, in range for all levels
-                }
-            }),
-            (inner.clone(), 0..n.min(2), func.clone()).prop_map(move |(src, key, func)| {
-                Query::Partition {
-                    src: Box::new(src),
-                    keys: vec![key],
-                    func,
-                    target: key + 1,
-                }
-            }),
-            (inner.clone(), prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul), Just(ArithOp::Div)])
-                .prop_map(|(src, op)| Query::Arith {
-                    src: Box::new(src),
-                    func: ArithExpr::bin(op, ArithExpr::Param(0), ArithExpr::Param(1)),
-                    cols: vec![0, 1],
-                }),
-            (inner.clone(), 0i64..4).prop_map(|(src, k)| Query::Filter {
-                src: Box::new(src),
-                pred: Pred::ColConst(0, CmpOp::Le, Value::Int(k)),
-            }),
-            (inner, 0..n.min(2), any::<bool>()).prop_map(|(src, c, asc)| Query::Sort {
-                src: Box::new(src),
-                cols: vec![c],
-                asc,
-            }),
-        ]
-    })
+fn random_table(rng: &mut Rng) -> Table {
+    let n_rows = 1 + rng.gen_range(6);
+    let n_cols = 2 + rng.gen_range(3);
+    let rows = (0..n_rows)
+        .map(|_| (0..n_cols).map(|_| random_value(rng)).collect())
+        .collect();
+    Table::from_grid(Grid::from_rows(rows).expect("rectangular"))
+}
+
+/// A small well-formed query over a table whose first two columns always
+/// exist (every operator preserves or creates columns 0 and 1).
+fn random_query(rng: &mut Rng, depth: usize) -> Query {
+    if depth == 0 || rng.gen_range(4) == 0 {
+        return Query::Input(0);
+    }
+    let src = Box::new(random_query(rng, depth - 1));
+    let key = rng.gen_range(2);
+    match rng.gen_range(5) {
+        0 => Query::Group {
+            src,
+            keys: vec![key],
+            agg: AggFunc::ALL[rng.gen_range(AggFunc::ALL.len())],
+            target: key + 1,
+        },
+        1 => Query::Partition {
+            src,
+            keys: vec![key],
+            func: AnalyticFunc::ALL[rng.gen_range(AnalyticFunc::ALL.len())],
+            target: key + 1,
+        },
+        2 => {
+            let op = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div][rng.gen_range(4)];
+            Query::Arith {
+                src,
+                func: ArithExpr::bin(op, ArithExpr::Param(0), ArithExpr::Param(1)),
+                cols: vec![0, 1],
+            }
+        }
+        3 => Query::Filter {
+            src,
+            pred: Pred::ColConst(0, CmpOp::Le, Value::Int(rng.gen_range(4) as i64)),
+        },
+        _ => Query::Sort {
+            src,
+            cols: vec![key],
+            asc: rng.gen_range(2) == 0,
+        },
+    }
 }
 
 /// Randomly re-open some parameters of a concrete query as holes.
@@ -191,93 +175,119 @@ fn punch_holes(q: &Query, mask: u32) -> PQuery {
     go(q, mask, &mut i)
 }
 
-/// Draws the `n`-th query from the (deterministic) strategy stream, so the
-/// proptest-provided seed actually varies the query under test.
-fn draw_query(n_cols: usize, n: u32) -> Query {
-    let mut runner = proptest::test_runner::TestRunner::deterministic();
-    let strat = query_strategy(n_cols);
-    let mut q = Query::Input(0);
-    for _ in 0..(n % 24) + 1 {
-        if let Ok(tree) = strat.new_tree(&mut runner) {
-            q = tree.current();
-        }
-    }
-    q
-}
+const CASES: u64 = 120;
 
 // ---------------------------------------------------------------------------
-// Properties
+// Randomized properties
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// §3.1: evaluating every provenance cell recovers the concrete table.
-    #[test]
-    fn semantics_agree(t in table_strategy(), q_seed in any::<u32>()) {
-        let q = draw_query(t.n_cols(), q_seed);
+/// §3.1: evaluating every provenance cell recovers the concrete table.
+#[test]
+fn semantics_agree_on_random_queries() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = random_table(&mut rng);
+        let q = random_query(&mut rng, 2);
         let inputs = [t];
         if let Ok(direct) = evaluate(&q, &inputs) {
             let star = prov_evaluate(&q, &inputs).expect("both semantics accept");
             let via_star = concretize(&star, &inputs);
-            prop_assert!(via_star.bag_eq(&direct), "query {q}");
+            assert!(via_star.bag_eq(&direct), "seed {seed}: query {q}");
         }
     }
+}
 
-    /// Property 1/2: the abstraction never prunes an instantiation.
-    /// The exact reference sets of `[[q]]★` must embed into the abstract
-    /// table of any hole-punched generalization of `q`.
-    #[test]
-    fn abstraction_is_sound(t in table_strategy(), mask in any::<u32>()) {
-        let q = draw_query(t.n_cols(), mask);
+/// Property 1/2: the abstraction never prunes an instantiation. The exact
+/// reference sets of `[[q]]★` must embed into the abstract table of any
+/// hole-punched generalization of `q` (Def. 3 soundness).
+#[test]
+fn abstraction_is_sound_on_random_queries() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = random_table(&mut rng);
+        let q = random_query(&mut rng, 2);
+        let mask = rng.next_u64() as u32;
         let inputs = [t];
-        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
+        let Ok(star) = prov_evaluate(&q, &inputs) else {
+            continue;
+        };
         if star.n_rows() == 0 {
-            return Ok(());
+            continue;
         }
         let universe = RefUniverse::from_tables(&inputs);
         let exact: Grid<_> = star.map(|e| universe.set_from(e.refs()));
         let pq = punch_holes(&q, mask);
         let abs: AbsTable = abstract_evaluate(&pq, &inputs, &universe).expect("abstract evaluates");
         // Treat the exact sets as the "demonstration": Def. 3 must hold.
-        prop_assert!(
+        assert!(
             abstract_consistent(&exact, &abs),
-            "query {q} pruned via partial {pq}"
+            "seed {seed}: query {q} pruned via partial {pq}"
         );
     }
+}
 
-    /// Demonstrations generated from provenance cells are accepted by ≺:
-    /// argument permutation and ♦-truncation preserve consistency.
-    #[test]
-    fn generated_demos_stay_consistent(t in table_strategy(), seed in any::<u64>()) {
-        let q = draw_query(t.n_cols(), seed as u32);
+/// The engine's directly-computed ref-set channel must agree exactly with
+/// collecting `ref(·)` over the star channel, on every random query.
+#[test]
+fn engine_sets_channel_matches_star_refs() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = random_table(&mut rng);
+        let q = random_query(&mut rng, 2);
         let inputs = [t];
-        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
-        let mut rng = StdRng::seed_from_u64(seed);
+        let universe = RefUniverse::from_tables(&inputs);
+        let Ok(exec) = (AnalysisEngine {
+            universe: &universe,
+        })
+        .exec_with_sets(&q, &inputs) else {
+            continue;
+        };
+        let from_star = exec.star().map(|e| universe.set_from(e.refs()));
+        assert_eq!(*exec.sets(&universe), from_star, "seed {seed}: query {q}");
+    }
+}
+
+/// Demonstrations generated from provenance cells are accepted by ≺:
+/// argument permutation and ♦-truncation preserve consistency.
+#[test]
+fn generated_demos_stay_consistent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = random_table(&mut rng);
+        let q = random_query(&mut rng, 2);
+        let inputs = [t];
+        let Ok(star) = prov_evaluate(&q, &inputs) else {
+            continue;
+        };
         for row in 0..star.n_rows().min(2) {
             for col in 0..star.n_cols() {
                 let cell = &star[(row, col)];
                 let demo = demo_expr_of(cell, &mut rng);
-                prop_assert!(
+                assert!(
                     expr_consistent(&demo, cell),
-                    "demo {demo} not ≺ {cell} (query {q})"
+                    "seed {seed}: demo {demo} not ≺ {cell} (query {q})"
                 );
             }
         }
     }
+}
 
-    /// A demonstration accepted by Def. 1 has every cell's references
-    /// embedded per Def. 3 on the exact sets (the prefilter the search
-    /// relies on is a necessary condition).
-    #[test]
-    fn def1_implies_exact_def3(t in table_strategy(), seed in any::<u64>()) {
-        let q = draw_query(t.n_cols(), seed as u32);
+/// A demonstration accepted by Def. 1 has every cell's references embedded
+/// per Def. 3 on the exact sets (the prefilter the search relies on is a
+/// necessary condition).
+#[test]
+fn def1_implies_exact_def3() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = random_table(&mut rng);
+        let q = random_query(&mut rng, 2);
         let inputs = [t];
-        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
+        let Ok(star) = prov_evaluate(&q, &inputs) else {
+            continue;
+        };
         if star.n_rows() == 0 {
-            return Ok(());
+            continue;
         }
-        let mut rng = StdRng::seed_from_u64(seed);
         let cells: Vec<_> = (0..star.n_cols())
             .map(|c| demo_expr_of(&star[(0, c)], &mut rng))
             .collect();
@@ -289,17 +299,22 @@ proptest! {
                 sets: star.map(|e| universe.set_from(e.refs())),
                 concrete: None,
             };
-            prop_assert!(abstract_consistent(&refs, &exact));
+            assert!(abstract_consistent(&refs, &exact), "seed {seed}: query {q}");
         }
     }
+}
 
-    /// Demonstration surface syntax round-trips through the parser.
-    #[test]
-    fn demo_syntax_round_trips(t in table_strategy(), seed in any::<u64>()) {
-        let q = draw_query(t.n_cols(), seed as u32);
+/// Demonstration surface syntax round-trips through the parser.
+#[test]
+fn demo_syntax_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let t = random_table(&mut rng);
+        let q = random_query(&mut rng, 2);
         let inputs = [t];
-        let Ok(star) = prov_evaluate(&q, &inputs) else { return Ok(()); };
-        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(star) = prov_evaluate(&q, &inputs) else {
+            continue;
+        };
         for row in 0..star.n_rows().min(1) {
             for col in 0..star.n_cols() {
                 let demo = demo_expr_of(&star[(row, col)], &mut rng);
@@ -308,10 +323,68 @@ proptest! {
                 if shown.contains('◇') || shown.chars().all(|c| c != '"') {
                     if let Ok(reparsed) = parse_expr(&shown.replace('◇', "...")) {
                         let back = reparsed.to_string();
-                        prop_assert_eq!(shown, back, "query {}", q);
+                        assert_eq!(shown, back, "seed {seed}: query {q}");
                     }
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-semantics properties on the 80-task benchmark suite
+// ---------------------------------------------------------------------------
+
+/// On every benchmark's ground truth (over the §5.1-sampled inputs):
+/// `evaluate` and `prov_evaluate ∘ concretize` agree as bags.
+#[test]
+fn suite_semantics_agree_on_all_80_ground_truths() {
+    for b in all_benchmarks() {
+        let (task, _) = b
+            .task(2022)
+            .unwrap_or_else(|e| panic!("benchmark {}: {e}", b.id));
+        let direct = evaluate(&b.ground_truth, &task.inputs)
+            .unwrap_or_else(|e| panic!("benchmark {}: {e}", b.id));
+        let star = prov_evaluate(&b.ground_truth, &task.inputs)
+            .unwrap_or_else(|e| panic!("benchmark {}: {e}", b.id));
+        let via_star = concretize(&star, &task.inputs);
+        assert!(
+            via_star.bag_eq(&direct),
+            "benchmark {} ({}): semantics disagree",
+            b.id,
+            b.name
+        );
+    }
+}
+
+/// Def. 3 soundness across the suite: for every ground truth, the abstract
+/// table of each hole-punched generalization over-approximates the exact
+/// provenance reference sets.
+#[test]
+fn suite_abstraction_over_approximates_all_80_ground_truths() {
+    for b in all_benchmarks() {
+        let (task, _) = b
+            .task(2022)
+            .unwrap_or_else(|e| panic!("benchmark {}: {e}", b.id));
+        let star = prov_evaluate(&b.ground_truth, &task.inputs)
+            .unwrap_or_else(|e| panic!("benchmark {}: {e}", b.id));
+        if star.n_rows() == 0 {
+            continue;
+        }
+        let universe = RefUniverse::from_tables(&task.inputs);
+        let exact: Grid<_> = star.map(|e| universe.set_from(e.refs()));
+        // Three deterministic hole patterns per benchmark: all holes, every
+        // other hole, sparse holes.
+        for mask in [0u32, 0x5555_5555, 0x1111_1111] {
+            let pq = punch_holes(&b.ground_truth, mask);
+            let abs = abstract_evaluate(&pq, &task.inputs, &universe)
+                .unwrap_or_else(|e| panic!("benchmark {}: {e}", b.id));
+            assert!(
+                abstract_consistent(&exact, &abs),
+                "benchmark {} ({}): sound abstraction violated for mask {mask:#x} ({pq})",
+                b.id,
+                b.name
+            );
         }
     }
 }

@@ -7,15 +7,9 @@ use std::time::Duration;
 
 use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 use sickle_benchmarks::all_benchmarks;
-use sickle_core::{
-    synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext,
-};
+use sickle_core::{synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext};
 
-fn solve(
-    b: &sickle_benchmarks::Benchmark,
-    analyzer: &dyn Analyzer,
-    secs: u64,
-) -> (bool, usize) {
+fn solve(b: &sickle_benchmarks::Benchmark, analyzer: &dyn Analyzer, secs: u64) -> (bool, usize) {
     let (task, _) = b.task(2022).expect("demo generates");
     let ctx = TaskContext::new(task);
     let config = SynthConfig {
@@ -41,7 +35,13 @@ fn easy_suite_sample_solves_for_all_techniques() {
             &ValueAnalyzer,
         ] {
             let (solved, _) = solve(b, analyzer, 30);
-            assert!(solved, "{} failed benchmark {} ({})", analyzer.name(), b.id, b.name);
+            assert!(
+                solved,
+                "{} failed benchmark {} ({})",
+                analyzer.name(),
+                b.id,
+                b.name
+            );
         }
     }
 }
