@@ -16,7 +16,9 @@
 
 use std::time::{Duration, Instant};
 
-use sickle_core::{abstract_evaluate, evaluate, prov_evaluate, PQuery, ProvTable, Query};
+use sickle_core::{
+    abstract_evaluate, evaluate, prov_evaluate, EvalCache, PQuery, ProvTable, Query,
+};
 use sickle_provenance::{CellRef, Expr, FuncName, RefSet, RefUniverse};
 use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, Grid, Table, Value};
 
@@ -324,14 +326,23 @@ fn main() {
         let gq = group_query();
         let pq = depth2_partial();
         let legacy = time_best(5, || legacy::abstract_depth2(&gq, &[0], &inputs, &universe));
-        let new = time_best(5, || abstract_evaluate(&pq, &inputs, &universe).unwrap());
+        // Fresh cache per iteration: the per-PQuery memo would otherwise
+        // turn every timed run after the first into a pure cache hit.
+        let new = time_best(5, || {
+            abstract_evaluate(&pq, &inputs, &universe, &EvalCache::new()).unwrap()
+        });
         // Cross-check: identical abstract sets.
         let l = legacy::abstract_depth2(&gq, &[0], &inputs, &universe);
-        let n = abstract_evaluate(&pq, &inputs, &universe).unwrap();
+        let cache = EvalCache::new();
+        let n = abstract_evaluate(&pq, &inputs, &universe, &cache).unwrap();
         assert_eq!(n.sets.n_rows(), l.len());
         for (r, lrow) in l.iter().enumerate() {
             for (c, lset) in lrow.iter().enumerate() {
-                assert_eq!(*lset, n.sets[(r, c)], "abstract sets differ at ({r},{c})");
+                assert_eq!(
+                    *lset,
+                    n.set(cache.pool(), r, c),
+                    "abstract sets differ at ({r},{c})"
+                );
             }
         }
         speedups.push(row("abstract_evaluate/depth2/800", legacy, new));

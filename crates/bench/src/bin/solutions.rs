@@ -1,0 +1,102 @@
+//! Deterministic full-suite solution dump: for every benchmark, runs the
+//! sequential provenance-guided search under a *visited-query* budget (no
+//! wall-clock cutoff, so the output is bit-for-bit reproducible) and prints
+//! the consistent queries found, in rank order.
+//!
+//! This is the regression oracle for engine/analyzer refactors: any change
+//! to the search must leave this output byte-identical. Per-task timing
+//! goes to stderr (stdout stays reproducible), and the machine-readable
+//! record set is written to `BENCH_synthesis.json` (`SICKLE_JSON`
+//! overrides the path, the empty string disables it).
+//!
+//! ```text
+//! SICKLE_MAX_VISITED=20000 cargo run -p sickle-bench --release --bin solutions
+//! ```
+
+use sickle_bench::runner::HarnessConfig;
+use sickle_bench::{technique_analyzers, write_bench_json, RunRecord, SuiteResults, Technique};
+use sickle_benchmarks::all_benchmarks;
+use sickle_core::{synthesize, SynthConfig, TaskContext};
+
+fn main() {
+    let hc = HarnessConfig::from_env();
+    let budget = std::env::var("SICKLE_MAX_VISITED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    println!(
+        "solution dump: max_visited={budget} seed={} (deterministic)",
+        hc.seed
+    );
+    let mut results = SuiteResults::default();
+    for b in all_benchmarks() {
+        if !hc.only.is_empty() && !hc.only.contains(&b.id) {
+            continue;
+        }
+        let (task, _) = b.task(hc.seed).expect("benchmark demos generate");
+        let config = SynthConfig {
+            timeout: None,
+            max_visited: Some(budget),
+            max_solutions: 10,
+            ..b.config()
+        };
+        let ctx = TaskContext::new(task);
+        let analyzer = technique_analyzers(Technique::Provenance);
+        let res = synthesize(&ctx, &config, analyzer.as_ref());
+        println!(
+            "## {:2} {} visited={} pruned={} solutions={}",
+            b.id,
+            b.name,
+            res.stats.visited,
+            res.stats.pruned,
+            res.solutions.len()
+        );
+        for (i, q) in res.solutions.iter().enumerate() {
+            println!("  {:2}. {q}", i + 1);
+        }
+        // Timing goes to stderr so stdout stays byte-for-byte reproducible.
+        let cs = ctx.analysis.stats();
+        eprintln!(
+            "{:2} wall={:.3}s analyze={:.3}s concrete={:.3}s expand={:.3}s pool={} hits={} misses={}",
+            b.id,
+            res.stats.elapsed.as_secs_f64(),
+            res.stats.time_analyze.as_secs_f64(),
+            res.stats.time_concrete.as_secs_f64(),
+            res.stats.time_expand.as_secs_f64(),
+            ctx.pool().size(),
+            cs.hits,
+            cs.misses
+        );
+        let rank = res
+            .solutions
+            .iter()
+            .position(|q| b.is_correct(q))
+            .map(|i| i + 1);
+        results.records.push(RunRecord {
+            id: b.id,
+            name: b.name.to_string(),
+            category: b.category,
+            technique: Technique::Provenance,
+            solved: rank.is_some(),
+            elapsed: res.stats.elapsed,
+            time_analyze: res.stats.time_analyze,
+            time_eval: res.stats.time_concrete,
+            time_expand: res.stats.time_expand,
+            visited: res.stats.visited,
+            pruned: res.stats.pruned,
+            rank,
+        });
+    }
+    // Report the configuration this bin actually ran with: its own
+    // visited budget and no wall-clock cutoff (recorded as 0).
+    let json_hc = HarnessConfig {
+        timeout: std::time::Duration::ZERO,
+        max_visited: budget,
+        ..hc
+    };
+    match write_bench_json(&results, &json_hc) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
+}

@@ -29,6 +29,6 @@ pub mod effort;
 pub mod runner;
 
 pub use runner::{
-    render_fig12, render_fig13, render_obs1, render_ranking, run_suite, technique_analyzers,
-    RunRecord, SuiteResults, Technique,
+    render_fig12, render_fig13, render_obs1, render_ranking, run_suite, suite_results_json,
+    technique_analyzers, write_bench_json, RunRecord, SuiteResults, Technique,
 };

@@ -52,6 +52,8 @@ pub fn technique_analyzers(t: Technique) -> Box<dyn Analyzer> {
 pub struct RunRecord {
     /// Benchmark id (1-based).
     pub id: usize,
+    /// Benchmark name.
+    pub name: String,
     /// Benchmark category.
     pub category: Category,
     /// Technique used.
@@ -60,6 +62,12 @@ pub struct RunRecord {
     pub solved: bool,
     /// Wall-clock time until the correct query (or until budget).
     pub elapsed: Duration,
+    /// Time spent in the analyzer (abstract evaluation + Def. 3 checks).
+    pub time_analyze: Duration,
+    /// Time spent evaluating concrete candidates and checking Def. 1.
+    pub time_eval: Duration,
+    /// Time spent expanding holes (domain inference + tree building).
+    pub time_expand: Duration,
     /// Queries (partial + concrete) visited.
     pub visited: usize,
     /// Partial queries pruned.
@@ -161,10 +169,14 @@ pub fn run_one(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> RunRe
         .map(|i| i + 1);
     RunRecord {
         id: b.id,
+        name: b.name.to_string(),
         category: b.category,
         technique,
         solved: rank.is_some(),
         elapsed: result.stats.elapsed,
+        time_analyze: result.stats.time_analyze,
+        time_eval: result.stats.time_concrete,
+        time_expand: result.stats.time_expand,
         visited: result.stats.visited,
         pruned: result.stats.pruned,
         rank,
@@ -193,6 +205,12 @@ impl SuiteResults {
 }
 
 /// Runs the whole suite for the given techniques, printing progress.
+///
+/// On completion the machine-readable per-task record set is written to
+/// `BENCH_synthesis.json` (override the path with `SICKLE_JSON`, disable
+/// with `SICKLE_JSON=`), so the performance trajectory — wall-clock,
+/// `time_analyze`, `time_eval`, candidates visited — is tracked across
+/// revisions.
 pub fn run_suite(techniques: &[Technique], hc: &HarnessConfig) -> SuiteResults {
     let mut results = SuiteResults::default();
     let suite = all_benchmarks();
@@ -215,7 +233,83 @@ pub fn run_suite(techniques: &[Technique], hc: &HarnessConfig) -> SuiteResults {
             results.records.push(rec);
         }
     }
+    match write_bench_json(&results, hc) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write bench JSON: {e}"),
+    }
     results
+}
+
+/// Minimal JSON string escaping (benchmark names are plain ASCII, but the
+/// writer must never emit malformed output).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the suite results as the `BENCH_synthesis.json` document.
+pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sickle-bench/synthesis/v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"timeout_secs\": {}, \"max_visited\": {}, \"seed\": {}, \"workers\": {}}},\n",
+        hc.timeout.as_secs(),
+        hc.max_visited,
+        hc.seed,
+        hc.workers
+    ));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in res.records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{}\", \"technique\": \"{}\", \
+             \"solved\": {}, \"rank\": {}, \"wall_s\": {:.6}, \"time_analyze_s\": {:.6}, \
+             \"time_eval_s\": {:.6}, \"time_expand_s\": {:.6}, \"visited\": {}, \"pruned\": {}}}{}\n",
+            r.id,
+            json_escape(&r.name),
+            r.category.label(),
+            r.technique.label(),
+            r.solved,
+            r.rank.map_or("null".to_string(), |n| n.to_string()),
+            r.elapsed.as_secs_f64(),
+            r.time_analyze.as_secs_f64(),
+            r.time_eval.as_secs_f64(),
+            r.time_expand.as_secs_f64(),
+            r.visited,
+            r.pruned,
+            if i + 1 == res.records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`suite_results_json`] to `SICKLE_JSON` (default
+/// `BENCH_synthesis.json`; the empty string disables the artifact).
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_bench_json(
+    res: &SuiteResults,
+    hc: &HarnessConfig,
+) -> std::io::Result<Option<std::path::PathBuf>> {
+    let path = std::env::var("SICKLE_JSON").unwrap_or_else(|_| "BENCH_synthesis.json".to_string());
+    if path.is_empty() {
+        return Ok(None);
+    }
+    let path = std::path::PathBuf::from(path);
+    std::fs::write(&path, suite_results_json(res, hc))?;
+    Ok(Some(path))
 }
 
 // ---------------------------------------------------------------------------
@@ -410,6 +504,68 @@ mod tests {
         let hc = HarnessConfig::from_env();
         assert!(hc.timeout.as_secs() > 0);
         assert!(hc.max_visited > 0);
+    }
+
+    #[test]
+    fn suite_json_is_well_formed() {
+        let hc = HarnessConfig {
+            timeout: Duration::from_secs(1),
+            max_visited: 10,
+            seed: 2022,
+            only: vec![],
+            workers: 1,
+        };
+        let res = SuiteResults {
+            records: vec![
+                RunRecord {
+                    id: 1,
+                    name: "a \"quoted\" name".to_string(),
+                    category: sickle_benchmarks::Category::ForumEasy,
+                    technique: Technique::Provenance,
+                    solved: true,
+                    elapsed: Duration::from_millis(125),
+                    time_analyze: Duration::from_millis(50),
+                    time_eval: Duration::from_millis(25),
+                    time_expand: Duration::from_millis(5),
+                    visited: 42,
+                    pruned: 7,
+                    rank: Some(1),
+                },
+                RunRecord {
+                    id: 2,
+                    name: "unsolved".to_string(),
+                    category: sickle_benchmarks::Category::TpcDs,
+                    technique: Technique::TypeAbs,
+                    solved: false,
+                    elapsed: Duration::from_secs(1),
+                    time_analyze: Duration::ZERO,
+                    time_eval: Duration::ZERO,
+                    time_expand: Duration::ZERO,
+                    visited: 10,
+                    pruned: 0,
+                    rank: None,
+                },
+            ],
+        };
+        let json = suite_results_json(&res, &hc);
+        assert!(json.contains("\"schema\": \"sickle-bench/synthesis/v1\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"time_analyze_s\": 0.050000"));
+        assert!(json.contains("\"rank\": null"));
+        assert!(json.contains("\"technique\": \"type-abs\""));
+        // Balanced braces/brackets (cheap well-formedness probe: the
+        // writer emits no strings containing braces).
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Two record lines, separated by exactly one trailing comma.
+        let record_lines: Vec<&str> = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with("{\"id\":"))
+            .collect();
+        assert_eq!(record_lines.len(), 2);
+        assert!(record_lines[0].ends_with("},"));
+        assert!(record_lines[1].ends_with('}'));
     }
 
     #[test]

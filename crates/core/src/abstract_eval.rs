@@ -17,9 +17,13 @@
 //! Fully concrete (sub)queries are evaluated precisely through the shared
 //! columnar pipeline ([`crate::engine`]), whose lazily-derived ref-set
 //! channel ([`ExecTable::sets`]) *is* the exact abstraction — this is the
-//! third instantiation of the unified engine. Hole-bearing operators manipulate
-//! columnar [`Grid`]`<`[`RefSet`]`>` tables with `Arc`-shared columns, so
-//! the structural rules (`filter`, `sort`, `proj`) are pointer copies.
+//! third instantiation of the unified engine.
+//!
+//! Abstract tables are grids of *interned set ids* over the search's
+//! [`RefSetPool`] ([`EvalCache::pool`]): hole-bearing operators broadcast
+//! and union 4-byte [`SetId`]s through memoized pool operations instead of
+//! cloning `Vec<u64>` bitsets, so the structural rules (`filter`, `sort`,
+//! `proj`) are pointer copies and the weak/medium broadcasts copy ids.
 //!
 //! Pruning rests on Property 2: if no injective subtable assignment embeds
 //! the demonstration's reference sets into `T◦` (Def. 3), no instantiation
@@ -30,7 +34,9 @@ use std::sync::Arc;
 
 use sickle_table::{Grid, Table};
 
-use sickle_provenance::{find_table_match, Demo, MatchDims, RefSet, RefUniverse};
+use sickle_provenance::{
+    find_table_match, Demo, MatchDims, RefSet, RefSetPool, RefUniverse, SetId,
+};
 
 use crate::ast::{PQuery, Query};
 use crate::engine::{EvalCache, ExecTable, Semantics};
@@ -39,36 +45,31 @@ use crate::eval::EvalError;
 /// Result of abstractly evaluating a partial query.
 #[derive(Debug, Clone)]
 pub struct AbsTable {
-    /// Per-cell over-approximated provenance sets.
-    pub sets: Grid<RefSet>,
+    /// Per-cell over-approximated provenance sets, as ids interned in the
+    /// pool of the [`EvalCache`] the table was computed through.
+    pub sets: Grid<SetId>,
     /// Present when the evaluated (sub)query was fully concrete: its precise
     /// engine evaluation, used by parent operators to apply the strong
     /// abstraction.
     pub concrete: Option<Rc<ExecTable>>,
 }
 
-/// Abstractly evaluates a partial query (Fig. 11).
+impl AbsTable {
+    /// Materializes the set behind cell `(row, col)`.
+    pub fn set(&self, pool: &RefSetPool, row: usize, col: usize) -> RefSet {
+        pool.get(self.sets[(row, col)])
+    }
+}
+
+/// Abstractly evaluates a partial query (Fig. 11). The returned table's
+/// ids live in `cache.pool()`; the synthesizer threads one cache (and thus
+/// one pool) through the whole search.
 ///
 /// # Errors
 ///
 /// Returns [`EvalError`] if instantiated parameters reference out-of-range
 /// tables or columns (the synthesizer's domain inference never does).
 pub fn abstract_evaluate(
-    pq: &PQuery,
-    inputs: &[Table],
-    universe: &RefUniverse,
-) -> Result<AbsTable, EvalError> {
-    abstract_evaluate_cached(pq, inputs, universe, &EvalCache::new())
-}
-
-/// [`abstract_evaluate`] with a shared memoization cache for concrete
-/// subquery evaluations; the synthesizer threads one cache through the
-/// whole search.
-///
-/// # Errors
-///
-/// Same as [`abstract_evaluate`].
-pub fn abstract_evaluate_cached(
     pq: &PQuery,
     inputs: &[Table],
     universe: &RefUniverse,
@@ -79,7 +80,7 @@ pub fn abstract_evaluate_cached(
 
 /// Memoized evaluator sharing whole abstract tables between the many
 /// sibling queries that contain identical subtrees; prefer this in hot
-/// paths (it avoids a deep clone of the result).
+/// paths (it avoids cloning the result grid).
 ///
 /// # Errors
 ///
@@ -99,15 +100,11 @@ pub fn abstract_evaluate_rc(
     Ok(rc)
 }
 
-/// Builds a grid whose every row is the same vector of sets (the weak /
-/// medium broadcast shapes), sharing one column allocation per distinct
-/// set.
-fn broadcast_rows(row: &[RefSet], n_rows: usize) -> Grid<RefSet> {
-    Grid::from_columns(
-        row.iter()
-            .map(|s| Arc::new(vec![s.clone(); n_rows]))
-            .collect(),
-    )
+/// Builds a grid whose every row is the same vector of set ids (the weak /
+/// medium broadcast shapes). Broadcasting copies 4-byte ids — the sets
+/// themselves are interned once in the pool.
+fn broadcast_rows(row: &[SetId], n_rows: usize) -> Grid<SetId> {
+    Grid::from_columns(row.iter().map(|&s| Arc::new(vec![s; n_rows])).collect())
 }
 
 fn abstract_evaluate_uncached(
@@ -116,6 +113,7 @@ fn abstract_evaluate_uncached(
     universe: &RefUniverse,
     cache: &EvalCache,
 ) -> Result<AbsTable, EvalError> {
+    let pool: &RefSetPool = cache.pool();
     // A fully concrete (sub)query is evaluated precisely by the engine —
     // the "pass the concrete output for further abstract reasoning" rule
     // of §4. The engine's ref-set channel is the exact abstraction.
@@ -123,7 +121,7 @@ fn abstract_evaluate_uncached(
         let q: Query = pq.to_concrete().expect("concrete by check");
         let exec = cache.exec(&q, Semantics::Provenance, inputs)?;
         return Ok(AbsTable {
-            sets: exec.sets(universe).clone(),
+            sets: exec.set_ids(universe, pool).clone(),
             concrete: Some(exec),
         });
     }
@@ -167,7 +165,7 @@ fn abstract_evaluate_uncached(
             let crossed = cross_sets(&l.sets, &r.sets);
             // Unmatched left rows padded with empty provenance.
             let padded = l.sets.hcat(&broadcast_rows(
-                &vec![universe.empty_set(); r.sets.n_cols()],
+                &vec![SetId::EMPTY; r.sets.n_cols()],
                 l.sets.n_rows(),
             ));
             Ok(AbsTable {
@@ -184,13 +182,10 @@ fn abstract_evaluate_uncached(
                 // key cell is the per-column union; the aggregate may draw
                 // from anything.
                 None => {
-                    let col_unions: Vec<RefSet> = (0..n_cols)
-                        .map(|c| column_union(&child.sets, c, universe))
+                    let col_unions: Vec<SetId> = (0..n_cols)
+                        .map(|c| cache.column_union(child.sets.column_arc(c)))
                         .collect();
-                    let mut all = universe.empty_set();
-                    for u in &col_unions {
-                        all.union_with(u);
-                    }
+                    let all = pool.union_slice(&col_unions);
                     let mut row = col_unions;
                     row.push(all);
                     Ok(AbsTable {
@@ -210,46 +205,34 @@ fn abstract_evaluate_uncached(
                     match &child.concrete {
                         // Strong: concrete key values determine the groups.
                         Some(conc) => {
-                            let groups = sickle_table::extract_groups(conc.table(), keys);
-                            let mut cols: Vec<Vec<RefSet>> = Vec::with_capacity(keys.len() + 1);
+                            let groups = cache.groups_of(conc, keys);
+                            let mut cols: Vec<Arc<Vec<SetId>>> = Vec::with_capacity(keys.len() + 1);
                             for &k in keys {
-                                let col = child.sets.column(k);
-                                cols.push(
-                                    groups.iter().map(|g| union_of(col, g, universe)).collect(),
-                                );
+                                cols.push(cache.group_unions(child.sets.column_arc(k), &groups));
                             }
-                            cols.push(
-                                groups
-                                    .iter()
-                                    .map(|g| {
-                                        let mut out = universe.empty_set();
-                                        for &c in &agg_cols {
-                                            out.union_with(&union_of(
-                                                child.sets.column(c),
-                                                g,
-                                                universe,
-                                            ));
-                                        }
-                                        out
-                                    })
-                                    .collect(),
-                            );
+                            cols.push(per_group_agg_union(
+                                &child.sets,
+                                &agg_cols,
+                                &groups,
+                                cache,
+                                pool,
+                            ));
                             Ok(AbsTable {
-                                sets: Grid::from_columns(cols.into_iter().map(Arc::new).collect()),
+                                sets: Grid::from_columns(cols),
                                 concrete: None,
                             })
                         }
                         // Medium: keys known, grouping unknown.
                         None => {
-                            let mut row: Vec<RefSet> = keys
+                            let mut row: Vec<SetId> = keys
                                 .iter()
-                                .map(|&k| column_union(&child.sets, k, universe))
+                                .map(|&k| cache.column_union(child.sets.column_arc(k)))
                                 .collect();
-                            let mut agg_union = universe.empty_set();
-                            for &c in &agg_cols {
-                                agg_union.union_with(&column_union(&child.sets, c, universe));
-                            }
-                            row.push(agg_union);
+                            let agg_unions: Vec<SetId> = agg_cols
+                                .iter()
+                                .map(|&c| cache.column_union(child.sets.column_arc(c)))
+                                .collect();
+                            row.push(pool.union_slice(&agg_unions));
                             Ok(AbsTable {
                                 sets: broadcast_rows(&row, n_rows),
                                 concrete: None,
@@ -263,10 +246,10 @@ fn abstract_evaluate_uncached(
             let child = abstract_evaluate_rc(src, inputs, universe, cache)?;
             let n_rows = child.sets.n_rows();
             let n_cols = child.sets.n_cols();
-            let new_col: Vec<RefSet> = match keys {
+            let new_col: Vec<SetId> = match keys {
                 // Weak: the window value may draw from anywhere.
                 None => {
-                    let all = table_union(&child.sets, universe);
+                    let all = table_union(&child.sets, cache, pool);
                     vec![all; n_rows]
                 }
                 Some(keys) => {
@@ -279,27 +262,26 @@ fn abstract_evaluate_uncached(
                         None => (0..n_cols).filter(|c| !keys.contains(c)).collect(),
                     };
                     match &child.concrete {
-                        // Strong: per-group unions.
+                        // Strong: per-group unions, scattered back to rows.
                         Some(conc) => {
-                            let groups = sickle_table::extract_groups(conc.table(), keys);
-                            let mut out: Vec<Option<RefSet>> = vec![None; n_rows];
-                            for g in &groups {
-                                let mut u = universe.empty_set();
-                                for &c in &agg_cols {
-                                    u.union_with(&union_of(child.sets.column(c), g, universe));
-                                }
+                            let groups = cache.groups_of(conc, keys);
+                            let per_group =
+                                per_group_agg_union(&child.sets, &agg_cols, &groups, cache, pool);
+                            let mut out: Vec<SetId> = vec![SetId::EMPTY; n_rows];
+                            for (g, &u) in groups.iter().zip(per_group.iter()) {
                                 for &i in g {
-                                    out[i] = Some(u.clone());
+                                    out[i] = u;
                                 }
                             }
-                            out.into_iter().map(|s| s.expect("grouped")).collect()
+                            out
                         }
                         // Medium: non-key (or target) columns, any rows.
                         None => {
-                            let mut u = universe.empty_set();
-                            for &c in &agg_cols {
-                                u.union_with(&column_union(&child.sets, c, universe));
-                            }
+                            let unions: Vec<SetId> = agg_cols
+                                .iter()
+                                .map(|&c| cache.column_union(child.sets.column_arc(c)))
+                                .collect();
+                            let u = pool.union_slice(&unions);
                             vec![u; n_rows]
                         }
                     }
@@ -322,14 +304,13 @@ fn abstract_evaluate_uncached(
                 // Weak: any cell of the row may flow in.
                 None => (0..n_cols).collect(),
             };
-            let set_cols: Vec<&[RefSet]> = arg_cols.iter().map(|&c| child.sets.column(c)).collect();
-            let new_col: Vec<RefSet> = (0..child.sets.n_rows())
+            let set_cols: Vec<&[SetId]> = arg_cols.iter().map(|&c| child.sets.column(c)).collect();
+            let mut buf: Vec<SetId> = Vec::with_capacity(set_cols.len());
+            let new_col: Vec<SetId> = (0..child.sets.n_rows())
                 .map(|r| {
-                    let mut out = universe.empty_set();
-                    for col in &set_cols {
-                        out.union_with(&col[r]);
-                    }
-                    out
+                    buf.clear();
+                    buf.extend(set_cols.iter().map(|col| col[r]));
+                    pool.union_slice(&buf)
                 })
                 .collect();
             Ok(AbsTable {
@@ -349,15 +330,22 @@ pub fn demo_ref_sets(demo: &Demo, universe: &RefUniverse) -> Grid<RefSet> {
 /// The abstract provenance consistency check `E ◁ T◦` (Def. 3): does an
 /// injective subtable assignment exist under which every demonstration
 /// cell's references are contained in the abstract cell?
-pub fn abstract_consistent(demo_refs: &Grid<RefSet>, abs: &AbsTable) -> bool {
+///
+/// `pool` must be the pool `abs` was computed over (the search's
+/// [`EvalCache::pool`]). The hot path of the synthesizer goes through
+/// [`sickle_provenance::AnalysisCache::consistent`] instead, which caches
+/// verdicts across sibling expansions; this uncached form is the reference
+/// implementation and the convenient entry point for tests.
+pub fn abstract_consistent(demo_refs: &Grid<RefSet>, abs: &AbsTable, pool: &RefSetPool) -> bool {
+    let demo_ids = demo_refs.map(|s| pool.intern(s.clone()));
     let dims = MatchDims {
-        demo_rows: demo_refs.n_rows(),
-        demo_cols: demo_refs.n_cols(),
+        demo_rows: demo_ids.n_rows(),
+        demo_cols: demo_ids.n_cols(),
         table_rows: abs.sets.n_rows(),
         table_cols: abs.sets.n_cols(),
     };
     find_table_match(dims, &mut |di, dj, ti, tj| {
-        demo_refs[(di, dj)].is_subset_of(&abs.sets[(ti, tj)])
+        pool.subset(demo_ids[(di, dj)], abs.sets[(ti, tj)])
     })
     .is_some()
 }
@@ -373,45 +361,57 @@ fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<()
     }
 }
 
-fn union_of(col: &[RefSet], rows: &[usize], u: &RefUniverse) -> RefSet {
-    let mut out = u.empty_set();
-    for &r in rows {
-        out.union_with(&col[r]);
-    }
-    out
-}
-
-fn column_union(sets: &Grid<RefSet>, col: usize, u: &RefUniverse) -> RefSet {
-    let mut out = u.empty_set();
-    for s in sets.column(col) {
-        out.union_with(s);
-    }
-    out
-}
-
-fn table_union(sets: &Grid<RefSet>, u: &RefUniverse) -> RefSet {
-    let mut out = u.empty_set();
-    for c in 0..sets.n_cols() {
-        for s in sets.column(c) {
-            out.union_with(s);
+/// Per-group union over the aggregate columns: for the common single
+/// target this is the memoized per-group column directly; for multiple
+/// columns the memoized per-group vectors are unioned elementwise.
+fn per_group_agg_union(
+    sets: &Grid<SetId>,
+    agg_cols: &[usize],
+    groups: &Rc<Vec<Vec<usize>>>,
+    cache: &EvalCache,
+    pool: &RefSetPool,
+) -> Arc<Vec<SetId>> {
+    let per_col: Vec<Arc<Vec<SetId>>> = agg_cols
+        .iter()
+        .map(|&c| cache.group_unions(sets.column_arc(c), groups))
+        .collect();
+    match per_col.as_slice() {
+        [single] => Arc::clone(single),
+        many => {
+            let mut buf: Vec<SetId> = Vec::with_capacity(many.len());
+            Arc::new(
+                (0..groups.len())
+                    .map(|g| {
+                        buf.clear();
+                        buf.extend(many.iter().map(|col| col[g]));
+                        pool.union_slice(&buf)
+                    })
+                    .collect(),
+            )
         }
     }
-    out
 }
 
-fn cross_sets(l: &Grid<RefSet>, r: &Grid<RefSet>) -> Grid<RefSet> {
+fn table_union(sets: &Grid<SetId>, cache: &EvalCache, pool: &RefSetPool) -> SetId {
+    let col_unions: Vec<SetId> = (0..sets.n_cols())
+        .map(|c| cache.column_union(sets.column_arc(c)))
+        .collect();
+    pool.union_slice(&col_unions)
+}
+
+fn cross_sets(l: &Grid<SetId>, r: &Grid<SetId>) -> Grid<SetId> {
     let (lsel, rsel) = sickle_table::cross_selection(l.n_rows(), r.n_rows());
     l.select_rows(&lsel).hcat(&r.select_rows(&rsel))
 }
 
 /// Vertical concatenation of two grids with equal column counts.
-fn vcat(top: &Grid<RefSet>, bottom: &Grid<RefSet>) -> Grid<RefSet> {
+fn vcat(top: &Grid<SetId>, bottom: &Grid<SetId>) -> Grid<SetId> {
     assert_eq!(top.n_cols(), bottom.n_cols(), "vcat arity");
     Grid::from_columns(
         (0..top.n_cols())
             .map(|c| {
                 let mut col = top.column(c).to_vec();
-                col.extend(bottom.column(c).iter().cloned());
+                col.extend(bottom.column(c).iter().copied());
                 Arc::new(col)
             })
             .collect(),
@@ -519,11 +519,12 @@ mod tests {
     fn figure6_prunes_qb() {
         let inputs = [enrollment()];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&q_b(), &inputs, &u).unwrap();
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&q_b(), &inputs, &u, &cache).unwrap();
         let demo_refs = demo_ref_sets(&fig3_demo(), &u);
         // E[2,3] needs T[1,4], T[2,4] and T[8,4] in one cell, but grouping
         // by (City, Quarter, Population) separates quarters: prune.
-        assert!(!abstract_consistent(&demo_refs, &abs));
+        assert!(!abstract_consistent(&demo_refs, &abs, cache.pool()));
     }
 
     #[test]
@@ -544,9 +545,10 @@ mod tests {
         };
         let inputs = [enrollment()];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&pq, &inputs, &u, &cache).unwrap();
         let demo_refs = demo_ref_sets(&fig3_demo(), &u);
-        assert!(abstract_consistent(&demo_refs, &abs));
+        assert!(abstract_consistent(&demo_refs, &abs, cache.pool()));
     }
 
     #[test]
@@ -559,10 +561,11 @@ mod tests {
         };
         let inputs = [enrollment()];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&pq, &inputs, &u, &cache).unwrap();
         assert_eq!(abs.sets.n_rows(), 4); // 4 quarters
                                           // Aggregate cell of quarter-1 group must not contain quarter-4 data.
-        let agg = &abs.sets[(0, 1)];
+        let agg = abs.set(cache.pool(), 0, 1);
         assert!(agg.contains(&u, CellRef::new(0, 0, 3)));
         assert!(!agg.contains(&u, CellRef::new(0, 7, 3)));
     }
@@ -576,15 +579,18 @@ mod tests {
         };
         let inputs = [enrollment()];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&pq, &inputs, &u, &cache).unwrap();
         assert_eq!(abs.sets.n_cols(), 6);
         assert_eq!(abs.sets.n_rows(), 8);
         // Key cell of column 0 contains the whole City column.
-        let key = &abs.sets[(0, 0)];
+        let key = abs.set(cache.pool(), 0, 0);
         assert!(key.contains(&u, CellRef::new(0, 7, 0)));
         assert!(!key.contains(&u, CellRef::new(0, 0, 1)));
         // New column contains everything.
-        assert_eq!(abs.sets[(0, 5)].len(), 40);
+        assert_eq!(cache.pool().set_len(abs.sets[(0, 5)]), 40);
+        // Broadcast rows share one interned id per column.
+        assert_eq!(abs.sets[(0, 5)], abs.sets[(7, 5)]);
     }
 
     #[test]
@@ -600,10 +606,11 @@ mod tests {
         };
         let inputs = [enrollment()];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&pq, &inputs, &u, &cache).unwrap();
         // New column may draw from quarter, population and the aggregate,
         // but not from the City key column itself.
-        let new = &abs.sets[(0, 4)];
+        let new = abs.set(cache.pool(), 0, 4);
         assert!(!new.contains(&u, CellRef::new(0, 0, 0)));
         assert!(new.contains(&u, CellRef::new(0, 0, 3)));
     }
@@ -617,10 +624,11 @@ mod tests {
         };
         let inputs = [enrollment()];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&pq, &inputs, &u, &cache).unwrap();
         assert!(abs.concrete.is_some());
         // Aggregate of quarter 1 references exactly the two Enrolled cells.
-        let agg = &abs.sets[(0, 1)];
+        let agg = abs.set(cache.pool(), 0, 1);
         assert_eq!(agg.len(), 2);
         assert!(agg.contains(&u, CellRef::new(0, 0, 3)));
         assert!(agg.contains(&u, CellRef::new(0, 1, 3)));
@@ -634,8 +642,9 @@ mod tests {
         };
         let inputs = [enrollment()];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
-        let new = &abs.sets[(2, 5)];
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&pq, &inputs, &u, &cache).unwrap();
+        let new = abs.set(cache.pool(), 2, 5);
         assert_eq!(new.len(), 5); // the five cells of row 3
         assert!(new.contains(&u, CellRef::new(0, 2, 0)));
         assert!(!new.contains(&u, CellRef::new(0, 3, 0)));
@@ -651,9 +660,10 @@ mod tests {
         };
         let inputs = [enrollment(), dims];
         let u = RefUniverse::from_tables(&inputs);
-        let abs = abstract_evaluate(&pq, &inputs, &u).unwrap();
+        let cache = EvalCache::new();
+        let abs = abstract_evaluate(&pq, &inputs, &u, &cache).unwrap();
         // 8 cross rows + 8 padded rows.
         assert_eq!(abs.sets.n_rows(), 16);
-        assert!(abs.sets[(8, 5)].is_empty());
+        assert_eq!(abs.sets[(8, 5)], SetId::EMPTY);
     }
 }

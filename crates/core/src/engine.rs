@@ -31,12 +31,12 @@
 //! each surviving column is gathered once.
 
 use std::cell::{OnceCell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use sickle_table::{cross_selection, group_rows_by_keys, AnalyticFunc, Grid, Table, Value};
 
-use sickle_provenance::{CellRef, Expr, RefSet, RefUniverse};
+use sickle_provenance::{CellRef, Expr, FxMap, RefSet, RefSetPool, RefUniverse, SetId};
 
 use crate::ast::{Pred, Query};
 use crate::eval::EvalError;
@@ -70,6 +70,7 @@ pub struct ExecTable {
     values: Table,
     star: Option<ProvTable>,
     sets: OnceCell<Grid<RefSet>>,
+    set_ids: OnceCell<Grid<SetId>>,
 }
 
 impl ExecTable {
@@ -105,6 +106,23 @@ impl ExecTable {
             .get_or_init(|| self.star().map(|e| universe.set_from(e.refs())))
     }
 
+    /// Per-cell reference sets interned into `pool`, computed from
+    /// [`ExecTable::sets`] on first access and memoized. All accesses of
+    /// one result must use the same pool (the engine cache guarantees
+    /// this: one pool is threaded through a whole search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was computed at [`Semantics::Values`].
+    pub fn set_ids(&self, universe: &RefUniverse, pool: &RefSetPool) -> &Grid<SetId> {
+        // Hash-consed, not raw-registered: the same concrete subquery can
+        // be re-evaluated after an engine-cache clear (and by several
+        // parallel workers), and interning keeps the shared pool's growth
+        // bounded by the number of *distinct* sets.
+        self.set_ids
+            .get_or_init(|| self.sets(universe).map(|s| pool.intern(s.clone())))
+    }
+
     /// The semantics level this result was computed at.
     pub fn semantics(&self) -> Semantics {
         if self.star.is_some() {
@@ -123,6 +141,7 @@ impl ExecTable {
             values: self.values.clone(),
             star: None,
             sets: OnceCell::new(),
+            set_ids: OnceCell::new(),
         }
     }
 }
@@ -271,6 +290,7 @@ fn table(values: Table, star: Option<ProvTable>) -> ExecTable {
         values,
         star,
         sets: OnceCell::new(),
+        set_ids: OnceCell::new(),
     }
 }
 
@@ -696,8 +716,48 @@ pub struct EvalCache {
     /// (`[Values, Provenance]`) — keying by `Query` alone lets cache hits
     /// probe with `map.get(q)` instead of cloning the whole AST into a
     /// tuple key on the search's innermost loop.
-    map: RefCell<HashMap<Query, [Option<Rc<ExecTable>>; 2]>>,
-    abs_map: RefCell<HashMap<crate::ast::PQuery, Rc<crate::abstract_eval::AbsTable>>>,
+    map: RefCell<FxMap<Query, [Option<Rc<ExecTable>>; 2]>>,
+    abs_map: RefCell<FxMap<crate::ast::PQuery, Rc<crate::abstract_eval::AbsTable>>>,
+    /// The hash-consing pool resolving every [`SetId`] produced through
+    /// this cache. Shared (`Arc`) so parallel search workers intern into
+    /// one pool and see identical ids for identical sets.
+    pool: Arc<RefSetPool>,
+    /// Column-union memo keyed by column identity (the `Arc` address; the
+    /// entry holds the `Arc`, pinning the address). Sibling partial
+    /// queries union the same shared child columns over and over — the
+    /// memo reduces each repeat to one map probe, with no locking (the
+    /// engine cache is thread-local).
+    col_unions: RefCell<ColUnionMemo>,
+    /// `extract_groups` memo keyed by (concrete result identity, keys):
+    /// the strong abstraction re-derives the same grouping for every
+    /// sibling instantiation above one concrete subquery.
+    groups: RefCell<FxMap<GroupsKey, (Rc<ExecTable>, Groups)>>,
+    /// Canonicalization of groupings by content: different key subsets
+    /// frequently induce the *same* row partition (a key column constant
+    /// within groups adds nothing), and handing back one shared `Rc` per
+    /// distinct partition lets the per-group union memo hit across them.
+    groups_canon: RefCell<FxMap<(usize, Groups), Groups>>,
+    /// Per-group column unions keyed by (column identity, groups
+    /// identity), the inner loop of the strong rules.
+    group_unions: RefCell<FxMap<(usize, usize), GroupUnionEntry>>,
+}
+
+/// A shared row partition (`extract_groups` output).
+type Groups = Rc<Vec<Vec<usize>>>;
+
+/// Column-union memo: column `Arc` address → (pinned column, union id).
+type ColUnionMemo = FxMap<usize, (Arc<Vec<SetId>>, SetId)>;
+
+/// Key of the grouping memo: (concrete result identity, key columns).
+type GroupsKey = (usize, Vec<usize>);
+
+/// Entry of the per-group union memo: the pinned column and groups plus
+/// the per-group union column (shareable into result grids as-is).
+#[derive(Debug)]
+struct GroupUnionEntry {
+    _col: Arc<Vec<SetId>>,
+    _groups: Groups,
+    unions: Arc<Vec<SetId>>,
 }
 
 /// Bound on the concrete exec-table cache (entries hold full provenance
@@ -709,10 +769,108 @@ const EXEC_CACHE_CAP: usize = 4_000;
 /// keeps the hit rate high while capping memory.
 const ABS_CACHE_CAP: usize = 8_000;
 
+/// Bound on the identity-keyed analysis memos (column unions, groupings,
+/// per-group unions); full memos are cleared, not evicted.
+const MEMO_CAP: usize = 16_384;
+
 impl EvalCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with a private [`RefSetPool`].
     pub fn new() -> EvalCache {
         EvalCache::default()
+    }
+
+    /// Creates an empty cache resolving set ids through a shared pool
+    /// (the parallel search hands every worker the same pool).
+    pub fn with_pool(pool: Arc<RefSetPool>) -> EvalCache {
+        EvalCache {
+            pool,
+            ..EvalCache::default()
+        }
+    }
+
+    /// The pool resolving ids produced through this cache.
+    pub fn pool(&self) -> &Arc<RefSetPool> {
+        &self.pool
+    }
+
+    /// Memoized union of one shared column (see
+    /// [`EvalCache::col_unions`]).
+    pub(crate) fn column_union(&self, col: &Arc<Vec<SetId>>) -> SetId {
+        let key = Arc::as_ptr(col) as usize;
+        if let Some((_, id)) = self.col_unions.borrow().get(&key) {
+            return *id;
+        }
+        let id = self.pool.union_slice(col);
+        let mut map = self.col_unions.borrow_mut();
+        if map.len() >= MEMO_CAP {
+            map.clear();
+        }
+        map.insert(key, (Arc::clone(col), id));
+        id
+    }
+
+    /// Memoized `extract_groups` over a concrete engine result (see
+    /// [`EvalCache::groups`]).
+    pub(crate) fn groups_of(&self, conc: &Rc<ExecTable>, keys: &[usize]) -> Rc<Vec<Vec<usize>>> {
+        let key = (Rc::as_ptr(conc) as usize, keys.to_vec());
+        if let Some((_, g)) = self.groups.borrow().get(&key) {
+            return Rc::clone(g);
+        }
+        let g = Rc::new(sickle_table::extract_groups(conc.table(), keys));
+        // Canonicalize by content so equal partitions from different key
+        // subsets share one identity (and thus one per-group union memo).
+        let canon_key = (Rc::as_ptr(conc) as usize, Rc::clone(&g));
+        let g = {
+            let mut canon = self.groups_canon.borrow_mut();
+            if canon.len() >= MEMO_CAP {
+                canon.clear();
+            }
+            match canon.get(&canon_key) {
+                Some(existing) => Rc::clone(existing),
+                None => {
+                    canon.insert(canon_key, Rc::clone(&g));
+                    g
+                }
+            }
+        };
+        let mut map = self.groups.borrow_mut();
+        if map.len() >= MEMO_CAP {
+            map.clear();
+        }
+        map.insert(key, (Rc::clone(conc), Rc::clone(&g)));
+        g
+    }
+
+    /// Memoized per-group unions of one shared column under one grouping
+    /// (see [`EvalCache::group_unions`]).
+    pub(crate) fn group_unions(
+        &self,
+        col: &Arc<Vec<SetId>>,
+        groups: &Rc<Vec<Vec<usize>>>,
+    ) -> Arc<Vec<SetId>> {
+        let key = (Arc::as_ptr(col) as usize, Rc::as_ptr(groups) as usize);
+        if let Some(entry) = self.group_unions.borrow().get(&key) {
+            return Arc::clone(&entry.unions);
+        }
+        let unions = Arc::new(
+            groups
+                .iter()
+                .map(|g| self.pool.union_rows(col, g))
+                .collect::<Vec<SetId>>(),
+        );
+        let mut map = self.group_unions.borrow_mut();
+        if map.len() >= MEMO_CAP {
+            map.clear();
+        }
+        map.insert(
+            key,
+            GroupUnionEntry {
+                _col: Arc::clone(col),
+                _groups: Rc::clone(groups),
+                unions: Arc::clone(&unions),
+            },
+        );
+        unions
     }
 
     /// Memoized engine evaluation of `q` at semantics level `sem`. A cached

@@ -69,8 +69,7 @@ mod prov_eval;
 mod synth;
 
 pub use abstract_eval::{
-    abstract_consistent, abstract_evaluate, abstract_evaluate_cached, abstract_evaluate_rc,
-    demo_ref_sets, AbsTable,
+    abstract_consistent, abstract_evaluate, abstract_evaluate_rc, demo_ref_sets, AbsTable,
 };
 pub use ast::{PQuery, Pred, Query};
 pub use engine::{

@@ -27,9 +27,9 @@ use sickle_table::{
     default_arith_templates, AggFunc, AnalyticFunc, ArithExpr, CmpOp, Table, Value,
 };
 
-use sickle_provenance::{demo_consistent, Demo, RefUniverse};
+use sickle_provenance::{demo_consistent, AnalysisCache, Demo, RefSetPool, RefUniverse};
 
-use crate::abstract_eval::{abstract_consistent, abstract_evaluate_rc, demo_ref_sets};
+use crate::abstract_eval::{abstract_evaluate_rc, demo_ref_sets};
 use crate::ast::{PQuery, Pred, Query};
 use crate::engine::{EvalCache, Semantics};
 
@@ -164,18 +164,43 @@ pub struct TaskContext {
     pub universe: RefUniverse,
     /// Per-demo-cell reference sets (`ref(E[i,j])`).
     pub demo_refs: sickle_table::Grid<sickle_provenance::RefSet>,
+    /// The demo reference sets interned in the search's pool
+    /// ([`TaskContext::pool`]) — the id-side key of every analysis memo.
+    pub demo_ref_ids: sickle_table::Grid<sickle_provenance::SetId>,
     /// Constants available to filter predicates.
     pub constants: Vec<Value>,
-    /// Memoized precise evaluations of concrete subqueries.
+    /// Memoized precise evaluations of concrete subqueries (also owns the
+    /// search's [`RefSetPool`]).
     pub eval_cache: EvalCache,
+    /// Cross-sibling memo of abstract-consistency analyses, shared across
+    /// parallel workers.
+    pub analysis: Arc<AnalysisCache>,
 }
 
 impl TaskContext {
-    /// Prepares the shared context for a task.
+    /// Prepares the shared context for a task with a private set pool and
+    /// analysis cache.
     pub fn new(task: SynthTask) -> TaskContext {
+        TaskContext::with_shared(
+            task,
+            Arc::new(RefSetPool::new()),
+            Arc::new(AnalysisCache::new()),
+        )
+    }
+
+    /// Prepares a context whose set pool and analysis cache are shared
+    /// with other contexts for the *same task* (the parallel search gives
+    /// every worker the same pool and cache, so interned ids and cached
+    /// verdicts are exchanged across threads).
+    pub fn with_shared(
+        task: SynthTask,
+        pool: Arc<RefSetPool>,
+        analysis: Arc<AnalysisCache>,
+    ) -> TaskContext {
         let input_arities = task.inputs.iter().map(Table::n_cols).collect();
         let universe = RefUniverse::from_tables(&task.inputs);
         let demo_refs = demo_ref_sets(&task.demo, &universe);
+        let demo_ref_ids = demo_refs.map(|s| pool.intern(s.clone()));
         let mut constants = task.demo.constants();
         constants.extend(task.extra_constants.iter().cloned());
         constants.sort();
@@ -185,8 +210,10 @@ impl TaskContext {
             input_arities,
             universe,
             demo_refs,
+            demo_ref_ids,
             constants,
-            eval_cache: EvalCache::new(),
+            eval_cache: EvalCache::with_pool(pool),
+            analysis,
         }
     }
 
@@ -198,6 +225,12 @@ impl TaskContext {
     /// The input tables.
     pub fn inputs(&self) -> &[Table] {
         &self.task.inputs
+    }
+
+    /// The hash-consing pool behind every [`sickle_provenance::SetId`] of
+    /// this search.
+    pub fn pool(&self) -> &Arc<RefSetPool> {
+        self.eval_cache.pool()
     }
 }
 
@@ -224,7 +257,11 @@ impl Analyzer for ProvenanceAnalyzer {
 
     fn is_feasible(&self, pq: &PQuery, ctx: &TaskContext) -> bool {
         match abstract_evaluate_rc(pq, ctx.inputs(), &ctx.universe, &ctx.eval_cache) {
-            Ok(abs) => abstract_consistent(&ctx.demo_refs, &abs),
+            // Def. 3 through the cross-sibling cache: sibling expansions
+            // that abstract to the same id-grid share one verdict.
+            Ok(abs) => ctx
+                .analysis
+                .consistent(&ctx.demo_ref_ids, &abs.sets, ctx.pool()),
             // Ill-formed parameters can never evaluate: prune.
             Err(_) => false,
         }
@@ -406,7 +443,10 @@ fn synthesize_seeded_with(
                 // Cheap necessary condition first: the demonstration's
                 // references must embed into the exact per-cell reference
                 // sets (Def. 3 on exact provenance) before the full Def. 1
-                // expression matching is attempted.
+                // expression matching is attempted. Direct matching, not
+                // the cross-sibling cache: every concrete query has
+                // distinct exact sets, so interning them would only grow
+                // the pool for verdicts that can never be shared.
                 let sets = exec.sets(&ctx.universe);
                 let dims = sickle_provenance::MatchDims {
                     demo_rows: ctx.demo_refs.n_rows(),
@@ -462,10 +502,13 @@ fn synthesize_seeded_with(
 ///
 /// The size-ordered skeleton list is dealt round-robin to the workers, so
 /// every thread starts on small skeletons. Each worker owns a private
-/// [`TaskContext`] (evaluation caches are thread-local by design — the
-/// engine's `Rc`-shared tables are not `Sync`) and all workers update one
-/// [`SharedStats`] (live pruned/visited counts) and watch one cancellation
-/// flag: as soon as the pooled solution count reaches
+/// [`TaskContext`] (engine evaluation caches are thread-local by design —
+/// the engine's `Rc`-shared tables are not `Sync`), but all contexts share
+/// one [`RefSetPool`] and one [`AnalysisCache`]: interned set ids are
+/// exchangeable across threads and a consistency verdict computed by one
+/// worker prunes the same abstract table everywhere. All workers update
+/// one [`SharedStats`] (live pruned/visited counts) and watch one
+/// cancellation flag: as soon as the pooled solution count reaches
 /// `config.max_solutions` (or any worker's `stop` fires), everyone winds
 /// down.
 ///
@@ -479,7 +522,13 @@ pub fn synthesize_parallel(
     stop: impl Fn(&Query) -> bool + Sync,
 ) -> SynthResult {
     let workers = workers.max(1);
-    let seed_ctx = TaskContext::new(task.clone());
+    // One pool + one analysis cache for the whole run: ids interned by any
+    // worker resolve identically everywhere, and consistency verdicts
+    // computed on one thread serve the others (both structures are
+    // sharded internally — no global mutex on the hot path).
+    let pool = Arc::new(RefSetPool::new());
+    let analysis = Arc::new(AnalysisCache::new());
+    let seed_ctx = TaskContext::with_shared(task.clone(), Arc::clone(&pool), Arc::clone(&analysis));
     let skeletons = construct_skeletons(&seed_ctx, config);
     if workers == 1 {
         let mut result = synthesize_seeded_with(
@@ -510,8 +559,10 @@ pub fn synthesize_parallel(
                 let shared = &shared;
                 let make_analyzer = &make_analyzer;
                 let stop = &stop;
+                let pool = Arc::clone(&pool);
+                let analysis = Arc::clone(&analysis);
                 scope.spawn(move || {
-                    let ctx = TaskContext::new(task.clone());
+                    let ctx = TaskContext::with_shared(task.clone(), pool, analysis);
                     let analyzer = make_analyzer();
                     let max_solutions = cfg.max_solutions;
                     synthesize_seeded_with(

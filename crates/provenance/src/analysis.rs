@@ -1,0 +1,391 @@
+//! Cross-sibling caching of abstract-consistency analyses.
+//!
+//! During refinement, the many sibling expansions of one skeleton produce
+//! abstract tables that repeat: structural operators propagate the child's
+//! grid untouched, broadcasts reuse the same column unions, and distinct
+//! parameter choices frequently collapse onto identical set contents. With
+//! sets interned in a [`RefSetPool`], that repetition becomes *visible* —
+//! equal content means equal [`SetId`]s — so analysis results can be
+//! cached by id-grid instead of being recomputed per partial query.
+//!
+//! [`AnalysisCache`] keeps two sharded memo layers for the Def. 3 check:
+//!
+//! * **column candidates** — for each (demo column, abstract column
+//!   contents) pair, whether the column can host the demo column (every
+//!   demo row finds a compatible table row). Sibling tables share whole
+//!   columns, so this layer hits even when full grids differ;
+//! * **verdicts** — the final consistency verdict per (demo, abstract
+//!   id-grid), shared across all partial queries that abstract to the
+//!   same table.
+//!
+//! One cache serves one demonstration (the demo's id-grid is fixed per
+//! synthesis task); a cache is `Sync` and is shared across the parallel
+//! search workers — every map is sharded behind short-lived locks, so
+//! there is no global mutex on the hot path.
+
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sickle_table::Grid;
+
+use crate::matching::{find_table_match_with_candidates, MatchDims};
+use crate::pool::{FxBuild, FxMap, RefSetPool, SetId};
+use crate::ref_set::RefSet;
+
+/// Escape hatch for perf diagnosis: `SICKLE_NO_ANALYSIS_CACHE=1` bypasses
+/// both memo layers (the verdict is computed directly; results are
+/// identical by construction).
+fn no_cache() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("SICKLE_NO_ANALYSIS_CACHE").is_some())
+}
+
+/// Number of lock shards per memo layer (power of two).
+const SHARDS: usize = 16;
+
+/// Bound per shard; full shards are cleared (entries are recomputable).
+const SHARD_CAP: usize = 1 << 14;
+
+/// Abstract tables below this cell count are matched directly — key
+/// construction would cost more than the matcher itself.
+const MEMO_MIN_CELLS: usize = 64;
+
+/// Key of the verdict layer: the abstract table's interned contents.
+/// (`n_cols` is implied by `ids.len() / n_rows`.)
+#[derive(PartialEq, Eq, Hash)]
+struct GridKey {
+    n_rows: u32,
+    /// Column-major flattening of the id grid.
+    ids: Box<[SetId]>,
+}
+
+/// Key of the column layer: (demo column, abstract column contents).
+type ColKey = (u32, Box<[SetId]>);
+
+/// Sharded cross-sibling memo of Def. 3 analyses. See the module docs.
+pub struct AnalysisCache {
+    /// (demo column, abstract column ids) → column feasible.
+    columns: Vec<Mutex<FxMap<ColKey, bool>>>,
+    /// Abstract id-grid → consistency verdict.
+    verdicts: Vec<Mutex<FxMap<GridKey, bool>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    hasher: FxBuild,
+}
+
+/// Hit/miss counters of an [`AnalysisCache`] (diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisCacheStats {
+    /// Verdicts served from the cache.
+    pub hits: usize,
+    /// Verdicts computed (then cached).
+    pub misses: usize,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache {
+            columns: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
+            verdicts: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            hasher: FxBuild::default(),
+        }
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> AnalysisCacheStats {
+        AnalysisCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of<K: Hash>(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) & (SHARDS - 1)
+    }
+
+    /// The abstract provenance consistency check `E ◁ T◦` (Def. 3) over
+    /// interned grids, with cross-sibling caching: does an injective
+    /// subtable assignment exist under which every demonstration cell's
+    /// references are contained in the abstract cell?
+    ///
+    /// Equivalent to running [`crate::find_table_match`] over
+    /// `pool.subset` cell tests; `demo` must be the one demonstration this
+    /// cache was created for.
+    pub fn consistent(&self, demo: &Grid<SetId>, abs: &Grid<SetId>, pool: &RefSetPool) -> bool {
+        let dims = MatchDims {
+            demo_rows: demo.n_rows(),
+            demo_cols: demo.n_cols(),
+            table_rows: abs.n_rows(),
+            table_cols: abs.n_cols(),
+        };
+        if dims.demo_rows > dims.table_rows || dims.demo_cols > dims.table_cols {
+            return false;
+        }
+        if dims.demo_rows == 0 || dims.demo_cols == 0 {
+            return true;
+        }
+
+        // For small abstract tables, running the matcher outright is
+        // cheaper than building and probing grid-content keys: the memo
+        // layers only engage where matching is genuinely expensive.
+        if no_cache() || dims.table_rows * dims.table_cols < MEMO_MIN_CELLS {
+            return self.check(dims, demo, abs, pool, false);
+        }
+        let key = GridKey {
+            n_rows: abs.n_rows() as u32,
+            ids: (0..abs.n_cols())
+                .flat_map(|c| abs.column(c).iter().copied())
+                .collect(),
+        };
+        let shard = self.shard_of(&key);
+        if let Some(&v) = self.verdicts[shard]
+            .lock()
+            .expect("analysis verdict lock")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let verdict = self.check(dims, demo, abs, pool, true);
+        let mut map = self.verdicts[shard].lock().expect("analysis verdict lock");
+        if map.len() >= SHARD_CAP {
+            map.clear();
+        }
+        map.insert(key, verdict);
+        verdict
+    }
+
+    fn check(
+        &self,
+        dims: MatchDims,
+        demo: &Grid<SetId>,
+        abs: &Grid<SetId>,
+        pool: &RefSetPool,
+        memo_columns: bool,
+    ) -> bool {
+        // Resolve both grids into local buffers under one short-lived
+        // store guard (clones are inline copies or `Arc` bumps); the
+        // candidate loops and the backtracking matcher below then run
+        // entirely lock-free. Holding the guard across the matcher
+        // instead would park every other worker's intern behind a
+        // potentially long (worst-case exponential) read hold.
+        let (demo_sets, abs_sets): (Vec<RefSet>, Vec<RefSet>) = {
+            let store = pool.store();
+            let resolve = |g: &Grid<SetId>| -> Vec<RefSet> {
+                (0..g.n_cols())
+                    .flat_map(|c| {
+                        g.column(c)
+                            .iter()
+                            .map(|id| store[id.raw() as usize].clone())
+                    })
+                    .collect()
+            };
+            (resolve(demo), resolve(abs))
+        };
+        // Column-major flattening: cell (i, j) lives at j * n_rows + i.
+        let dset = |di: usize, dj: usize| -> &RefSet { &demo_sets[dj * dims.demo_rows + di] };
+        let acol = |tj: usize| -> &[RefSet] {
+            &abs_sets[tj * dims.table_rows..(tj + 1) * dims.table_rows]
+        };
+
+        // Column candidates, each (dj, column-contents) memoized across
+        // sibling tables that share the column (for tables large enough
+        // that the key pays for itself).
+        let mut col_candidates: Vec<Vec<usize>> = Vec::with_capacity(dims.demo_cols);
+        for dj in 0..dims.demo_cols {
+            let mut cands = Vec::new();
+            for tj in 0..dims.table_cols {
+                let direct = || {
+                    (0..dims.demo_rows)
+                        .all(|di| acol(tj).iter().any(|t| dset(di, dj).is_subset_of(t)))
+                };
+                let feasible = if memo_columns {
+                    self.column_feasible(dj, abs.column(tj), direct)
+                } else {
+                    direct()
+                };
+                if feasible {
+                    cands.push(tj);
+                }
+            }
+            if cands.is_empty() {
+                return false;
+            }
+            col_candidates.push(cands);
+        }
+        find_table_match_with_candidates(dims, &col_candidates, &mut |di, dj, ti, tj| {
+            dset(di, dj).is_subset_of(&acol(tj)[ti])
+        })
+        .is_some()
+    }
+
+    /// Memoized "can abstract column host demo column `dj`" test: every
+    /// demo row must find at least one table row whose set contains it
+    /// (`compute` decides that on a miss).
+    fn column_feasible(
+        &self,
+        dj: usize,
+        abs_ids: &[SetId],
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        if no_cache() {
+            return compute();
+        }
+        let key = (dj as u32, abs_ids.to_vec().into_boxed_slice());
+        let shard = self.shard_of(&key);
+        if let Some(&v) = self.columns[shard]
+            .lock()
+            .expect("analysis column lock")
+            .get(&key)
+        {
+            return v;
+        }
+        let v = compute();
+        let mut map = self.columns[shard].lock().expect("analysis column lock");
+        if map.len() >= SHARD_CAP {
+            map.clear();
+        }
+        map.insert(key, v);
+        v
+    }
+}
+
+impl Default for AnalysisCache {
+    fn default() -> AnalysisCache {
+        AnalysisCache::new()
+    }
+}
+
+impl fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("AnalysisCache")
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CellRef;
+    use crate::find_table_match;
+    use crate::ref_set::RefUniverse;
+    use sickle_table::Table;
+
+    fn setup() -> (RefUniverse, RefSetPool) {
+        let t = Table::new(
+            ["a", "b", "c"],
+            (0..4)
+                .map(|i| (0..3).map(|j| (i * 3 + j).into()).collect())
+                .collect(),
+        )
+        .unwrap();
+        (RefUniverse::from_tables(&[t]), RefSetPool::new())
+    }
+
+    fn grid(pool: &RefSetPool, u: &RefUniverse, rows: &[&[&[CellRef]]]) -> Grid<SetId> {
+        Grid::from_rows(
+            rows.iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|refs| pool.intern_refs(u, refs.iter().copied()))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Cached verdicts equal the direct (uncached) Def. 3 matching.
+    #[test]
+    fn agrees_with_direct_matching() {
+        let (u, pool) = setup();
+        let cache = AnalysisCache::new();
+        let r = |i: usize, j: usize| CellRef::new(0, i, j);
+        let demo = grid(&pool, &u, &[&[&[r(0, 0)], &[r(0, 1), r(1, 1)]]]);
+        let yes = grid(
+            &pool,
+            &u,
+            &[
+                &[&[r(0, 0), r(1, 0)], &[r(0, 1), r(1, 1), r(2, 1)]],
+                &[&[r(3, 0)], &[r(3, 1)]],
+            ],
+        );
+        let no = grid(
+            &pool,
+            &u,
+            &[&[&[r(0, 0)], &[r(2, 1)]], &[&[r(3, 0)], &[r(3, 1)]]],
+        );
+        for abs in [&yes, &no] {
+            let direct = find_table_match(
+                MatchDims {
+                    demo_rows: demo.n_rows(),
+                    demo_cols: demo.n_cols(),
+                    table_rows: abs.n_rows(),
+                    table_cols: abs.n_cols(),
+                },
+                &mut |di, dj, ti, tj| pool.subset(demo[(di, dj)], abs[(ti, tj)]),
+            )
+            .is_some();
+            assert_eq!(cache.consistent(&demo, abs, &pool), direct);
+            // Repeat query returns the same answer.
+            assert_eq!(cache.consistent(&demo, abs, &pool), direct);
+        }
+        // These tables are below the memo size gate: matched directly.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    /// Tables at or above the size gate go through the verdict memo.
+    #[test]
+    fn large_tables_use_the_verdict_memo() {
+        let (u, pool) = setup();
+        let cache = AnalysisCache::new();
+        let r = |i: usize, j: usize| CellRef::new(0, i, j);
+        let demo = grid(&pool, &u, &[&[&[r(0, 0)]]]);
+        // 16 × 4 = 64 cells ≥ MEMO_MIN_CELLS; row 0 hosts the demo cell.
+        let abs: Grid<SetId> = Grid::from_rows(
+            (0..16)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| pool.intern_refs(&u, [r(i % 4, j % 3), r(0, 0)]))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert!(cache.consistent(&demo, &abs, &pool));
+        assert!(cache.consistent(&demo, &abs, &pool));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn oversized_demo_rejected_without_caching() {
+        let (u, pool) = setup();
+        let cache = AnalysisCache::new();
+        let r = |i: usize, j: usize| CellRef::new(0, i, j);
+        let demo = grid(&pool, &u, &[&[&[r(0, 0)]], &[&[r(1, 0)]]]);
+        let abs = grid(&pool, &u, &[&[&[r(0, 0), r(1, 0)]]]);
+        assert!(!cache.consistent(&demo, &abs, &pool));
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn empty_demo_trivially_consistent() {
+        let (_, pool) = setup();
+        let cache = AnalysisCache::new();
+        let demo: Grid<SetId> = Grid::empty(0);
+        let abs: Grid<SetId> = Grid::empty(2);
+        assert!(cache.consistent(&demo, &abs, &pool));
+    }
+}

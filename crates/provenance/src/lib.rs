@@ -13,7 +13,13 @@
 //! * [`expr_consistent`] — the generalization relation `e ≺ e★` (Fig. 10);
 //! * [`demo_consistent`] — table-level provenance consistency (Def. 1);
 //! * [`RefUniverse`] / [`RefSet`] — bitset reference sets used by the
-//!   abstract provenance analysis (Fig. 11 / Def. 3);
+//!   abstract provenance analysis (Fig. 11 / Def. 3), inline for small
+//!   universes and copy-on-write shared beyond;
+//! * [`RefSetPool`] / [`SetId`] — hash-consed set interning: `union` /
+//!   `subset` / `is_empty` become memoized pool operations over 4-byte
+//!   ids, shared across search workers;
+//! * [`AnalysisCache`] — sharded cross-sibling memo of Def. 3 analyses
+//!   (column candidates + verdicts), keyed by interned id grids;
 //! * [`find_table_match`] — the shared injective subtable matcher.
 //!
 //! # Examples
@@ -37,14 +43,18 @@
 
 #![warn(missing_docs)]
 
+mod analysis;
 mod consistency;
 mod demo;
 mod expr;
 mod matching;
+mod pool;
 mod ref_set;
 
+pub use analysis::{AnalysisCache, AnalysisCacheStats};
 pub use consistency::{demo_consistent, expr_consistent};
 pub use demo::{parse_expr, Demo, DemoExpr, ParseError};
 pub use expr::{CellRef, Expr, FuncName};
-pub use matching::{find_table_match, MatchDims, TableMatch};
+pub use matching::{find_table_match, find_table_match_with_candidates, MatchDims, TableMatch};
+pub use pool::{FxBuild, FxHasher, FxMap, RefSetPool, SetId};
 pub use ref_set::{RefSet, RefUniverse};

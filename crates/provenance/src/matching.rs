@@ -102,6 +102,46 @@ pub fn find_table_match(
         col_candidates.push(cands);
     }
 
+    search_assignment(&mut oracle, &col_candidates)
+}
+
+/// [`find_table_match`] with the per-demo-column candidate sets already
+/// known. The cross-sibling analysis cache computes (and caches) candidate
+/// sets per column, then hands them here so only the assignment search
+/// remains; results are identical to [`find_table_match`] given candidate
+/// sets computed by the same `cell_ok`.
+///
+/// `col_candidates[dj]` must list every feasible table column for demo
+/// column `dj` (callers detect an empty candidate list before calling).
+pub fn find_table_match_with_candidates(
+    dims: MatchDims,
+    col_candidates: &[Vec<usize>],
+    cell_ok: &mut dyn FnMut(usize, usize, usize, usize) -> bool,
+) -> Option<TableMatch> {
+    if dims.demo_rows > dims.table_rows || dims.demo_cols > dims.table_cols {
+        return None;
+    }
+    if dims.demo_rows == 0 || dims.demo_cols == 0 {
+        return Some(TableMatch {
+            row_map: Vec::new(),
+            col_map: Vec::new(),
+        });
+    }
+    debug_assert_eq!(col_candidates.len(), dims.demo_cols);
+    let mut oracle = CellOracle {
+        dims,
+        memo: vec![None; dims.demo_rows * dims.demo_cols * dims.table_rows * dims.table_cols],
+        f: cell_ok,
+    };
+    search_assignment(&mut oracle, col_candidates)
+}
+
+/// The backtracking assignment phase shared by both entry points.
+fn search_assignment(
+    oracle: &mut CellOracle<'_>,
+    col_candidates: &[Vec<usize>],
+) -> Option<TableMatch> {
+    let dims = oracle.dims;
     // Assign most-constrained demo columns first.
     let mut order: Vec<usize> = (0..dims.demo_cols).collect();
     order.sort_by_key(|&dj| col_candidates[dj].len());
@@ -168,11 +208,11 @@ pub fn find_table_match(
     let row_map = assign(
         0,
         &order,
-        &col_candidates,
+        col_candidates,
         &mut col_map,
         &mut used_cols,
         &row_candidates,
-        &mut oracle,
+        oracle,
     )?;
     Some(TableMatch { row_map, col_map })
 }
@@ -296,5 +336,33 @@ mod tests {
     #[test]
     fn no_match_when_cell_incompatible() {
         assert!(find_table_match(dims(1, 1, 1, 1), &mut |_, _, _, _| false).is_none());
+    }
+
+    /// Seeding the search with externally-computed candidate sets must give
+    /// exactly the result of the self-computing entry point.
+    #[test]
+    fn seeded_candidates_agree_with_direct_search() {
+        // A mix of feasible and infeasible instances over a parity oracle.
+        for (m, n, mm, nn) in [(2, 2, 3, 3), (2, 3, 2, 3), (3, 2, 4, 4), (1, 1, 2, 2)] {
+            let d = dims(m, n, mm, nn);
+            let oracle =
+                |di: usize, dj: usize, ti: usize, tj: usize| (di + dj + ti + tj).is_multiple_of(2);
+            let direct = find_table_match(d, &mut { oracle });
+            // Candidate sets computed exactly as find_table_match does.
+            let mut cands: Vec<Vec<usize>> = Vec::new();
+            for dj in 0..n {
+                cands.push(
+                    (0..nn)
+                        .filter(|&tj| (0..m).all(|di| (0..mm).any(|ti| oracle(di, dj, ti, tj))))
+                        .collect(),
+                );
+            }
+            if cands.iter().any(Vec::is_empty) {
+                assert!(direct.is_none());
+                continue;
+            }
+            let seeded = find_table_match_with_candidates(d, &cands, &mut { oracle });
+            assert_eq!(direct, seeded, "dims {d:?}");
+        }
     }
 }

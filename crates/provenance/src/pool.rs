@@ -1,0 +1,451 @@
+//! Hash-consed pooling of [`RefSet`]s.
+//!
+//! The abstract analysis builds the same reference sets over and over:
+//! every sibling expansion of a skeleton re-unions the same columns and
+//! re-tests the same demonstration cells against them. [`RefSetPool`]
+//! interns each distinct set once and hands out stable [`SetId`]s, so
+//!
+//! * abstract tables become grids of 4-byte ids — broadcasting a row over
+//!   `n` output rows copies ids instead of cloning bitsets;
+//! * `union` and `subset` become pool operations with memo tables keyed by
+//!   id pairs, shared across all sibling partial queries (and across
+//!   worker threads — every structure is sharded behind short-lived
+//!   locks, no global mutex guards the hot path);
+//! * two sets built by different operator paths but equal in content get
+//!   the *same* id, which is what makes the cross-sibling
+//!   [`crate::AnalysisCache`] keys canonical.
+//!
+//! Sets whose significant words fit the inline representation (≤ 128
+//! bits — every set of a typical task) bypass the memo tables entirely:
+//! a direct word-level test is cheaper than a memo probe, and the memo
+//! maps stay small. The pool is universe-agnostic: canonical word storage
+//! (see [`RefSet`]) makes content equality independent of `n_bits`, and
+//! the empty set is [`SetId::EMPTY`] in every pool.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
+
+use crate::expr::CellRef;
+use crate::ref_set::{RefSet, RefUniverse};
+
+/// A fast non-cryptographic hasher (the FxHash recipe) for the internal
+/// maps of the pool, the analysis cache and the engine caches. Keys are
+/// interned ids, set words and query trees — machine-generated, not
+/// attacker-controlled — so the SipHash DoS hardening of the default
+/// hasher is pure overhead on the hot path.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` over the fast hasher.
+pub type FxMap<K, V> = HashMap<K, V, FxBuild>;
+
+/// Identity of a [`RefSet`] interned in a [`RefSetPool`].
+///
+/// Ids are dense indices: equal ids (from the same pool) mean equal sets,
+/// and distinct ids mean distinct sets — the foundation of every memo and
+/// cache key built on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetId(u32);
+
+impl SetId {
+    /// The id of the empty set, in every pool.
+    pub const EMPTY: SetId = SetId(0);
+
+    /// Raw index, for diagnostics and external cache keys.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Number of lock shards per structure (must be a power of two).
+const SHARDS: usize = 16;
+
+/// Bound per memo shard; a full shard is cleared rather than evicted
+/// (memo entries are cheap to recompute, the bound only caps memory).
+const MEMO_SHARD_CAP: usize = 1 << 16;
+
+#[inline]
+fn pair_shard(a: SetId, b: SetId) -> usize {
+    // Cheap mix of both ids; shard selection only needs spread, not
+    // cryptographic quality.
+    let h = (a.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (b.0 as u64).rotate_left(32);
+    (h as usize) & (SHARDS - 1)
+}
+
+/// A thread-safe hash-consing pool of [`RefSet`]s. See the module docs.
+pub struct RefSetPool {
+    /// Append-only id → set store. Reads (every op) vastly outnumber
+    /// appends (first sighting of a distinct set), so a read-write lock
+    /// keeps the hot path shared.
+    sets: RwLock<Vec<RefSet>>,
+    /// Content → id interning maps, sharded by content hash.
+    intern: Vec<Mutex<FxMap<RefSet, SetId>>>,
+    /// Memoized `union` results, keyed by normalized id pairs.
+    unions: Vec<Mutex<FxMap<(SetId, SetId), SetId>>>,
+    /// Memoized `subset` verdicts for non-inline operands.
+    subsets: Vec<Mutex<FxMap<(SetId, SetId), bool>>>,
+    hasher: FxBuild,
+}
+
+impl RefSetPool {
+    /// Creates a pool containing only the empty set ([`SetId::EMPTY`]).
+    pub fn new() -> RefSetPool {
+        let pool = RefSetPool {
+            sets: RwLock::new(Vec::new()),
+            intern: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
+            unions: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
+            subsets: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
+            hasher: FxBuild::default(),
+        };
+        let empty = pool.intern(RefSet::empty());
+        debug_assert_eq!(empty, SetId::EMPTY);
+        pool
+    }
+
+    /// Interns a set, returning its canonical id.
+    pub fn intern(&self, set: RefSet) -> SetId {
+        let shard = (self.hasher.hash_one(&set) as usize) & (SHARDS - 1);
+        let mut map = self.intern[shard].lock().expect("pool intern lock");
+        if let Some(&id) = map.get(&set) {
+            return id;
+        }
+        let mut sets = self.sets.write().expect("pool store lock");
+        let id = SetId(u32::try_from(sets.len()).expect("RefSetPool overflow"));
+        sets.push(set.clone());
+        drop(sets);
+        map.insert(set, id);
+        id
+    }
+
+    /// Interns the set of references of one universe slice.
+    pub fn intern_refs<I: IntoIterator<Item = CellRef>>(
+        &self,
+        universe: &RefUniverse,
+        refs: I,
+    ) -> SetId {
+        self.intern(universe.set_from(refs))
+    }
+
+    /// The set behind an id (a cheap clone: inline copy or `Arc` bump).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this pool.
+    pub fn get(&self, id: SetId) -> RefSet {
+        self.sets.read().expect("pool store lock")[id.0 as usize].clone()
+    }
+
+    /// Resolves many ids with a single store-lock acquisition. Hot paths
+    /// bulk-resolve once, then run direct word operations lock-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id was not produced by this pool.
+    pub fn get_many(&self, ids: &[SetId]) -> Vec<RefSet> {
+        let sets = self.sets.read().expect("pool store lock");
+        ids.iter().map(|id| sets[id.0 as usize].clone()).collect()
+    }
+
+    /// Read guard over the raw id → set store, for crate-internal hot
+    /// loops that resolve many ids with zero clones. The guard blocks
+    /// interning — callers must not re-enter the pool while holding it.
+    pub(crate) fn store(&self) -> RwLockReadGuard<'_, Vec<RefSet>> {
+        self.sets.read().expect("pool store lock")
+    }
+
+    /// True when `id` is the empty set — an id comparison, no lookup.
+    #[inline]
+    pub fn is_empty_set(&self, id: SetId) -> bool {
+        id == SetId::EMPTY
+    }
+
+    /// Membership test through the pool.
+    pub fn contains(&self, id: SetId, universe: &RefUniverse, r: CellRef) -> bool {
+        self.get(id).contains(universe, r)
+    }
+
+    /// Number of references in the set behind `id`.
+    pub fn set_len(&self, id: SetId) -> usize {
+        self.get(id).len()
+    }
+
+    /// Number of distinct sets interned (diagnostics).
+    pub fn size(&self) -> usize {
+        self.sets.read().expect("pool store lock").len()
+    }
+
+    /// `a ⊆ b` as a pool operation: id fast paths, direct word test for
+    /// inline operands, memoized verdicts for shared-storage operands.
+    pub fn subset(&self, a: SetId, b: SetId) -> bool {
+        if a == b || a == SetId::EMPTY {
+            return true;
+        }
+        if b == SetId::EMPTY {
+            return false; // a is non-empty here
+        }
+        let (sa, sb) = {
+            let sets = self.sets.read().expect("pool store lock");
+            (sets[a.0 as usize].clone(), sets[b.0 as usize].clone())
+        };
+        if sa.is_inline() && sb.is_inline() {
+            return sa.is_subset_of(&sb);
+        }
+        let shard = pair_shard(a, b);
+        if let Some(&v) = self.subsets[shard]
+            .lock()
+            .expect("pool subset lock")
+            .get(&(a, b))
+        {
+            return v;
+        }
+        let v = sa.is_subset_of(&sb);
+        let mut memo = self.subsets[shard].lock().expect("pool subset lock");
+        if memo.len() >= MEMO_SHARD_CAP {
+            memo.clear();
+        }
+        memo.insert((a, b), v);
+        v
+    }
+
+    /// `a ∪ b` as a pool operation (memoized; commutative, so the key is
+    /// the normalized id pair).
+    pub fn union(&self, a: SetId, b: SetId) -> SetId {
+        if a == b || b == SetId::EMPTY {
+            return a;
+        }
+        if a == SetId::EMPTY {
+            return b;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let shard = pair_shard(lo, hi);
+        if let Some(&id) = self.unions[shard]
+            .lock()
+            .expect("pool union lock")
+            .get(&(lo, hi))
+        {
+            return id;
+        }
+        let mut out = self.get(lo);
+        out.union_with(&self.get(hi));
+        let id = self.intern(out);
+        let mut memo = self.unions[shard].lock().expect("pool union lock");
+        if memo.len() >= MEMO_SHARD_CAP {
+            memo.clear();
+        }
+        memo.insert((lo, hi), id);
+        id
+    }
+
+    /// Unions a slice of ids: one store-lock acquisition, a direct word
+    /// fold, and a single intern of the result. Faster than folding
+    /// [`RefSetPool::union`] pair by pair — bulk unions (column unions of
+    /// the abstract broadcasts) are the common shape.
+    pub fn union_slice(&self, ids: &[SetId]) -> SetId {
+        let mut acc: Option<RefSet> = None;
+        {
+            let sets = self.sets.read().expect("pool store lock");
+            for &id in ids {
+                if id == SetId::EMPTY {
+                    continue;
+                }
+                let s = &sets[id.0 as usize];
+                match &mut acc {
+                    None => acc = Some(s.clone()),
+                    Some(a) => a.union_with(s),
+                }
+            }
+        }
+        match acc {
+            None => SetId::EMPTY,
+            Some(a) => self.intern(a),
+        }
+    }
+
+    /// Unions `ids[r]` over the given row indices (the per-group union of
+    /// one column, without materializing the gathered ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of bounds for `ids`.
+    pub fn union_rows(&self, ids: &[SetId], rows: &[usize]) -> SetId {
+        let mut acc: Option<RefSet> = None;
+        {
+            let sets = self.sets.read().expect("pool store lock");
+            for &r in rows {
+                let id = ids[r];
+                if id == SetId::EMPTY {
+                    continue;
+                }
+                let s = &sets[id.0 as usize];
+                match &mut acc {
+                    None => acc = Some(s.clone()),
+                    Some(a) => a.union_with(s),
+                }
+            }
+        }
+        match acc {
+            None => SetId::EMPTY,
+            Some(a) => self.intern(a),
+        }
+    }
+
+    /// [`RefSetPool::union_slice`] over an arbitrary id sequence. The
+    /// iterator is drained BEFORE the store lock is taken: callers pass
+    /// lazy iterators whose closures re-enter the pool (nested unions),
+    /// and a re-entrant intern under the read guard would self-deadlock
+    /// on the write lock.
+    pub fn union_all<I: IntoIterator<Item = SetId>>(&self, ids: I) -> SetId {
+        let ids: Vec<SetId> = ids.into_iter().collect();
+        self.union_slice(&ids)
+    }
+}
+
+impl Default for RefSetPool {
+    fn default() -> RefSetPool {
+        RefSetPool::new()
+    }
+}
+
+impl fmt::Debug for RefSetPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RefSetPool")
+            .field("sets", &self.size())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_table::Table;
+
+    fn universe() -> RefUniverse {
+        let t = Table::new(
+            ["a", "b", "c"],
+            (0..4)
+                .map(|i| (0..3).map(|j| (i * 3 + j).into()).collect())
+                .collect(),
+        )
+        .unwrap();
+        RefUniverse::from_tables(&[t])
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let u = universe();
+        let pool = RefSetPool::new();
+        let a = pool.intern_refs(&u, [CellRef::new(0, 0, 0), CellRef::new(0, 1, 1)]);
+        let b = pool.intern_refs(&u, [CellRef::new(0, 1, 1), CellRef::new(0, 0, 0)]);
+        assert_eq!(a, b);
+        assert_ne!(a, SetId::EMPTY);
+        assert_eq!(pool.intern(u.empty_set()), SetId::EMPTY);
+        assert_eq!(pool.size(), 2);
+    }
+
+    #[test]
+    fn union_and_subset_agree_with_sets() {
+        let u = universe();
+        let pool = RefSetPool::new();
+        let a = pool.intern_refs(&u, [CellRef::new(0, 0, 0)]);
+        let b = pool.intern_refs(&u, [CellRef::new(0, 1, 1), CellRef::new(0, 2, 2)]);
+        let ab = pool.union(a, b);
+        assert_eq!(pool.set_len(ab), 3);
+        assert!(pool.subset(a, ab));
+        assert!(pool.subset(b, ab));
+        assert!(!pool.subset(ab, a));
+        // Memoized reruns return the identical id.
+        assert_eq!(pool.union(b, a), ab);
+        assert_eq!(pool.union_all([a, b]), ab);
+    }
+
+    #[test]
+    fn empty_id_fast_paths() {
+        let u = universe();
+        let pool = RefSetPool::new();
+        let a = pool.intern_refs(&u, [CellRef::new(0, 0, 0)]);
+        assert!(pool.is_empty_set(SetId::EMPTY));
+        assert!(!pool.is_empty_set(a));
+        assert!(pool.subset(SetId::EMPTY, a));
+        assert!(!pool.subset(a, SetId::EMPTY));
+        assert_eq!(pool.union(SetId::EMPTY, a), a);
+        assert_eq!(pool.union(a, SetId::EMPTY), a);
+        assert_eq!(pool.union_all(std::iter::empty()), SetId::EMPTY);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let u = universe();
+        let pool = std::sync::Arc::new(RefSetPool::new());
+        let ids: Vec<SetId> = std::thread::scope(|scope| {
+            (0..4usize)
+                .map(|t| {
+                    let pool = std::sync::Arc::clone(&pool);
+                    let u = &u;
+                    scope.spawn(move || {
+                        pool.intern_refs(u, [CellRef::new(0, t % 4, 0), CellRef::new(0, 0, 1)])
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Threads 0 and 4k see the same content → same id.
+        assert_eq!(
+            ids[0],
+            pool.intern_refs(&u, [CellRef::new(0, 0, 0), CellRef::new(0, 0, 1)])
+        );
+        assert!(pool.size() <= 1 + 4);
+    }
+}

@@ -6,21 +6,45 @@
 //! partial query visited by the search, sets are represented as bitsets over
 //! a [`RefUniverse`] — a fixed enumeration of every cell of every input
 //! table.
+//!
+//! A [`RefSet`] stores its words in *canonical* form (trailing zero words
+//! stripped), with two representations behind one API:
+//!
+//! * **inline** — up to two significant words (128 low bits) live directly
+//!   in the struct: cloning and comparing the common small sets never
+//!   touches the heap;
+//! * **shared** — larger sets keep their words behind an [`Arc`] with
+//!   copy-on-write mutation, so cloning is a reference-count bump and the
+//!   weak/medium abstraction broadcasts stop deep-copying `Vec<u64>`.
+//!
+//! Canonical form makes equality and hashing representation-independent,
+//! which is what lets [`crate::RefSetPool`] hash-cons sets from different
+//! construction paths onto one identity.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use sickle_table::Table;
 
 use crate::expr::CellRef;
 
+/// Dimensions and starting bit offset of one input table, packed into a
+/// single slot so [`RefUniverse::index`] resolves a reference with one
+/// bounds-checked load (the per-cell inner loops of the analysis hit this
+/// on every demonstration reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TableSlot {
+    rows: usize,
+    cols: usize,
+    offset: usize,
+}
+
 /// A fixed enumeration of every input cell, mapping [`CellRef`]s to bit
 /// positions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RefUniverse {
-    /// `(n_rows, n_cols)` per input table.
-    dims: Vec<(usize, usize)>,
-    /// Starting bit offset per input table.
-    offsets: Vec<usize>,
+    slots: Vec<TableSlot>,
     /// Total number of bits.
     n_bits: usize,
 }
@@ -28,19 +52,17 @@ pub struct RefUniverse {
 impl RefUniverse {
     /// Builds the universe for a list of input tables.
     pub fn from_tables(inputs: &[Table]) -> RefUniverse {
-        let mut dims = Vec::with_capacity(inputs.len());
-        let mut offsets = Vec::with_capacity(inputs.len());
+        let mut slots = Vec::with_capacity(inputs.len());
         let mut n_bits = 0;
         for t in inputs {
-            dims.push((t.n_rows(), t.n_cols()));
-            offsets.push(n_bits);
+            slots.push(TableSlot {
+                rows: t.n_rows(),
+                cols: t.n_cols(),
+                offset: n_bits,
+            });
             n_bits += t.n_rows() * t.n_cols();
         }
-        RefUniverse {
-            dims,
-            offsets,
-            n_bits,
-        }
+        RefUniverse { slots, n_bits }
     }
 
     /// Number of cells in the universe.
@@ -49,21 +71,23 @@ impl RefUniverse {
     }
 
     /// Bit index of a reference, or `None` if it falls outside the inputs.
+    #[inline]
     pub fn index(&self, r: CellRef) -> Option<usize> {
-        let (rows, cols) = *self.dims.get(r.table)?;
-        if r.row >= rows || r.col >= cols {
-            return None;
+        let s = self.slots.get(r.table)?;
+        if r.row < s.rows && r.col < s.cols {
+            Some(s.offset + r.row * s.cols + r.col)
+        } else {
+            None
         }
-        Some(self.offsets[r.table] + r.row * cols + r.col)
     }
 
     /// Inverse of [`RefUniverse::index`].
     pub fn ref_at(&self, bit: usize) -> Option<CellRef> {
-        for (t, (&(rows, cols), &off)) in self.dims.iter().zip(&self.offsets).enumerate() {
-            let size = rows * cols;
-            if bit < off + size {
-                let local = bit - off;
-                return Some(CellRef::new(t, local / cols, local % cols));
+        for (t, s) in self.slots.iter().enumerate() {
+            let size = s.rows * s.cols;
+            if bit < s.offset + size {
+                let local = bit - s.offset;
+                return Some(CellRef::new(t, local / s.cols, local % s.cols));
             }
         }
         None
@@ -71,26 +95,18 @@ impl RefUniverse {
 
     /// An empty set over this universe.
     pub fn empty_set(&self) -> RefSet {
-        RefSet {
-            words: vec![0; self.n_bits.div_ceil(64)],
-        }
+        RefSet::empty()
     }
 
     /// A set containing every cell of input table `table`.
     pub fn full_table_set(&self, table: usize) -> RefSet {
-        let mut s = self.empty_set();
-        let (rows, cols) = self.dims[table];
-        for r in 0..rows {
-            for c in 0..cols {
-                s.insert(self, CellRef::new(table, r, c));
-            }
-        }
-        s
+        let TableSlot { rows, cols, .. } = self.slots[table];
+        self.set_from((0..rows).flat_map(|r| (0..cols).map(move |c| CellRef::new(table, r, c))))
     }
 
     /// The set of references for one cell `T_table[row, col]`.
     pub fn singleton(&self, r: CellRef) -> RefSet {
-        let mut s = self.empty_set();
+        let mut s = RefSet::empty();
         s.insert(self, r);
         s
     }
@@ -99,68 +115,215 @@ impl RefUniverse {
     /// references are ignored (they can never be satisfied anyway and the
     /// caller detects that via subset checks against non-full sets).
     pub fn set_from<I: IntoIterator<Item = CellRef>>(&self, refs: I) -> RefSet {
-        let mut s = self.empty_set();
-        for r in refs {
-            s.insert(self, r);
+        if self.n_bits <= 64 * INLINE_WORDS {
+            // Small universe: stays inline, no allocation at all.
+            let mut s = RefSet::empty();
+            for r in refs {
+                s.insert(self, r);
+            }
+            return s;
         }
-        s
+        // Large universe: build at full width once (insert-by-insert
+        // growth would realloc repeatedly), canonicalize at the end.
+        let mut words = vec![0u64; self.n_bits.div_ceil(64)];
+        for r in refs {
+            if let Some(bit) = self.index(r) {
+                words[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        RefSet::from_words(words)
     }
 }
 
+/// Number of words stored inline (128 bits — covers every set over the
+/// small universes of typical tasks, and sparse low sets elsewhere).
+const INLINE_WORDS: usize = 2;
+
+/// Canonical word storage of a [`RefSet`]: significant words only (no
+/// trailing zeros), inline when they fit.
+#[derive(Clone)]
+enum Words {
+    Inline { len: u8, words: [u64; INLINE_WORDS] },
+    Shared(Arc<Vec<u64>>),
+}
+
 /// A bitset of input-cell references over a [`RefUniverse`].
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Cloning is cheap (an inline copy or an `Arc` bump); mutation of shared
+/// storage is copy-on-write. Equality and hashing see only the significant
+/// words, so sets built over different universes compare by content.
+#[derive(Clone)]
 pub struct RefSet {
-    words: Vec<u64>,
+    repr: Words,
 }
 
 impl RefSet {
+    /// The canonical empty set (valid for every universe).
+    pub(crate) fn empty() -> RefSet {
+        RefSet {
+            repr: Words::Inline {
+                len: 0,
+                words: [0; INLINE_WORDS],
+            },
+        }
+    }
+
+    /// The significant words (canonical: no trailing zeros).
+    pub(crate) fn words(&self) -> &[u64] {
+        match &self.repr {
+            Words::Inline { len, words } => &words[..*len as usize],
+            Words::Shared(v) => v,
+        }
+    }
+
+    /// True when the words are stored inline (≤ [`INLINE_WORDS`]): the
+    /// pool skips its operation memos for these, direct word ops are
+    /// cheaper than a memo probe.
+    pub(crate) fn is_inline(&self) -> bool {
+        matches!(self.repr, Words::Inline { .. })
+    }
+
+    /// Builds a set from raw words, canonicalizing.
+    fn from_words(mut v: Vec<u64>) -> RefSet {
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        if v.len() <= INLINE_WORDS {
+            let mut words = [0u64; INLINE_WORDS];
+            words[..v.len()].copy_from_slice(&v);
+            RefSet {
+                repr: Words::Inline {
+                    len: v.len() as u8,
+                    words,
+                },
+            }
+        } else {
+            RefSet {
+                repr: Words::Shared(Arc::new(v)),
+            }
+        }
+    }
+
     /// Inserts a reference. References outside the universe are ignored.
     pub fn insert(&mut self, universe: &RefUniverse, r: CellRef) {
         if let Some(bit) = universe.index(r) {
-            self.words[bit / 64] |= 1 << (bit % 64);
+            self.insert_bit(bit);
+        }
+    }
+
+    fn insert_bit(&mut self, bit: usize) {
+        let w = bit / 64;
+        let mask = 1u64 << (bit % 64);
+        match &mut self.repr {
+            Words::Inline { len, words } if w < INLINE_WORDS => {
+                words[w] |= mask;
+                *len = (*len).max(w as u8 + 1);
+            }
+            Words::Inline { len, words } => {
+                let mut v = words[..*len as usize].to_vec();
+                v.resize(w + 1, 0);
+                v[w] |= mask;
+                self.repr = Words::Shared(Arc::new(v));
+            }
+            Words::Shared(v) => {
+                let v = Arc::make_mut(v);
+                if v.len() <= w {
+                    v.resize(w + 1, 0);
+                }
+                v[w] |= mask;
+            }
         }
     }
 
     /// Tests membership.
     pub fn contains(&self, universe: &RefUniverse, r: CellRef) -> bool {
         match universe.index(r) {
-            Some(bit) => self.words[bit / 64] & (1 << (bit % 64)) != 0,
+            Some(bit) => self
+                .words()
+                .get(bit / 64)
+                .is_some_and(|w| w & (1 << (bit % 64)) != 0),
             None => false,
         }
     }
 
-    /// In-place union.
+    /// In-place union (copy-on-write when the storage is shared).
     pub fn union_with(&mut self, other: &RefSet) {
-        debug_assert_eq!(self.words.len(), other.words.len());
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w |= o;
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        if other.words().len() <= self.words().len() {
+            // Or into self in place; the top word stays nonzero, so the
+            // canonical form is preserved.
+            match &mut self.repr {
+                Words::Inline { words, .. } => {
+                    for (w, &o) in words.iter_mut().zip(other.words()) {
+                        *w |= o;
+                    }
+                }
+                Words::Shared(v) => {
+                    let v = Arc::make_mut(v);
+                    for (w, &o) in v.iter_mut().zip(other.words()) {
+                        *w |= o;
+                    }
+                }
+            }
+        } else {
+            let mut v = other.words().to_vec();
+            for (w, &s) in v.iter_mut().zip(self.words()) {
+                *w |= s;
+            }
+            *self = RefSet::from_words(v);
         }
     }
 
     /// `self ⊆ other`.
+    ///
+    /// Canonical storage makes the length test sound: a longer significant
+    /// prefix means a set bit beyond `other`'s top word.
     pub fn is_subset_of(&self, other: &RefSet) -> bool {
-        debug_assert_eq!(self.words.len(), other.words.len());
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(w, o)| w & !o == 0)
+        let (a, b) = (self.words(), other.words());
+        a.len() <= b.len() && a.iter().zip(b).all(|(w, o)| w & !o == 0)
     }
 
     /// Number of references in the set.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True if no references are present.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|w| *w == 0)
+        self.words().is_empty()
     }
 
     /// Iterates the contained references (ascending bit order).
     pub fn iter<'u>(&'u self, universe: &'u RefUniverse) -> impl Iterator<Item = CellRef> + 'u {
-        (0..universe.n_bits())
-            .filter(move |bit| self.words[bit / 64] & (1 << (bit % 64)) != 0)
+        self.words()
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| {
+                (0..64)
+                    .filter(move |b| w & (1u64 << b) != 0)
+                    .map(move |b| wi * 64 + b)
+            })
             .filter_map(move |bit| universe.ref_at(bit))
+    }
+}
+
+impl PartialEq for RefSet {
+    fn eq(&self, other: &RefSet) -> bool {
+        self.words() == other.words()
+    }
+}
+
+impl Eq for RefSet {}
+
+impl Hash for RefSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.words().hash(state);
     }
 }
 
@@ -238,5 +401,54 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
         assert!(s.is_subset_of(&u.full_table_set(0)));
+    }
+
+    /// Sets big enough to spill out of the inline representation behave
+    /// identically: union, subset, membership and canonical equality.
+    #[test]
+    fn shared_representation_spills_and_agrees() {
+        let wide = Table::new(
+            (0..40).map(|i| format!("c{i}")).collect::<Vec<_>>(),
+            (0..5).map(|_| (0..40).map(Value::Int).collect()).collect(),
+        )
+        .unwrap();
+        let u = RefUniverse::from_tables(&[wide]);
+        assert_eq!(u.n_bits(), 200); // 4 words: shared storage
+        let full = u.full_table_set(0);
+        assert!(!full.is_inline());
+        assert_eq!(full.len(), 200);
+        let low = u.set_from([CellRef::new(0, 0, 0), CellRef::new(0, 0, 39)]);
+        assert!(low.is_inline());
+        assert!(low.is_subset_of(&full));
+        assert!(!full.is_subset_of(&low));
+        let mut grown = low.clone();
+        grown.union_with(&u.singleton(CellRef::new(0, 4, 39))); // bit 199
+        assert!(!grown.is_inline());
+        assert_eq!(grown.len(), 3);
+        assert!(low.is_subset_of(&grown));
+        assert!(grown.contains(&u, CellRef::new(0, 4, 39)));
+        // Canonical: shrinking back via a fresh build compares equal.
+        let rebuilt = u.set_from(grown.iter(&u).collect::<Vec<_>>());
+        assert_eq!(rebuilt, grown);
+    }
+
+    /// Cloning a shared set and mutating the clone must not alias.
+    #[test]
+    fn copy_on_write_does_not_alias() {
+        let wide = Table::new(
+            (0..50).map(|i| format!("c{i}")).collect::<Vec<_>>(),
+            (0..4).map(|_| (0..50).map(Value::Int).collect()).collect(),
+        )
+        .unwrap();
+        let u = RefUniverse::from_tables(&[wide]);
+        let base = u.full_table_set(0);
+        let mut copy = base.clone();
+        copy.union_with(&u.singleton(CellRef::new(0, 0, 0)));
+        assert_eq!(copy, base); // already contained: still equal
+        let smaller = u.set_from([CellRef::new(0, 3, 49)]);
+        let mut grown = smaller.clone();
+        grown.union_with(&base);
+        assert_eq!(smaller.len(), 1, "clone mutation must not leak back");
+        assert_eq!(grown.len(), 200);
     }
 }

@@ -16,7 +16,7 @@
 use sickle_benchmarks::{all_benchmarks, demo_expr_of, rng::Rng};
 use sickle_core::{
     abstract_consistent, abstract_evaluate, concretize, demo_ref_sets, evaluate, prov_evaluate,
-    AbsTable, AnalysisEngine, PQuery, Pred, Query,
+    AbsTable, AnalysisEngine, EvalCache, PQuery, Pred, Query,
 };
 use sickle_provenance::{expr_consistent, parse_expr, Demo, RefUniverse};
 use sickle_table::{AggFunc, AnalyticFunc, ArithExpr, ArithOp, CmpOp, Grid, Table, Value};
@@ -217,10 +217,12 @@ fn abstraction_is_sound_on_random_queries() {
         let universe = RefUniverse::from_tables(&inputs);
         let exact: Grid<_> = star.map(|e| universe.set_from(e.refs()));
         let pq = punch_holes(&q, mask);
-        let abs: AbsTable = abstract_evaluate(&pq, &inputs, &universe).expect("abstract evaluates");
+        let cache = EvalCache::new();
+        let abs: AbsTable =
+            abstract_evaluate(&pq, &inputs, &universe, &cache).expect("abstract evaluates");
         // Treat the exact sets as the "demonstration": Def. 3 must hold.
         assert!(
-            abstract_consistent(&exact, &abs),
+            abstract_consistent(&exact, &abs, cache.pool()),
             "seed {seed}: query {q} pruned via partial {pq}"
         );
     }
@@ -295,11 +297,15 @@ fn def1_implies_exact_def3() {
         if sickle_provenance::demo_consistent(&demo, &star).is_some() {
             let universe = RefUniverse::from_tables(&inputs);
             let refs = demo_ref_sets(&demo, &universe);
+            let pool = sickle_provenance::RefSetPool::new();
             let exact = AbsTable {
-                sets: star.map(|e| universe.set_from(e.refs())),
+                sets: star.map(|e| pool.intern(universe.set_from(e.refs()))),
                 concrete: None,
             };
-            assert!(abstract_consistent(&refs, &exact), "seed {seed}: query {q}");
+            assert!(
+                abstract_consistent(&refs, &exact, &pool),
+                "seed {seed}: query {q}"
+            );
         }
     }
 }
@@ -375,12 +381,13 @@ fn suite_abstraction_over_approximates_all_80_ground_truths() {
         let exact: Grid<_> = star.map(|e| universe.set_from(e.refs()));
         // Three deterministic hole patterns per benchmark: all holes, every
         // other hole, sparse holes.
+        let cache = EvalCache::new();
         for mask in [0u32, 0x5555_5555, 0x1111_1111] {
             let pq = punch_holes(&b.ground_truth, mask);
-            let abs = abstract_evaluate(&pq, &task.inputs, &universe)
+            let abs = abstract_evaluate(&pq, &task.inputs, &universe, &cache)
                 .unwrap_or_else(|e| panic!("benchmark {}: {e}", b.id));
             assert!(
-                abstract_consistent(&exact, &abs),
+                abstract_consistent(&exact, &abs, cache.pool()),
                 "benchmark {} ({}): sound abstraction violated for mask {mask:#x} ({pq})",
                 b.id,
                 b.name

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use sickle_core::{
     abstract_consistent, abstract_evaluate, concretize, demo_ref_sets, evaluate, prov_evaluate,
-    synthesize, PQuery, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext,
+    synthesize, EvalCache, PQuery, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext,
 };
 use sickle_integration::{enrollment, running_example_query};
 use sickle_provenance::{demo_consistent, Demo, RefUniverse};
@@ -98,9 +98,10 @@ fn figure6_qb_is_pruned_but_solution_path_is_not() {
         }),
         func: None,
     };
-    let abs = abstract_evaluate(&q_b, &inputs, &universe).unwrap();
+    let cache = EvalCache::new();
+    let abs = abstract_evaluate(&q_b, &inputs, &universe, &cache).unwrap();
     assert!(
-        !abstract_consistent(&demo_refs, &abs),
+        !abstract_consistent(&demo_refs, &abs, cache.pool()),
         "Fig. 6: q_B must be pruned"
     );
 
@@ -117,8 +118,8 @@ fn figure6_qb_is_pruned_but_solution_path_is_not() {
         }),
         func: None,
     };
-    let abs = abstract_evaluate(&on_path, &inputs, &universe).unwrap();
-    assert!(abstract_consistent(&demo_refs, &abs));
+    let abs = abstract_evaluate(&on_path, &inputs, &universe, &cache).unwrap();
+    assert!(abstract_consistent(&demo_refs, &abs, cache.pool()));
 }
 
 #[test]
