@@ -17,7 +17,7 @@
 //!
 //! ```
 //! use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
-//! use sickle_core::{synthesize, Analyzer, SynthConfig, SynthTask, TaskContext};
+//! use sickle_core::{AnalyzerChoice, Session, SynthRequest};
 //! use sickle_provenance::Demo;
 //! use sickle_table::Table;
 //!
@@ -26,11 +26,16 @@
 //!     vec![vec!["A".into(), 10.into()], vec!["B".into(), 5.into()]],
 //! )?;
 //! let demo = Demo::parse(&[&["T[1,1]", "sum(T[1,2])"], &["T[2,1]", "sum(T[2,2])"]])?;
-//! let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
-//! let config = SynthConfig { max_depth: 1, ..SynthConfig::default() };
-//! for analyzer in [&TypeAnalyzer as &dyn Analyzer, &ValueAnalyzer] {
-//!     let result = synthesize(&ctx, &config, analyzer);
-//!     assert!(!result.solutions.is_empty(), "{} failed", analyzer.name());
+//! let session = Session::new();
+//! let request = SynthRequest::new(vec![t], demo).with_max_depth(1);
+//! let analyzers = [
+//!     AnalyzerChoice::custom("type-abs", || Box::new(TypeAnalyzer)),
+//!     AnalyzerChoice::custom("value-abs", || Box::new(ValueAnalyzer)),
+//! ];
+//! for choice in analyzers {
+//!     let name = choice.name();
+//!     let result = session.solve(&request.clone().with_analyzer(choice))?;
+//!     assert!(!result.solutions.is_empty(), "{name} failed");
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

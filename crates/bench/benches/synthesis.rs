@@ -3,17 +3,16 @@
 //! parallel-vs-sequential skeleton search (the full Fig. 12/13 sweep lives
 //! in the `experiments` binary — it runs minutes, not milliseconds).
 //!
+//! All runs go through the session API (each timed run on a fresh
+//! [`Session`], so the pool/caches are cold and runs are comparable).
 //! Plain `harness = false` timing (the offline environment has no
 //! `criterion`). Run with `cargo bench -p sickle-bench --bench synthesis`.
 
 use std::time::{Duration, Instant};
 
-use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
+use sickle_bench::Technique;
 use sickle_benchmarks::all_benchmarks;
-use sickle_core::{
-    synthesize, synthesize_parallel, synthesize_seeded, Analyzer, PQuery, ProvenanceAnalyzer,
-    SynthConfig, TaskContext,
-};
+use sickle_core::{Budget, PQuery, Session, SynthRequest};
 
 fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
     std::hint::black_box(f());
@@ -33,23 +32,20 @@ fn main() {
     {
         let b = &suite[0]; // sales: total revenue per region (size 1)
         let (task, _) = b.task(2022).expect("demo generates");
-        let config = SynthConfig {
-            max_solutions: 1,
-            ..b.config()
-        };
-        let analyzers: [(&str, &dyn Analyzer); 3] = [
-            ("sickle", &ProvenanceAnalyzer),
-            ("type", &TypeAnalyzer),
-            ("value", &ValueAnalyzer),
-        ];
-        for (name, analyzer) in analyzers {
-            let ctx = TaskContext::new(task.clone());
+        for technique in Technique::ALL {
+            let request = SynthRequest::from_task(task.clone())
+                .with_search(b.config())
+                .with_budget(Budget::default().with_max_solutions(1))
+                .with_analyzer(technique.choice());
             let dt = time_best(5, || {
-                let r = synthesize(&ctx, &config, analyzer);
+                let r = Session::new().solve(&request).expect("valid request");
                 assert!(!r.solutions.is_empty());
                 r
             });
-            println!("synthesize/easy-group-sum/{name:6} {dt:>12.2?}");
+            println!(
+                "synthesize/easy-group-sum/{:6} {dt:>12.2?}",
+                technique.label()
+            );
         }
     }
 
@@ -57,11 +53,6 @@ fn main() {
     {
         let b = &suite[43];
         let (task, _) = b.task(2022).expect("demo generates");
-        let ctx = TaskContext::new(task);
-        let config = SynthConfig {
-            max_solutions: 1,
-            ..b.config()
-        };
         let skeleton = PQuery::Arith {
             src: Box::new(PQuery::Partition {
                 src: Box::new(PQuery::Group {
@@ -74,14 +65,12 @@ fn main() {
             }),
             func: None,
         };
+        let request = SynthRequest::from_task(task)
+            .with_search(b.config())
+            .with_budget(Budget::default().with_max_solutions(1))
+            .with_seeds(vec![skeleton]);
         let dt = time_best(3, || {
-            let r = synthesize_seeded(
-                &ctx,
-                &config,
-                &ProvenanceAnalyzer,
-                vec![skeleton.clone()],
-                |_| false,
-            );
+            let r = Session::new().solve(&request).expect("valid request");
             assert!(!r.solutions.is_empty());
             r
         });
@@ -95,12 +84,6 @@ fn main() {
     {
         let b = &suite[43];
         let (task, _) = b.task(2022).expect("demo generates");
-        let config = SynthConfig {
-            max_depth: 2,
-            max_solutions: usize::MAX,
-            timeout: None,
-            ..b.config()
-        };
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         println!(
             "synthesize/exhaust-depth2: host has {cores} core(s); \
@@ -108,15 +91,13 @@ fn main() {
         );
         let mut seq = Duration::ZERO;
         for workers in [1usize, 2, 4] {
+            let request = SynthRequest::from_task(task.clone())
+                .with_search(b.config().with_max_depth(2))
+                .with_budget(Budget::unbounded().with_max_solutions(usize::MAX))
+                .with_workers(workers);
             let mut visited = 0;
             let dt = time_best(3, || {
-                let r = synthesize_parallel(
-                    &task,
-                    &config,
-                    || Box::new(ProvenanceAnalyzer),
-                    workers,
-                    |_| false,
-                );
+                let r = Session::new().solve(&request).expect("valid request");
                 visited = r.stats.visited;
                 r
             });

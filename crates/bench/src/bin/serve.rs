@@ -1,0 +1,68 @@
+//! `sickle-serve` — JSON-lines batch synthesis server.
+//!
+//! Reads one request per line from stdin, writes one response per line to
+//! stdout (stderr carries a start-up banner and per-request timing). All
+//! requests share one warm [`Session`], so interned reference sets and
+//! cached Def. 3 verdicts carry across requests. A malformed or invalid
+//! line produces a structured error response and never kills the server.
+//!
+//! ```text
+//! echo '{"id": 1, "benchmark": 44, "budget": {"max_visited": 20000, "timeout_secs": null}}' \
+//!   | cargo run -p sickle-bench --release --bin sickle-serve
+//! ```
+//!
+//! The wire schema is documented in `crates/bench/README.md`.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use sickle_bench::wire::handle_line;
+use sickle_core::Session;
+
+const USAGE: &str = "\
+sickle-serve: JSON-lines batch synthesis server (stdin -> stdout)
+
+One JSON request object per input line; blank lines and lines starting
+with '#' are skipped. See crates/bench/README.md for the schema.
+";
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let session = Session::new();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    eprintln!("sickle-serve: ready (one JSON request per line; Ctrl-D to exit)");
+    let mut served = 0usize;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("sickle-serve: stdin error: {e}");
+                break;
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let t0 = Instant::now();
+        let response = handle_line(&session, trimmed);
+        served += 1;
+        if writeln!(out, "{}", response.render())
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            // Receiver hung up; nothing left to serve.
+            break;
+        }
+        eprintln!(
+            "sickle-serve: request {served} answered in {:.3}s (pool={} sets)",
+            t0.elapsed().as_secs_f64(),
+            session.pool().size()
+        );
+    }
+}

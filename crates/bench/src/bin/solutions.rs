@@ -1,7 +1,8 @@
-//! Deterministic full-suite solution dump: for every benchmark, runs the
-//! sequential provenance-guided search under a *visited-query* budget (no
-//! wall-clock cutoff, so the output is bit-for-bit reproducible) and prints
-//! the consistent queries found, in rank order.
+//! Deterministic full-suite solution dump: every benchmark runs through
+//! one warm [`Session`] (sequential provenance-guided search) under a
+//! *visited-query* budget (no wall-clock cutoff, so the output is
+//! bit-for-bit reproducible) and prints the consistent queries found, in
+//! rank order.
 //!
 //! This is the regression oracle for engine/analyzer refactors: any change
 //! to the search must leave this output byte-identical. Per-task timing
@@ -14,9 +15,9 @@
 //! ```
 
 use sickle_bench::runner::HarnessConfig;
-use sickle_bench::{technique_analyzers, write_bench_json, RunRecord, SuiteResults, Technique};
+use sickle_bench::{write_bench_json, RunRecord, SuiteResults, Technique};
 use sickle_benchmarks::all_benchmarks;
-use sickle_core::{synthesize, SynthConfig, TaskContext};
+use sickle_core::{Budget, Session, SynthRequest};
 
 fn main() {
     let hc = HarnessConfig::from_env();
@@ -29,20 +30,27 @@ fn main() {
         hc.seed
     );
     let mut results = SuiteResults::default();
+    // One warm session across the whole suite: the set pool is shared by
+    // every task (analysis caches are per-demonstration inside the
+    // session). The dump stays byte-identical to a cold per-task run —
+    // interned ids are opaque and cached verdicts equal what a cold
+    // search recomputes.
+    let session = Session::new();
     for b in all_benchmarks() {
         if !hc.only.is_empty() && !hc.only.contains(&b.id) {
             continue;
         }
         let (task, _) = b.task(hc.seed).expect("benchmark demos generate");
-        let config = SynthConfig {
-            timeout: None,
-            max_visited: Some(budget),
-            max_solutions: 10,
-            ..b.config()
-        };
-        let ctx = TaskContext::new(task);
-        let analyzer = technique_analyzers(Technique::Provenance);
-        let res = synthesize(&ctx, &config, analyzer.as_ref());
+        let request = SynthRequest::from_task(task)
+            .with_search(b.config())
+            .with_budget(
+                Budget::unbounded()
+                    .with_max_visited(Some(budget))
+                    .with_max_solutions(10),
+            );
+        let res = session
+            .solve(&request)
+            .expect("benchmark requests validate");
         println!(
             "## {:2} {} visited={} pruned={} solutions={}",
             b.id,
@@ -55,7 +63,8 @@ fn main() {
             println!("  {:2}. {q}", i + 1);
         }
         // Timing goes to stderr so stdout stays byte-for-byte reproducible.
-        let cs = ctx.analysis.stats();
+        // Pool size and hit/miss counters are cumulative session totals.
+        let cs = session.analysis_stats();
         eprintln!(
             "{:2} wall={:.3}s analyze={:.3}s concrete={:.3}s expand={:.3}s pool={} hits={} misses={}",
             b.id,
@@ -63,7 +72,7 @@ fn main() {
             res.stats.time_analyze.as_secs_f64(),
             res.stats.time_concrete.as_secs_f64(),
             res.stats.time_expand.as_secs_f64(),
-            ctx.pool().size(),
+            session.pool().size(),
             cs.hits,
             cs.misses
         );

@@ -18,6 +18,11 @@
 //! | `userstudy`| §5.3 specification-effort model (substituted) |
 //! | `census`   | §5.1 benchmark feature census |
 //!
+//! Beyond the paper's evaluation, `sickle-serve` is a JSON-lines batch
+//! server over a warm [`sickle_core::Session`]: one request per stdin
+//! line, one response per stdout line (schema in `README.md`, codec in
+//! [`wire`]).
+//!
 //! Environment knobs: `SICKLE_TIMEOUT_SECS` (per-run timeout, default 15),
 //! `SICKLE_MAX_VISITED` (visit budget, default 1,000,000), `SICKLE_SEED`
 //! (demo-generation seed, default 2022), `SICKLE_ONLY` (comma-separated
@@ -26,9 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod effort;
+pub mod json;
 pub mod runner;
+pub mod wire;
 
+pub use json::{Json, JsonError};
 pub use runner::{
-    render_fig12, render_fig13, render_obs1, render_ranking, run_suite, suite_results_json,
-    technique_analyzers, write_bench_json, RunRecord, SuiteResults, Technique,
+    benchmark_request, render_fig12, render_fig13, render_obs1, render_ranking, run_one,
+    run_one_in, run_suite, suite_results_json, technique_analyzers, write_bench_json, RunRecord,
+    SuiteResults, Technique,
 };
+pub use wire::{analyzer_by_name, handle_line, response_error, response_ok, WireRequest};

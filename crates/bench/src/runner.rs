@@ -5,9 +5,7 @@ use std::time::Duration;
 
 use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 use sickle_benchmarks::{all_benchmarks, Benchmark, Category};
-use sickle_core::{
-    synthesize_parallel, synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext,
-};
+use sickle_core::{Analyzer, AnalyzerChoice, Budget, Session, SynthRequest};
 
 /// The compared techniques (paper names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,15 +34,20 @@ impl Technique {
             Technique::ValueAbs => "value-abs",
         }
     }
+
+    /// The session-API analyzer selection implementing this technique.
+    pub fn choice(self) -> AnalyzerChoice {
+        match self {
+            Technique::Provenance => AnalyzerChoice::Provenance,
+            Technique::TypeAbs => AnalyzerChoice::custom("type-abs", || Box::new(TypeAnalyzer)),
+            Technique::ValueAbs => AnalyzerChoice::custom("value-abs", || Box::new(ValueAnalyzer)),
+        }
+    }
 }
 
 /// Returns the analyzer implementing a technique.
 pub fn technique_analyzers(t: Technique) -> Box<dyn Analyzer> {
-    match t {
-        Technique::Provenance => Box::new(ProvenanceAnalyzer),
-        Technique::TypeAbs => Box::new(TypeAnalyzer),
-        Technique::ValueAbs => Box::new(ValueAnalyzer),
-    }
+    t.choice().make()
 }
 
 /// Outcome of one (benchmark × technique) run.
@@ -136,32 +139,44 @@ impl HarnessConfig {
     }
 }
 
-/// Runs one benchmark with one technique; the search stops as soon as the
-/// correct query is recovered (§5.2: "the synthesizer runs until the
-/// correct query q_gt is found").
-pub fn run_one(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> RunRecord {
+/// Builds the session request for one (benchmark × technique) run under
+/// the harness budget.
+pub fn benchmark_request(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> SynthRequest {
     let (task, _gen) = b.task(hc.seed).expect("benchmark demos generate");
-    let config = SynthConfig {
-        timeout: Some(hc.timeout),
-        max_visited: Some(hc.max_visited),
-        // Collect up to N=10 consistent queries for ranking, but stop early
-        // on the correct one (the stop predicate below).
-        max_solutions: 10,
-        ..b.config()
-    };
-    let result = if hc.workers > 1 {
-        synthesize_parallel(
-            &task,
-            &config,
-            || technique_analyzers(technique),
-            hc.workers,
-            |q| b.is_correct(q),
+    SynthRequest::from_task(task)
+        .with_search(b.config())
+        .with_budget(
+            Budget::default()
+                .with_timeout(Some(hc.timeout))
+                .with_max_visited(Some(hc.max_visited))
+                // Collect up to N=10 consistent queries for ranking, but
+                // stop early on the correct one (the stop predicate).
+                .with_max_solutions(10),
         )
-    } else {
-        let ctx = TaskContext::new(task);
-        let analyzer = technique_analyzers(technique);
-        synthesize_until(&ctx, &config, analyzer.as_ref(), |q| b.is_correct(q))
-    };
+        .with_analyzer(technique.choice())
+        .with_workers(hc.workers)
+}
+
+/// Runs one benchmark with one technique on a cold session; the search
+/// stops as soon as the correct query is recovered (§5.2: "the
+/// synthesizer runs until the correct query q_gt is found").
+pub fn run_one(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> RunRecord {
+    run_one_in(&Session::new(), b, technique, hc)
+}
+
+/// [`run_one`] against a caller-supplied (warm) [`Session`]: suite runs
+/// reuse one session so interned reference sets and Def. 3 verdicts carry
+/// across tasks.
+pub fn run_one_in(
+    session: &Session,
+    b: &Benchmark,
+    technique: Technique,
+    hc: &HarnessConfig,
+) -> RunRecord {
+    let request = benchmark_request(b, technique, hc);
+    let result = session
+        .solve_with(&request, |q| b.is_correct(q))
+        .expect("benchmark requests validate");
     let rank = result
         .solutions
         .iter()
@@ -214,12 +229,16 @@ impl SuiteResults {
 pub fn run_suite(techniques: &[Technique], hc: &HarnessConfig) -> SuiteResults {
     let mut results = SuiteResults::default();
     let suite = all_benchmarks();
+    // One warm session for the whole suite: the set pool persists across
+    // tasks and techniques, and each task's per-demonstration analysis
+    // cache persists across its technique runs.
+    let session = Session::new();
     for b in &suite {
         if !hc.only.is_empty() && !hc.only.contains(&b.id) {
             continue;
         }
         for &t in techniques {
-            let rec = run_one(b, t, hc);
+            let rec = run_one_in(&session, b, t, hc);
             eprintln!(
                 "[{:>2}/{}] {:9} {:55} {} {:>8.2}s visited={}",
                 b.id,
@@ -242,21 +261,9 @@ pub fn run_suite(techniques: &[Technique], hc: &HarnessConfig) -> SuiteResults {
 }
 
 /// Minimal JSON string escaping (benchmark names are plain ASCII, but the
-/// writer must never emit malformed output).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// writer must never emit malformed output). One escape table for the
+/// whole crate: the wire codec and this artifact writer must not drift.
+use crate::json::escape as json_escape;
 
 /// Renders the suite results as the `BENCH_synthesis.json` document.
 pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {

@@ -1,0 +1,507 @@
+//! The JSON-lines request/response wire format behind `sickle-serve`.
+//!
+//! One request per line on stdin, one response per line on stdout; the
+//! schema is documented in this crate's `README.md`. A request either
+//! names a suite benchmark (`"benchmark": id`) or carries an inline task
+//! (`"tables"` + `"demo"`), plus budget, analyzer, workers and an
+//! optional `"id"` echoed verbatim in the response. Failures come back as
+//! structured errors (`{"status":"error","error":{"kind","message"}}`)
+//! keyed by [`SickleError::kind`] — a malformed line never kills the
+//! server.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use sickle_benchmarks::{all_benchmarks, Benchmark};
+use sickle_core::{
+    AnalyzerChoice, Budget, JoinKey, Session, SickleError, SynthConfig, SynthRequest, SynthResult,
+};
+use sickle_provenance::Demo;
+use sickle_table::{Table, Value};
+
+use crate::json::{Json, JsonError};
+use crate::runner::Technique;
+
+/// A decoded wire request: the core [`SynthRequest`] plus the envelope
+/// metadata (`id`). Marked `#[non_exhaustive]`; decode with
+/// [`WireRequest::from_json`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct WireRequest {
+    /// The request id, echoed verbatim into the response (any JSON value).
+    pub id: Json,
+    /// The decoded synthesis request.
+    pub request: SynthRequest,
+}
+
+/// Looks up an analyzer by its wire name.
+///
+/// Accepted names: `provenance` (alias `sickle`), `type-abs`,
+/// `value-abs`, `no-prune`.
+pub fn analyzer_by_name(name: &str) -> Option<AnalyzerChoice> {
+    match name {
+        "provenance" | "sickle" => Some(Technique::Provenance.choice()),
+        "type-abs" => Some(Technique::TypeAbs.choice()),
+        "value-abs" => Some(Technique::ValueAbs.choice()),
+        "no-prune" => Some(AnalyzerChoice::NoPrune),
+        _ => None,
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> SickleError {
+    SickleError::invalid(msg)
+}
+
+/// Upper bound on per-request worker threads: each worker is one OS
+/// thread plus a skeleton shard, so an unbounded count would let a
+/// single request exhaust the process.
+const MAX_WIRE_WORKERS: usize = 64;
+
+/// The benchmark suite, built once per process (requests that name a
+/// benchmark arrive in batches; rebuilding 80 tasks per line would be
+/// pure hot-path waste).
+fn suite() -> &'static [Benchmark] {
+    static SUITE: OnceLock<Vec<Benchmark>> = OnceLock::new();
+    SUITE.get_or_init(all_benchmarks)
+}
+
+fn decode_value(v: &Json) -> Result<Value, SickleError> {
+    match v {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Str(s) => Ok(Value::Str(s.as_str().into())),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.2e18 => Ok(Value::Int(*n as i64)),
+        Json::Num(n) => Ok(Value::Float(*n)),
+        _ => Err(invalid("table cells must be scalars")),
+    }
+}
+
+fn decode_table(t: &Json, index: usize) -> Result<Table, SickleError> {
+    let columns = t
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or_else(|| invalid(format!("table {} needs a \"columns\" array", index + 1)))?;
+    let names: Vec<String> = columns
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| invalid("column names must be strings"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rows_json = t
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| invalid(format!("table {} needs a \"rows\" array", index + 1)))?;
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for r in rows_json {
+        let cells = r
+            .as_array()
+            .ok_or_else(|| invalid("each table row must be an array"))?;
+        rows.push(
+            cells
+                .iter()
+                .map(decode_value)
+                .collect::<Result<Vec<Value>, _>>()?,
+        );
+    }
+    Ok(Table::new(names, rows)?)
+}
+
+fn decode_demo(d: &Json) -> Result<Demo, SickleError> {
+    let rows_json = d
+        .as_array()
+        .ok_or_else(|| invalid("\"demo\" must be an array of rows"))?;
+    let mut rows: Vec<Vec<&str>> = Vec::with_capacity(rows_json.len());
+    for r in rows_json {
+        let cells = r
+            .as_array()
+            .ok_or_else(|| invalid("each demo row must be an array of formula strings"))?;
+        rows.push(
+            cells
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .ok_or_else(|| invalid("demo cells must be formula strings"))
+                })
+                .collect::<Result<_, _>>()?,
+        );
+    }
+    let borrowed: Vec<&[&str]> = rows.iter().map(Vec::as_slice).collect();
+    Ok(Demo::parse(&borrowed)?)
+}
+
+/// Decodes one wire join key: an object with **1-based**
+/// `left_table`/`left_col`/`right_table`/`right_col` (matching the
+/// `T[row,col]` surface syntax of demonstrations).
+fn decode_join_key(jk: &Json) -> Result<JoinKey, SickleError> {
+    let field = |name: &str| {
+        jk.get(name)
+            .and_then(Json::as_usize)
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| invalid(format!("join key needs a 1-based integer \"{name}\"")))
+    };
+    Ok(JoinKey {
+        left_table: field("left_table")? - 1,
+        left_col: field("left_col")? - 1,
+        right_table: field("right_table")? - 1,
+        right_col: field("right_col")? - 1,
+    })
+}
+
+fn decode_budget(json: Option<&Json>) -> Result<Budget, SickleError> {
+    let mut budget = Budget::default();
+    let Some(b) = json else {
+        return Ok(budget);
+    };
+    if let Some(t) = b.get("timeout_secs") {
+        budget = budget.with_timeout(match t {
+            Json::Null => None,
+            _ => {
+                let secs = t
+                    .as_f64()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .ok_or_else(|| invalid("budget.timeout_secs must be a number or null"))?;
+                // try_: from_secs_f64 aborts the process on overflow.
+                Some(Duration::try_from_secs_f64(secs).map_err(|_| {
+                    invalid("budget.timeout_secs is too large (use null for unbounded)")
+                })?)
+            }
+        });
+    }
+    if let Some(v) = b.get("max_visited") {
+        budget = budget.with_max_visited(match v {
+            Json::Null => None,
+            _ => Some(
+                v.as_usize()
+                    .ok_or_else(|| invalid("budget.max_visited must be an integer or null"))?,
+            ),
+        });
+    }
+    if let Some(n) = b.get("max_solutions") {
+        budget = budget.with_max_solutions(
+            n.as_usize()
+                .ok_or_else(|| invalid("budget.max_solutions must be an integer"))?,
+        );
+    }
+    Ok(budget)
+}
+
+impl WireRequest {
+    /// Decodes a request object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SickleError::InvalidRequest`] for schema violations,
+    /// [`SickleError::Table`] / [`SickleError::Parse`] for bad inline
+    /// tables or demo formulas.
+    pub fn from_json(json: &Json) -> Result<WireRequest, SickleError> {
+        let id = json.get("id").cloned().unwrap_or(Json::Null);
+
+        let mut request = match (json.get("benchmark"), json.get("tables")) {
+            (Some(_), Some(_)) => {
+                return Err(invalid("give either \"benchmark\" or \"tables\", not both"))
+            }
+            (Some(b), None) => {
+                let bench_id = b
+                    .as_usize()
+                    .ok_or_else(|| invalid("\"benchmark\" must be a task id"))?;
+                let bench = suite()
+                    .iter()
+                    .find(|bm| bm.id == bench_id)
+                    .ok_or_else(|| invalid(format!("unknown benchmark id {bench_id}")))?;
+                let seed = json
+                    .get("seed")
+                    .map(|s| {
+                        s.as_usize()
+                            .ok_or_else(|| invalid("\"seed\" must be an integer"))
+                    })
+                    .transpose()?
+                    .unwrap_or(2022) as u64;
+                let (task, _gen) = bench.task(seed).map_err(|e| SickleError::Internal {
+                    message: format!("benchmark {bench_id} demo generation failed: {e:?}"),
+                })?;
+                SynthRequest::from_task(task).with_search(bench.config())
+            }
+            (None, Some(tables_json)) => {
+                let tables_json = tables_json
+                    .as_array()
+                    .ok_or_else(|| invalid("\"tables\" must be an array"))?;
+                if tables_json.is_empty() {
+                    return Err(invalid("\"tables\" must not be empty"));
+                }
+                let tables = tables_json
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| decode_table(t, i))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let demo = decode_demo(
+                    json.get("demo")
+                        .ok_or_else(|| invalid("inline requests need a \"demo\""))?,
+                )?;
+                let enable_join = tables.len() > 1;
+                let mut request = SynthRequest::new(tables, demo)
+                    .with_search(SynthConfig::new().with_enable_join(enable_join));
+                if let Some(jks) = json.get("join_keys") {
+                    let jks = jks
+                        .as_array()
+                        .ok_or_else(|| invalid("\"join_keys\" must be an array"))?;
+                    for jk in jks {
+                        request = request.with_join_key(decode_join_key(jk)?);
+                    }
+                }
+                if let Some(consts) = json.get("constants") {
+                    let consts = consts
+                        .as_array()
+                        .ok_or_else(|| invalid("\"constants\" must be an array"))?;
+                    request = request.with_constants(
+                        consts
+                            .iter()
+                            .map(decode_value)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                request
+            }
+            (None, None) => {
+                return Err(invalid(
+                    "a request needs either \"benchmark\" or \"tables\" + \"demo\"",
+                ))
+            }
+        };
+
+        if let Some(d) = json.get("max_depth") {
+            request.search.max_depth = d
+                .as_usize()
+                .ok_or_else(|| invalid("\"max_depth\" must be an integer"))?;
+        }
+        if let Some(j) = json.get("enable_join") {
+            request.search.enable_join = j
+                .as_bool()
+                .ok_or_else(|| invalid("\"enable_join\" must be a boolean"))?;
+        }
+        request.budget = decode_budget(json.get("budget"))?;
+        if let Some(a) = json.get("analyzer") {
+            let name = a
+                .as_str()
+                .ok_or_else(|| invalid("\"analyzer\" must be a string"))?;
+            request.analyzer = analyzer_by_name(name)
+                .ok_or_else(|| invalid(format!("unknown analyzer \"{name}\"")))?;
+        }
+        if let Some(w) = json.get("workers") {
+            request.workers = w
+                .as_usize()
+                .filter(|&n| (1..=MAX_WIRE_WORKERS).contains(&n))
+                .ok_or_else(|| {
+                    invalid(format!(
+                        "\"workers\" must be an integer in 1..={MAX_WIRE_WORKERS}"
+                    ))
+                })?;
+        }
+
+        Ok(WireRequest { id, request })
+    }
+}
+
+/// Encodes a successful response line.
+pub fn response_ok(id: &Json, result: &SynthResult) -> Json {
+    let stats = &result.stats;
+    Json::Obj(vec![
+        ("id".into(), id.clone()),
+        ("status".into(), Json::str("ok")),
+        (
+            "solutions".into(),
+            Json::Arr(
+                result
+                    .solutions
+                    .iter()
+                    .map(|q| Json::str(q.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("timed_out".into(), Json::Bool(stats.timed_out)),
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                ("visited".into(), Json::num(stats.visited as f64)),
+                ("pruned".into(), Json::num(stats.pruned as f64)),
+                (
+                    "concrete_checked".into(),
+                    Json::num(stats.concrete_checked as f64),
+                ),
+                ("expanded".into(), Json::num(stats.expanded as f64)),
+                ("wall_s".into(), Json::num(stats.elapsed.as_secs_f64())),
+                (
+                    "time_analyze_s".into(),
+                    Json::num(stats.time_analyze.as_secs_f64()),
+                ),
+                (
+                    "time_eval_s".into(),
+                    Json::num(stats.time_concrete.as_secs_f64()),
+                ),
+                (
+                    "time_expand_s".into(),
+                    Json::num(stats.time_expand.as_secs_f64()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes an error response line.
+pub fn response_error(id: &Json, kind: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("id".into(), id.clone()),
+        ("status".into(), Json::str("error")),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::str(kind)),
+                ("message".into(), Json::str(message)),
+            ]),
+        ),
+    ])
+}
+
+fn sickle_error_response(id: &Json, e: &SickleError) -> Json {
+    response_error(id, e.kind(), &e.to_string())
+}
+
+fn json_error_response(e: &JsonError) -> Json {
+    response_error(&Json::Null, "bad_json", &e.to_string())
+}
+
+/// The full pipeline for one wire line: parse, decode, solve on the warm
+/// `session`, encode. Never fails — problems become structured error
+/// responses.
+pub fn handle_line(session: &Session, line: &str) -> Json {
+    let json = match Json::parse(line) {
+        Ok(json) => json,
+        Err(e) => return json_error_response(&e),
+    };
+    let wire = match WireRequest::from_json(&json) {
+        Ok(wire) => wire,
+        Err(e) => return sickle_error_response(json.get("id").unwrap_or(&Json::Null), &e),
+    };
+    match session.solve(&wire.request) {
+        Ok(result) => response_ok(&wire.id, &result),
+        Err(e) => sickle_error_response(&wire.id, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inline_request_line() -> String {
+        concat!(
+            r#"{"id": "r1", "#,
+            r#""tables": [{"columns": ["region", "revenue"], "#,
+            r#""rows": [["west", 10], ["west", 20], ["east", 5]]}], "#,
+            r#""demo": [["T[1,1]", "sum(T[1,2], T[2,2])"], ["T[3,1]", "sum(T[3,2])"]], "#,
+            r#""max_depth": 1, "#,
+            r#""budget": {"max_solutions": 3, "max_visited": 50000}}"#
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn inline_request_solves_end_to_end() {
+        let session = Session::new();
+        let response = handle_line(&session, &inline_request_line());
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}",
+            response.render()
+        );
+        assert_eq!(response.get("id").and_then(Json::as_str), Some("r1"));
+        let solutions = response.get("solutions").and_then(Json::as_array).unwrap();
+        assert!(!solutions.is_empty());
+        assert!(solutions[0].as_str().unwrap().contains("group"));
+        assert_eq!(
+            response.get("timed_out").and_then(Json::as_bool),
+            Some(false)
+        );
+        // The response line is itself valid JSON.
+        assert!(Json::parse(&response.render()).is_ok());
+    }
+
+    #[test]
+    fn benchmark_request_decodes_with_suite_config() {
+        let wire = WireRequest::from_json(
+            &Json::parse(r#"{"benchmark": 1, "budget": {"timeout_secs": 5}}"#).unwrap(),
+        )
+        .unwrap();
+        assert!(!wire.request.task.inputs.is_empty());
+        assert_eq!(wire.request.budget.timeout, Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn structured_errors_for_bad_lines() {
+        let session = Session::new();
+        let cases = [
+            ("{not json", "bad_json"),
+            (r#"{"id": 1}"#, "invalid_request"),
+            (r#"{"id": 1, "benchmark": 999}"#, "invalid_request"),
+            (
+                r#"{"benchmark": 1, "analyzer": "quantum"}"#,
+                "invalid_request",
+            ),
+            (
+                r#"{"tables": [{"columns": ["a"], "rows": [["x"], ["y", "z"]]}], "demo": [["T[1,1]"]]}"#,
+                "table",
+            ),
+            (
+                r#"{"tables": [{"columns": ["a"], "rows": [["x"]]}], "demo": [["sum(("]]}"#,
+                "parse",
+            ),
+            (
+                r#"{"tables": [{"columns": ["a"], "rows": [["x"]]}], "demo": [["T[5,5]"]]}"#,
+                "invalid_request",
+            ),
+            // Overflowing timeout must be a structured error, not a
+            // Duration::from_secs_f64 process abort.
+            (
+                r#"{"benchmark": 1, "budget": {"timeout_secs": 1e20}}"#,
+                "invalid_request",
+            ),
+            // Absurd worker counts are rejected before any allocation.
+            (
+                r#"{"benchmark": 1, "workers": 1000000000}"#,
+                "invalid_request",
+            ),
+        ];
+        for (line, expected_kind) in cases {
+            let response = handle_line(&session, line);
+            assert_eq!(
+                response.get("status").and_then(Json::as_str),
+                Some("error"),
+                "{line}"
+            );
+            let kind = response
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str);
+            assert_eq!(kind, Some(expected_kind), "{line}");
+        }
+    }
+
+    #[test]
+    fn join_keys_are_one_based() {
+        let jk = decode_join_key(
+            &Json::parse(r#"{"left_table":1,"left_col":2,"right_table":2,"right_col":1}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            jk,
+            JoinKey {
+                left_table: 0,
+                left_col: 1,
+                right_table: 1,
+                right_col: 0,
+            }
+        );
+        assert!(decode_join_key(&Json::parse(r#"{"left_table":0}"#).unwrap()).is_err());
+    }
+}

@@ -160,14 +160,12 @@ impl Benchmark {
         }
         let mut arith_templates = sickle_table::default_arith_templates();
         arith_templates.extend(self.extra_arith.iter().cloned());
-        SynthConfig {
-            max_depth: features.size,
-            chain_ops,
-            enable_join: self.inputs.len() > 1,
-            max_partition_cols: max_partition_keys(&self.ground_truth).max(1),
-            arith_templates,
-            ..SynthConfig::default()
-        }
+        SynthConfig::new()
+            .with_max_depth(features.size)
+            .with_chain_ops(chain_ops)
+            .with_enable_join(self.inputs.len() > 1)
+            .with_max_partition_cols(max_partition_keys(&self.ground_truth).max(1))
+            .with_arith_templates(arith_templates)
     }
 
     /// Generates the synthesis task (sampled inputs + demonstration) for a

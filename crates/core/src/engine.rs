@@ -30,7 +30,7 @@
 //! materialized — a selection-vector pair is built from the predicate and
 //! each surviving column is gathered once.
 
-use std::cell::{OnceCell, RefCell};
+use std::cell::{Cell, OnceCell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -88,11 +88,18 @@ impl ExecTable {
     ///
     /// # Panics
     ///
-    /// Panics if the result was computed at [`Semantics::Values`].
+    /// Panics if the result was computed at [`Semantics::Values`]; use
+    /// [`ExecTable::try_star`] for a non-panicking probe.
     pub fn star(&self) -> &ProvTable {
         self.star
             .as_ref()
             .expect("provenance channel not requested")
+    }
+
+    /// The provenance channel, or `None` when the result was computed at
+    /// [`Semantics::Values`].
+    pub fn try_star(&self) -> Option<&ProvTable> {
+        self.star.as_ref()
     }
 
     /// Per-cell reference sets (`ref` of each star cell), computed from the
@@ -715,9 +722,10 @@ pub struct EvalCache {
     /// Per-query slot indexed by semantics level
     /// (`[Values, Provenance]`) — keying by `Query` alone lets cache hits
     /// probe with `map.get(q)` instead of cloning the whole AST into a
-    /// tuple key on the search's innermost loop.
-    map: RefCell<FxMap<Query, [Option<Rc<ExecTable>>; 2]>>,
-    abs_map: RefCell<FxMap<crate::ast::PQuery, Rc<crate::abstract_eval::AbsTable>>>,
+    /// tuple key on the search's innermost loop. Entries carry a
+    /// second-chance bit; see [`second_chance_sweep`].
+    map: RefCell<FxMap<Query, ExecSlot>>,
+    abs_map: RefCell<FxMap<crate::ast::PQuery, Warm<Rc<crate::abstract_eval::AbsTable>>>>,
     /// The hash-consing pool resolving every [`SetId`] produced through
     /// this cache. Shared (`Arc`) so parallel search workers intern into
     /// one pool and see identical ids for identical sets.
@@ -745,6 +753,10 @@ pub struct EvalCache {
 /// A shared row partition (`extract_groups` output).
 type Groups = Rc<Vec<Vec<usize>>>;
 
+/// One exec-cache slot: per-semantics-level results plus the
+/// second-chance bit.
+type ExecSlot = Warm<[Option<Rc<ExecTable>>; 2]>;
+
 /// Column-union memo: column `Arc` address → (pinned column, union id).
 type ColUnionMemo = FxMap<usize, (Arc<Vec<SetId>>, SetId)>;
 
@@ -768,6 +780,35 @@ const EXEC_CACHE_CAP: usize = 4_000;
 /// children of a node consecutively (depth-first), so even a modest bound
 /// keeps the hit rate high while capping memory.
 const ABS_CACHE_CAP: usize = 8_000;
+
+/// A cache entry with a second-chance bit: set on every hit (and on
+/// insertion), consumed by [`second_chance_sweep`].
+#[derive(Debug, Default)]
+struct Warm<V> {
+    value: V,
+    hot: Cell<bool>,
+}
+
+/// Generation-style eviction replacing the old wholesale clear-at-cap:
+/// one sweep starts a new generation by dropping every entry that was not
+/// touched since the previous sweep (its second chance), keeping the hot
+/// working set — the inner subqueries every sibling expansion shares —
+/// warm across generations. At most `cap / 2` hot entries survive, so a
+/// sweep always frees at least half the map: the O(n) retain amortizes to
+/// O(1) per insert instead of degrading to a retain per insert when the
+/// whole map is hot.
+fn second_chance_sweep<K, V>(map: &mut FxMap<K, Warm<V>>, cap: usize) {
+    let mut quota = cap / 2;
+    map.retain(|_, entry| {
+        entry.hot.replace(false)
+            && if quota > 0 {
+                quota -= 1;
+                true
+            } else {
+                false
+            }
+    });
+}
 
 /// Bound on the identity-keyed analysis memos (column unions, groupings,
 /// per-group unions); full memos are cleared, not evicted.
@@ -893,7 +934,8 @@ impl EvalCache {
                     if level < sem {
                         break;
                     }
-                    if let Some(hit) = &slot[level as usize] {
+                    if let Some(hit) = &slot.value[level as usize] {
+                        slot.hot.set(true);
                         return Ok(Rc::clone(hit));
                     }
                 }
@@ -935,9 +977,11 @@ impl EvalCache {
         let rc = Rc::new(computed);
         let mut map = self.map.borrow_mut();
         if map.len() >= EXEC_CACHE_CAP {
-            map.clear();
+            second_chance_sweep(&mut map, EXEC_CACHE_CAP);
         }
-        map.entry(q.clone()).or_default()[actual as usize] = Some(Rc::clone(&rc));
+        let slot = map.entry(q.clone()).or_default();
+        slot.value[actual as usize] = Some(Rc::clone(&rc));
+        slot.hot.set(true);
         Ok(rc)
     }
 
@@ -955,15 +999,24 @@ impl EvalCache {
         &self,
         pq: &crate::ast::PQuery,
     ) -> Option<Rc<crate::abstract_eval::AbsTable>> {
-        self.abs_map.borrow().get(pq).cloned()
+        self.abs_map.borrow().get(pq).map(|entry| {
+            entry.hot.set(true);
+            Rc::clone(&entry.value)
+        })
     }
 
     pub(crate) fn abs_put(&self, pq: &crate::ast::PQuery, abs: Rc<crate::abstract_eval::AbsTable>) {
         let mut map = self.abs_map.borrow_mut();
         if map.len() >= ABS_CACHE_CAP {
-            map.clear();
+            second_chance_sweep(&mut map, ABS_CACHE_CAP);
         }
-        map.insert(pq.clone(), abs);
+        map.insert(
+            pq.clone(),
+            Warm {
+                value: abs,
+                hot: Cell::new(true),
+            },
+        );
     }
 }
 
@@ -1073,6 +1126,62 @@ mod tests {
         let low = cache.exec(&q, Semantics::Values, &inputs).unwrap();
         assert!(Rc::ptr_eq(&full, &low));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn second_chance_sweep_keeps_hot_entries() {
+        let mut map: FxMap<usize, Warm<usize>> = FxMap::default();
+        for k in 0..10 {
+            map.insert(
+                k,
+                Warm {
+                    value: k,
+                    hot: Cell::new(false),
+                },
+            );
+        }
+        // Touch three entries: they survive the sweep (flags consumed).
+        for k in [2, 5, 7] {
+            map.get(&k).unwrap().hot.set(true);
+        }
+        second_chance_sweep(&mut map, 100);
+        let mut kept: Vec<usize> = map.keys().copied().collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![2, 5, 7]);
+        assert!(map.values().all(|e| !e.hot.get()), "flags must reset");
+        // All-hot at a tiny cap: the survivor quota (cap / 2) still
+        // guarantees at least half the map is freed.
+        for e in map.values() {
+            e.hot.set(true);
+        }
+        second_chance_sweep(&mut map, 3);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn eval_cache_hit_survives_a_sweep() {
+        let cache = EvalCache::new();
+        let inputs = [input()];
+        let hot = Query::Input(0);
+        let hot_rc = cache.exec(&hot, Semantics::Values, &inputs).unwrap();
+        let cold = Query::Sort {
+            src: Box::new(Query::Input(0)),
+            cols: vec![0],
+            asc: true,
+        };
+        cache.exec(&cold, Semantics::Values, &inputs).unwrap();
+        // First sweep: everything was inserted hot, so both survive with
+        // their flags consumed (the "second chance").
+        second_chance_sweep(&mut cache.map.borrow_mut(), EXEC_CACHE_CAP);
+        assert_eq!(cache.len(), 2);
+        // Touch only the hot entry; the next sweep evicts the cold one.
+        cache.exec(&hot, Semantics::Values, &inputs).unwrap();
+        second_chance_sweep(&mut cache.map.borrow_mut(), EXEC_CACHE_CAP);
+        assert_eq!(cache.len(), 1);
+        // The surviving entry is served from cache (same Rc), the cold
+        // one was evicted and recomputes.
+        let again = cache.exec(&hot, Semantics::Values, &inputs).unwrap();
+        assert!(Rc::ptr_eq(&hot_rc, &again));
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! The unified public error hierarchy of the synthesis service.
+//!
+//! Before the session API, each layer surfaced its own error type
+//! ([`TableError`] from table construction, [`ParseError`] from the
+//! demonstration parser, [`EvalError`] from query evaluation) and anything
+//! else — an empty input list, a demonstration referencing cells outside
+//! the inputs — either panicked or silently produced an unsolvable search.
+//! [`SickleError`] absorbs all of them behind one `std::error::Error`
+//! implementation so callers (and the JSON front-end) can match on a
+//! single type, and [`crate::Session`] validates requests up front,
+//! turning the formerly panic- or silence-shaped failures into
+//! [`SickleError::InvalidRequest`].
+
+use std::fmt;
+
+use sickle_provenance::ParseError;
+use sickle_table::TableError;
+
+use crate::eval::EvalError;
+
+/// Any error the synthesis service can report.
+///
+/// Marked `#[non_exhaustive]`: future failure classes (I/O, distributed
+/// workers, …) can be added without a breaking change, so downstream
+/// `match`es must carry a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SickleError {
+    /// Constructing an input table failed (ragged rows, name/arity
+    /// mismatch).
+    Table(TableError),
+    /// A demonstration formula failed to parse.
+    Parse(ParseError),
+    /// A query was ill-formed for its inputs (out-of-range table or column
+    /// references).
+    Eval(EvalError),
+    /// A [`crate::SynthRequest`] failed validation before the search
+    /// started: empty inputs, a demonstration referencing cells outside
+    /// the inputs, out-of-range join keys, or a zero solution target.
+    InvalidRequest {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The service itself failed (a worker thread died before reporting a
+    /// result). Never caused by the request contents.
+    Internal {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl SickleError {
+    /// Shorthand constructor for [`SickleError::InvalidRequest`].
+    pub fn invalid(message: impl Into<String>) -> SickleError {
+        SickleError::InvalidRequest {
+            message: message.into(),
+        }
+    }
+
+    /// A short stable machine-readable tag for each variant, used by the
+    /// JSON wire format (`error.kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SickleError::Table(_) => "table",
+            SickleError::Parse(_) => "parse",
+            SickleError::Eval(_) => "eval",
+            SickleError::InvalidRequest { .. } => "invalid_request",
+            SickleError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for SickleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SickleError::Table(e) => write!(f, "invalid input table: {e}"),
+            SickleError::Parse(e) => write!(f, "invalid demonstration: {e}"),
+            SickleError::Eval(e) => write!(f, "query evaluation failed: {e}"),
+            SickleError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
+            SickleError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SickleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SickleError::Table(e) => Some(e),
+            SickleError::Parse(e) => Some(e),
+            SickleError::Eval(e) => Some(e),
+            SickleError::InvalidRequest { .. } | SickleError::Internal { .. } => None,
+        }
+    }
+}
+
+impl From<TableError> for SickleError {
+    fn from(e: TableError) -> SickleError {
+        SickleError::Table(e)
+    }
+}
+
+impl From<ParseError> for SickleError {
+    fn from(e: ParseError) -> SickleError {
+        SickleError::Parse(e)
+    }
+}
+
+impl From<EvalError> for SickleError {
+    fn from(e: EvalError) -> SickleError {
+        SickleError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_layer_errors_with_source() {
+        let eval: SickleError = EvalError::NoSuchInput {
+            index: 3,
+            available: 1,
+        }
+        .into();
+        assert_eq!(eval.kind(), "eval");
+        assert!(std::error::Error::source(&eval).is_some());
+        assert!(eval.to_string().contains("T4"));
+
+        let inv = SickleError::invalid("no inputs");
+        assert_eq!(inv.kind(), "invalid_request");
+        assert!(std::error::Error::source(&inv).is_none());
+    }
+}

@@ -25,18 +25,24 @@
 //!   concrete leaves run through the pipeline's ref-set channel;
 //! * [`EvalCache`] — memoized engine results keyed by
 //!   `(query, semantics)`, threaded through the search so sibling partial
-//!   queries share inner-subquery evaluations;
-//! * [`synthesize`] / [`synthesize_parallel`] (`synth`) — Algorithm 1,
-//!   sequential or with skeleton expansion fanned out over worker threads,
-//!   parameterized by an [`Analyzer`] ([`ProvenanceAnalyzer`] is the
-//!   paper's; baselines live in `sickle-baselines`).
+//!   queries share inner-subquery evaluations (second-chance eviction
+//!   keeps the hot working set across generations);
+//! * [`Session`] / [`SynthRequest`] / [`SolutionStream`] (`session`) — the
+//!   public front door: a warm, reusable service instance running
+//!   Algorithm 1 sequentially or with skeleton expansion fanned out over
+//!   worker threads, blocking or streaming, with validated requests,
+//!   [`Budget`]s, [`CancelToken`]s and the unified [`SickleError`];
+//! * `synthesize` / `synthesize_parallel` (`synth`) — the deprecated
+//!   free-function face of the same internals, parameterized by an
+//!   [`Analyzer`] ([`ProvenanceAnalyzer`] is the paper's; baselines live
+//!   in `sickle-baselines`).
 //!
 //! # Examples
 //!
 //! Synthesizing "sum Enrolled per City" from a two-row demonstration:
 //!
 //! ```
-//! use sickle_core::{synthesize, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext};
+//! use sickle_core::{Budget, Session, SynthRequest};
 //! use sickle_provenance::Demo;
 //! use sickle_table::Table;
 //!
@@ -52,10 +58,11 @@
 //!     &["T[1,1]", "sum(T[1,2], T[2,2])"],
 //!     &["T[3,1]", "sum(T[3,2])"],
 //! ])?;
-//! let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
-//! let config = SynthConfig { max_depth: 1, ..SynthConfig::default() };
-//! let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+//! let session = Session::new();
+//! let request = SynthRequest::new(vec![t], demo).with_max_depth(1);
+//! let result = session.solve(&request)?;
 //! assert!(!result.solutions.is_empty());
+//! # let _ = Budget::default();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -64,8 +71,10 @@
 mod abstract_eval;
 mod ast;
 mod engine;
+mod error;
 mod eval;
 mod prov_eval;
+mod session;
 mod synth;
 
 pub use abstract_eval::{
@@ -75,10 +84,16 @@ pub use ast::{PQuery, Pred, Query};
 pub use engine::{
     AnalysisEngine, ConcreteEngine, Engine, EvalCache, ExecTable, ProvenanceEngine, Semantics,
 };
+pub use error::SickleError;
 pub use eval::{evaluate, EvalError};
 pub use prov_eval::{concretize, expand_arith, prov_evaluate, ProvTable};
-pub use synth::{
-    construct_skeletons, expand, synthesize, synthesize_parallel, synthesize_seeded,
-    synthesize_until, Analyzer, JoinKey, NoPruneAnalyzer, OpKind, ProvenanceAnalyzer, SearchStats,
-    SharedStats, SynthConfig, SynthResult, SynthTask, TaskContext,
+pub use session::{
+    AnalyzerChoice, Budget, CancelToken, ProgressSnapshot, Session, SolutionEvent, SolutionStream,
+    SynthRequest,
 };
+pub use synth::{
+    construct_skeletons, expand, Analyzer, JoinKey, NoPruneAnalyzer, OpKind, ProvenanceAnalyzer,
+    SearchStats, SharedStats, SynthConfig, SynthResult, SynthTask, TaskContext,
+};
+#[allow(deprecated)]
+pub use synth::{synthesize, synthesize_parallel, synthesize_seeded, synthesize_until};

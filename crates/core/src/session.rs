@@ -1,0 +1,948 @@
+//! The session-oriented synthesis API.
+//!
+//! A [`Session`] is the long-lived front door of the synthesizer: it owns
+//! the warm, shareable search state — the hash-consed [`RefSetPool`] and
+//! a per-demonstration family of cross-sibling [`AnalysisCache`]s — and
+//! serves any number of [`SynthRequest`]s against it. Requests built
+//! back-to-back reuse interned reference sets, and repeat requests over
+//! the same demonstration reuse memoized Def. 3 verdicts instead of
+//! rebuilding them per call. (Verdict memos are keyed by the abstract
+//! table only — the demonstration is a fixed side of the check — so the
+//! session indexes its caches by the demo's interned id-grid: hash-consing
+//! makes that key stable across requests, and demos with equal reference
+//! structure share one cache soundly.) Per-request state that is *not*
+//! shareable (the thread-local [`crate::EvalCache`] keyed by query ASTs
+//! over one task's inputs) is created fresh for each request, one
+//! generation per worker.
+//!
+//! Two ways to run a request:
+//!
+//! * [`Session::solve`] — blocking; returns the ranked [`SynthResult`]
+//!   (a convenience wrapper over the parallel search internals);
+//! * [`Session::submit`] — streaming; returns a [`SolutionStream`]
+//!   yielding [`SolutionEvent`]s as the search finds solutions, with live
+//!   [`ProgressSnapshot`]s and cooperative cancellation via
+//!   [`CancelToken`].
+//!
+//! Requests are validated up front ([`SynthRequest`] problems surface as
+//! [`SickleError::InvalidRequest`] instead of panics or silently
+//! unsolvable searches), budgets live in [`Budget`], and the analyzer is
+//! selected by [`AnalyzerChoice`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sickle_core::{Budget, Session, SynthRequest};
+//! use sickle_provenance::Demo;
+//! use sickle_table::Table;
+//!
+//! let t = Table::new(
+//!     ["City", "Enrolled"],
+//!     vec![
+//!         vec!["A".into(), 10.into()],
+//!         vec!["A".into(), 20.into()],
+//!         vec!["B".into(), 5.into()],
+//!     ],
+//! )?;
+//! let demo = Demo::parse(&[
+//!     &["T[1,1]", "sum(T[1,2], T[2,2])"],
+//!     &["T[3,1]", "sum(T[3,2])"],
+//! ])?;
+//!
+//! let session = Session::new();
+//! let request = SynthRequest::new(vec![t], demo)
+//!     .with_max_depth(1)
+//!     .with_budget(Budget::default().with_max_solutions(3));
+//! let result = session.solve(&request)?;
+//! assert!(!result.solutions.is_empty());
+//! # Ok::<(), sickle_core::SickleError>(())
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sickle_provenance::{
+    AnalysisCache, AnalysisCacheStats, Demo, FxMap, RefSetPool, RefUniverse, SetId,
+};
+use sickle_table::{Table, Value};
+
+use crate::abstract_eval::demo_ref_sets;
+use crate::ast::{PQuery, Query};
+use crate::error::SickleError;
+use crate::synth::{
+    run_parallel, Analyzer, JoinKey, NoPruneAnalyzer, ProvenanceAnalyzer, SharedStats, SynthConfig,
+    SynthResult, SynthTask,
+};
+
+// ---------------------------------------------------------------------------
+// Budgets and cancellation
+// ---------------------------------------------------------------------------
+
+/// Resource budget of one request: wall-clock, visited-query cap and the
+/// consistent-solution target. When a request runs through a [`Session`],
+/// the budget is authoritative — it overrides the budget-shaped fields of
+/// the request's [`SynthConfig`].
+///
+/// Marked `#[non_exhaustive]`: construct via [`Budget::default`] plus the
+/// `with_*` builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Budget {
+    /// Relative wall-clock budget; `None` = unbounded.
+    pub timeout: Option<Duration>,
+    /// Absolute deadline; combined with `timeout` (whichever is sooner).
+    pub deadline: Option<Instant>,
+    /// Budget on visited (partial + concrete) queries; `None` = unbounded.
+    pub max_visited: Option<usize>,
+    /// Stop after this many consistent queries (the paper's `N = 10`).
+    pub max_solutions: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            timeout: Some(Duration::from_secs(600)),
+            deadline: None,
+            max_visited: None,
+            max_solutions: 10,
+        }
+    }
+}
+
+impl Budget {
+    /// An unbounded budget (no timeout, no visit cap) with the default
+    /// solution target. Deterministic runs combine this with
+    /// [`Budget::with_max_visited`].
+    pub fn unbounded() -> Budget {
+        Budget {
+            timeout: None,
+            ..Budget::default()
+        }
+    }
+
+    /// Sets (or clears) the relative wall-clock budget.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Budget {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets (or clears) the visited-query cap.
+    #[must_use]
+    pub fn with_max_visited(mut self, max: Option<usize>) -> Budget {
+        self.max_visited = max;
+        self
+    }
+
+    /// Sets the consistent-solution target.
+    #[must_use]
+    pub fn with_max_solutions(mut self, n: usize) -> Budget {
+        self.max_solutions = n;
+        self
+    }
+
+    /// The effective relative timeout at `now`: the sooner of `timeout`
+    /// and the remaining time to `deadline` (an already-passed deadline
+    /// yields a zero budget, so the search stops on its first check).
+    fn effective_timeout(&self, now: Instant) -> Option<Duration> {
+        let from_deadline = self.deadline.map(|d| d.saturating_duration_since(now));
+        match (self.timeout, from_deadline) {
+            (Some(t), Some(d)) => Some(t.min(d)),
+            (Some(t), None) => Some(t),
+            (None, d) => d,
+        }
+    }
+}
+
+/// Cooperative cancellation handle: cloneable, thread-safe, level-
+/// triggered. The search polls it between visited queries; a canceled run
+/// terminates promptly, reports `timed_out`, and keeps every solution
+/// found so far.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-canceled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag, in the form [`SynthConfig::cancel`] consumes.
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer selection
+// ---------------------------------------------------------------------------
+
+/// Which pruning analyzer a request runs with.
+///
+/// The two built-in choices live in this crate; baseline abstractions
+/// (`sickle-baselines`) or user-supplied analyzers plug in through
+/// [`AnalyzerChoice::custom`]. Marked `#[non_exhaustive]`.
+#[derive(Clone, Default)]
+#[non_exhaustive]
+pub enum AnalyzerChoice {
+    /// The paper's abstract data provenance analyzer (Def. 3).
+    #[default]
+    Provenance,
+    /// No pruning (plain enumerative search; the ablation baseline).
+    NoPrune,
+    /// A caller-supplied analyzer factory (invoked once per worker
+    /// thread).
+    Custom {
+        /// Short name used in reports and the wire format.
+        name: &'static str,
+        /// Per-worker analyzer factory.
+        factory: Arc<dyn Fn() -> Box<dyn Analyzer> + Send + Sync>,
+    },
+}
+
+impl AnalyzerChoice {
+    /// Wraps an analyzer factory (e.g. one of the `sickle-baselines`
+    /// abstractions) as a choice.
+    pub fn custom(
+        name: &'static str,
+        factory: impl Fn() -> Box<dyn Analyzer> + Send + Sync + 'static,
+    ) -> AnalyzerChoice {
+        AnalyzerChoice::Custom {
+            name,
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnalyzerChoice::Provenance => "provenance",
+            AnalyzerChoice::NoPrune => "no-prune",
+            AnalyzerChoice::Custom { name, .. } => name,
+        }
+    }
+
+    /// Instantiates the analyzer (once per worker thread).
+    pub fn make(&self) -> Box<dyn Analyzer> {
+        match self {
+            AnalyzerChoice::Provenance => Box::new(ProvenanceAnalyzer),
+            AnalyzerChoice::NoPrune => Box::new(NoPruneAnalyzer),
+            AnalyzerChoice::Custom { factory, .. } => factory(),
+        }
+    }
+}
+
+impl fmt::Debug for AnalyzerChoice {
+    // By name only: the custom factory is an opaque closure.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AnalyzerChoice").field(&self.name()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One synthesis request: the task (inputs + demonstration), the search
+/// shape, the [`Budget`], the [`AnalyzerChoice`], optional cancellation
+/// and the worker count.
+///
+/// Built with the chainable `with_*` builders; validated by the session
+/// before the search starts. Marked `#[non_exhaustive]` — construct via
+/// [`SynthRequest::new`] / [`SynthRequest::from_task`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SynthRequest {
+    /// The synthesis task (inputs, demonstration, join keys, constants).
+    pub task: SynthTask,
+    /// Search-shape knobs (depth, operator set, templates). Budget-shaped
+    /// fields in here are overridden by [`SynthRequest::budget`].
+    pub search: SynthConfig,
+    /// The resource budget.
+    pub budget: Budget,
+    /// The pruning analyzer.
+    pub analyzer: AnalyzerChoice,
+    /// External cancellation; [`Session::submit`] creates one when absent.
+    pub cancel: Option<CancelToken>,
+    /// Worker threads for skeleton expansion (1 = sequential search).
+    pub workers: usize,
+    /// Explicit seed work list overriding skeleton enumeration (tests,
+    /// ablations and diagnostics).
+    pub seeds: Option<Vec<PQuery>>,
+}
+
+impl SynthRequest {
+    /// A request over `inputs` and `demo` with default shape, budget and
+    /// analyzer.
+    pub fn new(inputs: Vec<Table>, demo: Demo) -> SynthRequest {
+        SynthRequest::from_task(SynthTask::new(inputs, demo))
+    }
+
+    /// A request from a pre-assembled task (join keys and extra constants
+    /// already attached).
+    pub fn from_task(task: SynthTask) -> SynthRequest {
+        SynthRequest {
+            task,
+            search: SynthConfig::default(),
+            budget: Budget::default(),
+            analyzer: AnalyzerChoice::default(),
+            cancel: None,
+            workers: 1,
+            seeds: None,
+        }
+    }
+
+    /// Replaces the search-shape configuration.
+    #[must_use]
+    pub fn with_search(mut self, search: SynthConfig) -> SynthRequest {
+        self.search = search;
+        self
+    }
+
+    /// Sets the maximum number of operators per query.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> SynthRequest {
+        self.search.max_depth = depth;
+        self
+    }
+
+    /// Sets the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> SynthRequest {
+        self.budget = budget;
+        self
+    }
+
+    /// Selects the analyzer.
+    #[must_use]
+    pub fn with_analyzer(mut self, analyzer: AnalyzerChoice) -> SynthRequest {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> SynthRequest {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> SynthRequest {
+        self.workers = workers;
+        self
+    }
+
+    /// Declares a primary/foreign key pair for join enumeration.
+    #[must_use]
+    pub fn with_join_key(mut self, key: JoinKey) -> SynthRequest {
+        self.task.join_keys.push(key);
+        self
+    }
+
+    /// Adds extra constants usable in filter predicates.
+    #[must_use]
+    pub fn with_constants(mut self, constants: Vec<Value>) -> SynthRequest {
+        self.task.extra_constants.extend(constants);
+        self
+    }
+
+    /// Overrides skeleton enumeration with an explicit seed work list.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<PQuery>) -> SynthRequest {
+        self.seeds = Some(seeds);
+        self
+    }
+
+    /// Validates the request: non-empty inputs and demonstration, all
+    /// demonstration references and join keys within the inputs, and a
+    /// positive solution target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SickleError::InvalidRequest`] naming the first violated
+    /// constraint. These are exactly the shapes that previously panicked
+    /// or produced silently unsolvable searches.
+    pub fn validate(&self) -> Result<(), SickleError> {
+        let inputs = &self.task.inputs;
+        if inputs.is_empty() {
+            return Err(SickleError::invalid("no input tables"));
+        }
+        let demo = &self.task.demo;
+        if demo.n_rows() == 0 || demo.n_cols() == 0 {
+            return Err(SickleError::invalid("empty demonstration"));
+        }
+        for i in 0..demo.n_rows() {
+            for j in 0..demo.n_cols() {
+                for r in demo.cell(i, j).refs() {
+                    let Some(t) = inputs.get(r.table) else {
+                        return Err(SickleError::invalid(format!(
+                            "demo cell ({},{}) references table T{} but only {} input(s) exist",
+                            i + 1,
+                            j + 1,
+                            r.table + 1,
+                            inputs.len()
+                        )));
+                    };
+                    if r.row >= t.n_rows() || r.col >= t.n_cols() {
+                        return Err(SickleError::invalid(format!(
+                            "demo cell ({},{}) references T{}[{},{}] outside the {}x{} input",
+                            i + 1,
+                            j + 1,
+                            r.table + 1,
+                            r.row + 1,
+                            r.col + 1,
+                            t.n_rows(),
+                            t.n_cols()
+                        )));
+                    }
+                }
+            }
+        }
+        for jk in &self.task.join_keys {
+            let ok = |t: usize, c: usize| inputs.get(t).is_some_and(|tab| c < tab.n_cols());
+            if !ok(jk.left_table, jk.left_col) || !ok(jk.right_table, jk.right_col) {
+                return Err(SickleError::invalid(format!(
+                    "join key {jk:?} references a table or column outside the inputs"
+                )));
+            }
+        }
+        if self.budget.max_solutions == 0 {
+            return Err(SickleError::invalid("budget.max_solutions must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// The [`SynthConfig`] actually handed to the search: the request's
+    /// shape knobs with the budget and cancellation folded in.
+    fn effective_config(&self, cancel: &CancelToken, now: Instant) -> SynthConfig {
+        let mut config = self.search.clone();
+        config.timeout = self.budget.effective_timeout(now);
+        config.max_visited = self.budget.max_visited;
+        config.max_solutions = self.budget.max_solutions;
+        config.cancel = Some(cancel.flag());
+        config
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming results
+// ---------------------------------------------------------------------------
+
+/// Live counters of a running (or finished) search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ProgressSnapshot {
+    /// Queries (partial + concrete) taken off any worker's work list.
+    pub visited: usize,
+    /// Partial queries pruned by the analyzer.
+    pub pruned: usize,
+    /// Concrete queries checked against Def. 1.
+    pub concrete_checked: usize,
+    /// Solutions found so far.
+    pub solutions: usize,
+    /// Wall-clock since the request was submitted.
+    pub elapsed: Duration,
+}
+
+impl ProgressSnapshot {
+    fn read(shared: &SharedStats, started: Instant) -> ProgressSnapshot {
+        ProgressSnapshot {
+            visited: shared.visited.load(Ordering::Relaxed),
+            pruned: shared.pruned.load(Ordering::Relaxed),
+            concrete_checked: shared.concrete_checked.load(Ordering::Relaxed),
+            solutions: shared.solutions.load(Ordering::Relaxed),
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// One event of a [`SolutionStream`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum SolutionEvent {
+    /// A consistent query, emitted the moment a worker finds it.
+    /// `index` counts solutions in cross-worker discovery order (0-based);
+    /// with multiple workers the same query may be discovered twice — the
+    /// final [`SolutionEvent::Done`] list is deduplicated and ranked by
+    /// query size.
+    Solution {
+        /// Cross-worker discovery index (0-based).
+        index: usize,
+        /// The consistent query.
+        query: Query,
+    },
+    /// A progress heartbeat (emitted alongside each solution; poll
+    /// [`SolutionStream::progress`] for arbitrary-rate sampling).
+    Progress(ProgressSnapshot),
+    /// The search finished: the ranked, deduplicated result. Always the
+    /// last event of a stream (unless the worker died, in which case the
+    /// stream just ends).
+    Done(SynthResult),
+}
+
+/// A handle to an in-flight request submitted with [`Session::submit`]:
+/// an iterator of [`SolutionEvent`]s ending with [`SolutionEvent::Done`].
+///
+/// Dropping the stream cancels the request and joins the worker. The
+/// search also stops early when the budget expires or
+/// [`SolutionStream::cancel`] is called — already-found solutions are
+/// never dropped; they arrive in the final [`SolutionEvent::Done`].
+#[derive(Debug)]
+pub struct SolutionStream {
+    rx: mpsc::Receiver<SolutionEvent>,
+    handle: Option<JoinHandle<()>>,
+    shared: Arc<SharedStats>,
+    cancel: CancelToken,
+    started: Instant,
+    finished: bool,
+}
+
+impl SolutionStream {
+    /// Live progress counters (sample at any rate).
+    pub fn progress(&self) -> ProgressSnapshot {
+        ProgressSnapshot::read(&self.shared, self.started)
+    }
+
+    /// Requests cooperative cancellation; the stream still delivers
+    /// [`SolutionEvent::Done`] with everything found so far (and
+    /// `stats.timed_out` set).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The stream's cancellation token (cloneable; share it with watchdog
+    /// threads).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Blocks until the search finishes and returns the ranked result,
+    /// discarding intermediate events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SickleError::Internal`] if the worker died before
+    /// reporting a result.
+    pub fn wait(mut self) -> Result<SynthResult, SickleError> {
+        for event in &mut self {
+            if let SolutionEvent::Done(result) = event {
+                return Ok(result);
+            }
+        }
+        Err(SickleError::Internal {
+            message: "synthesis worker terminated without a result".to_string(),
+        })
+    }
+
+    fn join_worker(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            // A panicking worker already ends the stream (sender dropped);
+            // surfacing the panic here would abort the caller during a
+            // normal drain, so the join result is advisory only.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Iterator for SolutionStream {
+    type Item = SolutionEvent;
+
+    fn next(&mut self) -> Option<SolutionEvent> {
+        if self.finished {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(event) => {
+                if matches!(event, SolutionEvent::Done(_)) {
+                    self.finished = true;
+                    self.join_worker();
+                }
+                Some(event)
+            }
+            Err(_) => {
+                // Worker died without a Done event.
+                self.finished = true;
+                self.join_worker();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for SolutionStream {
+    fn drop(&mut self) {
+        self.cancel.cancel();
+        self.join_worker();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// A long-lived synthesis service instance: owns the warm cross-request
+/// state and serves [`SynthRequest`]s, blocking ([`Session::solve`]) or
+/// streaming ([`Session::submit`]).
+///
+/// Cheap to share: all methods take `&self` and the warm state is
+/// internally synchronized, so one `Session` (behind an `Arc` if needed)
+/// can serve requests from many threads.
+#[derive(Debug)]
+pub struct Session {
+    /// The hash-consing pool behind every `SetId` of this session's
+    /// searches; grows monotonically with the number of *distinct* sets
+    /// ever interned.
+    pool: Arc<RefSetPool>,
+    /// Cross-sibling (and, in a warm session, cross-request) memos of
+    /// abstract-consistency analyses, one per demonstration: the
+    /// `AnalysisCache` verdict layer keys by the abstract table only
+    /// (the demo is the check's fixed side), so a cache must never be
+    /// shared between different demonstrations.
+    analyses: Mutex<FxMap<DemoKey, Arc<AnalysisCache>>>,
+    /// Requests served so far; doubles as the per-request `EvalCache`
+    /// generation counter (each request's thread-local caches are
+    /// generation `served()` of this session).
+    served: AtomicUsize,
+}
+
+/// Cache-family key: the demonstration's reference structure, as its
+/// column-major interned id-grid (ids are stable within one session's
+/// pool by hash-consing; `n_cols` is implied by `ids.len() / n_rows`).
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct DemoKey {
+    n_rows: u32,
+    ids: Box<[SetId]>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with cold caches.
+    pub fn new() -> Session {
+        Session {
+            pool: Arc::new(RefSetPool::new()),
+            analyses: Mutex::new(FxMap::default()),
+            served: AtomicUsize::new(0),
+        }
+    }
+
+    /// The session's hash-consing set pool (diagnostics: `pool().size()`
+    /// is the number of distinct reference sets interned so far).
+    pub fn pool(&self) -> &Arc<RefSetPool> {
+        &self.pool
+    }
+
+    /// Aggregated hit/miss counters over the session's warm analysis
+    /// caches (one per demonstration served).
+    pub fn analysis_stats(&self) -> AnalysisCacheStats {
+        let caches = self.analyses.lock().expect("session analysis lock");
+        let mut total = AnalysisCacheStats { hits: 0, misses: 0 };
+        for cache in caches.values() {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
+    }
+
+    /// The warm analysis cache serving `task`'s demonstration (created on
+    /// first use). Keyed by the demo's interned reference structure, so a
+    /// repeat request — or a different task with an identical demo
+    /// id-grid, for which the Def. 3 check is the same function — shares
+    /// the memo soundly.
+    fn analysis_for(&self, task: &SynthTask) -> Arc<AnalysisCache> {
+        let universe = RefUniverse::from_tables(&task.inputs);
+        let id_grid = demo_ref_sets(&task.demo, &universe).map(|s| self.pool.intern(s.clone()));
+        let mut ids = Vec::with_capacity(id_grid.n_rows() * id_grid.n_cols());
+        for c in 0..id_grid.n_cols() {
+            ids.extend_from_slice(id_grid.column(c));
+        }
+        let key = DemoKey {
+            n_rows: id_grid.n_rows() as u32,
+            ids: ids.into_boxed_slice(),
+        };
+        let mut caches = self.analyses.lock().expect("session analysis lock");
+        Arc::clone(caches.entry(key).or_default())
+    }
+
+    /// Number of requests served (solve + submit), i.e. the current
+    /// request-generation number.
+    pub fn served(&self) -> usize {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Runs a request to completion and returns the ranked result — the
+    /// blocking convenience wrapper over the parallel search internals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SickleError::InvalidRequest`] if validation fails; the
+    /// search itself reports budget expiry via `stats.timed_out`, not an
+    /// error.
+    pub fn solve(&self, request: &SynthRequest) -> Result<SynthResult, SickleError> {
+        self.solve_with(request, |_| false)
+    }
+
+    /// [`Session::solve`], additionally stopping as soon as `stop` accepts
+    /// a found solution (the evaluation harness stops on the ground-truth
+    /// query).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::solve`].
+    pub fn solve_with(
+        &self,
+        request: &SynthRequest,
+        stop: impl Fn(&Query) -> bool + Sync,
+    ) -> Result<SynthResult, SickleError> {
+        request.validate()?;
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let cancel = request.cancel.clone().unwrap_or_default();
+        let config = request.effective_config(&cancel, Instant::now());
+        let shared = SharedStats::default();
+        Ok(run_parallel(
+            &request.task,
+            &config,
+            &|| request.analyzer.make(),
+            request.workers,
+            &stop,
+            Arc::clone(&self.pool),
+            self.analysis_for(&request.task),
+            &shared,
+            request.seeds.clone(),
+        ))
+    }
+
+    /// Starts a request on a background thread and returns a
+    /// [`SolutionStream`] of its events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SickleError::InvalidRequest`] if validation fails
+    /// (before any thread is spawned).
+    pub fn submit(&self, request: SynthRequest) -> Result<SolutionStream, SickleError> {
+        request.validate()?;
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let cancel = request.cancel.clone().unwrap_or_default();
+        let started = Instant::now();
+        let config = request.effective_config(&cancel, started);
+        let shared = Arc::new(SharedStats::default());
+        let (tx, rx) = mpsc::channel();
+
+        let pool = Arc::clone(&self.pool);
+        let analysis = self.analysis_for(&request.task);
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let found = AtomicUsize::new(0);
+            let event_tx = tx.clone();
+            let result = run_parallel(
+                &request.task,
+                &config,
+                &|| request.analyzer.make(),
+                request.workers,
+                &|q: &Query| {
+                    let index = found.fetch_add(1, Ordering::Relaxed);
+                    // A receiver hang-up just means nobody is listening;
+                    // the search still honors its budget and the stream's
+                    // Drop-side cancellation.
+                    let _ = event_tx.send(SolutionEvent::Solution {
+                        index,
+                        query: q.clone(),
+                    });
+                    let _ = event_tx.send(SolutionEvent::Progress(ProgressSnapshot::read(
+                        &worker_shared,
+                        started,
+                    )));
+                    false
+                },
+                pool,
+                analysis,
+                &worker_shared,
+                request.seeds,
+            );
+            let _ = tx.send(SolutionEvent::Done(result));
+        });
+
+        Ok(SolutionStream {
+            rx,
+            handle: Some(handle),
+            shared,
+            cancel,
+            started,
+            finished: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            ["City", "Enrolled"],
+            vec![
+                vec!["A".into(), 10.into()],
+                vec!["A".into(), 20.into()],
+                vec!["B".into(), 5.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn demo() -> Demo {
+        Demo::parse(&[
+            &["T[1,1]", "sum(T[1,2], T[2,2])"],
+            &["T[3,1]", "sum(T[3,2])"],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        let no_inputs = SynthRequest::new(Vec::new(), demo());
+        assert_eq!(no_inputs.validate().unwrap_err().kind(), "invalid_request");
+
+        let bad_ref = SynthRequest::new(vec![table()], Demo::parse(&[&["T[9,1]"]]).unwrap());
+        let err = bad_ref.validate().unwrap_err();
+        assert!(err.to_string().contains("T1[9,1]"), "{err}");
+
+        let bad_table = SynthRequest::new(vec![table()], Demo::parse(&[&["T2[1,1]"]]).unwrap());
+        assert!(bad_table.validate().is_err());
+
+        let zero_solutions = SynthRequest::new(vec![table()], demo())
+            .with_budget(Budget::default().with_max_solutions(0));
+        assert!(zero_solutions.validate().is_err());
+
+        let bad_join = SynthRequest::new(vec![table()], demo()).with_join_key(JoinKey {
+            left_table: 0,
+            left_col: 0,
+            right_table: 1,
+            right_col: 0,
+        });
+        assert!(bad_join.validate().is_err());
+    }
+
+    #[test]
+    fn solve_finds_group_sum_and_warms_the_session() {
+        let session = Session::new();
+        let request = SynthRequest::new(vec![table()], demo())
+            .with_max_depth(1)
+            .with_budget(Budget::default().with_max_solutions(3));
+        let first = session.solve(&request).unwrap();
+        assert!(!first.solutions.is_empty());
+        let pool_after_first = session.pool().size();
+        assert!(pool_after_first > 0);
+        // Second identical request: byte-identical solutions, warm pool
+        // grows by nothing (every set already interned).
+        let second = session.solve(&request).unwrap();
+        let render = |r: &SynthResult| {
+            r.solutions
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&first), render(&second));
+        assert_eq!(session.pool().size(), pool_after_first);
+        assert_eq!(session.served(), 2);
+    }
+
+    #[test]
+    fn stream_yields_solutions_then_done() {
+        let session = Session::new();
+        let request = SynthRequest::new(vec![table()], demo())
+            .with_max_depth(1)
+            .with_budget(Budget::default().with_max_solutions(2));
+        let stream = session.submit(request).unwrap();
+        let events: Vec<SolutionEvent> = stream.collect();
+        let solutions: Vec<&Query> = events
+            .iter()
+            .filter_map(|e| match e {
+                SolutionEvent::Solution { query, .. } => Some(query),
+                _ => None,
+            })
+            .collect();
+        assert!(!solutions.is_empty());
+        let Some(SolutionEvent::Done(result)) = events.last() else {
+            panic!("stream must end with Done; got {events:?}");
+        };
+        // Nothing streamed is dropped from the final result.
+        for q in solutions {
+            assert!(result.solutions.contains(q));
+        }
+    }
+
+    #[test]
+    fn cancellation_keeps_found_solutions_and_sets_timed_out() {
+        let session = Session::new();
+        let cancel = CancelToken::new();
+        // Deep search over a small table: will not exhaust quickly, so
+        // cancellation is what ends it.
+        let request = SynthRequest::new(vec![table()], demo())
+            .with_max_depth(3)
+            .with_budget(Budget::unbounded().with_max_solutions(usize::MAX))
+            .with_cancel(cancel.clone());
+        let mut stream = session.submit(request).unwrap();
+        // Cancel as soon as the first solution arrives.
+        let mut streamed = Vec::new();
+        let result = loop {
+            match stream.next() {
+                Some(SolutionEvent::Solution { query, .. }) => {
+                    streamed.push(query);
+                    cancel.cancel();
+                }
+                Some(SolutionEvent::Done(result)) => break result,
+                Some(SolutionEvent::Progress(_)) => {}
+                None => panic!("stream ended without Done"),
+            }
+        };
+        assert!(result.stats.timed_out, "canceled run must report timed_out");
+        assert!(!streamed.is_empty(), "expected a solution before cancel");
+        for q in &streamed {
+            assert!(result.solutions.contains(q), "dropped found solution {q}");
+        }
+    }
+
+    #[test]
+    fn deadline_in_the_past_terminates_immediately() {
+        let session = Session::new();
+        let request = SynthRequest::new(vec![table()], demo())
+            .with_max_depth(3)
+            .with_budget(Budget::unbounded().with_deadline(Instant::now()));
+        let result = session.solve(&request).unwrap();
+        assert!(result.stats.timed_out);
+        // At most one node slips through before the first budget check
+        // observes a non-zero elapsed time.
+        assert!(
+            result.stats.visited <= 1,
+            "visited {}",
+            result.stats.visited
+        );
+    }
+}

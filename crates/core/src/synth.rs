@@ -100,7 +100,15 @@ impl OpKind {
 }
 
 /// Synthesizer configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`SynthConfig::default`]
+/// (or the chainable `with_*` builder methods) and mutate the public
+/// fields — new knobs can then be added without breaking downstream
+/// crates. Budget-shaped fields (`timeout`, `max_visited`,
+/// `max_solutions`, `cancel`) are overridden by [`crate::Budget`] when the
+/// search runs through a [`crate::Session`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SynthConfig {
     /// Maximum number of operators per query (`depth` in Algorithm 1).
     pub max_depth: usize,
@@ -150,6 +158,69 @@ impl Default for SynthConfig {
             forbid_trivial_repeats: true,
             cancel: None,
         }
+    }
+}
+
+impl SynthConfig {
+    /// [`SynthConfig::default`] under a builder-friendly name.
+    pub fn new() -> SynthConfig {
+        SynthConfig::default()
+    }
+
+    /// Sets the maximum number of operators per query.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> SynthConfig {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the consistent-query target.
+    #[must_use]
+    pub fn with_max_solutions(mut self, n: usize) -> SynthConfig {
+        self.max_solutions = n;
+        self
+    }
+
+    /// Sets (or clears) the wall-clock budget.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> SynthConfig {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets (or clears) the visited-query budget.
+    #[must_use]
+    pub fn with_max_visited(mut self, max: Option<usize>) -> SynthConfig {
+        self.max_visited = max;
+        self
+    }
+
+    /// Sets the operators available for skeleton chains.
+    #[must_use]
+    pub fn with_chain_ops(mut self, ops: Vec<OpKind>) -> SynthConfig {
+        self.chain_ops = ops;
+        self
+    }
+
+    /// Enables or disables `join`/`left_join` skeleton bases.
+    #[must_use]
+    pub fn with_enable_join(mut self, enable: bool) -> SynthConfig {
+        self.enable_join = enable;
+        self
+    }
+
+    /// Sets the maximum number of partitioning key columns.
+    #[must_use]
+    pub fn with_max_partition_cols(mut self, n: usize) -> SynthConfig {
+        self.max_partition_cols = n;
+        self
+    }
+
+    /// Sets the arithmetic function template library `γ`.
+    #[must_use]
+    pub fn with_arith_templates(mut self, templates: Vec<ArithExpr>) -> SynthConfig {
+        self.arith_templates = templates;
+        self
     }
 }
 
@@ -308,7 +379,11 @@ pub struct SearchStats {
 
 /// Result of a synthesis run: consistent queries in discovery order
 /// (rank 1 first) plus search statistics.
-#[derive(Debug, Clone)]
+///
+/// Marked `#[non_exhaustive]` so future per-run data (cache statistics,
+/// per-solution provenance) can be added without a breaking change.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct SynthResult {
     /// Consistent queries, ranked by discovery order (BFS ⇒ smaller
     /// queries first, the paper's size-based ranking).
@@ -340,31 +415,51 @@ pub struct SharedStats {
 }
 
 /// Runs Algorithm 1 until `N` solutions are found or budgets expire.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a SynthRequest and use Session::solve instead"
+)]
 pub fn synthesize(ctx: &TaskContext, config: &SynthConfig, analyzer: &dyn Analyzer) -> SynthResult {
-    synthesize_until(ctx, config, analyzer, |_| false)
+    run_search(
+        ctx,
+        config,
+        analyzer,
+        construct_skeletons(ctx, config),
+        |_| false,
+        None,
+    )
 }
 
 /// Runs Algorithm 1, additionally stopping as soon as `stop` accepts a
 /// found solution (used by the evaluation harness, which stops when the
 /// ground-truth query is recovered).
+#[deprecated(
+    since = "0.3.0",
+    note = "build a SynthRequest and use Session::solve_with instead"
+)]
 pub fn synthesize_until(
     ctx: &TaskContext,
     config: &SynthConfig,
     analyzer: &dyn Analyzer,
     stop: impl FnMut(&Query) -> bool,
 ) -> SynthResult {
-    synthesize_seeded(
+    run_search(
         ctx,
         config,
         analyzer,
         construct_skeletons(ctx, config),
         stop,
+        None,
     )
 }
 
 /// Runs the search from an explicit work list of seed (partial) queries
 /// instead of the full skeleton enumeration. Used by tests, ablations and
 /// diagnostics.
+#[deprecated(
+    since = "0.3.0",
+    note = "use Session::solve with SynthRequest::with_seeds, or run_search via the session API"
+)]
 pub fn synthesize_seeded(
     ctx: &TaskContext,
     config: &SynthConfig,
@@ -372,12 +467,13 @@ pub fn synthesize_seeded(
     seeds: Vec<PQuery>,
     stop: impl FnMut(&Query) -> bool,
 ) -> SynthResult {
-    synthesize_seeded_with(ctx, config, analyzer, seeds, stop, None)
+    run_search(ctx, config, analyzer, seeds, stop, None)
 }
 
-/// [`synthesize_seeded`] with optional live counters shared across parallel
-/// workers.
-fn synthesize_seeded_with(
+/// The sequential search engine room behind [`crate::Session`] and the
+/// deprecated free functions: runs the work list to completion, with
+/// optional live counters shared across parallel workers.
+pub(crate) fn run_search(
     ctx: &TaskContext,
     config: &SynthConfig,
     analyzer: &dyn Analyzer,
@@ -514,6 +610,10 @@ fn synthesize_seeded_with(
 ///
 /// Merged results are ranked by query size exactly as the sequential
 /// search ranks them.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a SynthRequest (with workers) and use Session::solve or Session::submit instead"
+)]
 pub fn synthesize_parallel(
     task: &SynthTask,
     config: &SynthConfig,
@@ -521,23 +621,55 @@ pub fn synthesize_parallel(
     workers: usize,
     stop: impl Fn(&Query) -> bool + Sync,
 ) -> SynthResult {
-    let workers = workers.max(1);
     // One pool + one analysis cache for the whole run: ids interned by any
     // worker resolve identically everywhere, and consistency verdicts
     // computed on one thread serve the others (both structures are
     // sharded internally — no global mutex on the hot path).
     let pool = Arc::new(RefSetPool::new());
     let analysis = Arc::new(AnalysisCache::new());
+    let shared = SharedStats::default();
+    run_parallel(
+        task,
+        config,
+        &make_analyzer,
+        workers,
+        &stop,
+        pool,
+        analysis,
+        &shared,
+        None,
+    )
+}
+
+/// The engine room behind [`crate::Session::solve`] /
+/// [`crate::Session::submit`] and the deprecated [`synthesize_parallel`]:
+/// the skeleton-sharded parallel search, with the warm state (`pool`,
+/// `analysis`) and the live counters (`shared`) supplied by the caller so
+/// they can outlive — and be observed during — the run. `seeds` overrides
+/// the skeleton enumeration when supplied.
+#[allow(clippy::too_many_arguments)] // internal seam; the public face is Session
+pub(crate) fn run_parallel(
+    task: &SynthTask,
+    config: &SynthConfig,
+    make_analyzer: &(impl Fn() -> Box<dyn Analyzer> + Sync),
+    workers: usize,
+    stop: &(impl Fn(&Query) -> bool + Sync),
+    pool: Arc<RefSetPool>,
+    analysis: Arc<AnalysisCache>,
+    shared: &SharedStats,
+    seeds: Option<Vec<PQuery>>,
+) -> SynthResult {
+    let workers = workers.max(1);
     let seed_ctx = TaskContext::with_shared(task.clone(), Arc::clone(&pool), Arc::clone(&analysis));
-    let skeletons = construct_skeletons(&seed_ctx, config);
+    let skeletons = seeds.unwrap_or_else(|| construct_skeletons(&seed_ctx, config));
     if workers == 1 {
-        let mut result = synthesize_seeded_with(
+        let mut result = run_search(
             &seed_ctx,
             config,
             make_analyzer().as_ref(),
             skeletons,
             |q| stop(q),
-            None,
+            Some(shared),
         );
         result.solutions.sort_by_key(Query::size);
         return result;
@@ -549,23 +681,18 @@ pub fn synthesize_parallel(
         shards[i % workers].push(sk);
     }
 
-    let shared = SharedStats::default();
-
     let results: Vec<SynthResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .map(|shard| {
                 let cfg = config.clone();
-                let shared = &shared;
-                let make_analyzer = &make_analyzer;
-                let stop = &stop;
                 let pool = Arc::clone(&pool);
                 let analysis = Arc::clone(&analysis);
                 scope.spawn(move || {
                     let ctx = TaskContext::with_shared(task.clone(), pool, analysis);
                     let analyzer = make_analyzer();
                     let max_solutions = cfg.max_solutions;
-                    synthesize_seeded_with(
+                    run_search(
                         &ctx,
                         &cfg,
                         analyzer.as_ref(),
@@ -1261,6 +1388,8 @@ fn join_pred_domain(left: &PQuery, right: &PQuery, ctx: &TaskContext) -> Vec<Pre
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims stay covered until removal
+
     use super::*;
     use sickle_provenance::Demo;
 

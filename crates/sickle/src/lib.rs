@@ -6,12 +6,12 @@
 //!
 //! Instead of input-output examples, the user demonstrates *how* a few
 //! output cells are computed, with spreadsheet-style formulas over input
-//! cell references — possibly with omitted arguments (`...`):
+//! cell references — possibly with omitted arguments (`...`). The public
+//! face is the session API: a warm [`Session`] serves [`SynthRequest`]s,
+//! blocking via [`Session::solve`] or streaming via [`Session::submit`]:
 //!
 //! ```
-//! use sickle::{
-//!     synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, Table, TaskContext,
-//! };
+//! use sickle::{Budget, Demo, Session, SynthRequest, Table};
 //!
 //! // Input: sales per (region, quarter).
 //! let t = Table::new(
@@ -30,12 +30,51 @@
 //!     &["T[3,1]", "sum(T[3,3], T[4,3])"],
 //! ])?;
 //!
-//! let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
-//! let config = SynthConfig { max_depth: 1, ..SynthConfig::default() };
-//! let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+//! let session = Session::new(); // long-lived: reuse across requests
+//! let request = SynthRequest::new(vec![t], demo)
+//!     .with_max_depth(1)
+//!     .with_budget(Budget::default().with_max_solutions(3));
+//! let result = session.solve(&request)?;
 //! println!("best query: {}", result.solutions[0]);
 //! # assert!(!result.solutions.is_empty());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Streaming delivery of the same request — solutions arrive as events
+//! the moment a worker finds them, with live progress and cancellation:
+//!
+//! ```
+//! use sickle::{Demo, Session, SolutionEvent, SynthRequest, Table};
+//!
+//! # let t = Table::new(
+//! #     ["region", "revenue"],
+//! #     vec![vec!["west".into(), 10.into()], vec!["east".into(), 5.into()]],
+//! # )?;
+//! # let demo = Demo::parse(&[&["T[1,1]", "sum(T[1,2])"], &["T[2,1]", "sum(T[2,2])"]])?;
+//! let session = Session::new();
+//! let stream = session.submit(SynthRequest::new(vec![t], demo).with_max_depth(1))?;
+//! for event in stream {
+//!     match event {
+//!         SolutionEvent::Solution { index, query } => {
+//!             println!("solution #{}: {query}", index + 1)
+//!         }
+//!         SolutionEvent::Progress(p) => eprintln!("visited {}", p.visited),
+//!         SolutionEvent::Done(result) => println!("{} total", result.solutions.len()),
+//!         _ => {}
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Errors are unified under [`SickleError`] (table construction, demo
+//! parsing, evaluation, request validation), and baseline analyzers plug
+//! in through [`AnalyzerChoice::custom`]:
+//!
+//! ```
+//! use sickle::{AnalyzerChoice, TypeAnalyzer};
+//!
+//! let type_abs = AnalyzerChoice::custom("type-abs", || Box::new(TypeAnalyzer));
+//! assert_eq!(type_abs.name(), "type-abs");
 //! ```
 //!
 //! ## Crate map
@@ -46,21 +85,27 @@
 //! * [`sickle_provenance`] — provenance expressions `e★`, demonstrations
 //!   `E`, the `≺` consistency rules;
 //! * [`sickle_core`] — the Fig. 7 query language, the unified execution
-//!   [`Engine`] behind the three semantics, and the Algorithm 1
-//!   synthesizer (sequential and [`synthesize_parallel`]);
+//!   [`Engine`] behind the three semantics, the Algorithm 1 synthesizer
+//!   and the [`Session`] API in front of it;
 //! * [`sickle_baselines`] — the type/value-abstraction baselines of §5;
 //! * [`sickle_benchmarks`] — the 80-task evaluation suite.
+//!
+//! The pre-0.3 free functions (`synthesize`, `synthesize_parallel`, …)
+//! remain available as deprecated shims over the same internals.
 
 #![warn(missing_docs)]
 
 pub use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 pub use sickle_core::{
-    abstract_consistent, abstract_evaluate, concretize, evaluate, prov_evaluate, synthesize,
-    synthesize_parallel, synthesize_until, AnalysisEngine, Analyzer, ConcreteEngine, Engine,
-    EvalCache, EvalError, ExecTable, JoinKey, NoPruneAnalyzer, OpKind, PQuery, Pred,
-    ProvenanceAnalyzer, ProvenanceEngine, Query, SearchStats, Semantics, SharedStats, SynthConfig,
-    SynthResult, SynthTask, TaskContext,
+    abstract_consistent, abstract_evaluate, concretize, evaluate, prov_evaluate, AnalysisEngine,
+    Analyzer, AnalyzerChoice, Budget, CancelToken, ConcreteEngine, Engine, EvalCache, EvalError,
+    ExecTable, JoinKey, NoPruneAnalyzer, OpKind, PQuery, Pred, ProgressSnapshot,
+    ProvenanceAnalyzer, ProvenanceEngine, Query, SearchStats, Semantics, Session, SharedStats,
+    SickleError, SolutionEvent, SolutionStream, SynthConfig, SynthRequest, SynthResult, SynthTask,
+    TaskContext,
 };
+#[allow(deprecated)]
+pub use sickle_core::{synthesize, synthesize_parallel, synthesize_until};
 pub use sickle_provenance::{
     demo_consistent, expr_consistent, parse_expr, CellRef, Demo, DemoExpr, Expr, FuncName,
     ParseError,

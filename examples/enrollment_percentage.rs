@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use sickle::benchmarks::data::enrollment;
-use sickle::{evaluate, synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext};
+use sickle::{evaluate, Budget, Demo, Session, SynthRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = enrollment();
@@ -30,14 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     println!("Demonstration (Fig. 3):\n{demo}");
 
-    let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
-    let config = SynthConfig {
-        max_depth: 3,
-        max_solutions: 1,
-        timeout: Some(Duration::from_secs(120)),
-        ..SynthConfig::default()
-    };
-    let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+    let session = Session::new();
+    let request = SynthRequest::new(vec![t], demo)
+        .with_max_depth(3)
+        .with_budget(
+            Budget::default()
+                .with_timeout(Some(Duration::from_secs(120)))
+                .with_max_solutions(1),
+        );
+    let result = session.solve(&request)?;
     println!(
         "search: visited {} queries, pruned {} partial queries, {:.2}s",
         result.stats.visited,
@@ -50,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .first()
         .expect("the running example is solvable at depth 3");
     println!("synthesized query:\n  {q}");
-    let out = evaluate(q, ctx.inputs())?;
+    let out = evaluate(q, &request.task.inputs)?;
     println!("query output (compare Fig. 1's t3):\n{out}");
     Ok(())
 }

@@ -1,9 +1,9 @@
 //! Quickstart: synthesize a group-by-sum query from a two-row computation
-//! demonstration.
+//! demonstration, streaming solutions as the search finds them.
 //!
 //! Run with `cargo run -p sickle --release --example quickstart`.
 
-use sickle::{synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, Table, TaskContext};
+use sickle::{Budget, Demo, Session, SolutionEvent, SynthRequest, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The input table the user starts from.
@@ -28,29 +28,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     println!("Demonstration:\n{demo}");
 
-    let ctx = TaskContext::new(SynthTask::new(vec![sales], demo));
-    let config = SynthConfig {
-        max_depth: 1,
-        max_solutions: 3,
-        ..SynthConfig::default()
-    };
-    let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+    // A Session is the long-lived service object: it owns the warm search
+    // state, so later requests reuse what this one computes.
+    let session = Session::new();
+    let request = SynthRequest::new(vec![sales], demo)
+        .with_max_depth(1)
+        .with_budget(Budget::default().with_max_solutions(3));
 
-    println!(
-        "visited {} queries, pruned {}, found {} consistent quer{}:",
-        result.stats.visited,
-        result.stats.pruned,
-        result.solutions.len(),
-        if result.solutions.len() == 1 {
-            "y"
-        } else {
-            "ies"
-        },
-    );
-    for (i, q) in result.solutions.iter().enumerate() {
-        println!("  #{}: {q}", i + 1);
-        let out = sickle::evaluate(q, ctx.inputs())?;
-        println!("{out}");
+    // Stream solutions as they are found; the final Done event carries the
+    // ranked result and the search statistics.
+    let stream = session.submit(request.clone())?;
+    for event in stream {
+        match event {
+            SolutionEvent::Solution { index, query } => {
+                println!("found solution #{}: {query}", index + 1);
+            }
+            SolutionEvent::Progress(p) => {
+                println!("  … visited {} queries so far", p.visited);
+            }
+            SolutionEvent::Done(result) => {
+                println!(
+                    "done: visited {} queries, pruned {}, {} consistent quer{}:",
+                    result.stats.visited,
+                    result.stats.pruned,
+                    result.solutions.len(),
+                    if result.solutions.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    },
+                );
+                for (i, q) in result.solutions.iter().enumerate() {
+                    println!("  #{}: {q}", i + 1);
+                    let out = sickle::evaluate(q, &request.task.inputs)?;
+                    println!("{out}");
+                }
+            }
+            _ => {}
+        }
     }
     Ok(())
 }

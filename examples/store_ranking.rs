@@ -8,8 +8,7 @@
 
 use sickle::benchmarks::data::games;
 use sickle::{
-    evaluate, synthesize, Demo, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext,
-    TypeAnalyzer, ValueAnalyzer,
+    evaluate, AnalyzerChoice, Budget, Demo, Session, SynthRequest, TypeAnalyzer, ValueAnalyzer,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,20 +24,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     println!("Demonstration:\n{demo}");
 
-    let ctx = TaskContext::new(SynthTask::new(vec![t], demo));
-    let config = SynthConfig {
-        max_depth: 1,
-        max_solutions: 3,
-        ..SynthConfig::default()
-    };
+    // One warm session serves all three analyzer runs.
+    let session = Session::new();
+    let base = SynthRequest::new(vec![t], demo)
+        .with_max_depth(1)
+        .with_budget(Budget::default().with_max_solutions(3));
 
     // Compare all three analyzers on the same task (the §5 comparison, in
     // miniature): all solve it, but with different amounts of search.
-    for (name, result) in [
-        ("sickle", synthesize(&ctx, &config, &ProvenanceAnalyzer)),
-        ("type-abs", synthesize(&ctx, &config, &TypeAnalyzer)),
-        ("value-abs", synthesize(&ctx, &config, &ValueAnalyzer)),
-    ] {
+    let analyzers = [
+        ("sickle", AnalyzerChoice::Provenance),
+        (
+            "type-abs",
+            AnalyzerChoice::custom("type-abs", || Box::new(TypeAnalyzer)),
+        ),
+        (
+            "value-abs",
+            AnalyzerChoice::custom("value-abs", || Box::new(ValueAnalyzer)),
+        ),
+    ];
+    for (name, choice) in analyzers {
+        let result = session.solve(&base.clone().with_analyzer(choice))?;
         println!(
             "{name:>9}: visited {:>5} queries, pruned {:>5}, first solution: {}",
             result.stats.visited,
@@ -51,9 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+    let result = session.solve(&base)?;
     let q = result.solutions.first().expect("rank task is solvable");
-    let out = evaluate(q, ctx.inputs())?;
+    let out = evaluate(q, &base.task.inputs)?;
     println!("ranked output:\n{out}");
     Ok(())
 }

@@ -9,10 +9,7 @@
 use std::time::Duration;
 
 use sickle::benchmarks::data::{store_dim, store_sales};
-use sickle::{
-    evaluate, synthesize_until, Demo, JoinKey, OpKind, ProvenanceAnalyzer, SynthConfig, SynthTask,
-    TaskContext,
-};
+use sickle::{evaluate, Budget, Demo, JoinKey, OpKind, Session, SynthConfig, SynthRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let facts = store_sales();
@@ -35,24 +32,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     println!("Demonstration:\n{demo}");
 
-    let mut task = SynthTask::new(vec![facts, dim], demo);
-    // Primary/foreign key: store_sales.store = store_dim.store.
-    task.join_keys.push(JoinKey {
-        left_table: 0,
-        left_col: 0,
-        right_table: 1,
-        right_col: 0,
-    });
-    let ctx = TaskContext::new(task);
-    let config = SynthConfig {
-        max_depth: 4,
-        max_solutions: 1,
-        enable_join: true,
-        timeout: Some(Duration::from_secs(300)),
-        chain_ops: vec![OpKind::Group, OpKind::Partition, OpKind::Arith],
-        ..SynthConfig::default()
-    };
-    let result = synthesize_until(&ctx, &config, &ProvenanceAnalyzer, |_| true);
+    let session = Session::new();
+    let request = SynthRequest::new(vec![facts, dim], demo)
+        // Primary/foreign key: store_sales.store = store_dim.store.
+        .with_join_key(JoinKey {
+            left_table: 0,
+            left_col: 0,
+            right_table: 1,
+            right_col: 0,
+        })
+        .with_search(
+            SynthConfig::new()
+                .with_max_depth(4)
+                .with_enable_join(true)
+                .with_chain_ops(vec![OpKind::Group, OpKind::Partition, OpKind::Arith]),
+        )
+        .with_budget(
+            Budget::default()
+                .with_timeout(Some(Duration::from_secs(300)))
+                .with_max_solutions(1),
+        );
+    // Stop on the very first consistent query, as the old
+    // `synthesize_until(…, |_| true)` call did.
+    let result = session.solve_with(&request, |_| true)?;
     println!(
         "search: visited {} queries, pruned {}, {:.2}s",
         result.stats.visited,
@@ -61,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let q = result.solutions.first().expect("solvable at depth 4");
     println!("synthesized query:\n  {q}");
-    let out = evaluate(q, ctx.inputs())?;
+    let out = evaluate(q, &request.task.inputs)?;
     println!("county share report:\n{out}");
     Ok(())
 }

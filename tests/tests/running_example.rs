@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use sickle_core::{
     abstract_consistent, abstract_evaluate, concretize, demo_ref_sets, evaluate, prov_evaluate,
-    synthesize, EvalCache, PQuery, ProvenanceAnalyzer, SynthConfig, SynthTask, TaskContext,
+    Budget, EvalCache, PQuery, Session, SynthRequest,
 };
 use sickle_integration::{enrollment, running_example_query};
 use sickle_provenance::{demo_consistent, Demo, RefUniverse};
@@ -124,17 +124,17 @@ fn figure6_qb_is_pruned_but_solution_path_is_not() {
 
 #[test]
 fn full_synthesis_recovers_a_consistent_analytical_pipeline() {
-    let ctx = TaskContext::new(SynthTask::new(vec![enrollment()], fig3_demo()));
-    let config = SynthConfig {
-        max_depth: 3,
-        max_solutions: 1,
-        timeout: Some(Duration::from_secs(180)),
-        ..SynthConfig::default()
-    };
-    let result = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+    let request = SynthRequest::new(vec![enrollment()], fig3_demo())
+        .with_max_depth(3)
+        .with_budget(
+            Budget::default()
+                .with_timeout(Some(Duration::from_secs(180)))
+                .with_max_solutions(1),
+        );
+    let result = Session::new().solve(&request).expect("request validates");
     let q = result.solutions.first().expect("solvable at depth 3");
     // The solution must produce the Fig. 1 percentages for city A.
-    let out = evaluate(q, ctx.inputs()).unwrap();
+    let out = evaluate(q, &request.task.inputs).unwrap();
     let row = out
         .rows()
         .find(|r| r[0] == "A".into() && r[1] == Value::Int(4))

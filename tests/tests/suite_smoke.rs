@@ -7,18 +7,34 @@ use std::time::Duration;
 
 use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 use sickle_benchmarks::all_benchmarks;
-use sickle_core::{synthesize_until, Analyzer, ProvenanceAnalyzer, SynthConfig, TaskContext};
+use sickle_core::{AnalyzerChoice, Budget, Session, SynthRequest};
 
-fn solve(b: &sickle_benchmarks::Benchmark, analyzer: &dyn Analyzer, secs: u64) -> (bool, usize) {
+fn provenance() -> AnalyzerChoice {
+    AnalyzerChoice::Provenance
+}
+
+fn type_abs() -> AnalyzerChoice {
+    AnalyzerChoice::custom("type-abs", || Box::new(TypeAnalyzer))
+}
+
+fn value_abs() -> AnalyzerChoice {
+    AnalyzerChoice::custom("value-abs", || Box::new(ValueAnalyzer))
+}
+
+fn solve(b: &sickle_benchmarks::Benchmark, analyzer: AnalyzerChoice, secs: u64) -> (bool, usize) {
     let (task, _) = b.task(2022).expect("demo generates");
-    let ctx = TaskContext::new(task);
-    let config = SynthConfig {
-        timeout: Some(Duration::from_secs(secs)),
-        max_visited: Some(2_000_000),
-        max_solutions: 10,
-        ..b.config()
-    };
-    let res = synthesize_until(&ctx, &config, analyzer, |q| b.is_correct(q));
+    let request = SynthRequest::from_task(task)
+        .with_search(b.config())
+        .with_budget(
+            Budget::default()
+                .with_timeout(Some(Duration::from_secs(secs)))
+                .with_max_visited(Some(2_000_000))
+                .with_max_solutions(10),
+        )
+        .with_analyzer(analyzer);
+    let res = Session::new()
+        .solve_with(&request, |q| b.is_correct(q))
+        .expect("benchmark requests validate");
     let solved = res.solutions.iter().any(|q| b.is_correct(q));
     (solved, res.stats.visited)
 }
@@ -29,19 +45,10 @@ fn easy_suite_sample_solves_for_all_techniques() {
     // A spread across schemas and operator kinds (group / partition / arith).
     for id in [1, 5, 7, 13, 21, 29, 34, 40] {
         let b = &suite[id - 1];
-        for analyzer in [
-            &ProvenanceAnalyzer as &dyn Analyzer,
-            &TypeAnalyzer,
-            &ValueAnalyzer,
-        ] {
+        for analyzer in [provenance(), type_abs(), value_abs()] {
+            let name = analyzer.name();
             let (solved, _) = solve(b, analyzer, 30);
-            assert!(
-                solved,
-                "{} failed benchmark {} ({})",
-                analyzer.name(),
-                b.id,
-                b.name
-            );
+            assert!(solved, "{name} failed benchmark {} ({})", b.id, b.name);
         }
     }
 }
@@ -50,9 +57,9 @@ fn easy_suite_sample_solves_for_all_techniques() {
 fn provenance_prunes_at_least_as_well_on_share_task() {
     let suite = all_benchmarks();
     let b = &suite[7]; // sales: revenue share of region total (size 2)
-    let (solved_p, visited_p) = solve(b, &ProvenanceAnalyzer, 60);
-    let (solved_t, visited_t) = solve(b, &TypeAnalyzer, 60);
-    let (solved_v, visited_v) = solve(b, &ValueAnalyzer, 60);
+    let (solved_p, visited_p) = solve(b, provenance(), 60);
+    let (solved_t, visited_t) = solve(b, type_abs(), 60);
+    let (solved_v, visited_v) = solve(b, value_abs(), 60);
     assert!(solved_p && solved_t && solved_v);
     assert!(
         visited_p < visited_t && visited_p < visited_v,
@@ -64,7 +71,7 @@ fn provenance_prunes_at_least_as_well_on_share_task() {
 fn running_example_solved_by_provenance() {
     let suite = all_benchmarks();
     let b = &suite[43];
-    let (solved, visited) = solve(b, &ProvenanceAnalyzer, 120);
+    let (solved, visited) = solve(b, provenance(), 120);
     assert!(solved, "running example not solved (visited {visited})");
 }
 
@@ -72,7 +79,7 @@ fn running_example_solved_by_provenance() {
 fn join_benchmark_solved_by_provenance() {
     let suite = all_benchmarks();
     let b = &suite[56]; // orders+customers: customer rank by total
-    let (solved, _) = solve(b, &ProvenanceAnalyzer, 120);
+    let (solved, _) = solve(b, provenance(), 120);
     assert!(solved, "join benchmark {} not solved", b.id);
 }
 
