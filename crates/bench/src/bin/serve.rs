@@ -5,6 +5,9 @@
 //! requests share one warm [`Session`], so interned reference sets and
 //! cached Def. 3 verdicts carry across requests. A malformed or invalid
 //! line produces a structured error response and never kills the server.
+//! Requests with `"progress": true` additionally stream
+//! `{"event":"solution"|"progress",…}` lines — progress events carry the
+//! acceptance-stage time split — before the final response line.
 //!
 //! ```text
 //! echo '{"id": 1, "benchmark": 44, "budget": {"max_visited": 20000, "timeout_secs": null}}' \
@@ -16,7 +19,7 @@
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
-use sickle_bench::wire::handle_line;
+use sickle_bench::wire::handle_line_with;
 use sickle_core::Session;
 
 const USAGE: &str = "\
@@ -50,7 +53,12 @@ fn main() {
             continue;
         }
         let t0 = Instant::now();
-        let response = handle_line(&session, trimmed);
+        // Streamed events (progress requests) go out as they happen; a
+        // hung-up receiver is detected on the final response write below.
+        let mut event_sink = |event: sickle_bench::Json| {
+            let _ = writeln!(out, "{}", event.render()).and_then(|()| out.flush());
+        };
+        let response = handle_line_with(&session, trimmed, &mut event_sink);
         served += 1;
         if writeln!(out, "{}", response.render())
             .and_then(|()| out.flush())

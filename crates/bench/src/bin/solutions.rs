@@ -66,11 +66,15 @@ fn main() {
         // Pool size and hit/miss counters are cumulative session totals.
         let cs = session.analysis_stats();
         eprintln!(
-            "{:2} wall={:.3}s analyze={:.3}s concrete={:.3}s expand={:.3}s pool={} hits={} misses={}",
+            "{:2} wall={:.3}s analyze={:.3}s concrete={:.3}s (mat={:.3}s pre={:.3}s match={:.3}s) \
+             expand={:.3}s pool={} hits={} misses={}",
             b.id,
             res.stats.elapsed.as_secs_f64(),
             res.stats.time_analyze.as_secs_f64(),
             res.stats.time_concrete.as_secs_f64(),
+            res.stats.time_materialize.as_secs_f64(),
+            res.stats.time_prefilter.as_secs_f64(),
+            res.stats.time_match.as_secs_f64(),
             res.stats.time_expand.as_secs_f64(),
             session.pool().size(),
             cs.hits,
@@ -90,6 +94,9 @@ fn main() {
             elapsed: res.stats.elapsed,
             time_analyze: res.stats.time_analyze,
             time_eval: res.stats.time_concrete,
+            time_materialize: res.stats.time_materialize,
+            time_prefilter: res.stats.time_prefilter,
+            time_match: res.stats.time_match,
             time_expand: res.stats.time_expand,
             visited: res.stats.visited,
             pruned: res.stats.pruned,

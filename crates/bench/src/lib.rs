@@ -41,4 +41,7 @@ pub use runner::{
     run_one_in, run_suite, suite_results_json, technique_analyzers, write_bench_json, RunRecord,
     SuiteResults, Technique,
 };
-pub use wire::{analyzer_by_name, handle_line, response_error, response_ok, WireRequest};
+pub use wire::{
+    analyzer_by_name, handle_line, handle_line_with, progress_json, response_error, response_ok,
+    WireRequest,
+};

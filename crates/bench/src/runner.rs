@@ -67,8 +67,17 @@ pub struct RunRecord {
     pub elapsed: Duration,
     /// Time spent in the analyzer (abstract evaluation + Def. 3 checks).
     pub time_analyze: Duration,
-    /// Time spent evaluating concrete candidates and checking Def. 1.
+    /// Time spent evaluating concrete candidates and checking Def. 1 —
+    /// the sum of the three acceptance-stage components below.
     pub time_eval: Duration,
+    /// Acceptance stage 1: concrete candidate materialization (values,
+    /// demo-dims fast reject, star channel).
+    pub time_materialize: Duration,
+    /// Acceptance stage 2: reference-containment prefilter over lazily
+    /// converted cell sets.
+    pub time_prefilter: Duration,
+    /// Acceptance stage 3: candidate-seeded Def. 1 expression matching.
+    pub time_match: Duration,
     /// Time spent expanding holes (domain inference + tree building).
     pub time_expand: Duration,
     /// Queries (partial + concrete) visited.
@@ -191,6 +200,9 @@ pub fn run_one_in(
         elapsed: result.stats.elapsed,
         time_analyze: result.stats.time_analyze,
         time_eval: result.stats.time_concrete,
+        time_materialize: result.stats.time_materialize,
+        time_prefilter: result.stats.time_prefilter,
+        time_match: result.stats.time_match,
         time_expand: result.stats.time_expand,
         visited: result.stats.visited,
         pruned: result.stats.pruned,
@@ -280,7 +292,8 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
         out.push_str(&format!(
             "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{}\", \"technique\": \"{}\", \
              \"solved\": {}, \"rank\": {}, \"wall_s\": {:.6}, \"time_analyze_s\": {:.6}, \
-             \"time_eval_s\": {:.6}, \"time_expand_s\": {:.6}, \"visited\": {}, \"pruned\": {}}}{}\n",
+             \"time_eval_s\": {:.6}, \"time_materialize_s\": {:.6}, \"time_prefilter_s\": {:.6}, \
+             \"time_match_s\": {:.6}, \"time_expand_s\": {:.6}, \"visited\": {}, \"pruned\": {}}}{}\n",
             r.id,
             json_escape(&r.name),
             r.category.label(),
@@ -290,6 +303,9 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
             r.elapsed.as_secs_f64(),
             r.time_analyze.as_secs_f64(),
             r.time_eval.as_secs_f64(),
+            r.time_materialize.as_secs_f64(),
+            r.time_prefilter.as_secs_f64(),
+            r.time_match.as_secs_f64(),
             r.time_expand.as_secs_f64(),
             r.visited,
             r.pruned,
@@ -533,6 +549,9 @@ mod tests {
                     elapsed: Duration::from_millis(125),
                     time_analyze: Duration::from_millis(50),
                     time_eval: Duration::from_millis(25),
+                    time_materialize: Duration::from_millis(15),
+                    time_prefilter: Duration::from_millis(4),
+                    time_match: Duration::from_millis(6),
                     time_expand: Duration::from_millis(5),
                     visited: 42,
                     pruned: 7,
@@ -547,6 +566,9 @@ mod tests {
                     elapsed: Duration::from_secs(1),
                     time_analyze: Duration::ZERO,
                     time_eval: Duration::ZERO,
+                    time_materialize: Duration::ZERO,
+                    time_prefilter: Duration::ZERO,
+                    time_match: Duration::ZERO,
                     time_expand: Duration::ZERO,
                     visited: 10,
                     pruned: 0,
@@ -558,6 +580,9 @@ mod tests {
         assert!(json.contains("\"schema\": \"sickle-bench/synthesis/v1\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"time_analyze_s\": 0.050000"));
+        assert!(json.contains("\"time_materialize_s\": 0.015000"));
+        assert!(json.contains("\"time_prefilter_s\": 0.004000"));
+        assert!(json.contains("\"time_match_s\": 0.006000"));
         assert!(json.contains("\"rank\": null"));
         assert!(json.contains("\"technique\": \"type-abs\""));
         // Balanced braces/brackets (cheap well-formedness probe: the

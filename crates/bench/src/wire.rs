@@ -14,7 +14,8 @@ use std::time::Duration;
 
 use sickle_benchmarks::{all_benchmarks, Benchmark};
 use sickle_core::{
-    AnalyzerChoice, Budget, JoinKey, Session, SickleError, SynthConfig, SynthRequest, SynthResult,
+    AnalyzerChoice, Budget, JoinKey, ProgressSnapshot, Session, SickleError, SynthConfig,
+    SynthRequest, SynthResult,
 };
 use sickle_provenance::Demo;
 use sickle_table::{Table, Value};
@@ -23,8 +24,8 @@ use crate::json::{Json, JsonError};
 use crate::runner::Technique;
 
 /// A decoded wire request: the core [`SynthRequest`] plus the envelope
-/// metadata (`id`). Marked `#[non_exhaustive]`; decode with
-/// [`WireRequest::from_json`].
+/// metadata (`id`, the `progress` streaming flag). Marked
+/// `#[non_exhaustive]`; decode with [`WireRequest::from_json`].
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct WireRequest {
@@ -32,6 +33,10 @@ pub struct WireRequest {
     pub id: Json,
     /// The decoded synthesis request.
     pub request: SynthRequest,
+    /// When true, the server streams `"solution"` / `"progress"` event
+    /// lines (with the acceptance-stage time split) before the final
+    /// response line.
+    pub progress: bool,
 }
 
 /// Looks up an analyzer by its wire name.
@@ -298,8 +303,18 @@ impl WireRequest {
                     ))
                 })?;
         }
+        let progress = match json.get("progress") {
+            None => false,
+            Some(p) => p
+                .as_bool()
+                .ok_or_else(|| invalid("\"progress\" must be a boolean"))?,
+        };
 
-        Ok(WireRequest { id, request })
+        Ok(WireRequest {
+            id,
+            request,
+            progress,
+        })
     }
 }
 
@@ -340,11 +355,51 @@ pub fn response_ok(id: &Json, result: &SynthResult) -> Json {
                     Json::num(stats.time_concrete.as_secs_f64()),
                 ),
                 (
+                    "time_materialize_s".into(),
+                    Json::num(stats.time_materialize.as_secs_f64()),
+                ),
+                (
+                    "time_prefilter_s".into(),
+                    Json::num(stats.time_prefilter.as_secs_f64()),
+                ),
+                (
+                    "time_match_s".into(),
+                    Json::num(stats.time_match.as_secs_f64()),
+                ),
+                (
                     "time_expand_s".into(),
                     Json::num(stats.time_expand.as_secs_f64()),
                 ),
             ]),
         ),
+    ])
+}
+
+/// Encodes a [`ProgressSnapshot`] as the `{"event":"progress",…}` object
+/// streamed for [`sickle_core::SolutionEvent::Progress`] — live counters
+/// plus the acceptance-stage time split (`time_materialize_s` /
+/// `time_prefilter_s` / `time_match_s`), so an eval-path regression is
+/// visible *during* a long search, not only in the final stats.
+pub fn progress_json(p: &ProgressSnapshot) -> Json {
+    Json::Obj(vec![
+        ("event".into(), Json::str("progress")),
+        ("visited".into(), Json::num(p.visited as f64)),
+        ("pruned".into(), Json::num(p.pruned as f64)),
+        (
+            "concrete_checked".into(),
+            Json::num(p.concrete_checked as f64),
+        ),
+        ("solutions".into(), Json::num(p.solutions as f64)),
+        ("wall_s".into(), Json::num(p.elapsed.as_secs_f64())),
+        (
+            "time_materialize_s".into(),
+            Json::num(p.time_materialize.as_secs_f64()),
+        ),
+        (
+            "time_prefilter_s".into(),
+            Json::num(p.time_prefilter.as_secs_f64()),
+        ),
+        ("time_match_s".into(), Json::num(p.time_match.as_secs_f64())),
     ])
 }
 
@@ -371,10 +426,32 @@ fn json_error_response(e: &JsonError) -> Json {
     response_error(&Json::Null, "bad_json", &e.to_string())
 }
 
+/// Prepends the request id to an event object (events are streamed, so
+/// every line must be attributable to its request).
+fn with_id(id: &Json, event: Json) -> Json {
+    match event {
+        Json::Obj(mut fields) => {
+            fields.insert(0, ("id".into(), id.clone()));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
 /// The full pipeline for one wire line: parse, decode, solve on the warm
 /// `session`, encode. Never fails — problems become structured error
 /// responses.
 pub fn handle_line(session: &Session, line: &str) -> Json {
+    handle_line_with(session, line, &mut |_| {})
+}
+
+/// [`handle_line`] with event streaming: for requests carrying
+/// `"progress": true`, every found solution and progress snapshot is
+/// passed to `emit` (as `{"id":…,"event":"solution"|"progress",…}`
+/// objects, progress including the acceptance-stage time split) before
+/// the final response is returned. Requests without the flag never call
+/// `emit`.
+pub fn handle_line_with(session: &Session, line: &str, emit: &mut dyn FnMut(Json)) -> Json {
     let json = match Json::parse(line) {
         Ok(json) => json,
         Err(e) => return json_error_response(&e),
@@ -383,10 +460,41 @@ pub fn handle_line(session: &Session, line: &str) -> Json {
         Ok(wire) => wire,
         Err(e) => return sickle_error_response(json.get("id").unwrap_or(&Json::Null), &e),
     };
-    match session.solve(&wire.request) {
-        Ok(result) => response_ok(&wire.id, &result),
-        Err(e) => sickle_error_response(&wire.id, &e),
+    if !wire.progress {
+        return match session.solve(&wire.request) {
+            Ok(result) => response_ok(&wire.id, &result),
+            Err(e) => sickle_error_response(&wire.id, &e),
+        };
     }
+    let stream = match session.submit(wire.request) {
+        Ok(stream) => stream,
+        Err(e) => return sickle_error_response(&wire.id, &e),
+    };
+    for event in stream {
+        match event {
+            sickle_core::SolutionEvent::Solution { index, query } => emit(with_id(
+                &wire.id,
+                Json::Obj(vec![
+                    ("event".into(), Json::str("solution")),
+                    ("index".into(), Json::num(index as f64)),
+                    ("query".into(), Json::str(query.to_string())),
+                ]),
+            )),
+            sickle_core::SolutionEvent::Progress(p) => {
+                emit(with_id(&wire.id, progress_json(&p)));
+            }
+            sickle_core::SolutionEvent::Done(result) => return response_ok(&wire.id, &result),
+            sickle_core::SolutionEvent::Failed(e) => return sickle_error_response(&wire.id, &e),
+            // Future event kinds stream nothing but must not end the loop.
+            _ => {}
+        }
+    }
+    sickle_error_response(
+        &wire.id,
+        &SickleError::Internal {
+            message: "synthesis worker terminated without a result".to_string(),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -485,6 +593,63 @@ mod tests {
                 .and_then(Json::as_str);
             assert_eq!(kind, Some(expected_kind), "{line}");
         }
+    }
+
+    #[test]
+    fn response_stats_carry_the_acceptance_split() {
+        let session = Session::new();
+        let response = handle_line(&session, &inline_request_line());
+        let stats = response.get("stats").expect("stats object");
+        for field in [
+            "time_eval_s",
+            "time_materialize_s",
+            "time_prefilter_s",
+            "time_match_s",
+        ] {
+            assert!(
+                stats.get(field).and_then(Json::as_f64).is_some(),
+                "missing {field}: {}",
+                response.render()
+            );
+        }
+        // The split sums to (at most) the total, up to timer granularity.
+        let f = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap();
+        assert!(
+            f("time_materialize_s") + f("time_prefilter_s") + f("time_match_s")
+                <= f("time_eval_s") + 1e-6
+        );
+    }
+
+    #[test]
+    fn progress_requests_stream_events_before_the_response() {
+        let session = Session::new();
+        let line =
+            inline_request_line().replace("\"max_depth\"", "\"progress\": true, \"max_depth\"");
+        let mut events = Vec::new();
+        let response = handle_line_with(&session, &line, &mut |e| events.push(e));
+        assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(!events.is_empty(), "progress request streamed no events");
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("event").and_then(Json::as_str))
+            .collect();
+        assert!(kinds.contains(&"solution"), "{kinds:?}");
+        assert!(kinds.contains(&"progress"), "{kinds:?}");
+        for e in &events {
+            // Every event line is attributable and valid JSON.
+            assert_eq!(e.get("id").and_then(Json::as_str), Some("r1"));
+            assert!(Json::parse(&e.render()).is_ok());
+            if e.get("event").and_then(Json::as_str) == Some("progress") {
+                for field in ["time_materialize_s", "time_prefilter_s", "time_match_s"] {
+                    assert!(e.get(field).is_some(), "{}", e.render());
+                }
+            }
+        }
+        // Without the flag, the sink is never called.
+        let mut silent = Vec::new();
+        let response = handle_line_with(&session, &inline_request_line(), &mut |e| silent.push(e));
+        assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(silent.is_empty());
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct ExecTable {
     star: Option<ProvTable>,
     sets: OnceCell<Grid<RefSet>>,
     set_ids: OnceCell<Grid<SetId>>,
+    /// Per-cell lazy ref sets (row-major `row * n_cols + col`), for probes
+    /// that touch only part of the grid (the acceptance prefilter); the
+    /// whole-grid channels above stay untouched until someone needs them.
+    cell_sets: OnceCell<Vec<OnceCell<RefSet>>>,
 }
 
 impl ExecTable {
@@ -113,6 +117,28 @@ impl ExecTable {
             .get_or_init(|| self.star().map(|e| universe.set_from(e.refs())))
     }
 
+    /// The reference set of one star cell, converted on demand and
+    /// memoized per cell. Unlike [`ExecTable::sets`], probing a few cells
+    /// pays only for those cells — the acceptance prefilter touches a
+    /// small, data-dependent subset of a candidate's grid, and eagerly
+    /// converting the rest was pure waste. A whole-grid conversion that
+    /// already ran is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was computed at [`Semantics::Values`], or if
+    /// `(row, col)` is out of range.
+    pub fn cell_set(&self, universe: &RefUniverse, row: usize, col: usize) -> &RefSet {
+        if let Some(grid) = self.sets.get() {
+            return &grid[(row, col)];
+        }
+        let star = self.star();
+        let cells = self
+            .cell_sets
+            .get_or_init(|| vec![OnceCell::new(); star.n_rows() * star.n_cols()]);
+        cells[row * star.n_cols() + col].get_or_init(|| universe.set_from(star[(row, col)].refs()))
+    }
+
     /// Per-cell reference sets interned into `pool`, computed from
     /// [`ExecTable::sets`] on first access and memoized. All accesses of
     /// one result must use the same pool (the engine cache guarantees
@@ -149,6 +175,7 @@ impl ExecTable {
             star: None,
             sets: OnceCell::new(),
             set_ids: OnceCell::new(),
+            cell_sets: OnceCell::new(),
         }
     }
 }
@@ -298,6 +325,7 @@ fn table(values: Table, star: Option<ProvTable>) -> ExecTable {
         star,
         sets: OnceCell::new(),
         set_ids: OnceCell::new(),
+        cell_sets: OnceCell::new(),
     }
 }
 
@@ -740,6 +768,23 @@ pub struct EvalCache {
     /// the strong abstraction re-derives the same grouping for every
     /// sibling instantiation above one concrete subquery.
     groups: RefCell<FxMap<GroupsKey, (Rc<ExecTable>, Groups)>>,
+    /// Star-column reference-set memo keyed by column identity. Sibling
+    /// concrete candidates over one subquery share its star columns by
+    /// `Arc` (structure-preserving operators append a column and pass
+    /// the rest through; grouped candidates share key columns via
+    /// [`EvalCache::group_parts`]), so the acceptance prefilter's cell
+    /// conversions repeat across hundreds of candidates — this memo
+    /// converts a column once (bulk, on first probe) and every later
+    /// candidate's probes reduce to one map probe per column. Columns
+    /// the matcher never probes are never converted.
+    star_cols: RefCell<StarColsMemo>,
+    /// Grouping-skeleton memo keyed by (child result identity, key
+    /// columns, star wanted): the representative key value columns and
+    /// `group{…}` star key columns of a `group` operator depend on the
+    /// child and keys only — every sibling aggregation choice shares
+    /// them, and `Arc`-sharing the columns also lets [`EvalCache::star_sets`]
+    /// hits carry across those siblings.
+    group_parts: RefCell<FxMap<GroupPartsKey, GroupPartsEntry>>,
     /// Canonicalization of groupings by content: different key subsets
     /// frequently induce the *same* row partition (a key column constant
     /// within groups adds nothing), and handing back one shared `Rc` per
@@ -762,6 +807,24 @@ type ColUnionMemo = FxMap<usize, (Arc<Vec<SetId>>, SetId)>;
 
 /// Key of the grouping memo: (concrete result identity, key columns).
 type GroupsKey = (usize, Vec<usize>);
+
+/// Star-column set memo: column identity → (pinned column, its sets).
+type StarColsMemo = FxMap<usize, (Arc<Vec<Expr>>, Arc<Vec<RefSet>>)>;
+
+/// Key of the grouping-skeleton memo: (child result identity, key
+/// columns, whether star key columns were built).
+type GroupPartsKey = (usize, Vec<usize>, bool);
+
+/// Entry of the grouping-skeleton memo: the pinned child plus the shared
+/// row partition and key columns of every sibling `group` candidate.
+#[derive(Debug)]
+struct GroupPartsEntry {
+    _child: Rc<ExecTable>,
+    _groups: Groups,
+    key_values: Vec<Arc<Vec<Value>>>,
+    /// Present when the entry was built for a star-channel request.
+    key_stars: Vec<Arc<Vec<Expr>>>,
+}
 
 /// Entry of the per-group union memo: the pinned column and groups plus
 /// the per-group union column (shareable into result grids as-is).
@@ -814,6 +877,12 @@ fn second_chance_sweep<K, V>(map: &mut FxMap<K, Warm<V>>, cap: usize) {
 /// per-group unions); full memos are cleared, not evicted.
 const MEMO_CAP: usize = 16_384;
 
+/// Bound on the memos that pin whole columns or grouping skeletons
+/// (star-column sets, group parts). Much lower than [`MEMO_CAP`]: each
+/// entry holds a column's worth of data, and pinning it keeps the data
+/// alive past engine-cache eviction.
+const COLUMN_MEMO_CAP: usize = 4_096;
+
 impl EvalCache {
     /// Creates an empty cache with a private [`RefSetPool`].
     pub fn new() -> EvalCache {
@@ -848,6 +917,200 @@ impl EvalCache {
         }
         map.insert(key, (Arc::clone(col), id));
         id
+    }
+
+    /// Memoized reference sets of one star column, keyed by the column's
+    /// identity (see [`EvalCache::star_cols`]). Converted in bulk on the
+    /// first probe of any of its cells; the returned `Arc` indexes
+    /// directly per row.
+    pub(crate) fn star_col_sets(
+        &self,
+        star: &crate::prov_eval::ProvTable,
+        universe: &RefUniverse,
+        col: usize,
+    ) -> Arc<Vec<RefSet>> {
+        let col_arc = star.column_arc(col);
+        let key = Arc::as_ptr(col_arc) as usize;
+        if let Some((_, sets)) = self.star_cols.borrow().get(&key) {
+            return Arc::clone(sets);
+        }
+        let sets = Arc::new(
+            col_arc
+                .iter()
+                .map(|e| universe.set_from(e.refs()))
+                .collect::<Vec<RefSet>>(),
+        );
+        let mut map = self.star_cols.borrow_mut();
+        if map.len() >= COLUMN_MEMO_CAP {
+            map.clear();
+        }
+        map.insert(key, (Arc::clone(col_arc), Arc::clone(&sets)));
+        sets
+    }
+
+    /// Engine step for a `group` operator through the grouping-skeleton
+    /// memo: the row partition and the representative/`group{…}` key
+    /// columns are computed once per (child, keys) and `Arc`-shared
+    /// across every sibling aggregation choice — only the aggregate
+    /// column is built per candidate. Output is identical to
+    /// [`exec_step`] on a `group` query.
+    fn exec_group_shared(
+        &self,
+        sem: Semantics,
+        child: &Rc<ExecTable>,
+        keys: &[usize],
+        agg: sickle_table::AggFunc,
+        target: usize,
+    ) -> Result<ExecTable, EvalError> {
+        let n_cols = child.values.n_cols();
+        check_cols(keys, n_cols, "group")?;
+        check_cols(&[target], n_cols, "group")?;
+        let groups = self.groups_of(child, keys);
+
+        let parts_key = (Rc::as_ptr(child) as usize, keys.to_vec(), sem.wants_star());
+        let cached = self
+            .group_parts
+            .borrow()
+            .get(&parts_key)
+            .map(|e| (e.key_values.clone(), e.key_stars.clone()));
+        let (key_values, key_stars) = match cached {
+            Some(parts) => parts,
+            None => {
+                let key_values: Vec<Arc<Vec<Value>>> = keys
+                    .iter()
+                    .map(|&k| {
+                        let col = child.values.column(k);
+                        Arc::new(groups.iter().map(|g| col[g[0]].clone()).collect())
+                    })
+                    .collect();
+                let key_stars: Vec<Arc<Vec<Expr>>> = if sem.wants_star() {
+                    let sg = child.star();
+                    keys.iter()
+                        .map(|&k| {
+                            let col = sg.column(k);
+                            Arc::new(
+                                groups
+                                    .iter()
+                                    .map(|g| {
+                                        Expr::group(g.iter().map(|&i| col[i].clone()).collect())
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let mut map = self.group_parts.borrow_mut();
+                if map.len() >= COLUMN_MEMO_CAP {
+                    map.clear();
+                }
+                map.insert(
+                    parts_key,
+                    GroupPartsEntry {
+                        _child: Rc::clone(child),
+                        _groups: Rc::clone(&groups),
+                        key_values: key_values.clone(),
+                        key_stars: key_stars.clone(),
+                    },
+                );
+                (key_values, key_stars)
+            }
+        };
+
+        let mut names: Vec<String> = keys
+            .iter()
+            .map(|&k| child.values.names()[k].clone())
+            .collect();
+        names.push(format!("{agg}({})", child.values.names()[target]));
+
+        let target_col = child.values.column(target);
+        let mut value_cols = key_values;
+        value_cols.push(Arc::new(
+            groups
+                .iter()
+                .map(|g| {
+                    let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
+                    agg.apply(&vals)
+                })
+                .collect(),
+        ));
+        let values = Table::from_named_grid(names, Grid::from_columns(value_cols));
+
+        let star = sem.wants_star().then(|| {
+            let tcol = child.star().column(target);
+            let mut cols = key_stars;
+            cols.push(Arc::new(
+                groups
+                    .iter()
+                    .map(|g| {
+                        Expr::apply(
+                            sickle_provenance::FuncName::Agg(agg),
+                            g.iter().map(|&i| tcol[i].clone()).collect(),
+                        )
+                    })
+                    .collect(),
+            ));
+            Grid::from_columns(cols)
+        });
+
+        Ok(table(values, star))
+    }
+
+    /// Engine step for a `partition` operator through the shared grouping
+    /// memo: the row partition is computed once per (child, keys) and
+    /// shared across every sibling (function, target) choice — only the
+    /// window column is built per candidate. Output is identical to
+    /// [`exec_step`] on a `partition` query.
+    fn exec_partition_shared(
+        &self,
+        sem: Semantics,
+        child: &Rc<ExecTable>,
+        keys: &[usize],
+        func: AnalyticFunc,
+        target: usize,
+    ) -> Result<ExecTable, EvalError> {
+        let n_cols = child.values.n_cols();
+        check_cols(keys, n_cols, "partition")?;
+        check_cols(&[target], n_cols, "partition")?;
+        let n_rows = child.values.n_rows();
+        let groups = self.groups_of(child, keys);
+
+        let mut names = child.values.names().to_vec();
+        names.push(format!(
+            "{func}({}) over {keys:?}",
+            child.values.names()[target]
+        ));
+
+        let target_col = child.values.column(target);
+        let mut new_col: Vec<Value> = vec![Value::Null; n_rows];
+        for g in groups.iter() {
+            let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
+            for (&i, v) in g.iter().zip(func.apply(&vals)) {
+                new_col[i] = v;
+            }
+        }
+        let values = Table::from_named_grid(names, child.values.grid().with_column(new_col));
+
+        let star = sem.wants_star().then(|| {
+            let sg = child.star();
+            let tcol = sg.column(target);
+            let mut new_col: Vec<Option<Expr>> = vec![None; n_rows];
+            for g in groups.iter() {
+                let members: Vec<Expr> = g.iter().map(|&i| tcol[i].clone()).collect();
+                for (pos, &i) in g.iter().enumerate() {
+                    new_col[i] = Some(window_term(func, &members, pos));
+                }
+            }
+            sg.with_column(
+                new_col
+                    .into_iter()
+                    .map(|e| e.expect("every row belongs to a group"))
+                    .collect(),
+            )
+        });
+
+        Ok(table(values, star))
     }
 
     /// Memoized `extract_groups` over a concrete engine result (see
@@ -958,6 +1221,32 @@ impl EvalCache {
             let l = narrow(self.exec(left, sem, inputs)?);
             let r = narrow(self.exec(right, sem, inputs)?);
             exec_filtered_join(&l, &r, pred)?
+        } else if let Query::Group {
+            src,
+            keys,
+            agg,
+            target,
+        } = q
+        {
+            // Through the grouping-skeleton memo: sibling aggregation
+            // choices share the row partition and key columns. The child
+            // is deliberately NOT narrowed — group builds fresh columns
+            // either way, and the un-narrowed `Rc` keeps the memo key
+            // stable across sibling candidates.
+            let child = self.exec(src, sem, inputs)?;
+            self.exec_group_shared(sem, &child, keys, *agg, *target)?
+        } else if let Query::Partition {
+            src,
+            keys,
+            func,
+            target,
+        } = q
+        {
+            // Same sharing for `partition`: the row partition is one
+            // memo probe after the first sibling (function, target)
+            // choice over the same keys.
+            let child = self.exec(src, sem, inputs)?;
+            self.exec_partition_shared(sem, &child, keys, *func, *target)?
         } else {
             let children = q
                 .children()
@@ -983,6 +1272,22 @@ impl EvalCache {
         slot.value[actual as usize] = Some(Rc::clone(&rc));
         slot.hot.set(true);
         Ok(rc)
+    }
+
+    /// Probes the cache for `q` at any semantics level without computing
+    /// anything. The acceptance path's demo-dims fast reject uses this:
+    /// a reject from a cached child is free, while a miss must not add a
+    /// speculative evaluation on top of the Provenance pass that follows.
+    pub(crate) fn peek(&self, q: &Query) -> Option<Rc<ExecTable>> {
+        let map = self.map.borrow();
+        let slot = map.get(q)?;
+        for level in [Semantics::Provenance, Semantics::Values] {
+            if let Some(hit) = &slot.value[level as usize] {
+                slot.hot.set(true);
+                return Some(Rc::clone(hit));
+            }
+        }
+        None
     }
 
     /// Number of cached concrete entries (diagnostics).
@@ -1094,6 +1399,29 @@ mod tests {
         // The lazily-derived sets equal ref-collection over star.
         let from_star = out.star().map(|e| u.set_from(e.refs()));
         assert_eq!(*out.sets(&u), from_star);
+    }
+
+    #[test]
+    fn lazy_cell_sets_agree_with_full_grid() {
+        let q = Query::Group {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            agg: AggFunc::Sum,
+            target: 2,
+        };
+        let inputs = [input()];
+        let u = RefUniverse::from_tables(&inputs);
+        let lazy = ProvenanceEngine.exec(&q, &inputs).unwrap();
+        let eager = ProvenanceEngine.exec(&q, &inputs).unwrap();
+        let grid = eager.sets(&u);
+        // Probe cells out of order before any full materialization.
+        for (i, j) in [(1, 1), (0, 0), (1, 0), (0, 1)] {
+            assert_eq!(*lazy.cell_set(&u, i, j), grid[(i, j)]);
+        }
+        // After whole-grid materialization, per-cell probes serve from it.
+        let full = lazy.sets(&u).clone();
+        assert_eq!(full, *grid);
+        assert_eq!(*lazy.cell_set(&u, 1, 1), grid[(1, 1)]);
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub use session::{
 };
 pub use synth::{
     construct_skeletons, expand, Analyzer, JoinKey, NoPruneAnalyzer, OpKind, ProvenanceAnalyzer,
-    SearchStats, SharedStats, SynthConfig, SynthResult, SynthTask, TaskContext,
+    SearchStats, SharedStats, SynthConfig, SynthResult, SynthTask, TaskContext, BULK_COL_ROWS,
 };
 #[allow(deprecated)]
 pub use synth::{synthesize, synthesize_parallel, synthesize_seeded, synthesize_until};

@@ -464,16 +464,29 @@ pub struct ProgressSnapshot {
     pub solutions: usize,
     /// Wall-clock since the request was submitted.
     pub elapsed: Duration,
+    /// Acceptance stage 1 so far: concrete candidate materialization
+    /// (values + demo-dims fast reject + star channel), across workers.
+    pub time_materialize: Duration,
+    /// Acceptance stage 2 so far: the reference-containment prefilter over
+    /// lazily-converted cell sets, across workers.
+    pub time_prefilter: Duration,
+    /// Acceptance stage 3 so far: the candidate-seeded Def. 1 expression
+    /// match, across workers.
+    pub time_match: Duration,
 }
 
 impl ProgressSnapshot {
     fn read(shared: &SharedStats, started: Instant) -> ProgressSnapshot {
+        let ns = |a: &std::sync::atomic::AtomicU64| Duration::from_nanos(a.load(Ordering::Relaxed));
         ProgressSnapshot {
             visited: shared.visited.load(Ordering::Relaxed),
             pruned: shared.pruned.load(Ordering::Relaxed),
             concrete_checked: shared.concrete_checked.load(Ordering::Relaxed),
             solutions: shared.solutions.load(Ordering::Relaxed),
             elapsed: started.elapsed(),
+            time_materialize: ns(&shared.time_materialize_ns),
+            time_prefilter: ns(&shared.time_prefilter_ns),
+            time_match: ns(&shared.time_match_ns),
         }
     }
 }
@@ -496,10 +509,14 @@ pub enum SolutionEvent {
     /// A progress heartbeat (emitted alongside each solution; poll
     /// [`SolutionStream::progress`] for arbitrary-rate sampling).
     Progress(ProgressSnapshot),
-    /// The search finished: the ranked, deduplicated result. Always the
-    /// last event of a stream (unless the worker died, in which case the
-    /// stream just ends).
+    /// The search finished: the ranked, deduplicated result. The last
+    /// event of a stream that ran to completion (unless the worker died,
+    /// in which case the stream just ends).
     Done(SynthResult),
+    /// The search aborted on an internal error (a malformed candidate
+    /// inside the engine). Terminal, like [`SolutionEvent::Done`];
+    /// [`SolutionStream::wait`] surfaces it as the `Err` it wraps.
+    Failed(SickleError),
 }
 
 /// A handle to an in-flight request submitted with [`Session::submit`]:
@@ -544,11 +561,13 @@ impl SolutionStream {
     /// # Errors
     ///
     /// Returns [`SickleError::Internal`] if the worker died before
-    /// reporting a result.
+    /// reporting a result, or the error of a [`SolutionEvent::Failed`].
     pub fn wait(mut self) -> Result<SynthResult, SickleError> {
         for event in &mut self {
-            if let SolutionEvent::Done(result) = event {
-                return Ok(result);
+            match event {
+                SolutionEvent::Done(result) => return Ok(result),
+                SolutionEvent::Failed(e) => return Err(e),
+                _ => {}
             }
         }
         Err(SickleError::Internal {
@@ -575,7 +594,7 @@ impl Iterator for SolutionStream {
         }
         match self.rx.recv() {
             Ok(event) => {
-                if matches!(event, SolutionEvent::Done(_)) {
+                if matches!(event, SolutionEvent::Done(_) | SolutionEvent::Failed(_)) {
                     self.finished = true;
                     self.join_worker();
                 }
@@ -726,7 +745,7 @@ impl Session {
         let cancel = request.cancel.clone().unwrap_or_default();
         let config = request.effective_config(&cancel, Instant::now());
         let shared = SharedStats::default();
-        Ok(run_parallel(
+        run_parallel(
             &request.task,
             &config,
             &|| request.analyzer.make(),
@@ -736,7 +755,7 @@ impl Session {
             self.analysis_for(&request.task),
             &shared,
             request.seeds.clone(),
-        ))
+        )
     }
 
     /// Starts a request on a background thread and returns a
@@ -786,7 +805,10 @@ impl Session {
                 &worker_shared,
                 request.seeds,
             );
-            let _ = tx.send(SolutionEvent::Done(result));
+            let _ = tx.send(match result {
+                Ok(result) => SolutionEvent::Done(result),
+                Err(e) => SolutionEvent::Failed(e),
+            });
         });
 
         Ok(SolutionStream {
@@ -919,6 +941,7 @@ mod tests {
                 }
                 Some(SolutionEvent::Done(result)) => break result,
                 Some(SolutionEvent::Progress(_)) => {}
+                Some(SolutionEvent::Failed(e)) => panic!("search failed: {e}"),
                 None => panic!("stream ended without Done"),
             }
         };
@@ -927,6 +950,29 @@ mod tests {
         for q in &streamed {
             assert!(result.solutions.contains(q), "dropped found solution {q}");
         }
+    }
+
+    #[test]
+    fn malformed_seed_is_skipped_not_a_panic() {
+        use crate::ast::PQuery;
+        // A caller-supplied seed with out-of-range group keys: the
+        // acceptance path must reject it (engine EvalError), not index
+        // out of bounds in the demo-dims fast reject — even when the
+        // group's source is already cached from an earlier seed.
+        let session = Session::new();
+        let request = SynthRequest::new(vec![table()], demo()).with_seeds(vec![
+            PQuery::Input(0),
+            PQuery::Group {
+                src: Box::new(PQuery::Input(0)),
+                keys: Some(vec![99]),
+                agg: Some((sickle_table::AggFunc::Sum, 1)),
+            },
+        ]);
+        let result = session
+            .solve(&request)
+            .expect("malformed seed must not error the run");
+        assert!(result.solutions.is_empty());
+        assert_eq!(result.stats.concrete_checked, 2);
     }
 
     #[test]

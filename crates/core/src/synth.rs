@@ -19,7 +19,7 @@
 //!    timeout, or when a caller-supplied stop predicate fires.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,11 +27,15 @@ use sickle_table::{
     default_arith_templates, AggFunc, AnalyticFunc, ArithExpr, CmpOp, Table, Value,
 };
 
-use sickle_provenance::{demo_consistent, AnalysisCache, Demo, RefSetPool, RefUniverse};
+use sickle_provenance::{
+    demo_consistent_with_candidates, find_table_match_with_candidates, match_seed_rows,
+    AnalysisCache, Demo, MatchDims, MatchSeed, RefSetPool, RefUniverse,
+};
 
 use crate::abstract_eval::{abstract_evaluate_rc, demo_ref_sets};
 use crate::ast::{PQuery, Pred, Query};
 use crate::engine::{EvalCache, Semantics};
+use crate::error::SickleError;
 
 /// A primary/foreign-key pair declared on the inputs; join predicates are
 /// enumerated from these only (§5.1).
@@ -246,6 +250,121 @@ pub struct TaskContext {
     /// Cross-sibling memo of abstract-consistency analyses, shared across
     /// parallel workers.
     pub analysis: Arc<AnalysisCache>,
+    /// Cross-candidate memo of the acceptance prefilter's per-column
+    /// feasibility: (demo column, star column identity) → can the star
+    /// column host the demo column (every demo row embeds into some cell
+    /// of it). Concrete candidates share pass-through star columns by
+    /// `Arc`, so most of each candidate's column-candidate derivation is
+    /// map probes. The entry pins its column `Arc`, keeping the address
+    /// key valid.
+    col_hosts: std::cell::RefCell<ColHostsMemo>,
+}
+
+/// Prefilter column-feasibility memo: (demo column, star column
+/// identity) → (pinned column, verdict).
+type ColHostsMemo =
+    sickle_provenance::FxMap<(u32, usize), (Arc<Vec<sickle_provenance::Expr>>, bool)>;
+
+/// Bound on the prefilter column-feasibility memo; like the engine memos,
+/// a full map is cleared, not evicted (entries are recomputable).
+const COL_HOSTS_CAP: usize = 16_384;
+
+/// Columns up to this many rows convert through the cross-candidate bulk
+/// memo ([`EvalCache::star_col_sets`]); larger columns (join outputs,
+/// which also churn through the engine cache) convert per probed cell
+/// through the result-local [`crate::ExecTable::cell_set`] — no
+/// cross-candidate pinning, and only cells the matcher touches are
+/// materialized. Public so the `accept` micro-bench mirrors the shipped
+/// policy instead of hard-coding a copy.
+pub const BULK_COL_ROWS: usize = 128;
+
+/// A candidate's lazy view of its star grid's per-cell reference sets,
+/// plus the memoized column-feasibility test of the acceptance prefilter.
+struct StarSets<'a> {
+    ctx: &'a TaskContext,
+    exec: &'a crate::ExecTable,
+    star: &'a crate::prov_eval::ProvTable,
+    cols: Vec<ColSets>,
+}
+
+/// Per-column resolution state of [`StarSets`].
+enum ColSets {
+    /// Not probed yet.
+    Pending,
+    /// Small column: the shared, fully-converted cross-candidate entry.
+    Shared(Arc<Vec<sickle_provenance::RefSet>>),
+    /// Large column: converted per probed cell, memoized on the
+    /// candidate's own result ([`crate::ExecTable::cell_set`]).
+    Local,
+}
+
+impl<'a> StarSets<'a> {
+    fn new(
+        ctx: &'a TaskContext,
+        exec: &'a crate::ExecTable,
+        star: &'a crate::prov_eval::ProvTable,
+    ) -> StarSets<'a> {
+        StarSets {
+            ctx,
+            exec,
+            star,
+            cols: (0..star.n_cols()).map(|_| ColSets::Pending).collect(),
+        }
+    }
+
+    /// The reference set of star cell `(ti, tj)`, converted on demand.
+    fn cell(&mut self, ti: usize, tj: usize) -> &sickle_provenance::RefSet {
+        if matches!(self.cols[tj], ColSets::Pending) {
+            self.cols[tj] = if self.star.n_rows() <= BULK_COL_ROWS {
+                ColSets::Shared(self.ctx.eval_cache.star_col_sets(
+                    self.star,
+                    &self.ctx.universe,
+                    tj,
+                ))
+            } else {
+                ColSets::Local
+            };
+        }
+        match &self.cols[tj] {
+            ColSets::Shared(sets) => &sets[ti],
+            ColSets::Local => self.exec.cell_set(&self.ctx.universe, ti, tj),
+            ColSets::Pending => unreachable!("resolved above"),
+        }
+    }
+
+    /// `ref(E[di,dj]) ⊆` the set of star cell `(ti, tj)` — the
+    /// prefilter's compatibility oracle.
+    fn subset_ok(&mut self, di: usize, dj: usize, ti: usize, tj: usize) -> bool {
+        let ctx = self.ctx;
+        ctx.demo_refs[(di, dj)].is_subset_of(self.cell(ti, tj))
+    }
+
+    /// Whether star column `tj` can host demo column `dj` (every demo row
+    /// embeds into some cell of it), memoized by column identity across
+    /// candidates (see [`TaskContext::col_hosts`]) — pass-through columns
+    /// shared between sibling candidates resolve to one map probe. Large
+    /// columns are not memoized: the memo pins its column, and pinning
+    /// multi-megabyte join columns past engine-cache eviction costs far
+    /// more (allocator pressure) than the scan it saves.
+    fn column_hosts(&mut self, dj: usize, tj: usize) -> bool {
+        let (demo_rows, table_rows) = (self.ctx.demo_refs.n_rows(), self.star.n_rows());
+        if table_rows > BULK_COL_ROWS {
+            return (0..demo_rows)
+                .all(|di| (0..table_rows).any(|ti| self.subset_ok(di, dj, ti, tj)));
+        }
+        let key = (dj as u32, Arc::as_ptr(self.star.column_arc(tj)) as usize);
+        if let Some((_, v)) = self.ctx.col_hosts.borrow().get(&key) {
+            return *v;
+        }
+        let v = (0..demo_rows).all(|di| (0..table_rows).any(|ti| self.subset_ok(di, dj, ti, tj)));
+        let pin = Arc::clone(self.star.column_arc(tj));
+        let mut map = self.ctx.col_hosts.borrow_mut();
+        if map.len() >= COL_HOSTS_CAP {
+            map.clear();
+        }
+        map.insert(key, (pin, v));
+        v
+    }
 }
 
 impl TaskContext {
@@ -285,6 +404,7 @@ impl TaskContext {
             constants,
             eval_cache: EvalCache::with_pool(pool),
             analysis,
+            col_hosts: std::cell::RefCell::new(sickle_provenance::FxMap::default()),
         }
     }
 
@@ -369,8 +489,17 @@ pub struct SearchStats {
     pub elapsed: Duration,
     /// Time spent in the analyzer (pruning checks).
     pub time_analyze: Duration,
-    /// Time spent checking concrete queries against Def. 1.
+    /// Time spent checking concrete queries against Def. 1 — the sum of
+    /// the three acceptance stages below.
     pub time_concrete: Duration,
+    /// Acceptance stage 1: evaluating the candidate (values channel, the
+    /// demo-dims fast reject, then the provenance star channel).
+    pub time_materialize: Duration,
+    /// Acceptance stage 2: the reference-containment prefilter (Def. 3 on
+    /// exact provenance) over lazily-converted cell sets.
+    pub time_prefilter: Duration,
+    /// Acceptance stage 3: the candidate-seeded Def. 1 expression match.
+    pub time_match: Duration,
     /// Time spent expanding holes (domain inference + tree building).
     pub time_expand: Duration,
     /// True when the run hit its timeout or visit budget.
@@ -406,6 +535,15 @@ pub struct SharedStats {
     pub concrete_checked: AtomicUsize,
     /// Solutions found so far, across workers.
     pub solutions: AtomicUsize,
+    /// Nanoseconds spent materializing concrete candidates (acceptance
+    /// stage 1), across workers.
+    pub time_materialize_ns: AtomicU64,
+    /// Nanoseconds spent in the reference-containment prefilter
+    /// (acceptance stage 2), across workers.
+    pub time_prefilter_ns: AtomicU64,
+    /// Nanoseconds spent in the seeded Def. 1 match (acceptance stage 3),
+    /// across workers.
+    pub time_match_ns: AtomicU64,
     /// Set when the pooled solution count satisfied the target (or a
     /// worker's stop predicate fired): peers stop without reporting a
     /// timeout. Distinct from `SynthConfig::cancel`, which is the
@@ -428,6 +566,7 @@ pub fn synthesize(ctx: &TaskContext, config: &SynthConfig, analyzer: &dyn Analyz
         |_| false,
         None,
     )
+    .expect("internal synthesis error")
 }
 
 /// Runs Algorithm 1, additionally stopping as soon as `stop` accepts a
@@ -451,6 +590,7 @@ pub fn synthesize_until(
         stop,
         None,
     )
+    .expect("internal synthesis error")
 }
 
 /// Runs the search from an explicit work list of seed (partial) queries
@@ -467,12 +607,20 @@ pub fn synthesize_seeded(
     seeds: Vec<PQuery>,
     stop: impl FnMut(&Query) -> bool,
 ) -> SynthResult {
-    run_search(ctx, config, analyzer, seeds, stop, None)
+    run_search(ctx, config, analyzer, seeds, stop, None).expect("internal synthesis error")
 }
 
 /// The sequential search engine room behind [`crate::Session`] and the
 /// deprecated free functions: runs the work list to completion, with
 /// optional live counters shared across parallel workers.
+///
+/// # Errors
+///
+/// Returns [`SickleError::Internal`] when a search invariant breaks (a
+/// candidate that reports concrete but fails to convert, a provenance
+/// evaluation missing its star channel) — a malformed candidate surfaces
+/// as a structured error instead of a panic that would kill a warm
+/// service process. Budget expiry is *not* an error (`stats.timed_out`).
 pub(crate) fn run_search(
     ctx: &TaskContext,
     config: &SynthConfig,
@@ -480,7 +628,7 @@ pub(crate) fn run_search(
     seeds: Vec<PQuery>,
     mut stop: impl FnMut(&Query) -> bool,
     shared: Option<&SharedStats>,
-) -> SynthResult {
+) -> Result<SynthResult, SickleError> {
     let started = Instant::now();
     let mut stats = SearchStats::default();
     let mut solutions = Vec::new();
@@ -490,6 +638,11 @@ pub(crate) fn run_search(
     let bump = |counter: fn(&SharedStats) -> &AtomicUsize| {
         if let Some(s) = shared {
             counter(s).fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let bump_time = |counter: fn(&SharedStats) -> &AtomicU64, d: Duration| {
+        if let Some(s) = shared {
+            counter(s).fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         }
     };
 
@@ -533,40 +686,152 @@ pub(crate) fn run_search(
         if pq.is_concrete() {
             stats.concrete_checked += 1;
             bump(|s| &s.concrete_checked);
+            let (demo_rows, demo_cols) = (ctx.demo_refs.n_rows(), ctx.demo_refs.n_cols());
+
+            // Demo-dims fast reject, part 1 (free): a candidate whose
+            // static column arity is below the demonstration's can never
+            // host it — skip evaluation (and star materialization)
+            // entirely.
+            if pq.n_cols(&ctx.input_arities).is_some_and(|n| n < demo_cols) {
+                continue;
+            }
+            let Some(q) = pq.to_concrete() else {
+                return Err(SickleError::Internal {
+                    message: format!("candidate {pq} reported concrete but failed to convert"),
+                });
+            };
+
+            // Stage 1 — materialize the provenance star channel.
             let t0 = Instant::now();
-            let q = pq.to_concrete().expect("concrete by check");
-            if let Ok(exec) = ctx.eval_cache.exec(&q, Semantics::Provenance, ctx.inputs()) {
-                // Cheap necessary condition first: the demonstration's
-                // references must embed into the exact per-cell reference
-                // sets (Def. 3 on exact provenance) before the full Def. 1
-                // expression matching is attempted. Direct matching, not
-                // the cross-sibling cache: every concrete query has
-                // distinct exact sets, so interning them would only grow
-                // the pool for verdicts that can never be shared.
-                let sets = exec.sets(&ctx.universe);
-                let dims = sickle_provenance::MatchDims {
-                    demo_rows: ctx.demo_refs.n_rows(),
-                    demo_cols: ctx.demo_refs.n_cols(),
-                    table_rows: sets.n_rows(),
-                    table_cols: sets.n_cols(),
-                };
-                let ref_feasible =
-                    sickle_provenance::find_table_match(dims, &mut |di, dj, ti, tj| {
-                        ctx.demo_refs[(di, dj)].is_subset_of(&sets[(ti, tj)])
-                    })
-                    .is_some();
-                if ref_feasible && demo_consistent(ctx.demo(), exec.star()).is_some() {
-                    stats.time_concrete += t0.elapsed();
-                    let done = stop(&q);
-                    solutions.push(q);
-                    bump(|s| &s.solutions);
-                    if done || solutions.len() >= config.max_solutions {
-                        break 'search;
+            // Demo-dims fast reject, part 2: row-preserving top operators
+            // (sort / partition / arithmetic / projection) have exactly
+            // their source's row count, and the source — shared with
+            // sibling candidates — is (almost) always already in the
+            // engine cache: a too-small candidate is rejected from a
+            // cache probe, skipping star materialization entirely.
+            // Probe-only (`peek`): a child evicted by cache pressure is
+            // not re-evaluated speculatively — the reject is only taken
+            // when it costs nothing beyond a map probe.
+            let too_small = match &q {
+                Query::Sort { src, .. }
+                | Query::Partition { src, .. }
+                | Query::Arith { src, .. }
+                | Query::Proj { src, .. } => ctx
+                    .eval_cache
+                    .peek(src)
+                    .is_some_and(|child| child.table().n_rows() < demo_rows),
+                // A group's output rows are its groups, and the grouping
+                // memo is shared across every sibling aggregation choice
+                // (and the strong abstraction): after the first sibling,
+                // this is one map probe. Out-of-range keys (possible via
+                // caller-supplied seeds; this runs before the engine's
+                // check_cols) fall through to the exec path, which
+                // rejects them as an EvalError instead of panicking.
+                Query::Group { src, keys, .. } => ctx.eval_cache.peek(src).is_some_and(|child| {
+                    keys.iter().all(|&k| k < child.table().n_cols())
+                        && ctx.eval_cache.groups_of(&child, keys).len() < demo_rows
+                }),
+                // Remaining row-changing operators (filter, joins) fall
+                // through to the prefilter's dims check, which is free
+                // now that cell sets convert lazily.
+                _ => false,
+            };
+            let exec = if too_small {
+                None
+            } else {
+                ctx.eval_cache
+                    .exec(&q, Semantics::Provenance, ctx.inputs())
+                    .ok()
+            };
+            let d_mat = t0.elapsed();
+            stats.time_materialize += d_mat;
+            stats.time_concrete += d_mat;
+            bump_time(|s| &s.time_materialize_ns, d_mat);
+            let Some(exec) = exec else { continue };
+            let Some(star) = exec.try_star() else {
+                return Err(SickleError::Internal {
+                    message: format!(
+                        "provenance evaluation of candidate {q} returned no star channel"
+                    ),
+                });
+            };
+
+            // Stage 2 — prefilter. Cheap necessary condition: the
+            // demonstration's references must embed into the exact
+            // per-cell reference sets (Def. 3 on exact provenance).
+            // Cells convert lazily through the cross-candidate star-cell
+            // memo, and column feasibility is memoized by column
+            // identity — pass-through columns shared between sibling
+            // candidates resolve without touching a single cell. Direct
+            // matching, not the cross-sibling analysis cache: every
+            // concrete query has distinct exact sets, so interning them
+            // would only grow the pool for verdicts that can never be
+            // shared.
+            let t1 = Instant::now();
+            let dims = MatchDims {
+                demo_rows,
+                demo_cols,
+                table_rows: star.n_rows(),
+                table_cols: star.n_cols(),
+            };
+            let mut sets = StarSets::new(ctx, &exec, star);
+            let mut col_candidates: Vec<Vec<usize>> = Vec::with_capacity(demo_cols);
+            let mut feasible =
+                dims.demo_rows <= dims.table_rows && dims.demo_cols <= dims.table_cols;
+            if feasible {
+                for dj in 0..demo_cols {
+                    let cands: Vec<usize> = (0..dims.table_cols)
+                        .filter(|&tj| sets.column_hosts(dj, tj))
+                        .collect();
+                    if cands.is_empty() {
+                        feasible = false;
+                        break;
                     }
-                    continue;
+                    col_candidates.push(cands);
                 }
             }
-            stats.time_concrete += t0.elapsed();
+            let found = feasible
+                && find_table_match_with_candidates(
+                    dims,
+                    &col_candidates,
+                    &mut |di, dj, ti, tj| sets.subset_ok(di, dj, ti, tj),
+                )
+                .is_some();
+            let d_pre = t1.elapsed();
+            stats.time_prefilter += d_pre;
+            stats.time_concrete += d_pre;
+            bump_time(|s| &s.time_prefilter_ns, d_pre);
+            if !found {
+                continue;
+            }
+
+            // Stage 3 — Def. 1, seeded by the prefilter's surviving
+            // column candidates and the per-demo-row candidate rows they
+            // induce (sound: `≺` implies reference containment, so every
+            // Def. 1-feasible column/row is among the prefilter's
+            // candidates). Only prefilter survivors — a rare breed — pay
+            // for the row pass.
+            let t2 = Instant::now();
+            let row_candidates = match_seed_rows(dims, &col_candidates, &mut |di, dj, ti, tj| {
+                sets.subset_ok(di, dj, ti, tj)
+            });
+            let seed = MatchSeed {
+                col_candidates,
+                row_candidates,
+            };
+            let consistent = demo_consistent_with_candidates(ctx.demo(), star, &seed).is_some();
+            let d_match = t2.elapsed();
+            stats.time_match += d_match;
+            stats.time_concrete += d_match;
+            bump_time(|s| &s.time_match_ns, d_match);
+            if consistent {
+                let done = stop(&q);
+                solutions.push(q);
+                bump(|s| &s.solutions);
+                if done || solutions.len() >= config.max_solutions {
+                    break 'search;
+                }
+            }
             continue;
         }
 
@@ -590,7 +855,7 @@ pub(crate) fn run_search(
     // Rank by query size (stable: discovery order breaks ties), matching
     // the paper's size-based ranking of consistent queries.
     solutions.sort_by_key(Query::size);
-    SynthResult { solutions, stats }
+    Ok(SynthResult { solutions, stats })
 }
 
 /// Runs Algorithm 1 with top-level skeleton expansion parallelized across
@@ -639,6 +904,7 @@ pub fn synthesize_parallel(
         &shared,
         None,
     )
+    .expect("internal synthesis error")
 }
 
 /// The engine room behind [`crate::Session::solve`] /
@@ -647,6 +913,11 @@ pub fn synthesize_parallel(
 /// `analysis`) and the live counters (`shared`) supplied by the caller so
 /// they can outlive — and be observed during — the run. `seeds` overrides
 /// the skeleton enumeration when supplied.
+///
+/// # Errors
+///
+/// Propagates the first worker's [`SickleError::Internal`] (see
+/// [`run_search`]) after every worker has been joined.
 #[allow(clippy::too_many_arguments)] // internal seam; the public face is Session
 pub(crate) fn run_parallel(
     task: &SynthTask,
@@ -658,7 +929,7 @@ pub(crate) fn run_parallel(
     analysis: Arc<AnalysisCache>,
     shared: &SharedStats,
     seeds: Option<Vec<PQuery>>,
-) -> SynthResult {
+) -> Result<SynthResult, SickleError> {
     let workers = workers.max(1);
     let seed_ctx = TaskContext::with_shared(task.clone(), Arc::clone(&pool), Arc::clone(&analysis));
     let skeletons = seeds.unwrap_or_else(|| construct_skeletons(&seed_ctx, config));
@@ -670,9 +941,9 @@ pub(crate) fn run_parallel(
             skeletons,
             |q| stop(q),
             Some(shared),
-        );
+        )?;
         result.solutions.sort_by_key(Query::size);
-        return result;
+        return Ok(result);
     }
 
     // Deal skeletons round-robin so each worker sees small sizes first.
@@ -681,7 +952,7 @@ pub(crate) fn run_parallel(
         shards[i % workers].push(sk);
     }
 
-    let results: Vec<SynthResult> = std::thread::scope(|scope| {
+    let results: Vec<Result<SynthResult, SickleError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .map(|shard| {
@@ -728,6 +999,9 @@ pub(crate) fn run_parallel(
         stats: SearchStats::default(),
     };
     for r in results {
+        // All workers are already joined: propagating the first internal
+        // error loses no thread.
+        let r = r?;
         for q in r.solutions {
             if !merged.solutions.contains(&q) {
                 merged.solutions.push(q);
@@ -740,6 +1014,9 @@ pub(crate) fn run_parallel(
         merged.stats.elapsed = merged.stats.elapsed.max(r.stats.elapsed);
         merged.stats.time_analyze += r.stats.time_analyze;
         merged.stats.time_concrete += r.stats.time_concrete;
+        merged.stats.time_materialize += r.stats.time_materialize;
+        merged.stats.time_prefilter += r.stats.time_prefilter;
+        merged.stats.time_match += r.stats.time_match;
         merged.stats.time_expand += r.stats.time_expand;
         // Workers stopped by pool satisfaction break quietly (no timeout
         // flag); a budget expiry racing the winning worker is still not a
@@ -750,7 +1027,7 @@ pub(crate) fn run_parallel(
     }
     merged.solutions.sort_by_key(Query::size);
     merged.solutions.truncate(config.max_solutions);
-    merged
+    Ok(merged)
 }
 
 // ---------------------------------------------------------------------------

@@ -4,8 +4,10 @@
 use sickle_table::Grid;
 
 use crate::demo::{Demo, DemoExpr};
-use crate::expr::Expr;
-use crate::matching::{find_table_match, MatchDims, TableMatch};
+use crate::expr::{Expr, FuncName};
+use crate::matching::{
+    find_table_match, find_table_match_seeded, MatchDims, MatchSeed, TableMatch,
+};
 
 /// Decides `e ≺ e★`: the provenance expression `e★` *generalizes* the
 /// demonstration expression `e` (Fig. 10).
@@ -140,6 +142,138 @@ pub fn demo_consistent(demo: &Demo, star: &Grid<Expr>) -> Option<TableMatch> {
     find_table_match(dims, &mut |di, dj, ti, tj| {
         expr_consistent(demo.cell(di, dj), &star[(ti, tj)])
     })
+}
+
+/// [`demo_consistent`] seeded by the candidate structure of a reference-
+/// containment prefilter (the Def. 3 check on exact provenance), instead
+/// of re-deriving feasible columns blind.
+///
+/// Soundness: `e ≺ e★` implies `ref(e) ⊆ ref(e★)` (constants carry no
+/// references; references must be identical; group/application matching
+/// maps every demo leaf into a distinct generalizing sub-term), so every
+/// Def. 1-feasible column/row is already among the prefilter's candidates
+/// and the verdict equals the blind [`demo_consistent`]. The returned
+/// witness is always a valid Def. 1 assignment but may differ from the
+/// blind one when several exist.
+///
+/// Each probed `(demo cell, star cell)` pair additionally passes a cheap
+/// structural pre-key (head-function presence + argument-count bounds)
+/// before the full [`expr_consistent`] recursion runs, and verdicts are
+/// memoized probe-locally, so backtracking never re-derives a recursion.
+pub fn demo_consistent_with_candidates(
+    demo: &Demo,
+    star: &Grid<Expr>,
+    seed: &MatchSeed,
+) -> Option<TableMatch> {
+    let dims = MatchDims {
+        demo_rows: demo.n_rows(),
+        demo_cols: demo.n_cols(),
+        table_rows: star.n_rows(),
+        table_cols: star.n_cols(),
+    };
+    let demo_keys: Vec<DemoKey> = (0..dims.demo_rows)
+        .flat_map(|i| (0..dims.demo_cols).map(move |j| (i, j)))
+        .map(|(i, j)| DemoKey::of(demo.cell(i, j)))
+        .collect();
+    // Star keys are derived lazily: the seeded search only probes cells
+    // the candidate structure still allows.
+    let mut star_keys: Vec<Option<StarKey>> = vec![None; dims.table_rows * dims.table_cols];
+    find_table_match_seeded(dims, seed, &mut |di, dj, ti, tj| {
+        let sk = *star_keys[ti * dims.table_cols + tj]
+            .get_or_insert_with(|| StarKey::of(&star[(ti, tj)]));
+        demo_keys[di * dims.demo_cols + dj].compatible(sk)
+            && expr_consistent(demo.cell(di, dj), &star[(ti, tj)])
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Structural pre-keys
+// ---------------------------------------------------------------------------
+
+/// Head-symbol bit for the pre-key masks (11 function symbols fit a u16).
+fn head_bit(f: FuncName) -> u16 {
+    use sickle_table::{AggFunc, ArithOp};
+    let shift = match f {
+        FuncName::Agg(AggFunc::Sum) => 0,
+        FuncName::Agg(AggFunc::Avg) => 1,
+        FuncName::Agg(AggFunc::Max) => 2,
+        FuncName::Agg(AggFunc::Min) => 3,
+        FuncName::Agg(AggFunc::Count) => 4,
+        FuncName::Op(ArithOp::Add) => 5,
+        FuncName::Op(ArithOp::Sub) => 6,
+        FuncName::Op(ArithOp::Mul) => 7,
+        FuncName::Op(ArithOp::Div) => 8,
+        FuncName::Rank => 9,
+        FuncName::DenseRank => 10,
+    };
+    1 << shift
+}
+
+/// Structural summary of a star cell: which head symbols appear at the
+/// cell's top level (looking through `group{…}` members, which the `≺`
+/// group rule also looks through), the largest argument list among them,
+/// and whether a bare reference / constant is reachable. A necessary
+/// condition for `e ≺ e★`, checked before the full recursion.
+#[derive(Debug, Clone, Copy, Default)]
+struct StarKey {
+    heads: u16,
+    max_args: u32,
+    has_ref: bool,
+    has_const: bool,
+}
+
+impl StarKey {
+    fn of(star: &Expr) -> StarKey {
+        let mut key = StarKey::default();
+        key.scan(star);
+        key
+    }
+
+    fn scan(&mut self, star: &Expr) {
+        match star {
+            Expr::Const(_) => self.has_const = true,
+            Expr::Ref(_) => self.has_ref = true,
+            Expr::Apply(f, args) => {
+                self.heads |= head_bit(*f);
+                self.max_args = self.max_args.max(args.len() as u32);
+            }
+            Expr::Group(members) => members.iter().for_each(|m| self.scan(m)),
+        }
+    }
+}
+
+/// The demo-cell side of the pre-key check.
+#[derive(Debug, Clone, Copy)]
+enum DemoKey {
+    /// Constants match only star constants (through groups).
+    Const,
+    /// References match only star references (through groups).
+    Ref,
+    /// Applications need the same head and at least `min_args` arguments.
+    Apply { head: u16, min_args: u32 },
+}
+
+impl DemoKey {
+    fn of(e: &DemoExpr) -> DemoKey {
+        match e {
+            DemoExpr::Const(_) => DemoKey::Const,
+            DemoExpr::Ref(_) => DemoKey::Ref,
+            DemoExpr::Apply { func, args, .. } => DemoKey::Apply {
+                head: head_bit(*func),
+                // Both complete and partial applications provide at least
+                // `args.len()` arguments to place (partial may omit more).
+                min_args: args.len() as u32,
+            },
+        }
+    }
+
+    fn compatible(self, sk: StarKey) -> bool {
+        match self {
+            DemoKey::Const => sk.has_const,
+            DemoKey::Ref => sk.has_ref,
+            DemoKey::Apply { head, min_args } => sk.heads & head != 0 && min_args <= sk.max_args,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +422,141 @@ mod tests {
         let demo = Demo::parse(&[&["T[1,2]", "T[1,1]"]]).unwrap();
         let m = demo_consistent(&demo, &star).unwrap();
         assert_eq!(m.col_map, vec![1, 0]);
+    }
+
+    /// Non-commutative partial matching with omissions at *both* ends:
+    /// the provided arguments must match an inner subsequence.
+    #[test]
+    fn subsequence_omissions_at_both_ends() {
+        // rank is positional; star term lists rows 1..=5 of column 2.
+        let s = Expr::Apply(FuncName::Rank, (0..5).map(|i| r(i, 1)).collect::<Vec<_>>());
+        // Omissions at head and tail around a middle subsequence.
+        let d = parse_expr("rank(..., T[2,2], T[4,2], ...)").unwrap();
+        assert!(expr_consistent(&d, &s));
+        // Order still matters inside the subsequence.
+        let d_rev = parse_expr("rank(..., T[4,2], T[2,2], ...)").unwrap();
+        assert!(!expr_consistent(&d_rev, &s));
+        // The whole argument list as an (improper) subsequence.
+        let d_all = parse_expr("rank(..., T[1,2], T[2,2], T[3,2], T[4,2], T[5,2], ...)").unwrap();
+        assert!(expr_consistent(&d_all, &s));
+        // One provided argument more than the star term carries.
+        let d_over =
+            parse_expr("rank(..., T[2,2], T[2,2], T[3,2], T[4,2], T[5,2], T[1,2])").unwrap();
+        assert!(!expr_consistent(&d_over, &s));
+    }
+
+    /// Injective commutative matching where a greedy assignment fails and
+    /// only a Kuhn augmenting path finds the rerouting: the first demo
+    /// argument is compatible with both star arguments, the second with
+    /// only the first — so the first must be rerouted to the second.
+    #[test]
+    fn injective_matching_requires_augmenting_path() {
+        // star: sum(group{T[1,2], T[2,2]}, group{T[1,2]})
+        let s = sum(vec![
+            Expr::group(vec![r(0, 1), r(1, 1)]),
+            Expr::group(vec![r(0, 1)]),
+        ]);
+        // demo arg T[1,2] fits both groups, T[2,2] only the first.
+        let d = parse_expr("sum(T[1,2], T[2,2])").unwrap();
+        assert!(expr_consistent(&d, &s));
+        // Two copies of T[2,2] cannot be placed injectively.
+        let d2 = parse_expr("sum(T[2,2], T[2,2])").unwrap();
+        assert!(!expr_consistent(&d2, &s));
+    }
+
+    /// `group{…}` members that are themselves (unflattened) groups: the
+    /// member rule must recurse through the nesting. Built with the raw
+    /// constructor — `Expr::group` flattens, but the matcher must not
+    /// assume canonical input.
+    #[test]
+    fn nested_group_members_match_through_nesting() {
+        let nested = Expr::Group(vec![
+            Expr::Group(vec![r(0, 0), Expr::Group(vec![r(1, 0)])]),
+            r(2, 0),
+        ]);
+        for (cell, expect) in [("T[2,1]", true), ("T[3,1]", true), ("T[4,1]", false)] {
+            let d = parse_expr(cell).unwrap();
+            assert_eq!(expr_consistent(&d, &nested), expect, "{cell}");
+        }
+        // A nested group as an aggregate argument behaves identically.
+        let s = sum(vec![Expr::Group(vec![Expr::Group(vec![r(0, 1)])]), r(2, 1)]);
+        let d = parse_expr("sum(T[1,2], T[3,2])").unwrap();
+        assert!(expr_consistent(&d, &s));
+    }
+
+    /// The edge cases above must survive the candidate-seeded, pre-keyed
+    /// matcher unchanged: verdicts agree with the blind [`demo_consistent`].
+    #[test]
+    fn seeded_matcher_preserves_edge_case_verdicts() {
+        use crate::matching::find_table_match_with_report;
+        use crate::ref_set::RefUniverse;
+        use sickle_table::Table;
+
+        let t = Table::new(
+            ["a", "b"],
+            (0..5)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+                .collect(),
+        )
+        .unwrap();
+        let universe = RefUniverse::from_tables(&[t]);
+
+        let stars = [
+            Grid::from_rows(vec![vec![Expr::Apply(
+                FuncName::Rank,
+                (0..5).map(|i| r(i, 1)).collect(),
+            )]])
+            .unwrap(),
+            Grid::from_rows(vec![vec![sum(vec![
+                Expr::group(vec![r(0, 1), r(1, 1)]),
+                Expr::group(vec![r(0, 1)]),
+            ])]])
+            .unwrap(),
+            Grid::from_rows(vec![vec![Expr::Group(vec![
+                Expr::Group(vec![r(0, 0), Expr::Group(vec![r(1, 0)])]),
+                r(2, 0),
+            ])]])
+            .unwrap(),
+        ];
+        let demos = [
+            "rank(..., T[2,2], T[4,2], ...)",
+            "rank(..., T[4,2], T[2,2], ...)",
+            "sum(T[1,2], T[2,2])",
+            "sum(T[2,2], T[2,2])",
+            "T[2,1]",
+            "T[4,1]",
+            "100",
+        ];
+        for star in &stars {
+            for src in demos {
+                let demo = Demo::parse(&[&[src]]).unwrap();
+                let blind = demo_consistent(&demo, star);
+                // Prefilter over exact reference containment, as the
+                // acceptance path computes it.
+                let demo_refs: Vec<_> = (0..demo.n_rows())
+                    .map(|i| universe.set_from(demo.cell(i, 0).refs()))
+                    .collect();
+                let dims = MatchDims {
+                    demo_rows: demo.n_rows(),
+                    demo_cols: demo.n_cols(),
+                    table_rows: star.n_rows(),
+                    table_cols: star.n_cols(),
+                };
+                let report = find_table_match_with_report(dims, &mut |di, _, ti, tj| {
+                    demo_refs[di].is_subset_of(&universe.set_from(star[(ti, tj)].refs()))
+                });
+                let seeded = match report.seed {
+                    Some(seed) if report.found.is_some() => {
+                        demo_consistent_with_candidates(&demo, star, &seed)
+                    }
+                    _ => {
+                        // Prefilter rejected: Def. 1 must reject too.
+                        assert!(blind.is_none(), "{src}");
+                        None
+                    }
+                };
+                assert_eq!(blind.is_some(), seeded.is_some(), "{src}");
+            }
+        }
     }
 }

@@ -10,6 +10,21 @@
 //! [`find_table_match`] solves this by backtracking over column assignments
 //! (most-constrained column first), maintaining per-demo-row candidate sets,
 //! and finishing with a bipartite row matching (Kuhn's algorithm).
+//!
+//! The concrete acceptance path runs the same search *twice* per candidate
+//! — once over cheap reference-subset tests (the Def. 3 prefilter on exact
+//! provenance) and once over the expensive Def. 1 expression matching. The
+//! second run need not start blind: a [`MatchSeed`] (per-demo-column
+//! candidate lists + per-demo-row candidate rows) carries the first run's
+//! candidate structure into [`find_table_match_seeded`]. Self-contained
+//! callers get the seed from [`find_table_match_with_report`]; callers
+//! that derive column candidates through their own cross-candidate memos
+//! (the synthesizer's acceptance prefilter) combine
+//! [`find_table_match_with_candidates`] with [`match_seed_rows`]. Seeding
+//! is sound whenever the seeding oracle is *implied by* the seeded oracle
+//! (Def. 1 consistency implies reference containment), and the verdict is
+//! identical to the blind search — only the returned witness may differ
+//! (both are valid assignments).
 
 /// Dimensions of a matching problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,23 +49,71 @@ pub struct TableMatch {
     pub col_map: Vec<usize>,
 }
 
-/// Lazily-memoized cell compatibility oracle.
+/// The candidate structure a matching run computes before its assignment
+/// search, reusable to seed a later run over a *stronger* compatibility
+/// oracle (see [`find_table_match_seeded`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchSeed {
+    /// `col_candidates[dj]` — table columns that can host demo column `dj`
+    /// (every demo row finds at least one compatible table row there).
+    pub col_candidates: Vec<Vec<usize>>,
+    /// `row_candidates[di][ti]` — whether table row `ti` can host demo row
+    /// `di` under *some* candidate column choice for every demo column.
+    pub row_candidates: Vec<Vec<bool>>,
+}
+
+/// Result of [`find_table_match_with_report`]: the assignment (if any)
+/// plus the candidate seed, when one was fully computed. Trivial instances
+/// (empty demo, demo larger than table, an empty candidate list) resolve
+/// before candidates are complete and carry no seed.
+#[derive(Debug, Clone)]
+pub struct MatchReport {
+    /// The first assignment found, as [`find_table_match`] returns it.
+    pub found: Option<TableMatch>,
+    /// The surviving candidate structure, for seeding a follow-up search.
+    pub seed: Option<MatchSeed>,
+}
+
+/// Lazily-memoized cell compatibility oracle. Verdicts are stored in a
+/// tri-state bitmatrix (two bits per cell pair: known + value), so
+/// backtracking re-probes cost two bit tests instead of re-deriving the
+/// underlying check — for Def. 1 that check is a full `expr_consistent`
+/// recursion.
 struct CellOracle<'f> {
     dims: MatchDims,
-    memo: Vec<Option<bool>>,
+    known: Vec<u64>,
+    value: Vec<u64>,
     f: &'f mut dyn FnMut(usize, usize, usize, usize) -> bool,
 }
 
 impl<'f> CellOracle<'f> {
+    fn new(
+        dims: MatchDims,
+        f: &'f mut dyn FnMut(usize, usize, usize, usize) -> bool,
+    ) -> CellOracle<'f> {
+        let cells = dims.demo_rows * dims.demo_cols * dims.table_rows * dims.table_cols;
+        CellOracle {
+            dims,
+            known: vec![0; cells.div_ceil(64)],
+            value: vec![0; cells.div_ceil(64)],
+            f,
+        }
+    }
+
+    #[inline]
     fn ok(&mut self, di: usize, dj: usize, ti: usize, tj: usize) -> bool {
         let idx = ((di * self.dims.demo_cols + dj) * self.dims.table_rows + ti)
             * self.dims.table_cols
             + tj;
-        if let Some(v) = self.memo[idx] {
-            return v;
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if self.known[word] & bit != 0 {
+            return self.value[word] & bit != 0;
         }
         let v = (self.f)(di, dj, ti, tj);
-        self.memo[idx] = Some(v);
+        self.known[word] |= bit;
+        if v {
+            self.value[word] |= bit;
+        }
         v
     }
 }
@@ -68,20 +131,42 @@ pub fn find_table_match(
     dims: MatchDims,
     cell_ok: &mut dyn FnMut(usize, usize, usize, usize) -> bool,
 ) -> Option<TableMatch> {
+    match_with_report(dims, cell_ok, false).found
+}
+
+/// [`find_table_match`] additionally reporting the candidate structure it
+/// computed (see [`MatchReport`]). The verdict and witness are identical
+/// to [`find_table_match`] over the same oracle; the extra cost is the
+/// per-demo-row candidate pass, whose probes share the oracle memo with
+/// the search itself.
+pub fn find_table_match_with_report(
+    dims: MatchDims,
+    cell_ok: &mut dyn FnMut(usize, usize, usize, usize) -> bool,
+) -> MatchReport {
+    match_with_report(dims, cell_ok, true)
+}
+
+fn match_with_report(
+    dims: MatchDims,
+    cell_ok: &mut dyn FnMut(usize, usize, usize, usize) -> bool,
+    want_seed: bool,
+) -> MatchReport {
     if dims.demo_rows > dims.table_rows || dims.demo_cols > dims.table_cols {
-        return None;
+        return MatchReport {
+            found: None,
+            seed: None,
+        };
     }
     if dims.demo_rows == 0 || dims.demo_cols == 0 {
-        return Some(TableMatch {
-            row_map: Vec::new(),
-            col_map: Vec::new(),
-        });
+        return MatchReport {
+            found: Some(TableMatch {
+                row_map: Vec::new(),
+                col_map: Vec::new(),
+            }),
+            seed: None,
+        };
     }
-    let mut oracle = CellOracle {
-        dims,
-        memo: vec![None; dims.demo_rows * dims.demo_cols * dims.table_rows * dims.table_cols],
-        f: cell_ok,
-    };
+    let mut oracle = CellOracle::new(dims, cell_ok);
 
     // Feasible table columns per demo column: column tj is a candidate for
     // dj iff every demo row has at least one compatible table row there.
@@ -97,12 +182,58 @@ pub fn find_table_match(
             cands.push(tj);
         }
         if cands.is_empty() {
-            return None;
+            return MatchReport {
+                found: None,
+                seed: None,
+            };
         }
         col_candidates.push(cands);
     }
 
-    search_assignment(&mut oracle, &col_candidates)
+    let found = search_assignment(&mut oracle, &col_candidates, None);
+    if !want_seed || found.is_none() {
+        // Rejections never seed a follow-up search: skip the row pass.
+        return MatchReport { found, seed: None };
+    }
+
+    // Probes share the oracle memo with the search above, so most of the
+    // row pass is bit tests.
+    let row_candidates = match_seed_rows(dims, &col_candidates, &mut |di, dj, ti, tj| {
+        oracle.ok(di, dj, ti, tj)
+    });
+    MatchReport {
+        found,
+        seed: Some(MatchSeed {
+            col_candidates,
+            row_candidates,
+        }),
+    }
+}
+
+/// The per-demo-row candidate mask induced by column candidates: `ti` can
+/// host `di` only when, for every demo column, some candidate table
+/// column is compatible at `(di, ti)`. A valid assignment's rows always
+/// satisfy this (its columns are all candidates), so restricting a search
+/// to these rows is exact — this is the row side of a [`MatchSeed`],
+/// shared by [`find_table_match_with_report`] and callers that derive
+/// column candidates through their own cross-candidate memos.
+pub fn match_seed_rows(
+    dims: MatchDims,
+    col_candidates: &[Vec<usize>],
+    cell_ok: &mut dyn FnMut(usize, usize, usize, usize) -> bool,
+) -> Vec<Vec<bool>> {
+    (0..dims.demo_rows)
+        .map(|di| {
+            (0..dims.table_rows)
+                .map(|ti| {
+                    col_candidates
+                        .iter()
+                        .enumerate()
+                        .all(|(dj, cols)| cols.iter().any(|&tj| cell_ok(di, dj, ti, tj)))
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// [`find_table_match`] with the per-demo-column candidate sets already
@@ -128,18 +259,49 @@ pub fn find_table_match_with_candidates(
         });
     }
     debug_assert_eq!(col_candidates.len(), dims.demo_cols);
-    let mut oracle = CellOracle {
-        dims,
-        memo: vec![None; dims.demo_rows * dims.demo_cols * dims.table_rows * dims.table_cols],
-        f: cell_ok,
-    };
-    search_assignment(&mut oracle, col_candidates)
+    let mut oracle = CellOracle::new(dims, cell_ok);
+    search_assignment(&mut oracle, col_candidates, None)
 }
 
-/// The backtracking assignment phase shared by both entry points.
+/// Runs the assignment search from a [`MatchSeed`] computed by a previous
+/// (weaker-oracle) run, skipping the candidate-derivation pass entirely.
+///
+/// Sound whenever `cell_ok(c) ⇒ seed oracle(c)` cell-wise — then every
+/// feasible column/row under `cell_ok` is already in the seed, and the
+/// verdict equals a blind [`find_table_match`] over `cell_ok`. The
+/// returned witness may differ from the blind search's (candidate order
+/// differs), but any returned assignment satisfies `cell_ok` on every
+/// demonstration cell.
+pub fn find_table_match_seeded(
+    dims: MatchDims,
+    seed: &MatchSeed,
+    cell_ok: &mut dyn FnMut(usize, usize, usize, usize) -> bool,
+) -> Option<TableMatch> {
+    if dims.demo_rows > dims.table_rows || dims.demo_cols > dims.table_cols {
+        return None;
+    }
+    if dims.demo_rows == 0 || dims.demo_cols == 0 {
+        return Some(TableMatch {
+            row_map: Vec::new(),
+            col_map: Vec::new(),
+        });
+    }
+    debug_assert_eq!(seed.col_candidates.len(), dims.demo_cols);
+    debug_assert_eq!(seed.row_candidates.len(), dims.demo_rows);
+    let mut oracle = CellOracle::new(dims, cell_ok);
+    search_assignment(
+        &mut oracle,
+        &seed.col_candidates,
+        Some(&seed.row_candidates),
+    )
+}
+
+/// The backtracking assignment phase shared by every entry point;
+/// `seed_rows` restricts the initial per-demo-row candidate sets.
 fn search_assignment(
     oracle: &mut CellOracle<'_>,
     col_candidates: &[Vec<usize>],
+    seed_rows: Option<&[Vec<bool>]>,
 ) -> Option<TableMatch> {
     let dims = oracle.dims;
     // Assign most-constrained demo columns first.
@@ -150,7 +312,10 @@ fn search_assignment(
     let mut used_cols = vec![false; dims.table_cols];
     // row_candidates[di] = set of table rows compatible with all columns
     // assigned so far (as a bitmask-free bool vec for simplicity).
-    let row_candidates: Vec<Vec<bool>> = vec![vec![true; dims.table_rows]; dims.demo_rows];
+    let row_candidates: Vec<Vec<bool>> = match seed_rows {
+        Some(rows) => rows.to_vec(),
+        None => vec![vec![true; dims.table_rows]; dims.demo_rows],
+    };
 
     fn assign(
         depth: usize,
@@ -364,5 +529,90 @@ mod tests {
             let seeded = find_table_match_with_candidates(d, &cands, &mut { oracle });
             assert_eq!(direct, seeded, "dims {d:?}");
         }
+    }
+
+    /// The reporting entry point returns exactly the blind verdict and
+    /// witness, plus a seed whose candidates reproduce the blind search.
+    #[test]
+    fn report_agrees_with_blind_and_seeds_reruns() {
+        for (m, n, mm, nn, modulus) in [
+            (2, 2, 3, 3, 2usize),
+            (2, 3, 4, 4, 3),
+            (3, 2, 4, 5, 2),
+            (1, 1, 2, 2, 5),
+            (2, 2, 2, 2, 7),
+        ] {
+            let d = dims(m, n, mm, nn);
+            let oracle = |di: usize, dj: usize, ti: usize, tj: usize| {
+                (di * 3 + dj * 5 + ti * 7 + tj).is_multiple_of(modulus)
+            };
+            let blind = find_table_match(d, &mut { oracle });
+            let report = find_table_match_with_report(d, &mut { oracle });
+            assert_eq!(blind, report.found, "dims {d:?} mod {modulus}");
+            let Some(seed) = report.seed else {
+                assert!(report.found.is_none() || m == 0 || n == 0);
+                continue;
+            };
+            // Re-running seeded over the same oracle gives the same verdict.
+            let rerun = find_table_match_seeded(d, &seed, &mut { oracle });
+            assert_eq!(blind.is_some(), rerun.is_some());
+            // Any returned witness satisfies the oracle cell-wise.
+            if let Some(tm) = &rerun {
+                for di in 0..m {
+                    for dj in 0..n {
+                        assert!(oracle(di, dj, tm.row_map[di], tm.col_map[dj]));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seeding a *stronger* oracle (fewer compatible cells) from a weaker
+    /// one's report matches the stronger oracle's blind verdict.
+    #[test]
+    fn seeded_stronger_oracle_matches_blind() {
+        for (m, n, mm, nn) in [(2, 2, 4, 4), (2, 3, 4, 5), (3, 2, 5, 4)] {
+            let d = dims(m, n, mm, nn);
+            let weak =
+                |di: usize, dj: usize, ti: usize, tj: usize| (di + dj + ti + tj).is_multiple_of(2);
+            // strong ⇒ weak by construction.
+            let strong = |di: usize, dj: usize, ti: usize, tj: usize| {
+                weak(di, dj, ti, tj) && (ti + tj).is_multiple_of(2)
+            };
+            let report = find_table_match_with_report(d, &mut { weak });
+            let blind_strong = find_table_match(d, &mut { strong });
+            match report.seed {
+                Some(seed) => {
+                    let seeded = find_table_match_seeded(d, &seed, &mut { strong });
+                    assert_eq!(blind_strong.is_some(), seeded.is_some(), "dims {d:?}");
+                    if let Some(tm) = &seeded {
+                        for di in 0..m {
+                            for dj in 0..n {
+                                assert!(strong(di, dj, tm.row_map[di], tm.col_map[dj]));
+                            }
+                        }
+                    }
+                }
+                // No seed ⇒ the weak prefilter already rejected; the
+                // stronger oracle must reject too.
+                None => assert!(report.found.is_none() && blind_strong.is_none()),
+            }
+        }
+    }
+
+    /// The tri-state memo must never re-invoke the underlying oracle for a
+    /// probed cell pair.
+    #[test]
+    fn oracle_probes_are_memoized() {
+        let mut calls = std::collections::HashMap::new();
+        let d = dims(2, 2, 3, 3);
+        let _ = find_table_match_with_report(d, &mut |di, dj, ti, tj| {
+            *calls.entry((di, dj, ti, tj)).or_insert(0) += 1;
+            (di + dj + ti + tj).is_multiple_of(2)
+        });
+        assert!(
+            calls.values().all(|&c| c == 1),
+            "repeat probes hit the underlying oracle: {calls:?}"
+        );
     }
 }
