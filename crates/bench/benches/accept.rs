@@ -20,14 +20,13 @@
 //! The run writes `BENCH_accept.json` (per-benchmark rows + geo-mean) for
 //! CI artifacts.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sickle_benchmarks::all_benchmarks;
+use sickle_benchmarks::{all_benchmarks, frontier_candidates};
 use sickle_core::{
-    construct_skeletons, expand, Analyzer, ProvTable, ProvenanceAnalyzer, Semantics, SynthConfig,
-    TaskContext, BULK_COL_ROWS,
+    CachePolicy, CacheStats, ProvTable, Query, Semantics, SynthConfig, SynthTask, TaskContext,
+    BULK_COL_ROWS,
 };
 use sickle_provenance::{
     demo_consistent, demo_consistent_with_candidates, find_table_match,
@@ -42,34 +41,20 @@ struct Instance {
 }
 
 /// Replays the search frontier of one benchmark (pruned exactly as the
-/// real search prunes it) and collects up to `cap` concrete candidates'
-/// star grids.
+/// real search prunes it — [`frontier_candidates`]) and collects up to
+/// `cap` concrete candidates' star grids.
 fn collect_instances(ctx: &TaskContext, config: &SynthConfig, cap: usize) -> Vec<Instance> {
-    let analyzer = ProvenanceAnalyzer;
-    let mut work: VecDeque<_> = construct_skeletons(ctx, config).into();
-    work.make_contiguous().reverse();
-    let mut out = Vec::new();
-    let mut visited = 0usize;
-    while let Some(pq) = work.pop_back() {
-        visited += 1;
-        if out.len() >= cap || visited > 60_000 {
-            break;
-        }
-        if pq.is_concrete() {
-            let q = pq.to_concrete().expect("concrete by check");
-            if let Ok(exec) = ctx.eval_cache.exec(&q, Semantics::Provenance, ctx.inputs()) {
-                out.push(Instance {
+    frontier_candidates(ctx, config, cap, 60_000)
+        .into_iter()
+        .filter_map(|q| {
+            ctx.eval_cache
+                .exec(&q, Semantics::Provenance, ctx.inputs())
+                .ok()
+                .map(|exec| Instance {
                     star: exec.star().clone(),
-                });
-            }
-            continue;
-        }
-        if !analyzer.is_feasible(&pq, ctx) {
-            continue;
-        }
-        work.extend(expand(&pq, ctx, config));
-    }
-    out
+                })
+        })
+        .collect()
 }
 
 /// The pre-change acceptance path: eager whole-grid conversion, blind
@@ -223,6 +208,74 @@ impl<'a> StagedMatcher<'a> {
     }
 }
 
+/// Deterministic stride interleave: walks the list with `ways` equally
+/// spaced cursors so sibling candidates (which share subquery children)
+/// stop arriving consecutively — the access pattern that makes the real
+/// search's engine cache churn (a shared child goes cold between its
+/// uses and is a sweep victim unless the policy protects it).
+fn interleave(v: &[Query], ways: usize) -> Vec<Query> {
+    let chunk = v.len().div_ceil(ways.max(1));
+    let mut out = Vec::with_capacity(v.len());
+    for offset in 0..chunk {
+        for w in 0..ways {
+            if let Some(q) = v.get(w * chunk + offset) {
+                out.push(q.clone());
+            }
+        }
+    }
+    out
+}
+
+/// One pass of the churn scenario: evaluate + accept every query of the
+/// stream through a fresh engine cache under `policy`, reading the
+/// engine's derived reference-set channel (what star-channel spilling
+/// frees and re-derives). Returns the wall-clock, the per-query verdicts
+/// and the cache churn counters.
+fn churn_pass(
+    task: &SynthTask,
+    policy: CachePolicy,
+    stream: &[Query],
+) -> (Duration, Vec<bool>, CacheStats) {
+    let ctx = TaskContext::with_policy(task.clone(), policy);
+    let demo = ctx.demo().clone();
+    let t0 = Instant::now();
+    let verdicts = stream
+        .iter()
+        .map(
+            |q| match ctx.eval_cache.exec(q, Semantics::Provenance, ctx.inputs()) {
+                Ok(exec) => {
+                    let star = exec.star();
+                    let sets = exec.sets(&ctx.universe);
+                    let dims = MatchDims {
+                        demo_rows: ctx.demo_refs.n_rows(),
+                        demo_cols: ctx.demo_refs.n_cols(),
+                        table_rows: sets.n_rows(),
+                        table_cols: sets.n_cols(),
+                    };
+                    let feasible = find_table_match(dims, &mut |di, dj, ti, tj| {
+                        ctx.demo_refs[(di, dj)].is_subset_of(&sets[(ti, tj)])
+                    })
+                    .is_some();
+                    feasible && demo_consistent(&demo, star).is_some()
+                }
+                Err(_) => false,
+            },
+        )
+        .collect();
+    (t0.elapsed(), verdicts, ctx.eval_cache.cache_stats())
+}
+
+/// One churn-scenario row (per benchmark): legacy vs cost-aware+spill
+/// timings and counters at a deliberately tiny cache cap.
+struct ChurnRow {
+    name: String,
+    cap: usize,
+    legacy: Duration,
+    spill: Duration,
+    legacy_stats: CacheStats,
+    spill_stats: CacheStats,
+}
+
 /// Best-of-N wall-clock of `f`, with one warmup run.
 fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
     std::hint::black_box(f());
@@ -237,6 +290,7 @@ fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
 
 struct Report {
     rows: Vec<(String, Duration, Duration)>,
+    churn: Vec<ChurnRow>,
 }
 
 impl Report {
@@ -246,6 +300,21 @@ impl Report {
             "{name:44} blind {blind:>12.2?}   staged {staged:>12.2?}   speedup {speedup:>6.2}x"
         );
         self.rows.push((name.to_string(), blind, staged));
+    }
+
+    fn churn_row(&mut self, row: ChurnRow) {
+        let speedup = row.legacy.as_secs_f64() / row.spill.as_secs_f64().max(1e-9);
+        println!(
+            "{:44} legacy {:>11.2?}   spill {:>12.2?}   speedup {speedup:>6.2}x   \
+             reevals {} -> {} (demotions {})",
+            row.name,
+            row.legacy,
+            row.spill,
+            row.legacy_stats.reevals,
+            row.spill_stats.reevals,
+            row.spill_stats.demotions,
+        );
+        self.churn.push(row);
     }
 
     fn geo_mean(&self) -> f64 {
@@ -258,7 +327,7 @@ impl Report {
     }
 
     fn write_json(&self, quick: bool) {
-        let mut out = String::from("{\n  \"schema\": \"sickle-bench/accept/v1\",\n");
+        let mut out = String::from("{\n  \"schema\": \"sickle-bench/accept/v2\",\n");
         out.push_str(&format!("  \"quick\": {quick},\n  \"rows\": [\n"));
         for (i, (name, b, s)) in self.rows.iter().enumerate() {
             out.push_str(&format!(
@@ -268,6 +337,25 @@ impl Report {
                 s.as_secs_f64(),
                 b.as_secs_f64() / s.as_secs_f64().max(1e-9),
                 if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"churn\": [\n");
+        for (i, r) in self.churn.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cap\": {}, \"legacy_s\": {:.9}, \"spill_s\": {:.9}, \
+                 \"speedup\": {:.3}, \"legacy_evictions\": {}, \"legacy_reevals\": {}, \
+                 \"spill_evictions\": {}, \"spill_demotions\": {}, \"spill_reevals\": {}}}{}\n",
+                r.name,
+                r.cap,
+                r.legacy.as_secs_f64(),
+                r.spill.as_secs_f64(),
+                r.legacy.as_secs_f64() / r.spill.as_secs_f64().max(1e-9),
+                r.legacy_stats.evictions,
+                r.legacy_stats.reevals,
+                r.spill_stats.evictions,
+                r.spill_stats.demotions,
+                r.spill_stats.reevals,
+                if i + 1 == self.churn.len() { "" } else { "," }
             ));
         }
         out.push_str(&format!(
@@ -307,7 +395,10 @@ fn main() {
     let (cap, iters) = if quick { (150, 3) } else { (400, 5) };
 
     let suite = all_benchmarks();
-    let mut report = Report { rows: Vec::new() };
+    let mut report = Report {
+        rows: Vec::new(),
+        churn: Vec::new(),
+    };
     let mut total_instances = 0usize;
     for &id in bench_ids {
         let Some(b) = suite.iter().find(|b| b.id == id) else {
@@ -354,6 +445,86 @@ fn main() {
         "geo-mean speedup: {gm:.2}x over {} workloads ({total_instances} suite-derived candidates)",
         report.rows.len()
     );
+
+    // Churn scenario: the join-heavy tasks the cost-aware eviction policy
+    // targets, re-verified through a deliberately tiny engine cache so
+    // every policy sweeps constantly. The candidate stream is stride-
+    // interleaved (shared children go cold between uses) and runs twice
+    // (the second round re-probes what round one cached: a demoted entry
+    // pays set re-conversion, an evicted one pays full re-execution). The
+    // same stream runs (1) on an effectively unbounded cache ("blind"
+    // reference verdicts), (2) under the legacy flat second-chance
+    // policy, and (3) under the cost-aware + star-channel-spilling
+    // policy. Any verdict divergence between a spilled run and the blind
+    // reference is a correctness bug: the assert aborts the bench (and
+    // fails CI's bench-smoke job).
+    const CHURN_CAP: usize = 48;
+    let churn_ids: &[usize] = if quick { &[54] } else { &[54, 63] };
+    let churn_iters = if quick { 2 } else { 3 };
+    let candidate_cap = if quick { 200 } else { 400 };
+    println!("\nchurn scenario (engine-cache cap {CHURN_CAP}, join-heavy tasks):");
+    for &id in churn_ids {
+        let Some(b) = suite.iter().find(|b| b.id == id) else {
+            println!("warning: no suite benchmark with id {id}");
+            continue;
+        };
+        let (task, _) = b.task(2022).expect("benchmark demos generate");
+        let config = b.config();
+        let scratch = TaskContext::new(task.clone());
+        let candidates = frontier_candidates(&scratch, &config, candidate_cap, 60_000);
+        drop(scratch);
+        let mut stream = interleave(&candidates, 8);
+        stream.extend(stream.clone());
+
+        // Blind reference: no eviction pressure at all.
+        let unbounded = CachePolicy::default().with_cap(usize::MAX);
+        let (_, blind_verdicts, _) = churn_pass(&task, unbounded, &stream);
+
+        let run = |policy: CachePolicy| {
+            let mut best = Duration::MAX;
+            let mut last = None;
+            for _ in 0..churn_iters {
+                let (d, v, s) = churn_pass(&task, policy, &stream);
+                best = best.min(d);
+                last = Some((v, s));
+            }
+            let (verdicts, stats) = last.expect("at least one iteration");
+            (best, verdicts, stats)
+        };
+        let legacy_policy = CachePolicy::legacy().with_cap(CHURN_CAP);
+        // Retention mode (low water above cap/2): cold expensive
+        // survivors exist and get demoted instead of dropped.
+        let spill_policy = CachePolicy::default()
+            .with_cap(CHURN_CAP)
+            .with_low_water(CHURN_CAP * 3 / 4);
+        let (legacy, legacy_verdicts, legacy_stats) = run(legacy_policy);
+        let (spill, spill_verdicts, spill_stats) = run(spill_policy);
+
+        assert_eq!(
+            spill_verdicts, blind_verdicts,
+            "churn cross-check diverged (spilled vs blind) on task {id}"
+        );
+        assert_eq!(
+            legacy_verdicts, blind_verdicts,
+            "churn cross-check diverged (legacy vs blind) on task {id}"
+        );
+        if spill_stats.reevals > legacy_stats.reevals {
+            println!(
+                "WARNING: cost-aware policy re-evaluated more than legacy on task {id} \
+                 ({} vs {})",
+                spill_stats.reevals, legacy_stats.reevals
+            );
+        }
+        report.churn_row(ChurnRow {
+            name: format!("churn/{:02}-{}", b.id, b.name),
+            cap: CHURN_CAP,
+            legacy,
+            spill,
+            legacy_stats,
+            spill_stats,
+        });
+    }
+
     report.write_json(quick);
     if gm <= 1.0 {
         println!("WARNING: staged acceptance measured slower than the blind path");

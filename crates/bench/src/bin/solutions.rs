@@ -40,17 +40,31 @@ fn main() {
         if !hc.only.is_empty() && !hc.only.contains(&b.id) {
             continue;
         }
-        let (task, _) = b.task(hc.seed).expect("benchmark demos generate");
+        // Setup or solve failures surface as structured errors on stderr
+        // and skip the task — the dump itself must never panic on a
+        // malformed benchmark definition.
+        let task = match b.task(hc.seed) {
+            Ok((task, _)) => task,
+            Err(e) => {
+                eprintln!("{:2} ERROR [internal]: demo generation failed: {e}", b.id);
+                continue;
+            }
+        };
         let request = SynthRequest::from_task(task)
             .with_search(b.config())
             .with_budget(
                 Budget::unbounded()
                     .with_max_visited(Some(budget))
                     .with_max_solutions(10),
-            );
-        let res = session
-            .solve(&request)
-            .expect("benchmark requests validate");
+            )
+            .with_cache_policy(hc.cache);
+        let res = match session.solve(&request) {
+            Ok(res) => res,
+            Err(e) => {
+                eprintln!("{:2} ERROR [{}]: {e}", b.id, e.kind());
+                continue;
+            }
+        };
         println!(
             "## {:2} {} visited={} pruned={} solutions={}",
             b.id,
@@ -67,7 +81,7 @@ fn main() {
         let cs = session.analysis_stats();
         eprintln!(
             "{:2} wall={:.3}s analyze={:.3}s concrete={:.3}s (mat={:.3}s pre={:.3}s match={:.3}s) \
-             expand={:.3}s pool={} hits={} misses={}",
+             expand={:.3}s pool={} hits={} misses={} cache(ev={} dem={} reeval={} reeval_ms={:.1})",
             b.id,
             res.stats.elapsed.as_secs_f64(),
             res.stats.time_analyze.as_secs_f64(),
@@ -78,7 +92,11 @@ fn main() {
             res.stats.time_expand.as_secs_f64(),
             session.pool().size(),
             cs.hits,
-            cs.misses
+            cs.misses,
+            res.stats.cache_evictions,
+            res.stats.cache_demotions,
+            res.stats.cache_reevals,
+            res.stats.cache_reeval_time.as_secs_f64() * 1e3
         );
         let rank = res
             .solutions
@@ -100,6 +118,10 @@ fn main() {
             time_expand: res.stats.time_expand,
             visited: res.stats.visited,
             pruned: res.stats.pruned,
+            cache_evictions: res.stats.cache_evictions,
+            cache_demotions: res.stats.cache_demotions,
+            cache_reevals: res.stats.cache_reevals,
+            cache_reeval_time: res.stats.cache_reeval_time,
             rank,
         });
     }

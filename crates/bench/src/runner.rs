@@ -5,7 +5,9 @@ use std::time::Duration;
 
 use sickle_baselines::{TypeAnalyzer, ValueAnalyzer};
 use sickle_benchmarks::{all_benchmarks, Benchmark, Category};
-use sickle_core::{Analyzer, AnalyzerChoice, Budget, Session, SynthRequest};
+use sickle_core::{
+    Analyzer, AnalyzerChoice, Budget, CachePolicy, Session, SickleError, SynthRequest,
+};
 
 /// The compared techniques (paper names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +86,14 @@ pub struct RunRecord {
     pub visited: usize,
     /// Partial queries pruned.
     pub pruned: usize,
+    /// Engine-cache entries dropped by eviction sweeps.
+    pub cache_evictions: usize,
+    /// Engine-cache entries demoted (star-channel spill).
+    pub cache_demotions: usize,
+    /// Engine-cache re-evaluations of previously evicted queries.
+    pub cache_reevals: usize,
+    /// Time spent on those re-evaluations.
+    pub cache_reeval_time: Duration,
     /// 1-based rank of the correct query among returned solutions, when
     /// solved (consistent-but-incorrect queries found earlier push it down).
     pub rank: Option<usize>,
@@ -102,13 +112,25 @@ pub struct HarnessConfig {
     pub only: Vec<usize>,
     /// Worker threads for skeleton expansion (1 = sequential search).
     pub workers: usize,
+    /// Engine-cache eviction policy for every run (A/B runs switch it
+    /// with `SICKLE_CACHE_POLICY=legacy`).
+    pub cache: CachePolicy,
 }
 
 impl HarnessConfig {
     /// Reads `SICKLE_TIMEOUT_SECS`, `SICKLE_MAX_VISITED`, `SICKLE_SEED`,
-    /// `SICKLE_ONLY`, `SICKLE_WORKERS` with the documented defaults.
+    /// `SICKLE_ONLY`, `SICKLE_WORKERS`, `SICKLE_CACHE_POLICY`
+    /// (`cost-aware` (default) | `legacy`), `SICKLE_CACHE_CAP` with the
+    /// documented defaults.
     pub fn from_env() -> HarnessConfig {
         let get = |k: &str| std::env::var(k).ok();
+        let mut cache = match get("SICKLE_CACHE_POLICY").as_deref() {
+            Some("legacy") => CachePolicy::legacy(),
+            _ => CachePolicy::default(),
+        };
+        if let Some(cap) = get("SICKLE_CACHE_CAP").and_then(|v| v.parse().ok()) {
+            cache = cache.with_cap(cap);
+        }
         HarnessConfig {
             timeout: Duration::from_secs(
                 get("SICKLE_TIMEOUT_SECS")
@@ -128,17 +150,24 @@ impl HarnessConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1)
                 .max(1),
+            cache,
         }
     }
 
     /// One-line render of the knobs, for run banners.
     pub fn banner(&self) -> String {
         format!(
-            "timeout={}s max_visited={} seed={} workers={}{}",
+            "timeout={}s max_visited={} seed={} workers={} cache={}/cap={}{}",
             self.timeout.as_secs(),
             self.max_visited,
             self.seed,
             self.workers,
+            if self.cache.cost_aware {
+                "cost-aware"
+            } else {
+                "legacy"
+            },
+            self.cache.cap,
             if self.only.is_empty() {
                 String::new()
             } else {
@@ -150,9 +179,22 @@ impl HarnessConfig {
 
 /// Builds the session request for one (benchmark × technique) run under
 /// the harness budget.
-pub fn benchmark_request(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> SynthRequest {
-    let (task, _gen) = b.task(hc.seed).expect("benchmark demos generate");
-    SynthRequest::from_task(task)
+///
+/// # Errors
+///
+/// Returns [`SickleError::Internal`] when the benchmark's demonstration
+/// cannot be generated for the configured seed (a malformed or missing
+/// benchmark definition must surface as a structured error, not a
+/// panic).
+pub fn benchmark_request(
+    b: &Benchmark,
+    technique: Technique,
+    hc: &HarnessConfig,
+) -> Result<SynthRequest, SickleError> {
+    let (task, _gen) = b.task(hc.seed).map_err(|e| SickleError::Internal {
+        message: format!("benchmark {} demo generation failed: {e}", b.id),
+    })?;
+    Ok(SynthRequest::from_task(task)
         .with_search(b.config())
         .with_budget(
             Budget::default()
@@ -164,34 +206,46 @@ pub fn benchmark_request(b: &Benchmark, technique: Technique, hc: &HarnessConfig
         )
         .with_analyzer(technique.choice())
         .with_workers(hc.workers)
+        .with_cache_policy(hc.cache))
 }
 
 /// Runs one benchmark with one technique on a cold session; the search
 /// stops as soon as the correct query is recovered (§5.2: "the
 /// synthesizer runs until the correct query q_gt is found").
-pub fn run_one(b: &Benchmark, technique: Technique, hc: &HarnessConfig) -> RunRecord {
+///
+/// # Errors
+///
+/// Propagates [`benchmark_request`] failures and request validation /
+/// internal search errors from the session.
+pub fn run_one(
+    b: &Benchmark,
+    technique: Technique,
+    hc: &HarnessConfig,
+) -> Result<RunRecord, SickleError> {
     run_one_in(&Session::new(), b, technique, hc)
 }
 
 /// [`run_one`] against a caller-supplied (warm) [`Session`]: suite runs
 /// reuse one session so interned reference sets and Def. 3 verdicts carry
 /// across tasks.
+///
+/// # Errors
+///
+/// As [`run_one`].
 pub fn run_one_in(
     session: &Session,
     b: &Benchmark,
     technique: Technique,
     hc: &HarnessConfig,
-) -> RunRecord {
-    let request = benchmark_request(b, technique, hc);
-    let result = session
-        .solve_with(&request, |q| b.is_correct(q))
-        .expect("benchmark requests validate");
+) -> Result<RunRecord, SickleError> {
+    let request = benchmark_request(b, technique, hc)?;
+    let result = session.solve_with(&request, |q| b.is_correct(q))?;
     let rank = result
         .solutions
         .iter()
         .position(|q| b.is_correct(q))
         .map(|i| i + 1);
-    RunRecord {
+    Ok(RunRecord {
         id: b.id,
         name: b.name.to_string(),
         category: b.category,
@@ -206,8 +260,12 @@ pub fn run_one_in(
         time_expand: result.stats.time_expand,
         visited: result.stats.visited,
         pruned: result.stats.pruned,
+        cache_evictions: result.stats.cache_evictions,
+        cache_demotions: result.stats.cache_demotions,
+        cache_reevals: result.stats.cache_reevals,
+        cache_reeval_time: result.stats.cache_reeval_time,
         rank,
-    }
+    })
 }
 
 /// All records for a suite run.
@@ -250,7 +308,22 @@ pub fn run_suite(techniques: &[Technique], hc: &HarnessConfig) -> SuiteResults {
             continue;
         }
         for &t in techniques {
-            let rec = run_one_in(&session, b, t, hc);
+            // A benchmark that fails to set up or solve is reported as a
+            // structured error and skipped; it must not kill the suite.
+            let rec = match run_one_in(&session, b, t, hc) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    eprintln!(
+                        "[{:>2}/{}] {:9} {:55} ERROR [{}]: {e}",
+                        b.id,
+                        suite.len(),
+                        t.label(),
+                        b.name,
+                        e.kind()
+                    );
+                    continue;
+                }
+            };
             eprintln!(
                 "[{:>2}/{}] {:9} {:55} {} {:>8.2}s visited={}",
                 b.id,
@@ -281,11 +354,18 @@ use crate::json::escape as json_escape;
 pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
     let mut out = String::from("{\n  \"schema\": \"sickle-bench/synthesis/v1\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"timeout_secs\": {}, \"max_visited\": {}, \"seed\": {}, \"workers\": {}}},\n",
+        "  \"config\": {{\"timeout_secs\": {}, \"max_visited\": {}, \"seed\": {}, \"workers\": {}, \
+         \"cache_policy\": \"{}\", \"cache_cap\": {}}},\n",
         hc.timeout.as_secs(),
         hc.max_visited,
         hc.seed,
-        hc.workers
+        hc.workers,
+        if hc.cache.cost_aware {
+            "cost-aware"
+        } else {
+            "legacy"
+        },
+        hc.cache.cap
     ));
     out.push_str("  \"records\": [\n");
     for (i, r) in res.records.iter().enumerate() {
@@ -293,7 +373,9 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
             "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{}\", \"technique\": \"{}\", \
              \"solved\": {}, \"rank\": {}, \"wall_s\": {:.6}, \"time_analyze_s\": {:.6}, \
              \"time_eval_s\": {:.6}, \"time_materialize_s\": {:.6}, \"time_prefilter_s\": {:.6}, \
-             \"time_match_s\": {:.6}, \"time_expand_s\": {:.6}, \"visited\": {}, \"pruned\": {}}}{}\n",
+             \"time_match_s\": {:.6}, \"time_expand_s\": {:.6}, \"visited\": {}, \"pruned\": {}, \
+             \"cache_evictions\": {}, \"cache_demotions\": {}, \"cache_reevals\": {}, \
+             \"cache_reeval_s\": {:.6}}}{}\n",
             r.id,
             json_escape(&r.name),
             r.category.label(),
@@ -309,6 +391,10 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
             r.time_expand.as_secs_f64(),
             r.visited,
             r.pruned,
+            r.cache_evictions,
+            r.cache_demotions,
+            r.cache_reevals,
+            r.cache_reeval_time.as_secs_f64(),
             if i + 1 == res.records.len() { "" } else { "," }
         ));
     }
@@ -537,6 +623,7 @@ mod tests {
             seed: 2022,
             only: vec![],
             workers: 1,
+            cache: CachePolicy::default(),
         };
         let res = SuiteResults {
             records: vec![
@@ -555,6 +642,10 @@ mod tests {
                     time_expand: Duration::from_millis(5),
                     visited: 42,
                     pruned: 7,
+                    cache_evictions: 12,
+                    cache_demotions: 3,
+                    cache_reevals: 5,
+                    cache_reeval_time: Duration::from_millis(2),
                     rank: Some(1),
                 },
                 RunRecord {
@@ -572,6 +663,10 @@ mod tests {
                     time_expand: Duration::ZERO,
                     visited: 10,
                     pruned: 0,
+                    cache_evictions: 0,
+                    cache_demotions: 0,
+                    cache_reevals: 0,
+                    cache_reeval_time: Duration::ZERO,
                     rank: None,
                 },
             ],
@@ -583,6 +678,11 @@ mod tests {
         assert!(json.contains("\"time_materialize_s\": 0.015000"));
         assert!(json.contains("\"time_prefilter_s\": 0.004000"));
         assert!(json.contains("\"time_match_s\": 0.006000"));
+        assert!(json.contains("\"cache_evictions\": 12"));
+        assert!(json.contains("\"cache_demotions\": 3"));
+        assert!(json.contains("\"cache_reevals\": 5"));
+        assert!(json.contains("\"cache_reeval_s\": 0.002000"));
+        assert!(json.contains("\"cache_policy\": \"cost-aware\""));
         assert!(json.contains("\"rank\": null"));
         assert!(json.contains("\"technique\": \"type-abs\""));
         // Balanced braces/brackets (cheap well-formedness probe: the
@@ -610,9 +710,10 @@ mod tests {
             seed: 2022,
             only: vec![],
             workers: 1,
+            cache: CachePolicy::default(),
         };
         for t in Technique::ALL {
-            let rec = run_one(b, t, &hc);
+            let rec = run_one(b, t, &hc).expect("benchmark 1 runs");
             assert!(rec.solved, "{} failed on benchmark 1", t.label());
         }
     }
@@ -629,9 +730,10 @@ mod tests {
             seed: 2022,
             only: vec![],
             workers: 1,
+            cache: CachePolicy::default(),
         };
-        let prov = run_one(b, Technique::Provenance, &hc);
-        let ty = run_one(b, Technique::TypeAbs, &hc);
+        let prov = run_one(b, Technique::Provenance, &hc).expect("runs");
+        let ty = run_one(b, Technique::TypeAbs, &hc).expect("runs");
         assert!(prov.solved, "provenance failed: {prov:?}");
         assert!(
             prov.visited <= ty.visited,

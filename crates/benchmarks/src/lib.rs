@@ -37,6 +37,43 @@ pub use rng::Rng;
 use sickle_core::{evaluate, JoinKey, OpKind, Query, SynthConfig, SynthTask};
 use sickle_table::{ArithExpr, Table, Value};
 
+/// Replays the pruned search frontier of a task exactly as the search
+/// visits it (size-ordered skeletons, provenance-analyzer pruning, hole
+/// expansion) and returns up to `cap` concrete candidate queries in
+/// visit order, giving up after `max_visited` work-list pops. Shared by
+/// the `accept` micro-bench and the cache-policy integration tests so
+/// both operate on the same candidate stream — the bench's churn
+/// verdict cross-checks and the tests' byte-identical re-verification
+/// must not drift apart.
+pub fn frontier_candidates(
+    ctx: &sickle_core::TaskContext,
+    config: &SynthConfig,
+    cap: usize,
+    max_visited: usize,
+) -> Vec<Query> {
+    use sickle_core::{construct_skeletons, expand, Analyzer, ProvenanceAnalyzer};
+    let analyzer = ProvenanceAnalyzer;
+    let mut work: std::collections::VecDeque<_> = construct_skeletons(ctx, config).into();
+    work.make_contiguous().reverse();
+    let mut out = Vec::new();
+    let mut visited = 0usize;
+    while let Some(pq) = work.pop_back() {
+        visited += 1;
+        if out.len() >= cap || visited > max_visited {
+            break;
+        }
+        if pq.is_concrete() {
+            out.push(pq.to_concrete().expect("concrete by check"));
+            continue;
+        }
+        if !analyzer.is_feasible(&pq, ctx) {
+            continue;
+        }
+        work.extend(expand(&pq, ctx, config));
+    }
+    out
+}
+
 /// Which sub-suite a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Category {

@@ -33,10 +33,12 @@
 use std::cell::{Cell, OnceCell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
 
 use sickle_table::{cross_selection, group_rows_by_keys, AnalyticFunc, Grid, Table, Value};
 
-use sickle_provenance::{CellRef, Expr, FxMap, RefSet, RefSetPool, RefUniverse, SetId};
+use sickle_provenance::{CellRef, Expr, FxBuild, FxMap, RefSet, RefSetPool, RefUniverse, SetId};
+use std::hash::BuildHasher;
 
 use crate::ast::{Pred, Query};
 use crate::eval::EvalError;
@@ -751,7 +753,8 @@ pub struct EvalCache {
     /// (`[Values, Provenance]`) — keying by `Query` alone lets cache hits
     /// probe with `map.get(q)` instead of cloning the whole AST into a
     /// tuple key on the search's innermost loop. Entries carry a
-    /// second-chance bit; see [`second_chance_sweep`].
+    /// second-chance bit and a recompute-cost estimate; see
+    /// [`EvalCache::sweep_exec`].
     map: RefCell<FxMap<Query, ExecSlot>>,
     abs_map: RefCell<FxMap<crate::ast::PQuery, Warm<Rc<crate::abstract_eval::AbsTable>>>>,
     /// The hash-consing pool resolving every [`SetId`] produced through
@@ -793,14 +796,58 @@ pub struct EvalCache {
     /// Per-group column unions keyed by (column identity, groups
     /// identity), the inner loop of the strong rules.
     group_unions: RefCell<FxMap<(usize, usize), GroupUnionEntry>>,
+    /// Output row counts of every query ever evaluated through this
+    /// cache, keyed by the query itself (no hashes: a collision would
+    /// mis-reject a valid candidate). Entries survive eviction of the
+    /// result they describe — the acceptance path's demo-dims fast
+    /// reject reads row counts from here, so its hit rate is immune to
+    /// cache pressure (a `u32` per query instead of a pinned table).
+    /// Cleared, not evicted, at [`ROWS_MEMO_CAP`].
+    row_counts: RefCell<FxMap<Query, u32>>,
+    /// Group counts keyed by child query, then key columns: the output
+    /// row count of a `group` operator depends on the child and keys
+    /// only, so one evaluated sibling aggregation choice lets every
+    /// later sibling fast-reject without re-evaluating anything. Nested
+    /// (not tuple-keyed) so probes borrow the candidate's child instead
+    /// of cloning it. Same bound and survival rules as
+    /// [`EvalCache::row_counts`].
+    group_counts: RefCell<GroupCountsMemo>,
+    /// Eviction policy of the concrete store (cap, hysteresis target,
+    /// cost-aware ordering, star-channel spilling).
+    policy: CachePolicy,
+    /// Eviction / demotion / re-evaluation counters (see [`CacheStats`]).
+    stats: Cell<CacheStats>,
+    /// Hashes of fully evicted queries, consumed on re-insert to count
+    /// churn-induced re-evaluations. Bounded by [`EVICTED_TRACK_CAP`]
+    /// (cleared when full, which undercounts) and keyed by a 64-bit
+    /// fingerprint (a collision can overcount a never-evicted query) —
+    /// a diagnostic counter, deliberately cheap rather than exact.
+    evicted: RefCell<FxMap<u64, ()>>,
+    /// Hasher for the evicted-query fingerprints.
+    hasher: FxBuild,
 }
 
 /// A shared row partition (`extract_groups` output).
 type Groups = Rc<Vec<Vec<usize>>>;
 
+/// Group-count memo: child query → [(key columns, group count)].
+type GroupCountsMemo = FxMap<Query, Vec<(Vec<usize>, u32)>>;
+
 /// One exec-cache slot: per-semantics-level results plus the
-/// second-chance bit.
-type ExecSlot = Warm<[Option<Rc<ExecTable>>; 2]>;
+/// second-chance bit and the recompute-cost estimate consumed by the
+/// cost-aware sweep.
+#[derive(Debug, Default)]
+struct ExecSlot {
+    value: [Option<Rc<ExecTable>>; 2],
+    /// Second-chance bit: set on every hit and on insertion, consumed by
+    /// [`EvalCache::sweep_exec`].
+    hot: Cell<bool>,
+    /// Estimated cost to recompute the entry: nanoseconds spent in this
+    /// node's operator step at build time, plus a per-cell weight for the
+    /// output size (re-gathering a large join output costs real time even
+    /// when its children are still cached). Monotone across upgrades.
+    cost: Cell<u64>,
+}
 
 /// Column-union memo: column `Arc` address → (pinned column, union id).
 type ColUnionMemo = FxMap<usize, (Arc<Vec<SetId>>, SetId)>;
@@ -844,6 +891,151 @@ const EXEC_CACHE_CAP: usize = 4_000;
 /// keeps the hit rate high while capping memory.
 const ABS_CACHE_CAP: usize = 8_000;
 
+/// Per-cell weight of the size term of an entry's recompute-cost
+/// estimate (rebuilding values + star columns costs on the order of tens
+/// of nanoseconds per cell).
+const CELL_COST_NS: u64 = 32;
+
+/// Bound on the evicted-query fingerprint set behind the re-evaluation
+/// counter.
+const EVICTED_TRACK_CAP: usize = 65_536;
+
+/// Bound on the row-count and group-count memos behind the demo-dims
+/// fast reject (a full memo is cleared, not evicted — entries are one
+/// `u32` plus a query key and are recomputed on the next evaluation).
+const ROWS_MEMO_CAP: usize = 65_536;
+
+/// Eviction policy of the concrete [`EvalCache`] store.
+///
+/// The default is cost-aware: a sweep ranks entries by (coldness,
+/// recompute cost) and evicts the cheapest cold entries down to
+/// [`CachePolicy::low_water`] (hysteresis: the O(n log n) sweep then
+/// cannot run again for at least `cap - low_water` inserts), so
+/// cheap-to-recompute entries go first and expensive join children
+/// survive. Raising `low_water` above `cap / 2` enters *retention mode*:
+/// more entries survive each sweep, and — since every entry is inserted
+/// hot — cold survivors (the sweep's spill candidates) start to exist;
+/// with [`CachePolicy::spill`] they are *demoted* rather than kept fully
+/// materialized: their derived reference-set channels (and the
+/// cross-candidate star-column conversions) are freed while the value
+/// and star columns stay, so a later re-probe pays only set
+/// re-conversion, never a full join re-execution. Retention trades peak
+/// RSS for fewer re-evaluations — an explicit opt-in for churn-bound
+/// workloads. [`CachePolicy::legacy`] restores the flat second-chance
+/// sweep of v0.3 for A/B comparison.
+///
+/// Marked `#[non_exhaustive]`: construct via [`CachePolicy::default`] /
+/// [`CachePolicy::legacy`] plus the `with_*` builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CachePolicy {
+    /// High-water mark: inserting at this many entries triggers a sweep.
+    pub cap: usize,
+    /// Hysteresis target: a sweep evicts down to this many entries
+    /// (clamped at sweep time so every sweep frees at least ~`cap / 8`
+    /// — the amortization guarantee cannot be configured away; the
+    /// legacy policy ignores it and keeps its `cap / 2` hot-survivor
+    /// quota instead). Values above `cap / 2` enable retention mode
+    /// (see the type docs).
+    pub low_water: usize,
+    /// Rank victims by (coldness, recompute cost) instead of coldness
+    /// alone, so cheap-to-recompute entries go first and expensive join
+    /// children survive.
+    pub cost_aware: bool,
+    /// Demote cold expensive survivors by freeing their derived ref-set
+    /// channels instead of keeping them fully materialized. Consulted
+    /// only by the cost-aware sweep: the legacy sweep reproduces v0.3
+    /// exactly and ignores this knob.
+    pub spill: bool,
+}
+
+impl Default for CachePolicy {
+    fn default() -> CachePolicy {
+        CachePolicy {
+            cap: EXEC_CACHE_CAP,
+            // cap/2 keeps the retained set the same size as the legacy
+            // policy's: raising it above cap/2 enters *retention mode*
+            // (more entries survive each sweep, spilling engages on the
+            // cold expensive ones) — measured on the join-heavy suite
+            // tasks, retention at 3/4·cap costs ~60% extra peak RSS, so
+            // it is an explicit opt-in for churn-bound workloads, not
+            // the default.
+            low_water: EXEC_CACHE_CAP / 2,
+            cost_aware: true,
+            spill: true,
+        }
+    }
+}
+
+impl CachePolicy {
+    /// The v0.3 policy: flat second-chance sweep with a `cap / 2`
+    /// hot-survivor quota, no cost ordering, no spilling. Kept for
+    /// interleaved A/B runs and as the churn baseline of the `accept`
+    /// micro-bench.
+    pub fn legacy() -> CachePolicy {
+        CachePolicy {
+            cost_aware: false,
+            spill: false,
+            ..CachePolicy::default()
+        }
+    }
+
+    /// Sets the entry cap (clamped to ≥ 1) and rescales the low-water
+    /// mark to half of it (use [`CachePolicy::with_low_water`] after
+    /// this to opt into retention mode).
+    #[must_use]
+    pub fn with_cap(mut self, cap: usize) -> CachePolicy {
+        self.cap = cap.max(1);
+        self.low_water = self.cap / 2;
+        self
+    }
+
+    /// Sets the hysteresis target (clamped below the cap at sweep time).
+    #[must_use]
+    pub fn with_low_water(mut self, low_water: usize) -> CachePolicy {
+        self.low_water = low_water;
+        self
+    }
+
+    /// Enables or disables cost-aware victim ordering.
+    #[must_use]
+    pub fn with_cost_aware(mut self, cost_aware: bool) -> CachePolicy {
+        self.cost_aware = cost_aware;
+        self
+    }
+
+    /// Enables or disables star-channel spilling.
+    #[must_use]
+    pub fn with_spill(mut self, spill: bool) -> CachePolicy {
+        self.spill = spill;
+        self
+    }
+}
+
+/// Counters describing the concrete store's churn behavior. Read with
+/// [`EvalCache::cache_stats`]; the search surfaces them through
+/// `SearchStats` / `SharedStats` / the wire stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Sweeps run (each is one O(n log n) rank-and-evict pass).
+    pub sweeps: usize,
+    /// Entries dropped entirely.
+    pub evictions: usize,
+    /// Entries demoted: derived ref-set channels (and their shared
+    /// star-column conversions) freed, values + star kept.
+    pub demotions: usize,
+    /// Inserts that re-evaluated a previously evicted query — the churn
+    /// the cost-aware policy exists to avoid.
+    pub reevals: usize,
+    /// Nanoseconds spent on those re-evaluations (the operator step of
+    /// each re-evaluated node). Counts alone can hide the policy's
+    /// effect: cost-aware eviction deliberately re-evaluates *cheap*
+    /// entries instead of expensive join children, so the spend drops
+    /// even when the count does not.
+    pub reeval_ns: u64,
+}
+
 /// A cache entry with a second-chance bit: set on every hit (and on
 /// insertion), consumed by [`second_chance_sweep`].
 #[derive(Debug, Default)]
@@ -852,14 +1044,14 @@ struct Warm<V> {
     hot: Cell<bool>,
 }
 
-/// Generation-style eviction replacing the old wholesale clear-at-cap:
-/// one sweep starts a new generation by dropping every entry that was not
-/// touched since the previous sweep (its second chance), keeping the hot
-/// working set — the inner subqueries every sibling expansion shares —
-/// warm across generations. At most `cap / 2` hot entries survive, so a
-/// sweep always frees at least half the map: the O(n) retain amortizes to
-/// O(1) per insert instead of degrading to a retain per insert when the
-/// whole map is hot.
+/// Generation-style eviction for the abstract-table store (the concrete
+/// store uses the richer [`EvalCache::sweep_exec`]): one sweep starts a
+/// new generation by dropping every entry that was not touched since the
+/// previous sweep (its second chance), keeping the hot working set warm
+/// across generations. At most `cap / 2` hot entries survive, so a sweep
+/// always frees at least half the map: the O(n) retain amortizes to O(1)
+/// per insert instead of degrading to a retain per insert when the whole
+/// map is hot.
 fn second_chance_sweep<K, V>(map: &mut FxMap<K, Warm<V>>, cap: usize) {
     let mut quota = cap / 2;
     map.retain(|_, entry| {
@@ -898,9 +1090,253 @@ impl EvalCache {
         }
     }
 
+    /// Creates an empty cache with a private pool and the given eviction
+    /// policy.
+    pub fn with_policy(policy: CachePolicy) -> EvalCache {
+        EvalCache {
+            policy,
+            ..EvalCache::default()
+        }
+    }
+
+    /// Creates an empty cache with a shared pool and the given eviction
+    /// policy.
+    pub fn with_pool_and_policy(pool: Arc<RefSetPool>, policy: CachePolicy) -> EvalCache {
+        EvalCache {
+            pool,
+            policy,
+            ..EvalCache::default()
+        }
+    }
+
     /// The pool resolving ids produced through this cache.
     pub fn pool(&self) -> &Arc<RefSetPool> {
         &self.pool
+    }
+
+    /// The eviction policy of the concrete store.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Eviction / demotion / re-evaluation counters since creation.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats.get()
+    }
+
+    /// The output row count of `q`, if it was ever evaluated through
+    /// this cache — survives eviction of the result itself. The
+    /// acceptance path's demo-dims fast reject runs on this, so a
+    /// too-small candidate is rejected without any evaluation even when
+    /// its child was swept out long ago.
+    pub(crate) fn known_rows(&self, q: &Query) -> Option<usize> {
+        self.row_counts.borrow().get(q).map(|&n| n as usize)
+    }
+
+    /// The number of groups `extract_groups(child, keys)` produces — the
+    /// output row count of any sibling `group` candidate over the same
+    /// (child, keys) — if any such sibling was ever evaluated.
+    pub(crate) fn known_group_rows(&self, child: &Query, keys: &[usize]) -> Option<usize> {
+        self.group_counts.borrow().get(child).and_then(|entries| {
+            entries
+                .iter()
+                .find(|(k, _)| k == keys)
+                .map(|&(_, n)| n as usize)
+        })
+    }
+
+    /// Records a query's output row count (see [`EvalCache::row_counts`]).
+    fn note_rows(&self, q: &Query, rows: usize) {
+        let mut counts = self.row_counts.borrow_mut();
+        if counts.contains_key(q) {
+            return;
+        }
+        if counts.len() >= ROWS_MEMO_CAP {
+            counts.clear();
+        }
+        counts.insert(q.clone(), rows.min(u32::MAX as usize) as u32);
+    }
+
+    /// Records a (child, keys) group count (see
+    /// [`EvalCache::group_counts`]).
+    fn note_group_rows(&self, child: &Query, keys: &[usize], groups: usize) {
+        let mut counts = self.group_counts.borrow_mut();
+        if let Some(entries) = counts.get_mut(child) {
+            if !entries.iter().any(|(k, _)| k == keys) {
+                entries.push((keys.to_vec(), groups.min(u32::MAX as usize) as u32));
+            }
+            return;
+        }
+        if counts.len() >= ROWS_MEMO_CAP {
+            counts.clear();
+        }
+        counts.insert(
+            child.clone(),
+            vec![(keys.to_vec(), groups.min(u32::MAX as usize) as u32)],
+        );
+    }
+
+    /// Fingerprints a fully evicted query so its eventual re-insert is
+    /// counted as a churn-induced re-evaluation.
+    fn note_evicted(&self, q: &Query) {
+        let mut evicted = self.evicted.borrow_mut();
+        if evicted.len() >= EVICTED_TRACK_CAP {
+            evicted.clear();
+        }
+        evicted.insert(self.hasher.hash_one(q), ());
+    }
+
+    /// The cost-aware, hysteresis-bounded sweep of the concrete store.
+    ///
+    /// Ranks entries by (coldness, recompute cost) and evicts the
+    /// cheapest cold entries (then, if the map is all-hot, the cheapest
+    /// hot ones — their second chance is the cost ordering itself) until
+    /// the map is down to the low-water mark. Cold survivors — by
+    /// construction the most expensive entries, typically join children —
+    /// are *demoted* instead of dropped when [`CachePolicy::spill`] is
+    /// set. Hot flags are consumed, exactly as in the flat second-chance
+    /// sweep. With [`CachePolicy::cost_aware`] off, runs the v0.3 flat
+    /// sweep (hot survivors up to a `cap / 2` quota) instead.
+    fn sweep_exec(&self, map: &mut FxMap<Query, ExecSlot>) {
+        let mut stats = self.stats.get();
+        stats.sweeps += 1;
+        if !self.policy.cost_aware {
+            let mut quota = self.policy.cap / 2;
+            map.retain(|q, slot| {
+                let keep = slot.hot.replace(false) && quota > 0;
+                if keep {
+                    quota -= 1;
+                } else {
+                    stats.evictions += 1;
+                    self.note_evicted(q);
+                }
+                keep
+            });
+            self.stats.set(stats);
+            return;
+        }
+        // Rank victims — cold before hot, cheap before expensive —
+        // without cloning any keys: select the eviction threshold on the
+        // (coldness, cost) ranks alone, then evict in one retain pass
+        // (ties at the threshold are broken by iteration order, which is
+        // deterministic for a deterministic insert sequence). The target
+        // is clamped so a sweep always frees at least ~cap/8 entries:
+        // a low-water at (or above) cap-1 would otherwise free one entry
+        // per sweep and degrade to an O(n log n) sweep per insert — the
+        // hysteresis guarantee holds for every caller, not just the
+        // wire front-end's validated requests.
+        let max_target = self.policy.cap.saturating_sub((self.policy.cap / 8).max(1));
+        let target = self.policy.low_water.min(max_target);
+        let excess = map.len().saturating_sub(target);
+        if excess > 0 {
+            let mut ranks: Vec<(bool, u64)> = map
+                .values()
+                .map(|slot| (slot.hot.get(), slot.cost.get()))
+                .collect();
+            let (_, &mut threshold, _) = ranks.select_nth_unstable(excess - 1);
+            let n_less = ranks.iter().filter(|&&r| r < threshold).count();
+            let mut ties = excess - n_less;
+            map.retain(|q, slot| {
+                let rank = (slot.hot.get(), slot.cost.get());
+                let evict = rank < threshold
+                    || (rank == threshold && ties > 0 && {
+                        ties -= 1;
+                        true
+                    });
+                if evict {
+                    stats.evictions += 1;
+                    self.note_evicted(q);
+                }
+                !evict
+            });
+        }
+        // Demote the cold expensive survivors, then consume every
+        // survivor's second chance. At `low_water <= cap/2` this loop
+        // demotes nothing: at least `cap - low_water` entries were
+        // inserted (hot) since the previous sweep, so every cold entry
+        // ranks within the eviction excess and is already gone —
+        // demotion engages only in retention mode, as documented on
+        // [`CachePolicy`]. Address-keyed memo purges for replaced
+        // entries are batched into one retain per memo — a retain per
+        // demotion would make the sweep O(survivors × memo).
+        let mut purge: Vec<usize> = Vec::new();
+        for slot in map.values_mut() {
+            if self.policy.spill && !slot.hot.get() && self.demote_slot(slot, &mut purge) {
+                stats.demotions += 1;
+            }
+            slot.hot.set(false);
+        }
+        if !purge.is_empty() {
+            purge.sort_unstable();
+            let gone = |addr: usize| purge.binary_search(&addr).is_ok();
+            self.groups.borrow_mut().retain(|k, _| !gone(k.0));
+            self.groups_canon.borrow_mut().retain(|k, _| !gone(k.0));
+            self.group_parts.borrow_mut().retain(|k, _| !gone(k.0));
+        }
+        self.stats.set(stats);
+    }
+
+    /// Frees a slot's derived reference-set channels — the whole-grid and
+    /// per-cell `RefSet` conversions plus the interned id grids — and the
+    /// cross-candidate star-column conversions pinned by
+    /// [`EvalCache::star_cols`], while keeping the value and star
+    /// columns. A later hit re-derives the sets lazily (identical by
+    /// construction: the star channel they convert from is unchanged).
+    /// Replaced entries push their old address into `purge` for the
+    /// caller's batched memo purge. Returns whether anything was actually
+    /// freed.
+    fn demote_slot(&self, slot: &mut ExecSlot, purge: &mut Vec<usize>) -> bool {
+        let mut any = false;
+        for level in slot.value.iter_mut() {
+            let Some(rc) = level else { continue };
+            // Purge the bulk conversions of star columns this entry
+            // *exclusively* owns (the per-column `RefSet` vectors the
+            // spill exists to free). Pass-through operators share column
+            // `Arc`s across entries, and a shared column's conversion
+            // may be serving a hot, resident sibling — purging it would
+            // force that sibling to reconvert after every sweep. Two
+            // strong counts = this entry's star grid plus the memo's own
+            // pin; anything higher means someone else still uses it.
+            if let Some(star) = rc.try_star() {
+                let mut cols = self.star_cols.borrow_mut();
+                for c in 0..star.n_cols() {
+                    let col = star.column_arc(c);
+                    if Arc::strong_count(col) <= 2
+                        && cols.remove(&(Arc::as_ptr(col) as usize)).is_some()
+                    {
+                        any = true;
+                    }
+                }
+            }
+            let has_derived = rc.sets.get().is_some()
+                || rc.set_ids.get().is_some()
+                || rc.cell_sets.get().is_some();
+            if !has_derived {
+                continue;
+            }
+            if let Some(table) = Rc::get_mut(rc) {
+                table.sets.take();
+                table.set_ids.take();
+                table.cell_sets.take();
+            } else {
+                // Pinned elsewhere (a grouping memo, an in-flight sibling
+                // evaluation): swap in a shallow clone sharing the value
+                // and star columns; the caller purges the address-keyed
+                // memo entries pinning the old result so its derived
+                // channels actually drop.
+                purge.push(Rc::as_ptr(rc) as usize);
+                let fresh = Rc::new(ExecTable {
+                    values: rc.values.clone(),
+                    star: rc.star.clone(),
+                    sets: OnceCell::new(),
+                    set_ids: OnceCell::new(),
+                    cell_sets: OnceCell::new(),
+                });
+                *level = Some(fresh);
+            }
+            any = true;
+        }
+        any
     }
 
     /// Memoized union of one shared column (see
@@ -1217,10 +1653,18 @@ impl EvalCache {
                 child
             }
         };
-        let computed = if let Some((left, right, pred)) = fused_filter_join(q) {
+        // Each branch resolves its children first (their build time is
+        // accounted to their own cache entries), then times just this
+        // node's operator step — the cost to rebuild the entry when its
+        // children are still cached.
+        let (computed, step_ns) = if let Some((left, right, pred)) = fused_filter_join(q) {
             let l = narrow(self.exec(left, sem, inputs)?);
             let r = narrow(self.exec(right, sem, inputs)?);
-            exec_filtered_join(&l, &r, pred)?
+            let t0 = Instant::now();
+            (
+                exec_filtered_join(&l, &r, pred)?,
+                t0.elapsed().as_nanos() as u64,
+            )
         } else if let Query::Group {
             src,
             keys,
@@ -1234,7 +1678,12 @@ impl EvalCache {
             // either way, and the un-narrowed `Rc` keeps the memo key
             // stable across sibling candidates.
             let child = self.exec(src, sem, inputs)?;
-            self.exec_group_shared(sem, &child, keys, *agg, *target)?
+            let t0 = Instant::now();
+            let out = self.exec_group_shared(sem, &child, keys, *agg, *target)?;
+            // One row per group: every sibling aggregation choice over
+            // the same (child, keys) can now fast-reject from the memo.
+            self.note_group_rows(src, keys, out.values.n_rows());
+            (out, t0.elapsed().as_nanos() as u64)
         } else if let Query::Partition {
             src,
             keys,
@@ -1246,7 +1695,11 @@ impl EvalCache {
             // memo probe after the first sibling (function, target)
             // choice over the same keys.
             let child = self.exec(src, sem, inputs)?;
-            self.exec_partition_shared(sem, &child, keys, *func, *target)?
+            let t0 = Instant::now();
+            (
+                self.exec_partition_shared(sem, &child, keys, *func, *target)?,
+                t0.elapsed().as_nanos() as u64,
+            )
         } else {
             let children = q
                 .children()
@@ -1254,7 +1707,11 @@ impl EvalCache {
                 .map(|c| self.exec(c, sem, inputs).map(&narrow))
                 .collect::<Result<Vec<_>, _>>()?;
             let child_refs: Vec<&ExecTable> = children.iter().map(Rc::as_ref).collect();
-            exec_step(sem, q, &child_refs, inputs)?
+            let t0 = Instant::now();
+            (
+                exec_step(sem, q, &child_refs, inputs)?,
+                t0.elapsed().as_nanos() as u64,
+            )
         };
         // Store under the level actually computed (equals `sem` now that
         // children are narrowed, but derive it rather than assume).
@@ -1263,22 +1720,53 @@ impl EvalCache {
             actual >= sem,
             "pipeline produced fewer channels than requested"
         );
+        let cost = step_ns.saturating_add(
+            (computed.values.n_rows() as u64)
+                .saturating_mul(computed.values.n_cols() as u64)
+                .saturating_mul(CELL_COST_NS),
+        );
+        self.note_rows(q, computed.values.n_rows());
+        // A re-insert of a previously evicted query is a churn-induced
+        // re-evaluation — the quantity the cost-aware policy minimizes.
+        // Consumed *before* this insert's own sweep runs: the sweep can
+        // evict this query's stale lower-level slot, and that eviction
+        // happened after the computation — counting it would charge
+        // churn for work it did not cause. The emptiness guard keeps the
+        // no-churn common case free of a second full-AST hash (separate
+        // scope: a `Ref` alive across the `borrow_mut` would panic).
+        let ever_evicted = !self.evicted.borrow().is_empty();
+        if ever_evicted
+            && self
+                .evicted
+                .borrow_mut()
+                .remove(&self.hasher.hash_one(q))
+                .is_some()
+        {
+            let mut stats = self.stats.get();
+            stats.reevals += 1;
+            stats.reeval_ns = stats.reeval_ns.saturating_add(step_ns);
+            self.stats.set(stats);
+        }
         let rc = Rc::new(computed);
         let mut map = self.map.borrow_mut();
-        if map.len() >= EXEC_CACHE_CAP {
-            second_chance_sweep(&mut map, EXEC_CACHE_CAP);
+        if map.len() >= self.policy.cap {
+            self.sweep_exec(&mut map);
         }
         let slot = map.entry(q.clone()).or_default();
         slot.value[actual as usize] = Some(Rc::clone(&rc));
         slot.hot.set(true);
+        slot.cost.set(slot.cost.get().max(cost));
         Ok(rc)
     }
 
     /// Probes the cache for `q` at any semantics level without computing
-    /// anything. The acceptance path's demo-dims fast reject uses this:
-    /// a reject from a cached child is free, while a miss must not add a
-    /// speculative evaluation on top of the Provenance pass that follows.
-    pub(crate) fn peek(&self, q: &Query) -> Option<Rc<ExecTable>> {
+    /// anything. The acceptance path's demo-dims fast reject used to run
+    /// on this; it now reads the eviction-immune
+    /// [`EvalCache::known_rows`] / [`EvalCache::known_group_rows`] memos
+    /// instead, so the probe remains as a test seam for inspecting
+    /// residency and demotion state.
+    #[cfg(test)]
+    fn peek(&self, q: &Query) -> Option<Rc<ExecTable>> {
         let map = self.map.borrow();
         let slot = map.get(q)?;
         for level in [Semantics::Provenance, Semantics::Values] {
@@ -1488,7 +1976,8 @@ mod tests {
 
     #[test]
     fn eval_cache_hit_survives_a_sweep() {
-        let cache = EvalCache::new();
+        // Low-water 1: a sweep keeps exactly one entry — the hot one.
+        let cache = EvalCache::with_policy(CachePolicy::default().with_cap(8).with_low_water(1));
         let inputs = [input()];
         let hot = Query::Input(0);
         let hot_rc = cache.exec(&hot, Semantics::Values, &inputs).unwrap();
@@ -1498,18 +1987,206 @@ mod tests {
             asc: true,
         };
         cache.exec(&cold, Semantics::Values, &inputs).unwrap();
-        // First sweep: everything was inserted hot, so both survive with
-        // their flags consumed (the "second chance").
-        second_chance_sweep(&mut cache.map.borrow_mut(), EXEC_CACHE_CAP);
-        assert_eq!(cache.len(), 2);
-        // Touch only the hot entry; the next sweep evicts the cold one.
+        // Consume both flags (the second chance), then touch only `hot`:
+        // the next sweep must evict the cold entry.
+        {
+            let map = cache.map.borrow_mut();
+            for slot in map.values() {
+                slot.hot.set(false);
+            }
+        }
         cache.exec(&hot, Semantics::Values, &inputs).unwrap();
-        second_chance_sweep(&mut cache.map.borrow_mut(), EXEC_CACHE_CAP);
+        {
+            let mut map = cache.map.borrow_mut();
+            cache.sweep_exec(&mut map);
+        }
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.cache_stats().evictions, 1);
         // The surviving entry is served from cache (same Rc), the cold
-        // one was evicted and recomputes.
+        // one was evicted and recomputes (counted as a re-evaluation).
         let again = cache.exec(&hot, Semantics::Values, &inputs).unwrap();
         assert!(Rc::ptr_eq(&hot_rc, &again));
+        cache.exec(&cold, Semantics::Values, &inputs).unwrap();
+        assert_eq!(cache.cache_stats().reevals, 1);
+    }
+
+    #[test]
+    fn cost_aware_sweep_evicts_cheap_cold_entries_first() {
+        let cache = EvalCache::with_policy(CachePolicy::default().with_cap(4).with_low_water(2));
+        let inputs = [input()];
+        let cheap = Query::Input(0);
+        let expensive = Query::Sort {
+            src: Box::new(Query::Input(0)),
+            cols: vec![0],
+            asc: true,
+        };
+        cache.exec(&cheap, Semantics::Values, &inputs).unwrap();
+        let kept = cache.exec(&expensive, Semantics::Values, &inputs).unwrap();
+        {
+            // Make both cold and force a cost gap the timer cannot blur.
+            let mut map = cache.map.borrow_mut();
+            for (q, slot) in map.iter_mut() {
+                slot.hot.set(false);
+                slot.cost.set(if *q == expensive { u64::MAX } else { 0 });
+            }
+            cache.sweep_exec(&mut map);
+        }
+        // Down to low_water = 2? len was 2 == low_water, nothing to evict;
+        // rerun with an extra entry to force one eviction.
+        let third = Query::Filter {
+            src: Box::new(Query::Input(0)),
+            pred: Pred::ColCmp(0, sickle_table::CmpOp::Eq, 0),
+        };
+        cache.exec(&third, Semantics::Values, &inputs).unwrap();
+        {
+            let mut map = cache.map.borrow_mut();
+            for (q, slot) in map.iter_mut() {
+                slot.hot.set(false);
+                slot.cost.set(if *q == expensive {
+                    u64::MAX
+                } else {
+                    slot.cost.get()
+                });
+            }
+            cache.sweep_exec(&mut map);
+        }
+        assert_eq!(cache.len(), 2);
+        // The expensive entry survived both sweeps.
+        let again = cache.exec(&expensive, Semantics::Values, &inputs).unwrap();
+        assert!(Rc::ptr_eq(&kept, &again));
+    }
+
+    #[test]
+    fn demoted_entry_keeps_star_and_rederives_identical_sets() {
+        let q = Query::Group {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            agg: AggFunc::Sum,
+            target: 2,
+        };
+        let inputs = [input()];
+        let u = RefUniverse::from_tables(&inputs);
+        // Reference: a never-evicted cache.
+        let fresh = EvalCache::new();
+        let reference = fresh.exec(&q, Semantics::Provenance, &inputs).unwrap();
+        let ref_sets = reference.sets(&u).clone();
+
+        let cache = EvalCache::with_policy(CachePolicy::default());
+        let exec = cache.exec(&q, Semantics::Provenance, &inputs).unwrap();
+        exec.sets(&u);
+        exec.set_ids(&u, cache.pool());
+        let star_before = exec.star().clone();
+        drop(exec); // release the caller's pin so demotion can act in place
+        {
+            let mut map = cache.map.borrow_mut();
+            let mut demoted = 0;
+            let mut purge = Vec::new();
+            for slot in map.values_mut() {
+                slot.hot.set(false);
+                if cache.demote_slot(slot, &mut purge) {
+                    demoted += 1;
+                }
+            }
+            // Only the group entry had materialized channels to free; the
+            // child entry (nothing derived) is a no-op.
+            assert_eq!(demoted, 1);
+        }
+        // The demoted entry still hits at the provenance level, with the
+        // star channel intact and the derived channels empty.
+        let demoted = cache.peek(&q).expect("entry stays cached");
+        assert_eq!(*demoted.star(), star_before);
+        assert!(demoted.sets.get().is_none(), "sets must be freed");
+        assert!(demoted.set_ids.get().is_none(), "set ids must be freed");
+        // Re-derivation is byte-identical to the never-evicted run.
+        assert_eq!(*demoted.sets(&u), ref_sets);
+        for (i, j) in [(0, 0), (1, 1)] {
+            assert_eq!(*demoted.cell_set(&u, i, j), ref_sets[(i, j)]);
+        }
+    }
+
+    #[test]
+    fn demotion_replaces_pinned_entries_and_purges_their_memos() {
+        let group = Query::Group {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            agg: AggFunc::Sum,
+            target: 2,
+        };
+        let inputs = [input()];
+        let u = RefUniverse::from_tables(&inputs);
+        let cache = EvalCache::new();
+        // Materialize through the grouping memo so the child is pinned by
+        // `groups` / `group_parts` (and hold our own pin too).
+        let child = cache
+            .exec(&Query::Input(0), Semantics::Provenance, &inputs)
+            .unwrap();
+        cache.exec(&group, Semantics::Provenance, &inputs).unwrap();
+        child.sets(&u);
+        assert!(!cache.groups.borrow().is_empty());
+        {
+            // Everything is cold: the real sweep path demotes and batch-
+            // purges the replaced entries' memos.
+            let mut map = cache.map.borrow_mut();
+            for slot in map.values() {
+                slot.hot.set(false);
+            }
+            cache.sweep_exec(&mut map);
+        }
+        // The pinned child was replaced, not mutated: our pin still holds
+        // the materialized sets, while the cached entry starts clean and
+        // the address-keyed grouping memos were purged.
+        let replaced = cache.peek(&Query::Input(0)).unwrap();
+        assert!(!Rc::ptr_eq(&child, &replaced));
+        assert!(replaced.sets.get().is_none());
+        assert!(cache.groups.borrow().is_empty());
+        assert!(cache.group_parts.borrow().is_empty());
+        // Re-derived sets equal the pinned originals.
+        assert_eq!(*replaced.sets(&u), *child.sets(&u));
+    }
+
+    #[test]
+    fn tiny_caps_sweep_without_stalling() {
+        // Caps where the legacy `cap / 2` survivor quota rounds to ≤ 1:
+        // every policy must keep serving correct results, keep the map at
+        // or below the cap, and never panic.
+        let inputs = [input()];
+        let queries: Vec<Query> = (0..4)
+            .flat_map(|c| {
+                [true, false].map(|asc| Query::Sort {
+                    src: Box::new(Query::Input(0)),
+                    cols: vec![c],
+                    asc,
+                })
+            })
+            .collect();
+        for policy in [
+            CachePolicy::default().with_cap(1),
+            CachePolicy::default().with_cap(2),
+            CachePolicy::default().with_cap(3),
+            CachePolicy::legacy().with_cap(1),
+            CachePolicy::legacy().with_cap(3),
+        ] {
+            let cache = EvalCache::with_policy(policy);
+            for round in 0..3 {
+                for q in &queries {
+                    let out = cache.exec(q, Semantics::Values, &inputs).unwrap();
+                    assert_eq!(out.table().n_rows(), 4, "round {round} policy {policy:?}");
+                    assert!(
+                        cache.len() <= policy.cap,
+                        "len {} > cap {} under {policy:?}",
+                        cache.len(),
+                        policy.cap
+                    );
+                }
+            }
+            let stats = cache.cache_stats();
+            assert!(stats.sweeps > 0, "tiny cap must sweep: {policy:?}");
+            assert!(stats.evictions > 0, "tiny cap must evict: {policy:?}");
+            assert!(
+                stats.reevals > 0,
+                "repeat rounds over an evicting cache must re-evaluate: {policy:?}"
+            );
+        }
     }
 
     #[test]

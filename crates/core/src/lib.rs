@@ -25,8 +25,11 @@
 //!   concrete leaves run through the pipeline's ref-set channel;
 //! * [`EvalCache`] — memoized engine results keyed by
 //!   `(query, semantics)`, threaded through the search so sibling partial
-//!   queries share inner-subquery evaluations (second-chance eviction
-//!   keeps the hot working set across generations);
+//!   queries share inner-subquery evaluations. Eviction is governed by a
+//!   [`CachePolicy`]: cost-aware sweeps (victims ranked by coldness, then
+//!   recompute cost) with hysteresis, demoting cold expensive entries —
+//!   typically join children — by spilling their derived reference-set
+//!   channels instead of dropping them ([`CacheStats`] counts the churn);
 //! * [`Session`] / [`SynthRequest`] / [`SolutionStream`] (`session`) — the
 //!   public front door: a warm, reusable service instance running
 //!   Algorithm 1 sequentially or with skeleton expansion fanned out over
@@ -82,7 +85,8 @@ pub use abstract_eval::{
 };
 pub use ast::{PQuery, Pred, Query};
 pub use engine::{
-    AnalysisEngine, ConcreteEngine, Engine, EvalCache, ExecTable, ProvenanceEngine, Semantics,
+    AnalysisEngine, CachePolicy, CacheStats, ConcreteEngine, Engine, EvalCache, ExecTable,
+    ProvenanceEngine, Semantics,
 };
 pub use error::SickleError;
 pub use eval::{evaluate, EvalError};

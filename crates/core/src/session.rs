@@ -375,6 +375,17 @@ impl SynthRequest {
         self
     }
 
+    /// Sets the engine-cache eviction policy ([`crate::CachePolicy`]):
+    /// the entry cap, the hysteresis low-water mark, cost-aware victim
+    /// ordering and star-channel spilling. The default is the cost-aware
+    /// spilling policy; [`crate::CachePolicy::legacy`] restores the flat
+    /// second-chance sweep for A/B comparison.
+    #[must_use]
+    pub fn with_cache_policy(mut self, policy: crate::CachePolicy) -> SynthRequest {
+        self.search.cache = policy;
+        self
+    }
+
     /// Validates the request: non-empty inputs and demonstration, all
     /// demonstration references and join keys within the inputs, and a
     /// positive solution target.
@@ -473,6 +484,17 @@ pub struct ProgressSnapshot {
     /// Acceptance stage 3 so far: the candidate-seeded Def. 1 expression
     /// match, across workers.
     pub time_match: Duration,
+    /// Engine-cache entries dropped by eviction sweeps so far, across
+    /// workers.
+    pub cache_evictions: usize,
+    /// Engine-cache entries demoted (star-channel spill) so far, across
+    /// workers.
+    pub cache_demotions: usize,
+    /// Engine-cache re-evaluations of previously evicted queries so far,
+    /// across workers.
+    pub cache_reevals: usize,
+    /// Time spent on those re-evaluations so far, across workers.
+    pub cache_reeval_time: Duration,
 }
 
 impl ProgressSnapshot {
@@ -487,6 +509,10 @@ impl ProgressSnapshot {
             time_materialize: ns(&shared.time_materialize_ns),
             time_prefilter: ns(&shared.time_prefilter_ns),
             time_match: ns(&shared.time_match_ns),
+            cache_evictions: shared.cache_evictions.load(Ordering::Relaxed),
+            cache_demotions: shared.cache_demotions.load(Ordering::Relaxed),
+            cache_reevals: shared.cache_reevals.load(Ordering::Relaxed),
+            cache_reeval_time: ns(&shared.cache_reeval_ns),
         }
     }
 }

@@ -34,7 +34,7 @@ use sickle_provenance::{
 
 use crate::abstract_eval::{abstract_evaluate_rc, demo_ref_sets};
 use crate::ast::{PQuery, Pred, Query};
-use crate::engine::{EvalCache, Semantics};
+use crate::engine::{CachePolicy, CacheStats, EvalCache, Semantics};
 use crate::error::SickleError;
 
 /// A primary/foreign-key pair declared on the inputs; join predicates are
@@ -144,6 +144,11 @@ pub struct SynthConfig {
     /// as soon as this is set. Used by [`synthesize_parallel`] workers to
     /// stop each other once enough solutions are found.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Eviction policy of each worker's engine [`EvalCache`] (cap,
+    /// hysteresis low-water mark, cost-aware victim ordering,
+    /// star-channel spilling). [`CachePolicy::legacy`] restores the flat
+    /// second-chance sweep for A/B runs.
+    pub cache: CachePolicy,
 }
 
 impl Default for SynthConfig {
@@ -161,6 +166,7 @@ impl Default for SynthConfig {
             arith_templates: default_arith_templates(),
             forbid_trivial_repeats: true,
             cancel: None,
+            cache: CachePolicy::default(),
         }
     }
 }
@@ -226,6 +232,13 @@ impl SynthConfig {
         self.arith_templates = templates;
         self
     }
+
+    /// Sets the engine-cache eviction policy.
+    #[must_use]
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> SynthConfig {
+        self.cache = policy;
+        self
+    }
 }
 
 /// Prepared per-task state shared with analyzers.
@@ -270,7 +283,7 @@ type ColHostsMemo =
 const COL_HOSTS_CAP: usize = 16_384;
 
 /// Columns up to this many rows convert through the cross-candidate bulk
-/// memo ([`EvalCache::star_col_sets`]); larger columns (join outputs,
+/// memo (`EvalCache::star_col_sets`); larger columns (join outputs,
 /// which also churn through the engine cache) convert per probed cell
 /// through the result-local [`crate::ExecTable::cell_set`] — no
 /// cross-candidate pinning, and only cells the matcher touches are
@@ -378,6 +391,17 @@ impl TaskContext {
         )
     }
 
+    /// Prepares a context with a private pool and analysis cache and the
+    /// given engine-cache eviction policy.
+    pub fn with_policy(task: SynthTask, policy: CachePolicy) -> TaskContext {
+        TaskContext::with_shared_policy(
+            task,
+            Arc::new(RefSetPool::new()),
+            Arc::new(AnalysisCache::new()),
+            policy,
+        )
+    }
+
     /// Prepares a context whose set pool and analysis cache are shared
     /// with other contexts for the *same task* (the parallel search gives
     /// every worker the same pool and cache, so interned ids and cached
@@ -386,6 +410,18 @@ impl TaskContext {
         task: SynthTask,
         pool: Arc<RefSetPool>,
         analysis: Arc<AnalysisCache>,
+    ) -> TaskContext {
+        TaskContext::with_shared_policy(task, pool, analysis, CachePolicy::default())
+    }
+
+    /// [`TaskContext::with_shared`] with an explicit engine-cache
+    /// eviction policy (the search threads [`SynthConfig::cache`] through
+    /// here).
+    pub fn with_shared_policy(
+        task: SynthTask,
+        pool: Arc<RefSetPool>,
+        analysis: Arc<AnalysisCache>,
+        policy: CachePolicy,
     ) -> TaskContext {
         let input_arities = task.inputs.iter().map(Table::n_cols).collect();
         let universe = RefUniverse::from_tables(&task.inputs);
@@ -402,7 +438,7 @@ impl TaskContext {
             demo_refs,
             demo_ref_ids,
             constants,
-            eval_cache: EvalCache::with_pool(pool),
+            eval_cache: EvalCache::with_pool_and_policy(pool, policy),
             analysis,
             col_hosts: std::cell::RefCell::new(sickle_provenance::FxMap::default()),
         }
@@ -502,6 +538,18 @@ pub struct SearchStats {
     pub time_match: Duration,
     /// Time spent expanding holes (domain inference + tree building).
     pub time_expand: Duration,
+    /// Engine-cache entries dropped entirely by eviction sweeps.
+    pub cache_evictions: usize,
+    /// Engine-cache entries demoted (star-channel spill: derived ref-set
+    /// channels freed, value and star columns kept).
+    pub cache_demotions: usize,
+    /// Engine-cache re-evaluations: inserts that recomputed a previously
+    /// evicted query (the churn the cost-aware policy minimizes).
+    pub cache_reevals: usize,
+    /// Time spent on those re-evaluations (each node's operator step).
+    /// The cost-aware policy re-evaluates cheap entries instead of
+    /// expensive join children, so this drops even when the count holds.
+    pub cache_reeval_time: Duration,
     /// True when the run hit its timeout or visit budget.
     pub timed_out: bool,
 }
@@ -544,6 +592,14 @@ pub struct SharedStats {
     /// Nanoseconds spent in the seeded Def. 1 match (acceptance stage 3),
     /// across workers.
     pub time_match_ns: AtomicU64,
+    /// Engine-cache evictions across workers.
+    pub cache_evictions: AtomicUsize,
+    /// Engine-cache demotions (star-channel spills) across workers.
+    pub cache_demotions: AtomicUsize,
+    /// Engine-cache re-evaluations of evicted queries across workers.
+    pub cache_reevals: AtomicUsize,
+    /// Nanoseconds spent re-evaluating evicted queries across workers.
+    pub cache_reeval_ns: AtomicU64,
     /// Set when the pooled solution count satisfied the target (or a
     /// worker's stop predicate fired): peers stop without reporting a
     /// timeout. Distinct from `SynthConfig::cancel`, which is the
@@ -552,21 +608,29 @@ pub struct SharedStats {
     pub satisfied: AtomicBool,
 }
 
+/// Panic adapter of the deprecated `synthesize*` shims: the session API
+/// returns internal failures as structured [`SickleError`]s, but the
+/// pre-0.3 free functions are infallible by signature — so an error
+/// surfaces as a panic whose payload carries the error's `kind()` tag and
+/// full message, never a bare `expect` string.
+fn expect_search(result: Result<SynthResult, SickleError>) -> SynthResult {
+    result.unwrap_or_else(|e| panic!("synthesis failed [{kind}]: {e}", kind = e.kind()))
+}
+
 /// Runs Algorithm 1 until `N` solutions are found or budgets expire.
 #[deprecated(
     since = "0.3.0",
     note = "build a SynthRequest and use Session::solve instead"
 )]
 pub fn synthesize(ctx: &TaskContext, config: &SynthConfig, analyzer: &dyn Analyzer) -> SynthResult {
-    run_search(
+    expect_search(run_search(
         ctx,
         config,
         analyzer,
         construct_skeletons(ctx, config),
         |_| false,
         None,
-    )
-    .expect("internal synthesis error")
+    ))
 }
 
 /// Runs Algorithm 1, additionally stopping as soon as `stop` accepts a
@@ -582,15 +646,14 @@ pub fn synthesize_until(
     analyzer: &dyn Analyzer,
     stop: impl FnMut(&Query) -> bool,
 ) -> SynthResult {
-    run_search(
+    expect_search(run_search(
         ctx,
         config,
         analyzer,
         construct_skeletons(ctx, config),
         stop,
         None,
-    )
-    .expect("internal synthesis error")
+    ))
 }
 
 /// Runs the search from an explicit work list of seed (partial) queries
@@ -607,7 +670,7 @@ pub fn synthesize_seeded(
     seeds: Vec<PQuery>,
     stop: impl FnMut(&Query) -> bool,
 ) -> SynthResult {
-    run_search(ctx, config, analyzer, seeds, stop, None).expect("internal synthesis error")
+    expect_search(run_search(ctx, config, analyzer, seeds, stop, None))
 }
 
 /// The sequential search engine room behind [`crate::Session`] and the
@@ -644,6 +707,28 @@ pub(crate) fn run_search(
         if let Some(s) = shared {
             counter(s).fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         }
+    };
+    // Engine-cache churn counters: the cache is thread-local, so its
+    // totals are published to the shared live counters as deltas (once
+    // per visited query — two `Cell` reads on the happy path).
+    let cache_base = ctx.eval_cache.cache_stats();
+    let mut cache_seen = cache_base;
+    let sync_cache = |seen: &mut CacheStats| {
+        let now = ctx.eval_cache.cache_stats();
+        if now == *seen {
+            return; // happy path: no sweep since last sync, no atomics
+        }
+        if let Some(s) = shared {
+            s.cache_evictions
+                .fetch_add(now.evictions - seen.evictions, Ordering::Relaxed);
+            s.cache_demotions
+                .fetch_add(now.demotions - seen.demotions, Ordering::Relaxed);
+            s.cache_reevals
+                .fetch_add(now.reevals - seen.reevals, Ordering::Relaxed);
+            s.cache_reeval_ns
+                .fetch_add(now.reeval_ns - seen.reeval_ns, Ordering::Relaxed);
+        }
+        *seen = now;
     };
 
     // Depth-first exploration: the skeleton seeds are size-ordered, and
@@ -682,6 +767,7 @@ pub(crate) fn run_search(
         }
         stats.visited += 1;
         bump(|s| &s.visited);
+        sync_cache(&mut cache_seen);
 
         if pq.is_concrete() {
             stats.concrete_checked += 1;
@@ -705,32 +791,29 @@ pub(crate) fn run_search(
             let t0 = Instant::now();
             // Demo-dims fast reject, part 2: row-preserving top operators
             // (sort / partition / arithmetic / projection) have exactly
-            // their source's row count, and the source — shared with
-            // sibling candidates — is (almost) always already in the
-            // engine cache: a too-small candidate is rejected from a
-            // cache probe, skipping star materialization entirely.
-            // Probe-only (`peek`): a child evicted by cache pressure is
-            // not re-evaluated speculatively — the reject is only taken
-            // when it costs nothing beyond a map probe.
+            // their source's row count, and a `group`'s output rows are
+            // its group count — both read from the engine cache's
+            // row-count memos, which record every evaluation and
+            // *survive eviction* of the results they describe (a `u32`
+            // per query instead of a pinned table). The reject's hit
+            // rate is therefore immune to cache pressure: a child swept
+            // out long ago still rejects its too-small siblings without
+            // re-evaluating anything. Out-of-range group keys (possible
+            // via caller-supplied seeds) simply never have a memo entry
+            // and fall through to the exec path, which rejects them as
+            // an EvalError instead of panicking.
             let too_small = match &q {
                 Query::Sort { src, .. }
                 | Query::Partition { src, .. }
                 | Query::Arith { src, .. }
                 | Query::Proj { src, .. } => ctx
                     .eval_cache
-                    .peek(src)
-                    .is_some_and(|child| child.table().n_rows() < demo_rows),
-                // A group's output rows are its groups, and the grouping
-                // memo is shared across every sibling aggregation choice
-                // (and the strong abstraction): after the first sibling,
-                // this is one map probe. Out-of-range keys (possible via
-                // caller-supplied seeds; this runs before the engine's
-                // check_cols) fall through to the exec path, which
-                // rejects them as an EvalError instead of panicking.
-                Query::Group { src, keys, .. } => ctx.eval_cache.peek(src).is_some_and(|child| {
-                    keys.iter().all(|&k| k < child.table().n_cols())
-                        && ctx.eval_cache.groups_of(&child, keys).len() < demo_rows
-                }),
+                    .known_rows(src)
+                    .is_some_and(|n| n < demo_rows),
+                Query::Group { src, keys, .. } => ctx
+                    .eval_cache
+                    .known_group_rows(src, keys)
+                    .is_some_and(|n| n < demo_rows),
                 // Remaining row-changing operators (filter, joins) fall
                 // through to the prefilter's dims check, which is free
                 // now that cell sets convert lazily.
@@ -852,6 +935,11 @@ pub(crate) fn run_search(
     }
 
     stats.elapsed = started.elapsed();
+    sync_cache(&mut cache_seen);
+    stats.cache_evictions = cache_seen.evictions - cache_base.evictions;
+    stats.cache_demotions = cache_seen.demotions - cache_base.demotions;
+    stats.cache_reevals = cache_seen.reevals - cache_base.reevals;
+    stats.cache_reeval_time = Duration::from_nanos(cache_seen.reeval_ns - cache_base.reeval_ns);
     // Rank by query size (stable: discovery order breaks ties), matching
     // the paper's size-based ranking of consistent queries.
     solutions.sort_by_key(Query::size);
@@ -893,7 +981,7 @@ pub fn synthesize_parallel(
     let pool = Arc::new(RefSetPool::new());
     let analysis = Arc::new(AnalysisCache::new());
     let shared = SharedStats::default();
-    run_parallel(
+    expect_search(run_parallel(
         task,
         config,
         &make_analyzer,
@@ -903,8 +991,7 @@ pub fn synthesize_parallel(
         analysis,
         &shared,
         None,
-    )
-    .expect("internal synthesis error")
+    ))
 }
 
 /// The engine room behind [`crate::Session::solve`] /
@@ -931,7 +1018,12 @@ pub(crate) fn run_parallel(
     seeds: Option<Vec<PQuery>>,
 ) -> Result<SynthResult, SickleError> {
     let workers = workers.max(1);
-    let seed_ctx = TaskContext::with_shared(task.clone(), Arc::clone(&pool), Arc::clone(&analysis));
+    let seed_ctx = TaskContext::with_shared_policy(
+        task.clone(),
+        Arc::clone(&pool),
+        Arc::clone(&analysis),
+        config.cache,
+    );
     let skeletons = seeds.unwrap_or_else(|| construct_skeletons(&seed_ctx, config));
     if workers == 1 {
         let mut result = run_search(
@@ -960,7 +1052,8 @@ pub(crate) fn run_parallel(
                 let pool = Arc::clone(&pool);
                 let analysis = Arc::clone(&analysis);
                 scope.spawn(move || {
-                    let ctx = TaskContext::with_shared(task.clone(), pool, analysis);
+                    let ctx =
+                        TaskContext::with_shared_policy(task.clone(), pool, analysis, cfg.cache);
                     let analyzer = make_analyzer();
                     let max_solutions = cfg.max_solutions;
                     run_search(
@@ -1018,6 +1111,10 @@ pub(crate) fn run_parallel(
         merged.stats.time_prefilter += r.stats.time_prefilter;
         merged.stats.time_match += r.stats.time_match;
         merged.stats.time_expand += r.stats.time_expand;
+        merged.stats.cache_evictions += r.stats.cache_evictions;
+        merged.stats.cache_demotions += r.stats.cache_demotions;
+        merged.stats.cache_reevals += r.stats.cache_reevals;
+        merged.stats.cache_reeval_time += r.stats.cache_reeval_time;
         // Workers stopped by pool satisfaction break quietly (no timeout
         // flag); a budget expiry racing the winning worker is still not a
         // timeout for the run as a whole. External cancellation
@@ -1948,6 +2045,55 @@ mod tests {
         let dt = t0.elapsed();
         assert_eq!(children.len(), 26);
         assert!(dt < Duration::from_millis(500), "expand took {dt:?}");
+    }
+
+    #[test]
+    fn shim_panic_payload_carries_error_kind_and_message() {
+        // The deprecated shims are infallible by signature; an internal
+        // error must surface as a panic whose payload includes the
+        // structured error's kind() tag and message, not a bare expect.
+        let err = std::panic::catch_unwind(|| {
+            expect_search(Err(SickleError::Internal {
+                message: "candidate reported concrete but failed to convert".to_string(),
+            }))
+        })
+        .expect_err("expect_search must panic on Err");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload must be a formatted String");
+        assert!(msg.contains("[internal]"), "missing kind tag: {msg}");
+        assert!(
+            msg.contains("candidate reported concrete but failed to convert"),
+            "missing error message: {msg}"
+        );
+    }
+
+    #[test]
+    fn cache_policy_threads_through_the_search() {
+        let ctx = TaskContext::with_policy(
+            SynthTask::new(
+                vec![enrollment()],
+                Demo::parse(&[
+                    &["T[1,1]", "sum(T[1,4], T[2,4])"],
+                    &["T[3,1]", "sum(T[3,4], T[4,4])"],
+                ])
+                .unwrap(),
+            ),
+            crate::CachePolicy::default().with_cap(8),
+        );
+        assert_eq!(ctx.eval_cache.policy().cap, 8);
+        let config = SynthConfig {
+            max_depth: 1,
+            max_solutions: 1,
+            ..SynthConfig::default()
+        };
+        let res = synthesize(&ctx, &config, &ProvenanceAnalyzer);
+        assert!(!res.solutions.is_empty());
+        // A cap this small must have swept and re-evaluated something.
+        let cs = ctx.eval_cache.cache_stats();
+        assert!(cs.evictions > 0, "{cs:?}");
+        assert_eq!(res.stats.cache_evictions, cs.evictions);
+        assert_eq!(res.stats.cache_reevals, cs.reevals);
     }
 
     #[test]

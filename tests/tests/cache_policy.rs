@@ -1,0 +1,155 @@
+//! Eviction-policy tests: the cost-aware, spilling engine cache must be
+//! *transparent* — any policy, at any cap, produces byte-identical
+//! results to a never-evicting cache — and the churn counters that track
+//! its behavior must hold their regression properties on the join-heavy
+//! suite tasks the policy targets (54, 63).
+
+use sickle_benchmarks::{all_benchmarks, frontier_candidates};
+use sickle_core::{
+    Budget, CachePolicy, Semantics, Session, SynthRequest, SynthResult, TaskContext,
+};
+
+/// Property: under a tiny cap with retention-mode spilling (constant
+/// sweeping, eviction *and* demotion), every candidate's value table,
+/// star grid and derived reference-set grid re-verify byte-identically
+/// against a never-evicted cache — including candidates revisited after
+/// their first evaluation was demoted or swept out.
+#[test]
+fn spilled_and_evicted_entries_reverify_byte_identically() {
+    let suite = all_benchmarks();
+    let b = suite.iter().find(|b| b.id == 54).expect("task 54 exists");
+    let (task, _) = b.task(2022).expect("demo generates");
+    let config = b.config();
+
+    let reference = TaskContext::new(task.clone());
+    let candidates = frontier_candidates(&reference, &config, 150, 30_000);
+    assert!(candidates.len() >= 100, "frontier too small to churn");
+
+    // Tiny cap + low water above cap/2: every sweep evicts the cheap
+    // tail and demotes the cold expensive survivors.
+    let policy = CachePolicy::default().with_cap(24).with_low_water(18);
+    let churn = TaskContext::with_policy(task, policy);
+
+    // Two rounds: round two re-probes entries that round one demoted
+    // (set re-conversion) or evicted (full re-evaluation).
+    for round in 0..2 {
+        for (i, q) in candidates.iter().enumerate() {
+            let want = reference
+                .eval_cache
+                .exec(q, Semantics::Provenance, reference.inputs());
+            let got = churn
+                .eval_cache
+                .exec(q, Semantics::Provenance, churn.inputs());
+            match (want, got) {
+                (Ok(want), Ok(got)) => {
+                    assert_eq!(
+                        want.table().grid(),
+                        got.table().grid(),
+                        "values diverged on candidate {i} round {round}"
+                    );
+                    assert_eq!(
+                        want.star(),
+                        got.star(),
+                        "star diverged on candidate {i} round {round}"
+                    );
+                    assert_eq!(
+                        want.sets(&reference.universe),
+                        got.sets(&churn.universe),
+                        "derived sets diverged on candidate {i} round {round}"
+                    );
+                }
+                (Err(we), Err(ge)) => assert_eq!(we, ge),
+                (want, got) => panic!("outcome diverged on candidate {i}: {want:?} vs {got:?}"),
+            }
+        }
+    }
+    let stats = churn.eval_cache.cache_stats();
+    assert!(stats.evictions > 0, "tiny cap must evict: {stats:?}");
+    assert!(
+        stats.demotions > 0,
+        "retention-mode tiny cap must demote: {stats:?}"
+    );
+    assert!(stats.reevals > 0, "two rounds must re-evaluate: {stats:?}");
+}
+
+fn solve_with_policy(b: &sickle_benchmarks::Benchmark, policy: CachePolicy) -> SynthResult {
+    let (task, _) = b.task(2022).expect("demo generates");
+    let session = Session::new();
+    let request = SynthRequest::from_task(task)
+        .with_search(b.config())
+        .with_budget(
+            Budget::unbounded()
+                .with_max_visited(Some(6_000))
+                .with_max_solutions(10),
+        )
+        .with_cache_policy(policy);
+    session.solve(&request).expect("request validates")
+}
+
+/// Regression: on the join-heavy tasks (54, 63) under churn pressure
+/// (cap well below the distinct-subquery count), the cost-aware policy
+/// must spend no more on re-evaluating evicted queries than the legacy
+/// flat sweep — that spend is exactly what cost-ordered victim selection
+/// protects — while producing byte-identical solutions.
+#[test]
+fn join_tasks_reeval_spend_drops_under_cost_aware_policy() {
+    let suite = all_benchmarks();
+    let mut legacy_spend = std::time::Duration::ZERO;
+    let mut aware_spend = std::time::Duration::ZERO;
+    for id in [54usize, 63] {
+        let b = suite.iter().find(|b| b.id == id).expect("task exists");
+        let cap = 400;
+        let legacy = solve_with_policy(b, CachePolicy::legacy().with_cap(cap));
+        let aware = solve_with_policy(b, CachePolicy::default().with_cap(cap));
+
+        // The search must be cache-policy-transparent.
+        let render = |r: &SynthResult| {
+            r.solutions
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&legacy), render(&aware), "task {id} solutions");
+        assert_eq!(
+            legacy.stats.visited, aware.stats.visited,
+            "task {id} visited"
+        );
+        assert!(
+            legacy.stats.cache_evictions > 0,
+            "task {id} must churn at cap {cap}"
+        );
+        legacy_spend += legacy.stats.cache_reeval_time;
+        aware_spend += aware.stats.cache_reeval_time;
+    }
+    // Re-evaluation *spend*, aggregated over both tasks: cost-aware
+    // eviction sacrifices cheap entries, so the time spent re-evaluating
+    // must not grow. 2x ratio + 2ms additive headroom because per-node
+    // step timings are noisy on shared CI hardware and a single task's
+    // legacy spend can legitimately measure zero at this budget.
+    assert!(
+        aware_spend <= legacy_spend * 2 + std::time::Duration::from_millis(2),
+        "cost-aware reeval spend {aware_spend:?} vs legacy {legacy_spend:?}",
+    );
+}
+
+/// The demo-dims fast reject reads eviction-immune row-count memos: a
+/// run at a drastically small cap must visit and check exactly what an
+/// uncapped run does (the memos, not cache luck, drive the rejects).
+#[test]
+fn tiny_cap_run_is_search_transparent() {
+    let suite = all_benchmarks();
+    let b = suite.iter().find(|b| b.id == 8).expect("task 8 exists");
+    let uncapped = solve_with_policy(b, CachePolicy::default().with_cap(usize::MAX));
+    let tiny = solve_with_policy(b, CachePolicy::default().with_cap(16).with_low_water(12));
+    assert_eq!(uncapped.stats.visited, tiny.stats.visited);
+    assert_eq!(uncapped.stats.concrete_checked, tiny.stats.concrete_checked);
+    let render = |r: &SynthResult| {
+        r.solutions
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&uncapped), render(&tiny));
+    assert_eq!(uncapped.stats.cache_evictions, 0);
+    assert!(tiny.stats.cache_evictions > 0);
+}
