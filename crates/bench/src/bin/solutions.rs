@@ -81,7 +81,8 @@ fn main() {
         let cs = session.analysis_stats();
         eprintln!(
             "{:2} wall={:.3}s analyze={:.3}s concrete={:.3}s (mat={:.3}s pre={:.3}s match={:.3}s) \
-             expand={:.3}s pool={} hits={} misses={} cache(ev={} dem={} reeval={} reeval_ms={:.1})",
+             expand={:.3}s join={:.3}s join_rows={} pool={} hits={} misses={} \
+             cache(ev={} dem={} reeval={} reeval_ms={:.1})",
             b.id,
             res.stats.elapsed.as_secs_f64(),
             res.stats.time_analyze.as_secs_f64(),
@@ -90,6 +91,8 @@ fn main() {
             res.stats.time_prefilter.as_secs_f64(),
             res.stats.time_match.as_secs_f64(),
             res.stats.time_expand.as_secs_f64(),
+            res.stats.time_join.as_secs_f64(),
+            res.stats.join_rows,
             session.pool().size(),
             cs.hits,
             cs.misses,
@@ -116,6 +119,8 @@ fn main() {
             time_prefilter: res.stats.time_prefilter,
             time_match: res.stats.time_match,
             time_expand: res.stats.time_expand,
+            time_join: res.stats.time_join,
+            join_rows: res.stats.join_rows,
             visited: res.stats.visited,
             pruned: res.stats.pruned,
             cache_evictions: res.stats.cache_evictions,

@@ -82,6 +82,11 @@ pub struct RunRecord {
     pub time_match: Duration,
     /// Time spent expanding holes (domain inference + tree building).
     pub time_expand: Duration,
+    /// Time spent inside the engine's filtered-join kernels (hash build +
+    /// probe, or the non-equi cross-loop fallback).
+    pub time_join: Duration,
+    /// Output rows produced by those join kernels.
+    pub join_rows: usize,
     /// Queries (partial + concrete) visited.
     pub visited: usize,
     /// Partial queries pruned.
@@ -258,6 +263,8 @@ pub fn run_one_in(
         time_prefilter: result.stats.time_prefilter,
         time_match: result.stats.time_match,
         time_expand: result.stats.time_expand,
+        time_join: result.stats.time_join,
+        join_rows: result.stats.join_rows,
         visited: result.stats.visited,
         pruned: result.stats.pruned,
         cache_evictions: result.stats.cache_evictions,
@@ -373,7 +380,8 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
             "    {{\"id\": {}, \"name\": \"{}\", \"category\": \"{}\", \"technique\": \"{}\", \
              \"solved\": {}, \"rank\": {}, \"wall_s\": {:.6}, \"time_analyze_s\": {:.6}, \
              \"time_eval_s\": {:.6}, \"time_materialize_s\": {:.6}, \"time_prefilter_s\": {:.6}, \
-             \"time_match_s\": {:.6}, \"time_expand_s\": {:.6}, \"visited\": {}, \"pruned\": {}, \
+             \"time_match_s\": {:.6}, \"time_expand_s\": {:.6}, \"time_join_s\": {:.6}, \
+             \"join_rows\": {}, \"visited\": {}, \"pruned\": {}, \
              \"cache_evictions\": {}, \"cache_demotions\": {}, \"cache_reevals\": {}, \
              \"cache_reeval_s\": {:.6}}}{}\n",
             r.id,
@@ -389,6 +397,8 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
             r.time_prefilter.as_secs_f64(),
             r.time_match.as_secs_f64(),
             r.time_expand.as_secs_f64(),
+            r.time_join.as_secs_f64(),
+            r.join_rows,
             r.visited,
             r.pruned,
             r.cache_evictions,
@@ -640,6 +650,8 @@ mod tests {
                     time_prefilter: Duration::from_millis(4),
                     time_match: Duration::from_millis(6),
                     time_expand: Duration::from_millis(5),
+                    time_join: Duration::from_millis(3),
+                    join_rows: 1234,
                     visited: 42,
                     pruned: 7,
                     cache_evictions: 12,
@@ -661,6 +673,8 @@ mod tests {
                     time_prefilter: Duration::ZERO,
                     time_match: Duration::ZERO,
                     time_expand: Duration::ZERO,
+                    time_join: Duration::ZERO,
+                    join_rows: 0,
                     visited: 10,
                     pruned: 0,
                     cache_evictions: 0,
@@ -678,6 +692,8 @@ mod tests {
         assert!(json.contains("\"time_materialize_s\": 0.015000"));
         assert!(json.contains("\"time_prefilter_s\": 0.004000"));
         assert!(json.contains("\"time_match_s\": 0.006000"));
+        assert!(json.contains("\"time_join_s\": 0.003000"));
+        assert!(json.contains("\"join_rows\": 1234"));
         assert!(json.contains("\"cache_evictions\": 12"));
         assert!(json.contains("\"cache_demotions\": 3"));
         assert!(json.contains("\"cache_reevals\": 5"));

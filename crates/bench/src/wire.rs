@@ -428,6 +428,11 @@ pub fn response_ok(id: &Json, result: &SynthResult) -> Json {
                     Json::num(stats.time_expand.as_secs_f64()),
                 ),
                 (
+                    "time_join_s".into(),
+                    Json::num(stats.time_join.as_secs_f64()),
+                ),
+                ("join_rows".into(), Json::num(stats.join_rows as f64)),
+                (
                     "cache_evictions".into(),
                     Json::num(stats.cache_evictions as f64),
                 ),
@@ -473,6 +478,8 @@ pub fn progress_json(p: &ProgressSnapshot) -> Json {
             Json::num(p.time_prefilter.as_secs_f64()),
         ),
         ("time_match_s".into(), Json::num(p.time_match.as_secs_f64())),
+        ("time_join_s".into(), Json::num(p.time_join.as_secs_f64())),
+        ("join_rows".into(), Json::num(p.join_rows as f64)),
         (
             "cache_evictions".into(),
             Json::num(p.cache_evictions as f64),
@@ -714,6 +721,8 @@ mod tests {
             "time_materialize_s",
             "time_prefilter_s",
             "time_match_s",
+            "time_join_s",
+            "join_rows",
             "cache_evictions",
             "cache_demotions",
             "cache_reevals",
@@ -752,7 +761,13 @@ mod tests {
             assert_eq!(e.get("id").and_then(Json::as_str), Some("r1"));
             assert!(Json::parse(&e.render()).is_ok());
             if e.get("event").and_then(Json::as_str) == Some("progress") {
-                for field in ["time_materialize_s", "time_prefilter_s", "time_match_s"] {
+                for field in [
+                    "time_materialize_s",
+                    "time_prefilter_s",
+                    "time_match_s",
+                    "time_join_s",
+                    "join_rows",
+                ] {
                     assert!(e.get(field).is_some(), "{}", e.render());
                 }
             }

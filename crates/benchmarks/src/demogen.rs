@@ -13,8 +13,8 @@
 use crate::rng::Rng;
 
 use sickle_core::{prov_evaluate, Query};
-use sickle_provenance::{Demo, DemoExpr, Expr, FuncName};
-use sickle_table::Table;
+use sickle_provenance::{Demo, DemoExpr, Expr};
+use sickle_table::{Table, Value};
 
 /// Maximum input rows kept per table (paper: 20).
 pub const MAX_INPUT_ROWS: usize = 20;
@@ -201,10 +201,62 @@ pub fn demo_is_consistent_with_gt(gen: &GeneratedDemo, q_gt: &Query) -> bool {
     }
 }
 
-/// `FuncName` re-export check helper (keeps the public surface tidy).
-#[doc(hidden)]
-pub fn _func_name_is_commutative(f: FuncName) -> bool {
-    f.is_commutative()
+/// Scales a benchmark table to `n_rows` rows by bootstrap-sampling its
+/// own rows with replacement (seeded, deterministic).
+///
+/// The output keeps the schema and the empirical *joint* value
+/// distribution — whole source rows are resampled, so cross-column
+/// correlations survive — which means group cardinalities and join
+/// selectivities stay proportional as the row count grows and a
+/// ground-truth query keeps producing the same kinds of rows, just more
+/// of them. The scale bench (`crates/bench/benches/scale.rs`) builds its
+/// 10^4–10^6-row engine inputs with this.
+pub fn scale_table(t: &Table, n_rows: usize, seed: u64) -> Table {
+    let src = t.n_rows();
+    if src == 0 {
+        return t.clone();
+    }
+    let mut rng = Rng::seed_from_u64(seed);
+    let rows: Vec<Vec<Value>> = (0..n_rows)
+        .map(|_| t.row(rng.gen_range(src)).to_vec())
+        .collect();
+    Table::new(t.names().to_vec(), rows).expect("bootstrap preserves arity")
+}
+
+/// [`scale_table`] with a controlled join-key column: after bootstrap
+/// sampling, `key_col` is overwritten with integers drawn uniformly from
+/// `0..key_cardinality`.
+///
+/// Two tables scaled with the same cardinality then equi-join with a
+/// predictable match rate (about `n_l · n_r / key_cardinality` output
+/// rows), independent of the source data — the knob the scale bench's
+/// hash-vs-cross A/B scenarios turn.
+///
+/// # Panics
+///
+/// Panics if `key_cardinality` is zero or `key_col` is out of range for
+/// a non-empty `t`.
+pub fn scale_table_keyed(
+    t: &Table,
+    n_rows: usize,
+    key_col: usize,
+    key_cardinality: usize,
+    seed: u64,
+) -> Table {
+    assert!(key_cardinality > 0, "key_cardinality must be >= 1");
+    let src = t.n_rows();
+    if src == 0 {
+        return t.clone();
+    }
+    let mut rng = Rng::seed_from_u64(seed);
+    let rows: Vec<Vec<Value>> = (0..n_rows)
+        .map(|_| {
+            let mut row = t.row(rng.gen_range(src)).to_vec();
+            row[key_col] = Value::Int(rng.gen_range(key_cardinality) as i64);
+            row
+        })
+        .collect();
+    Table::new(t.names().to_vec(), rows).expect("bootstrap preserves arity")
 }
 
 #[cfg(test)]
@@ -279,6 +331,45 @@ mod tests {
         let groups = sickle_table::extract_groups(&gen.inputs[0], &[0, 1]).len();
         assert_eq!(gen.full_example_cells, groups * 2);
         assert!(gen.full_example_cells > gen.demo.n_cells());
+    }
+
+    #[test]
+    fn scale_table_preserves_schema_and_value_pool() {
+        let t = sales();
+        let big = scale_table(&t, 1000, 11);
+        assert_eq!(big.n_rows(), 1000);
+        assert_eq!(big.n_cols(), t.n_cols());
+        assert_eq!(big.names(), t.names());
+        // Every scaled row is a verbatim source row (bootstrap, not noise).
+        let source_rows: Vec<_> = (0..t.n_rows()).map(|r| t.row(r).to_vec()).collect();
+        for r in 0..big.n_rows() {
+            assert!(source_rows.contains(&big.row(r).to_vec()), "row {r}");
+        }
+        // Deterministic per seed.
+        let again = scale_table(&t, 1000, 11);
+        for r in 0..1000 {
+            assert_eq!(big.row(r).to_vec(), again.row(r).to_vec());
+        }
+        assert_eq!(scale_table(&t, 0, 11).n_rows(), 0);
+    }
+
+    #[test]
+    fn scale_table_keyed_bounds_key_cardinality() {
+        let t = sales();
+        let big = scale_table_keyed(&t, 500, 1, 8, 3);
+        assert_eq!(big.n_rows(), 500);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..big.n_rows() {
+            match &big.row(r)[1] {
+                Value::Int(k) => {
+                    assert!((0..8).contains(k), "key {k} out of range");
+                    seen.insert(*k);
+                }
+                other => panic!("key column not an int: {other:?}"),
+            }
+        }
+        // 500 draws over 8 keys: all keys show up (probability ~1).
+        assert_eq!(seen.len(), 8);
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod rng;
 mod suite;
 
 pub use demogen::{
-    demo_expr_of, demo_is_consistent_with_gt, generate_demo, DemoGenError, GeneratedDemo,
-    DEMO_ROWS, MAX_DEMO_VALUES, MAX_INPUT_ROWS,
+    demo_expr_of, demo_is_consistent_with_gt, generate_demo, scale_table, scale_table_keyed,
+    DemoGenError, GeneratedDemo, DEMO_ROWS, MAX_DEMO_VALUES, MAX_INPUT_ROWS,
 };
 pub use rng::Rng;
 

@@ -32,10 +32,13 @@
 
 use std::cell::{Cell, OnceCell, RefCell};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use sickle_table::{cross_selection, group_rows_by_keys, AnalyticFunc, Grid, Table, Value};
+use sickle_table::{
+    cross_selection, group_rows_by_keys, AnalyticFunc, CmpOp, Grid, Table, Value, ValueInterner,
+    ValueKey,
+};
 
 use sickle_provenance::{CellRef, Expr, FxBuild, FxMap, RefSet, RefSetPool, RefUniverse, SetId};
 use std::hash::BuildHasher;
@@ -398,12 +401,27 @@ fn select_rows(src: &ExecTable, sel: &[usize], names: Vec<String>) -> ExecTable 
 }
 
 fn exec_filter(src: &ExecTable, pred: &Pred) -> Result<ExecTable, EvalError> {
+    let mut keep = Vec::new();
+    exec_filter_with(src, pred, &mut keep)
+}
+
+/// `filter` over morsel-sized row chunks, writing the surviving row
+/// indices into a caller-pooled buffer (cleared here) so per-candidate
+/// allocation amortizes across the search.
+fn exec_filter_with(
+    src: &ExecTable,
+    pred: &Pred,
+    keep: &mut Vec<usize>,
+) -> Result<ExecTable, EvalError> {
     check_pred(pred, src.values.n_cols(), "filter")?;
     let grid = src.values.grid();
-    let keep: Vec<usize> = (0..grid.n_rows())
-        .filter(|&r| pred_holds(pred, &RowAccess::One(grid, r)))
-        .collect();
-    Ok(select_rows(src, &keep, src.values.names().to_vec()))
+    keep.clear();
+    let chunk = chunk_rows();
+    for start in (0..grid.n_rows()).step_by(chunk) {
+        let end = (start + chunk).min(grid.n_rows());
+        keep.extend((start..end).filter(|&r| pred_holds(pred, &RowAccess::One(grid, r))));
+    }
+    Ok(select_rows(src, keep, src.values.names().to_vec()))
 }
 
 fn joined_names(l: &ExecTable, r: &ExecTable) -> Vec<String> {
@@ -435,14 +453,181 @@ fn exec_join(l: &ExecTable, r: &ExecTable) -> ExecTable {
     gather_join(l, r, &lsel, &rsel)
 }
 
-/// `filter(join(l, r), p)` without materializing the cross product: the
-/// predicate runs over virtual concatenated rows and only surviving row
-/// pairs are gathered.
-fn exec_filtered_join(l: &ExecTable, r: &ExecTable, pred: &Pred) -> Result<ExecTable, EvalError> {
-    check_pred(pred, l.values.n_cols() + r.values.n_cols(), "filter")?;
+/// Join execution strategy of the fused `filter ∘ join` path — the A/B
+/// seam of the `scale` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Extract equi-join keys from the predicate and hash-join on them,
+    /// falling back to the nested cross loop only when no conjunct is a
+    /// cross-side equality (the production default).
+    #[default]
+    Auto,
+    /// Force the legacy O(|L|·|R|) nested loop (the pre-hash-join engine,
+    /// kept as the A/B baseline).
+    CrossLoop,
+}
+
+/// Reusable scratch of the chunked filter/join execution paths: selection
+/// vectors and key buffers, pooled in [`EvalCache`] so per-candidate
+/// allocation amortizes across the search instead of scaling with row
+/// count (buffers are cleared between uses, never shrunk).
+#[derive(Debug, Default)]
+struct ExecScratch {
+    lsel: Vec<usize>,
+    rsel: Vec<usize>,
+    keep: Vec<usize>,
+    probe: Vec<ValueKey>,
+}
+
+/// Default morsel size of the chunked row loops (filter and hash-probe).
+const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+/// Rows per morsel, overridable with `SICKLE_CHUNK_ROWS` (read once).
+fn chunk_rows() -> usize {
+    static CHUNK: OnceLock<usize> = OnceLock::new();
+    *CHUNK.get_or_init(|| {
+        std::env::var("SICKLE_CHUNK_ROWS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CHUNK_ROWS)
+    })
+}
+
+/// Splits a join predicate into hash-joinable equi keys and residual
+/// conjuncts. A conjunct is an equi key iff it is `cₐ == c_b` with exactly
+/// one side referring to the left operand; since [`Value`] equality is
+/// exactly interner-key equality (cross-type numerics, `null == null`), a
+/// hash probe on interned keys decides those conjuncts. Everything else —
+/// constant comparisons, non-equality operators, same-side equalities —
+/// stays residual and is evaluated on hash matches only.
+fn split_equi_pred(pred: &Pred, left_cols: usize) -> (Vec<(usize, usize)>, Vec<&Pred>) {
+    fn walk<'p>(
+        p: &'p Pred,
+        left_cols: usize,
+        keys: &mut Vec<(usize, usize)>,
+        residual: &mut Vec<&'p Pred>,
+    ) {
+        match p {
+            Pred::True => {}
+            Pred::And(l, r) => {
+                walk(l, left_cols, keys, residual);
+                walk(r, left_cols, keys, residual);
+            }
+            Pred::ColCmp(a, CmpOp::Eq, b) if (*a < left_cols) != (*b < left_cols) => {
+                let (lc, rc) = if *a < left_cols { (*a, *b) } else { (*b, *a) };
+                keys.push((lc, rc - left_cols));
+            }
+            other => residual.push(other),
+        }
+    }
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    walk(pred, left_cols, &mut keys, &mut residual);
+    (keys, residual)
+}
+
+/// Hash join on extracted equi keys: builds a hash table over the interned
+/// key values of the *right* (build) side, probes with the left rows in
+/// morsel-sized chunks, and evaluates residual conjuncts on hash matches
+/// only. Match lists hold right rows in ascending order and the probe walks
+/// left rows in order, so the emitted (lrow, rrow) pairs are exactly the
+/// legacy nested loop's lrow-major sequence — the gathered output is
+/// byte-identical (values and star) to the cross-product path.
+fn exec_hash_join(
+    l: &ExecTable,
+    r: &ExecTable,
+    keys: &[(usize, usize)],
+    residual: &[&Pred],
+    scratch: &mut ExecScratch,
+) -> ExecTable {
     let (lg, rg) = (l.values.grid(), r.values.grid());
-    let mut lsel = Vec::new();
-    let mut rsel = Vec::new();
+    let ExecScratch {
+        lsel, rsel, probe, ..
+    } = scratch;
+    lsel.clear();
+    rsel.clear();
+    let mut interner = ValueInterner::new();
+    let residual_holds = |lrow: usize, rrow: usize| {
+        residual.is_empty() || {
+            let row = RowAccess::Concat {
+                left: lg,
+                right: rg,
+                lrow,
+                rrow,
+            };
+            residual.iter().all(|p| pred_holds(p, &row))
+        }
+    };
+    let chunk = chunk_rows();
+    if let [(lc, rc)] = keys {
+        // Single-key fast path: the interned key itself is the hash key.
+        let mut build: FxMap<ValueKey, Vec<usize>> = FxMap::default();
+        for (rrow, v) in rg.column(*rc).iter().enumerate() {
+            build.entry(interner.key(v)).or_default().push(rrow);
+        }
+        let lcol = lg.column(*lc);
+        for start in (0..lcol.len()).step_by(chunk) {
+            let end = (start + chunk).min(lcol.len());
+            for (off, v) in lcol[start..end].iter().enumerate() {
+                let lrow = start + off;
+                if let Some(rows) = build.get(&interner.key(v)) {
+                    for &rrow in rows {
+                        if residual_holds(lrow, rrow) {
+                            lsel.push(lrow);
+                            rsel.push(rrow);
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        let rcols: Vec<&[Value]> = keys.iter().map(|&(_, rc)| rg.column(rc)).collect();
+        let mut build: FxMap<Box<[ValueKey]>, Vec<usize>> = FxMap::default();
+        for rrow in 0..rg.n_rows() {
+            probe.clear();
+            probe.extend(rcols.iter().map(|col| interner.key(&col[rrow])));
+            match build.get_mut(probe.as_slice()) {
+                Some(rows) => rows.push(rrow),
+                None => {
+                    build.insert(probe.as_slice().into(), vec![rrow]);
+                }
+            }
+        }
+        let lcols: Vec<&[Value]> = keys.iter().map(|&(lc, _)| lg.column(lc)).collect();
+        for start in (0..lg.n_rows()).step_by(chunk) {
+            let end = (start + chunk).min(lg.n_rows());
+            for lrow in start..end {
+                probe.clear();
+                probe.extend(lcols.iter().map(|col| interner.key(&col[lrow])));
+                if let Some(rows) = build.get(probe.as_slice()) {
+                    for &rrow in rows {
+                        if residual_holds(lrow, rrow) {
+                            lsel.push(lrow);
+                            rsel.push(rrow);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gather_join(l, r, lsel, rsel)
+}
+
+/// The legacy `filter(join(l, r), p)` pair loop: every (lrow, rrow) pair is
+/// tested against the full predicate. O(|L|·|R|) — kept as the fallback for
+/// genuinely non-equi predicates and as the A/B baseline of the scale
+/// bench.
+fn exec_cross_loop(
+    l: &ExecTable,
+    r: &ExecTable,
+    pred: &Pred,
+    scratch: &mut ExecScratch,
+) -> ExecTable {
+    let (lg, rg) = (l.values.grid(), r.values.grid());
+    let ExecScratch { lsel, rsel, .. } = scratch;
+    lsel.clear();
+    rsel.clear();
     for lrow in 0..lg.n_rows() {
         for rrow in 0..rg.n_rows() {
             let row = RowAccess::Concat {
@@ -457,7 +642,55 @@ fn exec_filtered_join(l: &ExecTable, r: &ExecTable, pred: &Pred) -> Result<ExecT
             }
         }
     }
-    Ok(gather_join(l, r, &lsel, &rsel))
+    gather_join(l, r, lsel, rsel)
+}
+
+/// `filter(join(l, r), p)` without materializing the cross product,
+/// returning whether the hash path ran. Routes through [`exec_hash_join`]
+/// when the predicate has at least one cross-side equality conjunct (and
+/// the strategy allows it); otherwise the nested pair loop.
+fn exec_filtered_join_with(
+    l: &ExecTable,
+    r: &ExecTable,
+    pred: &Pred,
+    strategy: JoinStrategy,
+    scratch: &mut ExecScratch,
+) -> Result<(ExecTable, bool), EvalError> {
+    check_pred(pred, l.values.n_cols() + r.values.n_cols(), "filter")?;
+    if strategy == JoinStrategy::CrossLoop {
+        return Ok((exec_cross_loop(l, r, pred, scratch), false));
+    }
+    let (keys, residual) = split_equi_pred(pred, l.values.n_cols());
+    if keys.is_empty() {
+        Ok((exec_cross_loop(l, r, pred, scratch), false))
+    } else {
+        Ok((exec_hash_join(l, r, &keys, &residual, scratch), true))
+    }
+}
+
+/// `filter(join(l, r), p)` under the default [`JoinStrategy::Auto`].
+fn exec_filtered_join(l: &ExecTable, r: &ExecTable, pred: &Pred) -> Result<ExecTable, EvalError> {
+    let mut scratch = ExecScratch::default();
+    exec_filtered_join_with(l, r, pred, JoinStrategy::Auto, &mut scratch).map(|(t, _)| t)
+}
+
+/// Executes `filter(join(l, r), p)` under an explicit [`JoinStrategy`] —
+/// the public A/B seam used by the `scale` bench and the join property
+/// tests to compare the hash path against the legacy cross loop on
+/// identical operands.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the predicate references a column outside
+/// the concatenated arity.
+pub fn exec_filtered_join_strategy(
+    l: &ExecTable,
+    r: &ExecTable,
+    pred: &Pred,
+    strategy: JoinStrategy,
+) -> Result<ExecTable, EvalError> {
+    let mut scratch = ExecScratch::default();
+    exec_filtered_join_with(l, r, pred, strategy, &mut scratch).map(|(t, _)| t)
 }
 
 fn exec_left_join(
@@ -581,10 +814,7 @@ fn exec_group(
     value_cols.push(
         groups
             .iter()
-            .map(|g| {
-                let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
-                agg.apply(&vals)
-            })
+            .map(|g| agg.apply_indexed(target_col, g))
             .collect(),
     );
     let values = Table::from_named_grid(
@@ -646,8 +876,7 @@ fn exec_partition(
     let target_col = src.values.column(target);
     let mut new_col: Vec<Value> = vec![Value::Null; n_rows];
     for g in &groups {
-        let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
-        for (&i, v) in g.iter().zip(func.apply(&vals)) {
+        for (&i, v) in g.iter().zip(func.apply_indexed(target_col, g)) {
             new_col[i] = v;
         }
     }
@@ -812,6 +1041,11 @@ pub struct EvalCache {
     /// of cloning it. Same bound and survival rules as
     /// [`EvalCache::row_counts`].
     group_counts: RefCell<GroupCountsMemo>,
+    /// Pooled scratch of the chunked filter/join paths: selection vectors
+    /// and key buffers reused across every candidate evaluated through
+    /// this cache, so per-candidate allocation stops scaling with row
+    /// count.
+    scratch: RefCell<ExecScratch>,
     /// Eviction policy of the concrete store (cap, hysteresis target,
     /// cost-aware ordering, star-channel spilling).
     policy: CachePolicy,
@@ -847,6 +1081,12 @@ struct ExecSlot {
     /// output size (re-gathering a large join output costs real time even
     /// when its children are still cached). Monotone across upgrades.
     cost: Cell<u64>,
+    /// Cache-hit count since the last sweep (halved by each sweep): the
+    /// reuse-frequency signal of the benefit-aware demotion trigger. An
+    /// entry that was inserted but never re-probed has paid for derived
+    /// channels nobody consumed — the sweep frees them regardless of the
+    /// hot bit.
+    probes: Cell<u32>,
 }
 
 /// Column-union memo: column `Arc` address → (pinned column, union id).
@@ -1034,6 +1274,16 @@ pub struct CacheStats {
     /// entries instead of expensive join children, so the spend drops
     /// even when the count does not.
     pub reeval_ns: u64,
+    /// Fused `filter ∘ join` steps that ran through the hash-join path.
+    pub hash_joins: usize,
+    /// Fused `filter ∘ join` steps that fell back to the nested cross
+    /// loop (no cross-side equality conjunct in the predicate).
+    pub cross_joins: usize,
+    /// Output rows produced by fused join steps (the rows-processed side
+    /// of the `time_join` split surfaced through the search stats).
+    pub join_rows: u64,
+    /// Nanoseconds spent in fused join steps.
+    pub join_ns: u64,
 }
 
 /// A cache entry with a second-chance bit: set on every hit (and on
@@ -1250,21 +1500,28 @@ impl EvalCache {
                 !evict
             });
         }
-        // Demote the cold expensive survivors, then consume every
-        // survivor's second chance. At `low_water <= cap/2` this loop
-        // demotes nothing: at least `cap - low_water` entries were
-        // inserted (hot) since the previous sweep, so every cold entry
-        // ranks within the eviction excess and is already gone —
-        // demotion engages only in retention mode, as documented on
-        // [`CachePolicy`]. Address-keyed memo purges for replaced
-        // entries are batched into one retain per memo — a retain per
-        // demotion would make the sweep O(survivors × memo).
+        // Demote low-benefit survivors, then consume every survivor's
+        // second chance. The trigger is benefit-aware: a survivor is
+        // demoted when it is cold *or* was never re-probed since the last
+        // sweep (`probes == 0`) — an entry inserted hot but never hit
+        // again has paid for derived ref-set channels nobody consumed, so
+        // spilling them is free upside at *any* low-water mark, not just
+        // in retention mode. Probe counts decay geometrically (halved per
+        // sweep) so sustained reuse is required to stay materialized.
+        // Address-keyed memo purges for replaced entries are batched into
+        // one retain per memo — a retain per demotion would make the
+        // sweep O(survivors × memo).
         let mut purge: Vec<usize> = Vec::new();
         for slot in map.values_mut() {
-            if self.policy.spill && !slot.hot.get() && self.demote_slot(slot, &mut purge) {
+            let probes = slot.probes.get();
+            if self.policy.spill
+                && (!slot.hot.get() || probes == 0)
+                && self.demote_slot(slot, &mut purge)
+            {
                 stats.demotions += 1;
             }
             slot.hot.set(false);
+            slot.probes.set(probes / 2);
         }
         if !purge.is_empty() {
             purge.sort_unstable();
@@ -1465,10 +1722,7 @@ impl EvalCache {
         value_cols.push(Arc::new(
             groups
                 .iter()
-                .map(|g| {
-                    let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
-                    agg.apply(&vals)
-                })
+                .map(|g| agg.apply_indexed(target_col, g))
                 .collect(),
         ));
         let values = Table::from_named_grid(names, Grid::from_columns(value_cols));
@@ -1521,8 +1775,7 @@ impl EvalCache {
         let target_col = child.values.column(target);
         let mut new_col: Vec<Value> = vec![Value::Null; n_rows];
         for g in groups.iter() {
-            let vals: Vec<Value> = g.iter().map(|&i| target_col[i].clone()).collect();
-            for (&i, v) in g.iter().zip(func.apply(&vals)) {
+            for (&i, v) in g.iter().zip(func.apply_indexed(target_col, g)) {
                 new_col[i] = v;
             }
         }
@@ -1635,6 +1888,7 @@ impl EvalCache {
                     }
                     if let Some(hit) = &slot.value[level as usize] {
                         slot.hot.set(true);
+                        slot.probes.set(slot.probes.get().saturating_add(1));
                         return Ok(Rc::clone(hit));
                     }
                 }
@@ -1661,10 +1915,32 @@ impl EvalCache {
             let l = narrow(self.exec(left, sem, inputs)?);
             let r = narrow(self.exec(right, sem, inputs)?);
             let t0 = Instant::now();
-            (
-                exec_filtered_join(&l, &r, pred)?,
-                t0.elapsed().as_nanos() as u64,
-            )
+            let (out, hashed) = {
+                let mut scratch = self.scratch.borrow_mut();
+                exec_filtered_join_with(&l, &r, pred, JoinStrategy::Auto, &mut scratch)?
+            };
+            let ns = t0.elapsed().as_nanos() as u64;
+            let mut stats = self.stats.get();
+            if hashed {
+                stats.hash_joins += 1;
+            } else {
+                stats.cross_joins += 1;
+            }
+            stats.join_rows = stats.join_rows.saturating_add(out.values.n_rows() as u64);
+            stats.join_ns = stats.join_ns.saturating_add(ns);
+            self.stats.set(stats);
+            (out, ns)
+        } else if let Query::Filter { src, pred } = q {
+            // Plain filter (the fused branch above took filter-over-join):
+            // runs through the pooled selection buffer so candidate churn
+            // does not allocate per row count.
+            let child = narrow(self.exec(src, sem, inputs)?);
+            let t0 = Instant::now();
+            let out = {
+                let mut scratch = self.scratch.borrow_mut();
+                exec_filter_with(&child, pred, &mut scratch.keep)?
+            };
+            (out, t0.elapsed().as_nanos() as u64)
         } else if let Query::Group {
             src,
             keys,
@@ -2187,6 +2463,117 @@ mod tests {
                 "repeat rounds over an evicting cache must re-evaluate: {policy:?}"
             );
         }
+    }
+
+    #[test]
+    fn hash_join_matches_cross_loop_on_every_strategy_relevant_pred() {
+        let inputs = [input()];
+        let l = ProvenanceEngine.exec(&Query::Input(0), &inputs).unwrap();
+        let r = ProvenanceEngine.exec(&Query::Input(0), &inputs).unwrap();
+        let preds = [
+            // Single equi key, both orientations.
+            Pred::ColCmp(0, CmpOp::Eq, 4),
+            Pred::ColCmp(5, CmpOp::Eq, 1),
+            // Equi key plus residual conjuncts on both sides of the And.
+            Pred::And(
+                Box::new(Pred::ColCmp(0, CmpOp::Eq, 4)),
+                Box::new(Pred::ColCmp(2, CmpOp::Lt, 6)),
+            ),
+            Pred::And(
+                Box::new(Pred::ColConst(1, CmpOp::Ge, Value::Int(2))),
+                Box::new(Pred::ColCmp(1, CmpOp::Eq, 5)),
+            ),
+            // Two equi keys (multi-column hash path).
+            Pred::And(
+                Box::new(Pred::ColCmp(0, CmpOp::Eq, 4)),
+                Box::new(Pred::ColCmp(1, CmpOp::Eq, 5)),
+            ),
+            // No equi key: same-side equality, non-equality, constant-only.
+            Pred::ColCmp(0, CmpOp::Eq, 1),
+            Pred::ColCmp(2, CmpOp::Lt, 6),
+            Pred::ColConst(0, CmpOp::Eq, Value::from("A")),
+            Pred::True,
+        ];
+        for pred in preds {
+            let auto = exec_filtered_join_strategy(&l, &r, &pred, JoinStrategy::Auto).unwrap();
+            let cross =
+                exec_filtered_join_strategy(&l, &r, &pred, JoinStrategy::CrossLoop).unwrap();
+            assert_eq!(
+                auto.table().grid(),
+                cross.table().grid(),
+                "values diverged on {pred}"
+            );
+            assert_eq!(auto.star(), cross.star(), "star diverged on {pred}");
+        }
+    }
+
+    #[test]
+    fn equi_key_split_recognizes_cross_side_equalities_only() {
+        let pred = Pred::And(
+            Box::new(Pred::And(
+                Box::new(Pred::ColCmp(0, CmpOp::Eq, 4)), // equi
+                Box::new(Pred::ColCmp(0, CmpOp::Eq, 1)), // same side
+            )),
+            Box::new(Pred::And(
+                Box::new(Pred::ColCmp(5, CmpOp::Eq, 2)), // equi, flipped
+                Box::new(Pred::ColConst(3, CmpOp::Eq, Value::Int(1))), // constant
+            )),
+        );
+        let (keys, residual) = split_equi_pred(&pred, 4);
+        assert_eq!(keys, vec![(0, 0), (2, 1)]);
+        assert_eq!(residual.len(), 2);
+        // `true` conjuncts vanish rather than becoming residual work.
+        let (keys, residual) = split_equi_pred(&Pred::True, 4);
+        assert!(keys.is_empty() && residual.is_empty());
+    }
+
+    #[test]
+    fn benefit_aware_demotion_frees_unprobed_sets() {
+        let inputs = [input()];
+        let u = RefUniverse::from_tables(&inputs);
+        // Cap high enough that the manual sweep below evicts nothing.
+        let cache = EvalCache::with_policy(CachePolicy::default().with_cap(64));
+        let probed = Query::Group {
+            src: Box::new(Query::Input(0)),
+            keys: vec![0],
+            agg: AggFunc::Sum,
+            target: 2,
+        };
+        let unprobed = Query::Group {
+            src: Box::new(Query::Input(0)),
+            keys: vec![1],
+            agg: AggFunc::Sum,
+            target: 2,
+        };
+        for q in [&probed, &unprobed] {
+            let out = cache.exec(q, Semantics::Provenance, &inputs).unwrap();
+            out.sets(&u);
+        }
+        // One entry is re-probed (a cache hit bumps its probe count), the
+        // other is left at zero probes; both are hot.
+        cache.exec(&probed, Semantics::Provenance, &inputs).unwrap();
+        {
+            let mut map = cache.map.borrow_mut();
+            cache.sweep_exec(&mut map);
+        }
+        assert_eq!(cache.cache_stats().evictions, 0);
+        assert!(cache.cache_stats().demotions > 0);
+        let kept = cache.peek(&probed).unwrap();
+        assert!(
+            kept.sets.get().is_some(),
+            "re-probed entry must keep its derived sets"
+        );
+        let freed = cache.peek(&unprobed).unwrap();
+        assert!(
+            freed.sets.get().is_none(),
+            "never-probed entry must be demoted"
+        );
+        // Demotion is transparent: the sets re-derive identically.
+        let fresh = EvalCache::new();
+        let want = fresh
+            .exec(&unprobed, Semantics::Provenance, &inputs)
+            .unwrap();
+        assert_eq!(*freed.sets(&u), *want.sets(&u));
     }
 
     #[test]

@@ -85,8 +85,8 @@ pub use abstract_eval::{
 };
 pub use ast::{PQuery, Pred, Query};
 pub use engine::{
-    AnalysisEngine, CachePolicy, CacheStats, ConcreteEngine, Engine, EvalCache, ExecTable,
-    ProvenanceEngine, Semantics,
+    exec_filtered_join_strategy, exec_step, AnalysisEngine, CachePolicy, CacheStats,
+    ConcreteEngine, Engine, EvalCache, ExecTable, JoinStrategy, ProvenanceEngine, Semantics,
 };
 pub use error::SickleError;
 pub use eval::{evaluate, EvalError};

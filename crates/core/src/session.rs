@@ -484,6 +484,12 @@ pub struct ProgressSnapshot {
     /// Acceptance stage 3 so far: the candidate-seeded Def. 1 expression
     /// match, across workers.
     pub time_match: Duration,
+    /// Time spent inside the engine's filtered-join kernels so far (hash
+    /// build + probe, or the non-equi cross-loop fallback), across
+    /// workers.
+    pub time_join: Duration,
+    /// Output rows produced by those join kernels so far, across workers.
+    pub join_rows: usize,
     /// Engine-cache entries dropped by eviction sweeps so far, across
     /// workers.
     pub cache_evictions: usize,
@@ -509,6 +515,8 @@ impl ProgressSnapshot {
             time_materialize: ns(&shared.time_materialize_ns),
             time_prefilter: ns(&shared.time_prefilter_ns),
             time_match: ns(&shared.time_match_ns),
+            time_join: ns(&shared.time_join_ns),
+            join_rows: shared.join_rows.load(Ordering::Relaxed),
             cache_evictions: shared.cache_evictions.load(Ordering::Relaxed),
             cache_demotions: shared.cache_demotions.load(Ordering::Relaxed),
             cache_reevals: shared.cache_reevals.load(Ordering::Relaxed),

@@ -538,6 +538,13 @@ pub struct SearchStats {
     pub time_match: Duration,
     /// Time spent expanding holes (domain inference + tree building).
     pub time_expand: Duration,
+    /// Time spent inside the engine's filtered-join kernels (hash
+    /// build/probe, or the legacy cross loop on non-equi fallback). A
+    /// subset of `time_materialize` when joins are reached from acceptance.
+    pub time_join: Duration,
+    /// Output rows produced by those join kernels — the "rows processed"
+    /// half of the join split (throughput = `join_rows / time_join`).
+    pub join_rows: usize,
     /// Engine-cache entries dropped entirely by eviction sweeps.
     pub cache_evictions: usize,
     /// Engine-cache entries demoted (star-channel spill: derived ref-set
@@ -592,6 +599,11 @@ pub struct SharedStats {
     /// Nanoseconds spent in the seeded Def. 1 match (acceptance stage 3),
     /// across workers.
     pub time_match_ns: AtomicU64,
+    /// Nanoseconds spent in the engine's filtered-join kernels, across
+    /// workers.
+    pub time_join_ns: AtomicU64,
+    /// Output rows produced by join kernels, across workers.
+    pub join_rows: AtomicUsize,
     /// Engine-cache evictions across workers.
     pub cache_evictions: AtomicUsize,
     /// Engine-cache demotions (star-channel spills) across workers.
@@ -727,6 +739,10 @@ pub(crate) fn run_search(
                 .fetch_add(now.reevals - seen.reevals, Ordering::Relaxed);
             s.cache_reeval_ns
                 .fetch_add(now.reeval_ns - seen.reeval_ns, Ordering::Relaxed);
+            s.time_join_ns
+                .fetch_add(now.join_ns - seen.join_ns, Ordering::Relaxed);
+            s.join_rows
+                .fetch_add((now.join_rows - seen.join_rows) as usize, Ordering::Relaxed);
         }
         *seen = now;
     };
@@ -814,9 +830,48 @@ pub(crate) fn run_search(
                     .eval_cache
                     .known_group_rows(src, keys)
                     .is_some_and(|n| n < demo_rows),
-                // Remaining row-changing operators (filter, joins) fall
-                // through to the prefilter's dims check, which is free
-                // now that cell sets convert lazily.
+                // Filter and join tops: an exact memo for the candidate
+                // itself wins (recorded if any sibling shape evaluated
+                // it); otherwise a *sound upper bound* from the operand
+                // memos — a filter never has more rows than its child, a
+                // cross join has exactly |L|·|R|, and a left join keeps
+                // every left row at least once, so it has at most
+                // |L|·max(1, |R|). Upper bound < demo rows refutes the
+                // candidate before any star construction.
+                Query::Filter { src, .. } => ctx
+                    .eval_cache
+                    .known_rows(&q)
+                    .or_else(|| match &**src {
+                        Query::Join { left, right } => Some(
+                            ctx.eval_cache
+                                .known_rows(left)?
+                                .saturating_mul(ctx.eval_cache.known_rows(right)?),
+                        ),
+                        _ => ctx.eval_cache.known_rows(src),
+                    })
+                    .is_some_and(|n| n < demo_rows),
+                Query::Join { left, right } => ctx
+                    .eval_cache
+                    .known_rows(&q)
+                    .or_else(|| {
+                        Some(
+                            ctx.eval_cache
+                                .known_rows(left)?
+                                .saturating_mul(ctx.eval_cache.known_rows(right)?),
+                        )
+                    })
+                    .is_some_and(|n| n < demo_rows),
+                Query::LeftJoin { left, right, .. } => ctx
+                    .eval_cache
+                    .known_rows(&q)
+                    .or_else(|| {
+                        Some(
+                            ctx.eval_cache
+                                .known_rows(left)?
+                                .saturating_mul(ctx.eval_cache.known_rows(right)?.max(1)),
+                        )
+                    })
+                    .is_some_and(|n| n < demo_rows),
                 _ => false,
             };
             let exec = if too_small {
@@ -940,6 +995,8 @@ pub(crate) fn run_search(
     stats.cache_demotions = cache_seen.demotions - cache_base.demotions;
     stats.cache_reevals = cache_seen.reevals - cache_base.reevals;
     stats.cache_reeval_time = Duration::from_nanos(cache_seen.reeval_ns - cache_base.reeval_ns);
+    stats.time_join = Duration::from_nanos(cache_seen.join_ns - cache_base.join_ns);
+    stats.join_rows = (cache_seen.join_rows - cache_base.join_rows) as usize;
     // Rank by query size (stable: discovery order breaks ties), matching
     // the paper's size-based ranking of consistent queries.
     solutions.sort_by_key(Query::size);
@@ -1111,6 +1168,8 @@ pub(crate) fn run_parallel(
         merged.stats.time_prefilter += r.stats.time_prefilter;
         merged.stats.time_match += r.stats.time_match;
         merged.stats.time_expand += r.stats.time_expand;
+        merged.stats.time_join += r.stats.time_join;
+        merged.stats.join_rows += r.stats.join_rows;
         merged.stats.cache_evictions += r.stats.cache_evictions;
         merged.stats.cache_demotions += r.stats.cache_demotions;
         merged.stats.cache_reevals += r.stats.cache_reevals;

@@ -86,6 +86,88 @@ impl AggFunc {
             AggFunc::Count => unreachable!("handled above"),
         }
     }
+
+    /// Applies the aggregate to `col[i]` for each selection index, without
+    /// materializing the gathered slice.
+    ///
+    /// Bit-identical to `self.apply(&gather)` where `gather[k] =
+    /// col[idx[k]]` — including the int/float promotion rule of `sum`, the
+    /// left-fold float accumulation order, and the last-maximal /
+    /// first-minimal tie behavior of `max`/`min`. This is the columnar
+    /// group-by kernel: one pass over the selection vector, no per-group
+    /// `Vec<Value>` allocation.
+    ///
+    /// ```
+    /// use sickle_table::{AggFunc, Value};
+    /// let col = [Value::Int(7), Value::Int(1), Value::Null, Value::Int(2)];
+    /// assert_eq!(AggFunc::Sum.apply_indexed(&col, &[1, 2, 3]), Value::Int(3));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selection index is out of bounds for `col`.
+    pub fn apply_indexed(self, col: &[Value], idx: &[usize]) -> Value {
+        match self {
+            AggFunc::Count => Value::Int(idx.iter().filter(|&&i| !col[i].is_null()).count() as i64),
+            AggFunc::Sum => {
+                let mut sum = SumState::default();
+                for &i in idx {
+                    sum.push(&col[i]);
+                }
+                sum.value()
+            }
+            AggFunc::Avg => {
+                let mut total = 0.0f64;
+                let mut non_null = 0usize;
+                for &i in idx {
+                    let v = &col[i];
+                    if v.is_null() {
+                        continue;
+                    }
+                    non_null += 1;
+                    if let Some(f) = v.as_f64() {
+                        total += f;
+                    }
+                }
+                if non_null == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / non_null as f64)
+                }
+            }
+            AggFunc::Max => {
+                let mut best: Option<&Value> = None;
+                for &i in idx {
+                    let v = &col[i];
+                    if v.is_null() {
+                        continue;
+                    }
+                    // `Iterator::max` keeps the *last* maximal element.
+                    match best {
+                        Some(b) if v < b => {}
+                        _ => best = Some(v),
+                    }
+                }
+                best.cloned().unwrap_or(Value::Null)
+            }
+            AggFunc::Min => {
+                let mut best: Option<&Value> = None;
+                for &i in idx {
+                    let v = &col[i];
+                    if v.is_null() {
+                        continue;
+                    }
+                    // `Iterator::min` keeps the *first* minimal element.
+                    match best {
+                        None => best = Some(v),
+                        Some(b) if v < b => best = Some(v),
+                        _ => {}
+                    }
+                }
+                best.cloned().unwrap_or(Value::Null)
+            }
+        }
+    }
 }
 
 fn sum_values(non_null: &[&Value]) -> Value {
@@ -93,6 +175,52 @@ fn sum_values(non_null: &[&Value]) -> Value {
         Value::Int(non_null.iter().filter_map(|v| v.as_i64()).sum())
     } else {
         Value::Float(non_null.iter().filter_map(|v| v.as_f64()).sum())
+    }
+}
+
+/// Streaming twin of [`sum_values`]: tracks the all-int integer sum and the
+/// left-fold float sum side by side, so its value after pushing a prefix is
+/// bit-identical to re-summing that prefix from scratch (which is what the
+/// row-at-a-time `cumsum` does).
+#[derive(Debug, Clone, Copy, Default)]
+struct SumState {
+    any: bool,
+    all_int: bool,
+    int_sum: i64,
+    float_sum: f64,
+}
+
+impl SumState {
+    fn push(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        if !self.any {
+            self.any = true;
+            self.all_int = true;
+        }
+        match v {
+            Value::Int(i) => {
+                self.int_sum += i;
+                self.float_sum += *i as f64;
+            }
+            other => {
+                self.all_int = false;
+                if let Some(f) = other.as_f64() {
+                    self.float_sum += f;
+                }
+            }
+        }
+    }
+
+    fn value(&self) -> Value {
+        if !self.any {
+            Value::Null
+        } else if self.all_int {
+            Value::Int(self.int_sum)
+        } else {
+            Value::Float(self.float_sum)
+        }
     }
 }
 
@@ -193,6 +321,71 @@ impl AnalyticFunc {
                         Value::Int(pos as i64 + 1)
                     })
                     .collect()
+            }
+        }
+    }
+
+    /// Applies the function to the partition `col[idx[0]], col[idx[1]], ...`
+    /// without materializing the gathered values.
+    ///
+    /// Bit-identical to `self.apply(&gather)` for `gather[k] = col[idx[k]]`,
+    /// but with better asymptotics: `cumsum` streams one running-sum state
+    /// instead of re-summing every prefix (O(n) vs O(n²)), and
+    /// `rank`/`dense_rank` sort the partition once instead of scanning it
+    /// per row (O(n log n) vs O(n²)).
+    ///
+    /// ```
+    /// use sickle_table::{AnalyticFunc, Value};
+    /// let col: Vec<Value> = [99, 10, 20, 10].map(Value::Int).to_vec();
+    /// assert_eq!(
+    ///     AnalyticFunc::CumSum.apply_indexed(&col, &[1, 2, 3]),
+    ///     [10, 30, 40].map(Value::Int).to_vec(),
+    /// );
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selection index is out of bounds for `col`.
+    pub fn apply_indexed(self, col: &[Value], idx: &[usize]) -> Vec<Value> {
+        match self {
+            AnalyticFunc::Agg(a) => {
+                let v = a.apply_indexed(col, idx);
+                vec![v; idx.len()]
+            }
+            AnalyticFunc::CumSum => {
+                let mut sum = SumState::default();
+                idx.iter()
+                    .map(|&i| {
+                        sum.push(&col[i]);
+                        sum.value()
+                    })
+                    .collect()
+            }
+            AnalyticFunc::Rank | AnalyticFunc::DenseRank => {
+                let n = idx.len();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| col[idx[a]].cmp(&col[idx[b]]));
+                let mut out = vec![Value::Null; n];
+                let mut start = 0;
+                let mut run = 0i64;
+                while start < n {
+                    let mut end = start + 1;
+                    while end < n && col[idx[order[end]]] == col[idx[order[start]]] {
+                        end += 1;
+                    }
+                    // Rank = strictly-less count + 1 = the run's start
+                    // position; dense rank = distinct-value index + 1.
+                    let r = match self {
+                        AnalyticFunc::Rank => start as i64 + 1,
+                        _ => run + 1,
+                    };
+                    for &p in &order[start..end] {
+                        out[p] = Value::Int(r);
+                    }
+                    run += 1;
+                    start = end;
+                }
+                out
             }
         }
     }
@@ -502,6 +695,77 @@ mod tests {
         assert_eq!(
             AnalyticFunc::Agg(AggFunc::Max).apply(&ints(&[1, 5, 3])),
             ints(&[5, 5, 5])
+        );
+    }
+
+    /// Mixed column exercising every kernel edge: nulls, int/float
+    /// promotion, non-numeric non-nulls (which flip sum to float), ties
+    /// (max keeps last, min keeps first), and duplicate selection indices.
+    fn tricky_column() -> Vec<Value> {
+        vec![
+            Value::Int(3),
+            Value::Null,
+            Value::Float(0.5),
+            Value::from("pear"),
+            Value::Int(3),
+            Value::Float(3.0),
+            Value::from("apple"),
+            Value::Int(-2),
+            Value::Bool(true),
+            Value::Float(f64::NAN),
+        ]
+    }
+
+    #[test]
+    fn apply_indexed_matches_gathered_apply() {
+        let col = tricky_column();
+        let selections: [&[usize]; 6] = [
+            &[],
+            &[1],
+            &[0, 4, 7],
+            &[9, 2, 0, 5, 4],
+            &[3, 6, 8, 1],
+            &[5, 5, 0, 0, 2, 7, 3, 9, 8, 6, 1, 4],
+        ];
+        for idx in selections {
+            let gathered: Vec<Value> = idx.iter().map(|&i| col[i].clone()).collect();
+            for f in AggFunc::ALL {
+                assert_eq!(
+                    f.apply_indexed(&col, idx),
+                    f.apply(&gathered),
+                    "{f} diverged on {idx:?}"
+                );
+            }
+            for f in AnalyticFunc::ALL {
+                assert_eq!(
+                    f.apply_indexed(&col, idx),
+                    f.apply(&gathered),
+                    "{f} diverged on {idx:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_rank_and_dense_rank() {
+        let col = ints(&[10, 20, 10, 30]);
+        let idx = [0, 1, 2, 3];
+        assert_eq!(
+            AnalyticFunc::Rank.apply_indexed(&col, &idx),
+            ints(&[1, 3, 1, 4])
+        );
+        assert_eq!(
+            AnalyticFunc::DenseRank.apply_indexed(&col, &idx),
+            ints(&[1, 2, 1, 3])
+        );
+    }
+
+    #[test]
+    fn indexed_cumsum_promotes_mid_stream() {
+        let col = vec![Value::Int(1), Value::Float(0.5), Value::Int(2)];
+        assert_eq!(
+            AnalyticFunc::CumSum.apply_indexed(&col, &[0, 1, 2]),
+            vec![Value::Int(1), Value::Float(1.5), Value::Float(3.5)]
         );
     }
 

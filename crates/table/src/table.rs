@@ -10,6 +10,7 @@
 //! [`Table::contained_in`]) run over interned [`ValueKey`]s — hashed
 //! integer comparisons instead of deep value equality.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -309,18 +310,52 @@ pub fn extract_groups(table: &Table, cols: &[usize]) -> Vec<Vec<usize>> {
 
 /// `extractGroups` over any value grid (shared by the engine, which groups
 /// provenance and abstract tables by their concrete value channel).
+///
+/// Vectorized: each key column is interned in one columnar pass, then a
+/// single hashed pass over fixed-width [`ValueKey`]s assigns rows to groups.
+/// The single-key case hashes the key directly; multi-column keys reuse one
+/// probe buffer and allocate boxed keys only for first occurrences, so the
+/// per-row cost is independent of how many distinct groups already exist.
 pub fn group_rows_by_keys(grid: &Grid<Value>, cols: &[usize]) -> Vec<Vec<usize>> {
+    let n = grid.n_rows();
+    if cols.is_empty() {
+        // Grouping on no columns puts every row in one group (and yields no
+        // groups at all for an empty grid), as before.
+        return if n == 0 {
+            Vec::new()
+        } else {
+            vec![(0..n).collect()]
+        };
+    }
     let mut interner = ValueInterner::new();
-    let mut index: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+    let keyed: Vec<Vec<ValueKey>> = cols
+        .iter()
+        .map(|&c| grid.column(c).iter().map(|v| interner.key(v)).collect())
+        .collect();
     let mut groups: Vec<Vec<usize>> = Vec::new();
-    let key_cols: Vec<&[Value]> = cols.iter().map(|&c| grid.column(c)).collect();
-    for i in 0..grid.n_rows() {
-        let key: Vec<ValueKey> = key_cols.iter().map(|col| interner.key(&col[i])).collect();
-        match index.get(&key) {
-            Some(&g) => groups[g].push(i),
-            None => {
-                index.insert(key, groups.len());
-                groups.push(vec![i]);
+    if let [keys] = keyed.as_slice() {
+        let mut index: HashMap<ValueKey, usize> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            match index.entry(k) {
+                Entry::Occupied(e) => groups[*e.get()].push(i),
+                Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+    } else {
+        let mut index: HashMap<Box<[ValueKey]>, usize> = HashMap::new();
+        let mut probe: Vec<ValueKey> = Vec::with_capacity(keyed.len());
+        for i in 0..n {
+            probe.clear();
+            probe.extend(keyed.iter().map(|col| col[i]));
+            match index.get(probe.as_slice()) {
+                Some(&g) => groups[g].push(i),
+                None => {
+                    index.insert(probe.as_slice().into(), groups.len());
+                    groups.push(vec![i]);
+                }
             }
         }
     }
@@ -436,6 +471,14 @@ mod tests {
         );
         // Grouping on no columns puts everything in one group.
         assert_eq!(extract_groups(&t, &[]), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn extract_groups_empty_table() {
+        let t = Table::new(["a", "b"], vec![]).unwrap();
+        assert_eq!(extract_groups(&t, &[0]), Vec::<Vec<usize>>::new());
+        assert_eq!(extract_groups(&t, &[0, 1]), Vec::<Vec<usize>>::new());
+        assert_eq!(extract_groups(&t, &[]), Vec::<Vec<usize>>::new());
     }
 
     #[test]

@@ -72,6 +72,67 @@ fn spilled_and_evicted_entries_reverify_byte_identically() {
     assert!(stats.reevals > 0, "two rounds must re-evaluate: {stats:?}");
 }
 
+/// Benefit-aware demotion: under the *default* low-water mark (cap/2 —
+/// not the retention mode the test above forces), a sweep now also
+/// demotes surviving entries that were never re-probed since the last
+/// sweep (probe frequency zero), so star-channel spilling pays off under
+/// the default policy too. The spill must stay transparent: every
+/// candidate — including ones revisited after their sets were spilled —
+/// re-verifies byte-identically against a never-evicted cache.
+#[test]
+fn benefit_aware_demotion_spills_under_default_low_water() {
+    let suite = all_benchmarks();
+    let b = suite.iter().find(|b| b.id == 54).expect("task 54 exists");
+    let (task, _) = b.task(2022).expect("demo generates");
+    let config = b.config();
+
+    let reference = TaskContext::new(task.clone());
+    let candidates = frontier_candidates(&reference, &config, 150, 30_000);
+    assert!(candidates.len() >= 100, "frontier too small to churn");
+
+    // Default low water (cap/2): the legacy trigger demoted only in
+    // retention mode, so demotions here prove the probe-frequency path.
+    let policy = CachePolicy::default().with_cap(24);
+    let churn = TaskContext::with_policy(task, policy);
+
+    for round in 0..2 {
+        for (i, q) in candidates.iter().enumerate() {
+            let want = reference
+                .eval_cache
+                .exec(q, Semantics::Provenance, reference.inputs());
+            let got = churn
+                .eval_cache
+                .exec(q, Semantics::Provenance, churn.inputs());
+            match (want, got) {
+                (Ok(want), Ok(got)) => {
+                    assert_eq!(
+                        want.table().grid(),
+                        got.table().grid(),
+                        "values diverged on candidate {i} round {round}"
+                    );
+                    assert_eq!(
+                        want.star(),
+                        got.star(),
+                        "star diverged on candidate {i} round {round}"
+                    );
+                    assert_eq!(
+                        want.sets(&reference.universe),
+                        got.sets(&churn.universe),
+                        "derived sets diverged on candidate {i} round {round}"
+                    );
+                }
+                (Err(we), Err(ge)) => assert_eq!(we, ge),
+                (want, got) => panic!("outcome diverged on candidate {i}: {want:?} vs {got:?}"),
+            }
+        }
+    }
+    let stats = churn.eval_cache.cache_stats();
+    assert!(
+        stats.demotions > 0,
+        "default low water must demote unprobed entries: {stats:?}"
+    );
+}
+
 fn solve_with_policy(b: &sickle_benchmarks::Benchmark, policy: CachePolicy) -> SynthResult {
     let (task, _) = b.task(2022).expect("demo generates");
     let session = Session::new();
