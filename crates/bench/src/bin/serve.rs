@@ -1,76 +1,160 @@
-//! `sickle-serve` — JSON-lines batch synthesis server.
+//! `sickle-serve` — the JSON-lines synthesis service.
 //!
-//! Reads one request per line from stdin, writes one response per line to
-//! stdout (stderr carries a start-up banner and per-request timing). All
-//! requests share one warm [`Session`], so interned reference sets and
-//! cached Def. 3 verdicts carry across requests. A malformed or invalid
-//! line produces a structured error response and never kills the server.
-//! Requests with `"progress": true` additionally stream
-//! `{"event":"solution"|"progress",…}` lines — progress events carry the
-//! acceptance-stage time split — before the final response line.
+//! Two transports, one request envelope (admission control, watchdog
+//! deadlines, panic isolation, bounded request lines, fault hooks — see
+//! [`sickle_bench::server`]):
+//!
+//! * **stdio** (default): one request per stdin line, one response per
+//!   stdout line; stderr carries the banner and per-request timing.
+//! * **socket** (`--listen tcp:HOST:PORT` or `--listen unix:PATH`): a
+//!   concurrent server, one connection per thread, warm
+//!   [`sickle_core::Session`]s shared across clients through a bounded
+//!   LRU pool. SIGTERM/SIGINT drain gracefully: stop accepting, cancel
+//!   in-flight searches, flush responses, exit 0.
 //!
 //! ```text
 //! echo '{"id": 1, "benchmark": 44, "budget": {"max_visited": 20000, "timeout_secs": null}}' \
 //!   | cargo run -p sickle-bench --release --bin sickle-serve
+//!
+//! cargo run -p sickle-bench --release --bin sickle-serve -- \
+//!   --listen unix:/tmp/sickle.sock --max-inflight 4 --watchdog-secs 120
 //! ```
 //!
-//! The wire schema is documented in `crates/bench/README.md`.
+//! The wire schema and the operational envelope are documented in
+//! `crates/bench/README.md` ("Server operations").
 
-use std::io::{BufRead, Write};
-use std::time::Instant;
+use std::time::Duration;
 
-use sickle_bench::wire::handle_line_with;
-use sickle_core::Session;
+use sickle_bench::server::{install_signal_handlers, serve_stdio, Faults, Server, ServerConfig};
 
 const USAGE: &str = "\
-sickle-serve: JSON-lines batch synthesis server (stdin -> stdout)
+sickle-serve: JSON-lines synthesis service
+
+USAGE:
+    sickle-serve [OPTIONS]
 
 One JSON request object per input line; blank lines and lines starting
-with '#' are skipped. See crates/bench/README.md for the schema.
+with '#' are skipped. Without --listen, requests are read from stdin and
+answered on stdout. See crates/bench/README.md for the schema and the
+operational envelope.
+
+OPTIONS:
+    --listen SPEC         serve a socket instead of stdio:
+                            tcp:HOST:PORT (tcp:127.0.0.1:0 picks a port,
+                            printed in the 'listening on' banner), or
+                            unix:PATH
+    --max-inflight N      concurrent searches (default: CPU count)
+    --queue N             requests allowed to wait beyond the in-flight
+                          limit before shedding with an 'overloaded'
+                          error (default: 2x max-inflight)
+    --watchdog-secs S     hard per-request deadline, enforced server-side
+                          via cancellation (default: 600)
+    --grace-ms MS         how long a canceled search may linger before
+                          its worker is detached (default: 2000)
+    --max-line-bytes N    request-line byte bound; oversized lines get a
+                          structured invalid_request error (default: 8388608)
+    --pool-sessions N     warm sessions kept, one per demo family
+                          (default: 8)
+    --pool-sets N         global interned-set bound across all warm
+                          sessions; LRU sessions are evicted beyond it
+                          (default: 1000000)
+    -h, --help            this text
+
+ENVIRONMENT:
+    SICKLE_MAX_INFLIGHT, SICKLE_QUEUE, SICKLE_WATCHDOG_SECS,
+    SICKLE_WATCHDOG_GRACE_MS, SICKLE_MAX_LINE_BYTES,
+    SICKLE_POOL_SESSIONS, SICKLE_POOL_SETS
+                          defaults for the flags above (flags win)
+    SICKLE_FAULT          fault injection for robustness tests:
+                          kind@site[:nth[:param]],... with kinds
+                          panic|stall|disconnect|exit and sites
+                          accept|request|analyze|response
 ";
 
-fn main() {
-    if std::env::args().any(|a| a == "--help" || a == "-h") {
-        print!("{USAGE}");
-        return;
-    }
-    let session = Session::new();
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    eprintln!("sickle-serve: ready (one JSON request per line; Ctrl-D to exit)");
-    let mut served = 0usize;
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(e) => {
-                eprintln!("sickle-serve: stdin error: {e}");
-                break;
+fn parse_args(config: &mut ServerConfig) -> Result<Option<String>, String> {
+    let mut listen = None;
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
             }
-        };
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+            "--listen" => listen = Some(value("--listen", &mut args)?),
+            "--max-inflight" => {
+                let v = value("--max-inflight", &mut args)?;
+                config.max_inflight = parse_num(&arg, &v)?.max(1);
+            }
+            "--queue" => {
+                let v = value("--queue", &mut args)?;
+                config.queue = parse_num(&arg, &v)?;
+            }
+            "--watchdog-secs" => {
+                let v = value("--watchdog-secs", &mut args)?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--watchdog-secs: bad value {v:?}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--watchdog-secs: bad value {v:?}"));
+                }
+                config.watchdog = Duration::from_secs_f64(secs);
+            }
+            "--grace-ms" => {
+                let v = value("--grace-ms", &mut args)?;
+                config.grace = Duration::from_millis(parse_num(&arg, &v)? as u64);
+            }
+            "--max-line-bytes" => {
+                let v = value("--max-line-bytes", &mut args)?;
+                config.max_line_bytes = parse_num(&arg, &v)?.max(64);
+            }
+            "--pool-sessions" => {
+                let v = value("--pool-sessions", &mut args)?;
+                config.pool = config.pool.with_max_sessions(parse_num(&arg, &v)?);
+            }
+            "--pool-sets" => {
+                let v = value("--pool-sets", &mut args)?;
+                config.pool = config.pool.with_max_total_sets(parse_num(&arg, &v)?);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
-        let t0 = Instant::now();
-        // Streamed events (progress requests) go out as they happen; a
-        // hung-up receiver is detected on the final response write below.
-        let mut event_sink = |event: sickle_bench::Json| {
-            let _ = writeln!(out, "{}", event.render()).and_then(|()| out.flush());
-        };
-        let response = handle_line_with(&session, trimmed, &mut event_sink);
-        served += 1;
-        if writeln!(out, "{}", response.render())
-            .and_then(|()| out.flush())
-            .is_err()
-        {
-            // Receiver hung up; nothing left to serve.
-            break;
+    }
+    Ok(listen)
+}
+
+fn parse_num(flag: &str, v: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("{flag}: bad value {v:?}"))
+}
+
+fn main() {
+    let mut config = ServerConfig::from_env();
+    let listen = match parse_args(&mut config) {
+        Ok(listen) => listen,
+        Err(e) => {
+            eprintln!("sickle-serve: {e}");
+            std::process::exit(2);
         }
-        eprintln!(
-            "sickle-serve: request {served} answered in {:.3}s (pool={} sets)",
-            t0.elapsed().as_secs_f64(),
-            session.pool().size()
-        );
+    };
+    let faults = Faults::from_env();
+    match listen {
+        Some(spec) => {
+            install_signal_handlers();
+            let server = match Server::bind(&spec, config, faults) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("sickle-serve: cannot listen on {spec}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Err(e) = server.run() {
+                eprintln!("sickle-serve: server failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            serve_stdio(config, faults);
+        }
     }
 }

@@ -1,0 +1,528 @@
+//! `sickle-shard` — fault-tolerant sharded suite driver.
+//!
+//! Partitions the benchmark suite across `--shards N` freshly spawned
+//! `sickle-serve --listen unix:…` processes, drives them concurrently
+//! over a shared work queue, and deterministically merges the responses
+//! into the same artifacts the single-process `solutions` oracle
+//! produces: the byte-identical solution dump on stdout and
+//! `BENCH_synthesis.json` (`SICKLE_JSON` overrides the path).
+//!
+//! Robustness is the point, not raw speed:
+//!
+//! * connection failures are retried with exponential backoff;
+//! * a shard that dies mid-run (crash, injected `exit@request` fault,
+//!   kill) is detected, its in-flight task is pushed back onto the queue
+//!   and the surviving shards absorb the remaining work;
+//! * `overloaded` responses back off and retry; `invalid_request` and
+//!   other structured errors are terminal for that task (never retried);
+//! * the run fails loudly (exit 1) if any task is left uncovered.
+//!
+//! Per-shard fault injection for tests: `SICKLE_SHARD_FAULT_<i>` (0-based
+//! shard index) becomes that shard's `SICKLE_FAULT`.
+//!
+//! ```text
+//! SICKLE_MAX_VISITED=20000 cargo run -p sickle-bench --release --bin sickle-shard -- --shards 4
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use sickle_bench::runner::HarnessConfig;
+use sickle_bench::{write_bench_json, Json, RunRecord, SuiteResults, Technique};
+use sickle_benchmarks::all_benchmarks;
+
+const USAGE: &str = "\
+sickle-shard: run the benchmark suite across N sickle-serve processes
+
+USAGE:
+    sickle-shard [--shards N] [--serve-bin PATH]
+
+Prints the deterministic solution dump (byte-identical to the
+single-process `solutions` bin) on stdout and writes the merged
+BENCH_synthesis.json. Honors SICKLE_MAX_VISITED, SICKLE_SEED,
+SICKLE_ONLY and SICKLE_JSON like `solutions` does. The serve binary
+defaults to the sickle-serve next to this executable (override with
+--serve-bin or SICKLE_SERVE_BIN). SICKLE_SHARD_FAULT_<i> injects a
+SICKLE_FAULT spec into shard i for robustness tests.
+";
+
+/// How a task ended on some shard.
+struct TaskOutcome {
+    response: Json,
+}
+
+struct Merged {
+    outcomes: HashMap<usize, TaskOutcome>,
+    /// Tasks that got a terminal (non-retryable) error response.
+    failed: Vec<(usize, String)>,
+}
+
+struct Shard {
+    index: usize,
+    sock: PathBuf,
+    child: Child,
+}
+
+/// Work queue with in-flight tracking. A driver whose queue looks empty
+/// must NOT exit while another shard still has a task in flight: if that
+/// shard dies, its task is requeued and somebody has to be around to
+/// absorb it. Drivers block on the condvar until the queue is truly
+/// drained (empty AND nothing in flight).
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    queue: VecDeque<usize>,
+    inflight: usize,
+}
+
+impl WorkQueue {
+    fn new(tasks: impl IntoIterator<Item = usize>) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                queue: tasks.into_iter().collect(),
+                inflight: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claims the next task, blocking while other shards might still
+    /// requeue theirs. `None` once the suite is truly drained.
+    fn claim(&self) -> Option<usize> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(id) = state.queue.pop_front() {
+                state.inflight += 1;
+                return Some(id);
+            }
+            if state.inflight == 0 {
+                return None;
+            }
+            // Timed wait so a lost wakeup can never wedge the driver.
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, Duration::from_millis(100))
+                .expect("queue lock");
+            state = next;
+        }
+    }
+
+    /// The claimed task reached a terminal outcome (ok or structured
+    /// non-retryable error).
+    fn complete(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.inflight -= 1;
+        self.cv.notify_all();
+    }
+
+    /// The claimed task's shard connection broke: put the task back for
+    /// whoever can take it (including this shard after a reconnect).
+    fn requeue(&self, id: usize) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.queue.push_front(id);
+        state.inflight -= 1;
+        self.cv.notify_all();
+    }
+
+    fn leftover(&self) -> usize {
+        let state = self.state.lock().expect("queue lock");
+        state.queue.len() + state.inflight
+    }
+}
+
+fn log(msg: std::fmt::Arguments<'_>) {
+    eprintln!("sickle-shard: {msg}");
+}
+
+fn main() {
+    let mut shards = 2usize;
+    let mut serve_bin: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("sickle-shard: --shards needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--serve-bin" => {
+                serve_bin = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("sickle-shard: --serve-bin needs a path");
+                    std::process::exit(2);
+                })));
+            }
+            other => {
+                eprintln!("sickle-shard: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let hc = HarnessConfig::from_env();
+    let budget = std::env::var("SICKLE_MAX_VISITED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let serve_bin = serve_bin
+        .or_else(|| std::env::var("SICKLE_SERVE_BIN").ok().map(PathBuf::from))
+        .unwrap_or_else(default_serve_bin);
+
+    let tasks: Vec<usize> = all_benchmarks()
+        .iter()
+        .filter(|b| hc.only.is_empty() || hc.only.contains(&b.id))
+        .map(|b| b.id)
+        .collect();
+    if tasks.is_empty() {
+        log(format_args!(
+            "no tasks selected (SICKLE_ONLY filtered everything)"
+        ));
+        std::process::exit(1);
+    }
+
+    let sock_dir = std::env::temp_dir().join(format!("sickle-shard-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&sock_dir) {
+        log(format_args!("cannot create {}: {e}", sock_dir.display()));
+        std::process::exit(1);
+    }
+
+    let mut children = Vec::new();
+    for i in 0..shards {
+        let sock = sock_dir.join(format!("shard-{i}.sock"));
+        let mut cmd = Command::new(&serve_bin);
+        cmd.arg("--listen").arg(format!("unix:{}", sock.display()));
+        // The parent's fault plan must not leak into every shard; each
+        // shard gets exactly its own injected faults (if any).
+        cmd.env_remove("SICKLE_FAULT");
+        if let Ok(spec) = std::env::var(format!("SICKLE_SHARD_FAULT_{i}")) {
+            log(format_args!("shard {i}: injecting faults {spec:?}"));
+            cmd.env("SICKLE_FAULT", spec);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(Shard {
+                index: i,
+                sock,
+                child,
+            }),
+            Err(e) => {
+                log(format_args!(
+                    "cannot spawn {} for shard {i}: {e}",
+                    serve_bin.display()
+                ));
+                for mut s in children {
+                    let _ = s.child.kill();
+                    let _ = s.child.wait();
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let queue = Arc::new(WorkQueue::new(tasks.iter().copied()));
+    let merged = Arc::new(Mutex::new(Merged {
+        outcomes: HashMap::new(),
+        failed: Vec::new(),
+    }));
+
+    let workers: Vec<_> = children
+        .iter()
+        .map(|s| {
+            let queue = Arc::clone(&queue);
+            let merged = Arc::clone(&merged);
+            let sock = s.sock.clone();
+            let index = s.index;
+            let seed = hc.seed;
+            std::thread::spawn(move || drive_shard(index, &sock, &queue, &merged, budget, seed))
+        })
+        .collect();
+    let mut completed = 0usize;
+    for w in workers {
+        completed += w.join().unwrap_or(0);
+    }
+
+    for s in &mut children {
+        let _ = s.child.kill();
+        let _ = s.child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&sock_dir);
+
+    let merged = Arc::try_unwrap(merged)
+        .unwrap_or_else(|_| unreachable!("workers joined"))
+        .into_inner()
+        .expect("merged lock");
+    let leftover = queue.leftover();
+    log(format_args!(
+        "{} task(s) completed across {} shard(s), {} leftover, {} failed",
+        completed,
+        shards,
+        leftover,
+        merged.failed.len()
+    ));
+    for (id, msg) in &merged.failed {
+        log(format_args!("task {id} failed: {msg}"));
+    }
+
+    // The merged dump, byte-identical to the single-process `solutions`
+    // oracle: same banner, same per-task blocks in suite order.
+    println!(
+        "solution dump: max_visited={budget} seed={} (deterministic)",
+        hc.seed
+    );
+    let mut results = SuiteResults::default();
+    let mut missing = Vec::new();
+    for b in all_benchmarks() {
+        if !tasks.contains(&b.id) {
+            continue;
+        }
+        let Some(outcome) = merged.outcomes.get(&b.id) else {
+            missing.push(b.id);
+            continue;
+        };
+        let r = &outcome.response;
+        let stats = r.get("stats").cloned().unwrap_or(Json::Null);
+        let count = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let secs = |k: &str| {
+            Duration::from_secs_f64(stats.get(k).and_then(Json::as_f64).unwrap_or(0.0).max(0.0))
+        };
+        let solutions: Vec<String> = r
+            .get("solutions")
+            .and_then(Json::as_array)
+            .map(|qs| {
+                qs.iter()
+                    .filter_map(Json::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        println!(
+            "## {:2} {} visited={} pruned={} solutions={}",
+            b.id,
+            b.name,
+            count(&stats, "visited"),
+            count(&stats, "pruned"),
+            solutions.len()
+        );
+        for (i, q) in solutions.iter().enumerate() {
+            println!("  {:2}. {q}", i + 1);
+        }
+        let rank = r
+            .get("rank")
+            .and_then(Json::as_f64)
+            .map(|n| n as usize)
+            .filter(|&n| n >= 1);
+        results.records.push(RunRecord {
+            id: b.id,
+            name: b.name.to_string(),
+            category: b.category,
+            technique: Technique::Provenance,
+            solved: r.get("solved").and_then(Json::as_bool).unwrap_or(false),
+            elapsed: secs("wall_s"),
+            time_analyze: secs("time_analyze_s"),
+            time_eval: secs("time_eval_s"),
+            time_materialize: secs("time_materialize_s"),
+            time_prefilter: secs("time_prefilter_s"),
+            time_match: secs("time_match_s"),
+            time_expand: secs("time_expand_s"),
+            time_join: secs("time_join_s"),
+            join_rows: count(&stats, "join_rows"),
+            visited: count(&stats, "visited"),
+            pruned: count(&stats, "pruned"),
+            cache_evictions: count(&stats, "cache_evictions"),
+            cache_demotions: count(&stats, "cache_demotions"),
+            cache_reevals: count(&stats, "cache_reevals"),
+            cache_reeval_time: secs("cache_reeval_s"),
+            rank,
+        });
+    }
+
+    let json_hc = HarnessConfig {
+        timeout: Duration::ZERO,
+        max_visited: budget,
+        ..hc
+    };
+    match write_bench_json(&results, &json_hc) {
+        Ok(Some(path)) => log(format_args!("wrote {}", path.display())),
+        Ok(None) => {}
+        Err(e) => log(format_args!("warning: could not write bench JSON: {e}")),
+    }
+
+    if !missing.is_empty() || !merged.failed.is_empty() || leftover > 0 {
+        log(format_args!("incomplete run: {missing:?} missing"));
+        std::process::exit(1);
+    }
+}
+
+/// The `sickle-serve` binary that shipped next to this executable.
+fn default_serve_bin() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("sickle-serve")))
+        .unwrap_or_else(|| PathBuf::from("sickle-serve"))
+}
+
+/// Initial connect: the freshly spawned shard may take a while to bind
+/// on a heavily loaded host, so the budget is generous (~23s).
+const CONNECT_ATTEMPTS: usize = 16;
+/// Reconnect after an error: the process was alive moments ago, so a
+/// short budget (~3s) is enough to tell "transient" from "dead".
+const RECONNECT_ATTEMPTS: usize = 6;
+
+/// Connects to `sock` with exponential backoff (the shard may still be
+/// binding, or be briefly unreachable). `None` after the retry budget —
+/// the shard is considered dead.
+fn connect(sock: &std::path::Path, attempts: usize) -> Option<BufReader<UnixStream>> {
+    let mut delay = Duration::from_millis(50);
+    for _ in 0..attempts {
+        match UnixStream::connect(sock) {
+            Ok(stream) => {
+                // Generous read timeout: a genuinely wedged shard is the
+                // server watchdog's job; a dead one reads EOF immediately.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(900)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                return Some(BufReader::new(stream));
+            }
+            Err(_) => std::thread::sleep(delay),
+        }
+        delay = (delay * 2).min(Duration::from_secs(2));
+    }
+    None
+}
+
+/// One request/response exchange. `Err` means the connection is unusable
+/// (the caller reconnects or declares the shard dead).
+fn exchange(conn: &mut BufReader<UnixStream>, id: usize, line: &str) -> Result<Json, String> {
+    conn.get_mut()
+        .write_all(line.as_bytes())
+        .and_then(|()| conn.get_mut().write_all(b"\n"))
+        .and_then(|()| conn.get_mut().flush())
+        .map_err(|e| format!("write failed: {e}"))?;
+    loop {
+        let mut response = String::new();
+        match conn.read_line(&mut response) {
+            Ok(0) => return Err("connection closed by shard".to_string()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+        let json = match Json::parse(response.trim()) {
+            Ok(json) => json,
+            Err(e) => return Err(format!("unparsable response: {e}")),
+        };
+        // Skip stray streamed events; the final response for this request
+        // carries a "status" and echoes the id.
+        if json.get("status").is_none() {
+            continue;
+        }
+        let echoed = json.get("id").and_then(Json::as_f64).map(|n| n as usize);
+        if echoed == Some(id) {
+            return Ok(json);
+        }
+    }
+}
+
+/// Drives one shard until the queue is empty or the shard dies. Returns
+/// the number of tasks this shard completed.
+fn drive_shard(
+    index: usize,
+    sock: &std::path::Path,
+    queue: &WorkQueue,
+    merged: &Mutex<Merged>,
+    budget: usize,
+    seed: u64,
+) -> usize {
+    let mut conn = match connect(sock, CONNECT_ATTEMPTS) {
+        Some(conn) => conn,
+        None => {
+            log(format_args!("shard {index}: never came up; abandoning"));
+            return 0;
+        }
+    };
+    let mut done = 0usize;
+    'tasks: while let Some(id) = queue.claim() {
+        let line = format!(
+            "{{\"id\": {id}, \"benchmark\": {id}, \"seed\": {seed}, \
+             \"budget\": {{\"timeout_secs\": null, \"max_visited\": {budget}, \
+             \"max_solutions\": 10}}}}"
+        );
+        let mut overload_delay = Duration::from_millis(100);
+        loop {
+            match exchange(&mut conn, id, &line) {
+                Ok(response) => {
+                    let status = response.get("status").and_then(Json::as_str);
+                    if status == Some("ok") {
+                        merged
+                            .lock()
+                            .expect("merged lock")
+                            .outcomes
+                            .insert(id, TaskOutcome { response });
+                        queue.complete();
+                        done += 1;
+                        continue 'tasks;
+                    }
+                    let kind = response
+                        .get("error")
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown");
+                    if kind == "overloaded" {
+                        // Transient by construction: back off and retry.
+                        std::thread::sleep(overload_delay);
+                        overload_delay = (overload_delay * 2).min(Duration::from_secs(5));
+                        continue;
+                    }
+                    // Structured non-transient error (invalid_request,
+                    // internal, …): terminal for this task, never retried.
+                    let message = response
+                        .get("error")
+                        .and_then(|e| e.get("message"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    log(format_args!("shard {index}: task {id} error [{kind}]"));
+                    merged
+                        .lock()
+                        .expect("merged lock")
+                        .failed
+                        .push((id, format!("[{kind}] {message}")));
+                    queue.complete();
+                    continue 'tasks;
+                }
+                Err(e) => {
+                    // Connection trouble: the task goes back on the queue
+                    // for whoever can take it; then try to reconnect.
+                    log(format_args!("shard {index}: {e}; requeueing task {id}"));
+                    queue.requeue(id);
+                    match connect(sock, RECONNECT_ATTEMPTS) {
+                        Some(fresh) => {
+                            conn = fresh;
+                            continue 'tasks;
+                        }
+                        None => {
+                            log(format_args!(
+                                "shard {index}: dead; {done} task(s) completed here, \
+                                 remaining work reassigned"
+                            ));
+                            return done;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    done
+}

@@ -18,10 +18,14 @@
 //! | `userstudy`| §5.3 specification-effort model (substituted) |
 //! | `census`   | §5.1 benchmark feature census |
 //!
-//! Beyond the paper's evaluation, `sickle-serve` is a JSON-lines batch
-//! server over a warm [`sickle_core::Session`]: one request per stdin
-//! line, one response per stdout line (schema in `README.md`, codec in
-//! [`wire`]).
+//! Beyond the paper's evaluation, `sickle-serve` is a JSON-lines
+//! synthesis service over warm [`sickle_core::Session`]s: one request per
+//! line, one response per line, either over stdin/stdout or as a
+//! Unix-socket/TCP server (`--listen`) with a bounded session pool,
+//! admission control, watchdog deadlines, panic isolation and graceful
+//! shutdown (schema in `README.md`, codec in [`wire`], envelope in
+//! [`server`]). `sickle-shard` partitions the benchmark suite across
+//! several such servers and deterministically merges the results.
 //!
 //! Environment knobs: `SICKLE_TIMEOUT_SECS` (per-run timeout, default 15),
 //! `SICKLE_MAX_VISITED` (visit budget, default 1,000,000), `SICKLE_SEED`
@@ -33,6 +37,7 @@
 pub mod effort;
 pub mod json;
 pub mod runner;
+pub mod server;
 pub mod wire;
 
 pub use json::{Json, JsonError};
@@ -41,7 +46,11 @@ pub use runner::{
     run_one_in, run_suite, suite_results_json, technique_analyzers, write_bench_json, RunRecord,
     SuiteResults, Technique,
 };
+pub use server::{
+    read_bounded_line, serve_stdio, Admission, Admit, FaultKind, Faults, LineRead, Server,
+    ServerConfig,
+};
 pub use wire::{
-    analyzer_by_name, handle_line, handle_line_with, progress_json, response_error, response_ok,
-    WireRequest,
+    analyzer_by_name, bad_json_response, error_response, finish_response, handle_line,
+    handle_line_with, progress_json, response_error, response_ok, WireRequest,
 };

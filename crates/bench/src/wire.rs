@@ -37,6 +37,11 @@ pub struct WireRequest {
     /// lines (with the acceptance-stage time split) before the final
     /// response line.
     pub progress: bool,
+    /// For suite requests (`"benchmark": id`), the benchmark id: the
+    /// success response then carries `solved`/`rank` against the task's
+    /// ground truth, so a remote client (the shard driver) can assemble
+    /// `BENCH_synthesis.json` records without re-parsing solutions.
+    pub benchmark: Option<usize>,
 }
 
 /// Looks up an analyzer by its wire name.
@@ -256,6 +261,7 @@ impl WireRequest {
     /// tables or demo formulas.
     pub fn from_json(json: &Json) -> Result<WireRequest, SickleError> {
         let id = json.get("id").cloned().unwrap_or(Json::Null);
+        let mut benchmark = None;
 
         let mut request = match (json.get("benchmark"), json.get("tables")) {
             (Some(_), Some(_)) => {
@@ -280,6 +286,7 @@ impl WireRequest {
                 let (task, _gen) = bench.task(seed).map_err(|e| SickleError::Internal {
                     message: format!("benchmark {bench_id} demo generation failed: {e:?}"),
                 })?;
+                benchmark = Some(bench_id);
                 SynthRequest::from_task(task).with_search(bench.config())
             }
             (None, Some(tables_json)) => {
@@ -371,6 +378,7 @@ impl WireRequest {
             id,
             request,
             progress,
+            benchmark,
         })
     }
 }
@@ -511,17 +519,54 @@ pub fn response_error(id: &Json, kind: &str, message: &str) -> Json {
     ])
 }
 
-fn sickle_error_response(id: &Json, e: &SickleError) -> Json {
+/// Encodes a [`SickleError`] as the structured error response line
+/// (`error.kind` = [`SickleError::kind`]).
+pub fn error_response(id: &Json, e: &SickleError) -> Json {
     response_error(id, e.kind(), &e.to_string())
 }
 
-fn json_error_response(e: &JsonError) -> Json {
+/// Encodes a line-level JSON parse failure (no decoded id to echo).
+pub fn bad_json_response(e: &JsonError) -> Json {
     response_error(&Json::Null, "bad_json", &e.to_string())
+}
+
+/// Encodes the final success response for a decoded request:
+/// [`response_ok`] plus, for suite requests ([`WireRequest::benchmark`]),
+/// `solved`/`rank` of the ground-truth query among the returned
+/// solutions.
+pub fn finish_response(wire: &WireRequest, result: &SynthResult) -> Json {
+    let mut response = response_ok(&wire.id, result);
+    if let Some(b) = wire
+        .benchmark
+        .and_then(|bid| suite().iter().find(|bm| bm.id == bid))
+    {
+        let rank = result
+            .solutions
+            .iter()
+            .position(|q| b.is_correct(q))
+            .map(|i| i + 1);
+        if let Json::Obj(fields) = &mut response {
+            fields.push(("solved".into(), Json::Bool(rank.is_some())));
+            fields.push((
+                "rank".into(),
+                rank.map_or(Json::Null, |n| Json::num(n as f64)),
+            ));
+        }
+    }
+    response
+}
+
+fn sickle_error_response(id: &Json, e: &SickleError) -> Json {
+    error_response(id, e)
+}
+
+fn json_error_response(e: &JsonError) -> Json {
+    bad_json_response(e)
 }
 
 /// Prepends the request id to an event object (events are streamed, so
 /// every line must be attributable to its request).
-fn with_id(id: &Json, event: Json) -> Json {
+pub(crate) fn with_id(id: &Json, event: Json) -> Json {
     match event {
         Json::Obj(mut fields) => {
             fields.insert(0, ("id".into(), id.clone()));
@@ -555,11 +600,11 @@ pub fn handle_line_with(session: &Session, line: &str, emit: &mut dyn FnMut(Json
     };
     if !wire.progress {
         return match session.solve(&wire.request) {
-            Ok(result) => response_ok(&wire.id, &result),
+            Ok(result) => finish_response(&wire, &result),
             Err(e) => sickle_error_response(&wire.id, &e),
         };
     }
-    let stream = match session.submit(wire.request) {
+    let stream = match session.submit(wire.request.clone()) {
         Ok(stream) => stream,
         Err(e) => return sickle_error_response(&wire.id, &e),
     };
@@ -576,7 +621,7 @@ pub fn handle_line_with(session: &Session, line: &str, emit: &mut dyn FnMut(Json
             sickle_core::SolutionEvent::Progress(p) => {
                 emit(with_id(&wire.id, progress_json(&p)));
             }
-            sickle_core::SolutionEvent::Done(result) => return response_ok(&wire.id, &result),
+            sickle_core::SolutionEvent::Done(result) => return finish_response(&wire, &result),
             sickle_core::SolutionEvent::Failed(e) => return sickle_error_response(&wire.id, &e),
             // Future event kinds stream nothing but must not end the loop.
             _ => {}
@@ -811,6 +856,28 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!(evictions > 0.0, "{}", response.render());
+    }
+
+    #[test]
+    fn benchmark_responses_carry_solved_and_rank() {
+        let session = Session::new();
+        let response = handle_line(
+            &session,
+            r#"{"id": 7, "benchmark": 1, "budget": {"timeout_secs": null, "max_visited": 20000}}"#,
+        );
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}",
+            response.render()
+        );
+        assert_eq!(response.get("solved").and_then(Json::as_bool), Some(true));
+        assert_eq!(response.get("rank").and_then(Json::as_f64), Some(1.0));
+        // Inline requests have no ground truth; the fields are absent.
+        let inline = handle_line(&session, &inline_request_line());
+        assert_eq!(inline.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(inline.get("solved").is_none());
+        assert!(inline.get("rank").is_none());
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Fault-injected end-to-end tests of the `sickle-serve` socket service
+//! and the `sickle-shard` driver: every injected fault must surface as a
+//! structured error or a clean recovery — never a dead server, a hung
+//! client or a wrong merged result.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const SERVE: &str = env!("CARGO_BIN_EXE_sickle-serve");
+const SHARD: &str = env!("CARGO_BIN_EXE_sickle-shard");
+
+/// A tiny deep search: unbounded budget, depth 3 — runs long enough to
+/// observe cancellation, small enough to start instantly.
+const LONG_REQUEST: &str = concat!(
+    r#"{"id": "long", "tables": [{"columns": ["region", "revenue"], "#,
+    r#""rows": [["west", 10], ["west", 20], ["east", 5]]}], "#,
+    r#""demo": [["T[1,1]", "sum(T[1,2], T[2,2])"], ["T[3,1]", "sum(T[3,2])"]], "#,
+    r#""max_depth": 3, "budget": {"timeout_secs": null, "max_solutions": 1000000}}"#,
+);
+
+/// A quick benchmark request (suite task 1 at a small visited budget).
+fn quick_request(id: usize) -> String {
+    format!(
+        "{{\"id\": {id}, \"benchmark\": 1, \"budget\": \
+         {{\"timeout_secs\": null, \"max_visited\": 3000, \"max_solutions\": 10}}}}"
+    )
+}
+
+struct ServeProc {
+    child: Child,
+    sock: PathBuf,
+    stderr_path: PathBuf,
+    dir: tempdir::TempDir,
+}
+
+/// Minimal self-cleaning temp dir (no external crates).
+mod tempdir {
+    use std::path::{Path, PathBuf};
+
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "sickle-test-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+/// Spawns `sickle-serve --listen unix:…` with extra args/env and waits
+/// until it accepts connections.
+fn spawn_serve(tag: &str, extra_args: &[&str], env: &[(&str, &str)]) -> ServeProc {
+    let dir = tempdir::TempDir::new(tag);
+    let sock = dir.path().join("serve.sock");
+    let stderr_path = dir.path().join("serve.log");
+    let stderr = std::fs::File::create(&stderr_path).expect("create log file");
+    let mut cmd = Command::new(SERVE);
+    cmd.arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .args(extra_args)
+        .env_remove("SICKLE_FAULT")
+        .stderr(stderr)
+        .stdout(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let child = cmd.spawn().expect("spawn sickle-serve");
+    let proc = ServeProc {
+        child,
+        sock,
+        stderr_path,
+        dir,
+    };
+    // Wait for the listening socket.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if UnixStream::connect(&proc.sock).is_ok() {
+            return proc;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("sickle-serve never started listening on {:?}", proc.sock);
+}
+
+impl ServeProc {
+    fn connect(&self) -> UnixStream {
+        let s = UnixStream::connect(&self.sock).expect("connect to serve socket");
+        s.set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        s
+    }
+
+    fn stderr_contains(&self, needle: &str) -> bool {
+        std::fs::read_to_string(&self.stderr_path)
+            .map(|s| s.contains(needle))
+            .unwrap_or(false)
+    }
+
+    /// Polls the server's stderr for a log marker.
+    fn wait_for_stderr(&self, needle: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.stderr_contains(needle) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        false
+    }
+
+    /// SIGTERM + wait; returns the exit code.
+    fn terminate(mut self) -> i32 {
+        let _ = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            if let Ok(Some(status)) = self.child.try_wait() {
+                return status.code().unwrap_or(-1);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let _ = self.child.kill();
+        panic!("sickle-serve did not exit after SIGTERM");
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = self.dir; // removed by TempDir::drop
+    }
+}
+
+/// Sends one request line and reads response lines until the final
+/// status-bearing one (skipping streamed events).
+fn roundtrip(stream: &mut UnixStream, line: &str) -> String {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send request");
+    read_final_response(stream)
+}
+
+fn read_final_response(stream: &mut UnixStream) -> String {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "connection closed before a final response");
+        if line.contains("\"status\"") {
+            return line.trim().to_string();
+        }
+    }
+}
+
+/// Renders one top-level response field (compared across runs; timings
+/// are deliberately never compared).
+fn field(response: &str, key: &str) -> String {
+    sickle_bench::Json::parse(response)
+        .expect("parse response")
+        .get(key)
+        .unwrap_or_else(|| panic!("no {key:?} in {response}"))
+        .render()
+}
+
+/// Renders one `stats.*` counter of a response.
+fn stat(response: &str, key: &str) -> String {
+    sickle_bench::Json::parse(response)
+        .expect("parse response")
+        .get("stats")
+        .and_then(|s| s.get(key))
+        .unwrap_or_else(|| panic!("no stats.{key} in {response}"))
+        .render()
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: panic injection leaves the server serving
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_injection_poisons_one_connection_not_the_server() {
+    let serve = spawn_serve("panic", &[], &[("SICKLE_FAULT", "panic@request:2")]);
+
+    let mut a = serve.connect();
+    let ok = roundtrip(&mut a, &quick_request(1));
+    assert!(ok.contains("\"status\":\"ok\""), "first request ok: {ok}");
+
+    // Second request trips the injected panic: a structured internal
+    // error comes back, then the connection closes.
+    let err = roundtrip(&mut a, &quick_request(2));
+    assert!(err.contains("\"status\":\"error\""), "got: {err}");
+    assert!(err.contains("\"kind\":\"internal\""), "got: {err}");
+    let mut rest = String::new();
+    let n = BufReader::new(&mut a)
+        .read_to_string(&mut rest)
+        .unwrap_or(0);
+    assert_eq!(n, 0, "poisoned connection was closed, got: {rest}");
+
+    // The server itself survived: a fresh connection works.
+    let mut b = serve.connect();
+    let ok = roundtrip(&mut b, &quick_request(3));
+    assert!(
+        ok.contains("\"status\":\"ok\""),
+        "server still serves: {ok}"
+    );
+    assert!(serve.stderr_contains("request handler panicked"));
+    assert_eq!(serve.terminate(), 0, "clean exit after drain");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: the watchdog bounds every request server-side
+// ---------------------------------------------------------------------------
+
+#[test]
+fn watchdog_fires_on_stalled_search_and_server_stays_up() {
+    // stall@analyze wedges the search worker inside an analyzer call
+    // (ignoring cancellation); the watchdog must fire, then the grace
+    // period must expire and detach the worker.
+    let serve = spawn_serve(
+        "watchdog",
+        &["--watchdog-secs", "0.5", "--grace-ms", "500"],
+        &[("SICKLE_FAULT", "stall@analyze:1:60000")],
+    );
+    let mut c = serve.connect();
+    let t0 = Instant::now();
+    let response = roundtrip(&mut c, LONG_REQUEST);
+    assert!(
+        response.contains("\"kind\":\"canceled\""),
+        "stalled search becomes a structured canceled error: {response}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "watchdog + grace bounded the stall ({:?})",
+        t0.elapsed()
+    );
+    assert!(serve.wait_for_stderr("watchdog fired", Duration::from_secs(5)));
+
+    // The wedged worker is detached, not joined: the same connection and
+    // the server both keep working.
+    let ok = roundtrip(&mut c, &quick_request(2));
+    assert!(ok.contains("\"status\":\"ok\""), "server alive: {ok}");
+    assert_eq!(serve.terminate(), 0);
+}
+
+#[test]
+fn watchdog_bounds_unbounded_requests() {
+    // No injected stall: a cooperative search is canceled at the deadline
+    // and still returns its partial result as a normal ok response.
+    let serve = spawn_serve("deadline", &["--watchdog-secs", "0.5"], &[]);
+    let mut c = serve.connect();
+    let t0 = Instant::now();
+    let response = roundtrip(&mut c, LONG_REQUEST);
+    assert!(
+        response.contains("\"status\":\"ok\"") && response.contains("\"timed_out\":true"),
+        "deadline surfaces as a timed-out ok response: {response}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(30));
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: client hangup cancels the in-flight search
+// ---------------------------------------------------------------------------
+
+#[test]
+fn client_hangup_cancels_in_flight_search() {
+    let serve = spawn_serve("hangup", &[], &[]);
+    {
+        let mut c = serve.connect();
+        c.write_all(format!("{LONG_REQUEST}\n").as_bytes())
+            .expect("send request");
+        // Give the search a moment to start, then vanish.
+        std::thread::sleep(Duration::from_millis(300));
+        drop(c);
+    }
+    assert!(
+        serve.wait_for_stderr("client hung up; search canceled", Duration::from_secs(15)),
+        "the EOF probe tripped the request's cancel token"
+    );
+    // The slot was freed: a new client is served promptly.
+    let mut c = serve.connect();
+    let ok = roundtrip(&mut c, &quick_request(9));
+    assert!(ok.contains("\"status\":\"ok\""), "got: {ok}");
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: admission control sheds load with a structured error
+// ---------------------------------------------------------------------------
+
+#[test]
+fn overload_is_shed_with_a_structured_error() {
+    let serve = spawn_serve("overload", &["--max-inflight", "1", "--queue", "0"], &[]);
+    let mut a = serve.connect();
+    a.write_all(format!("{LONG_REQUEST}\n").as_bytes())
+        .expect("send long request");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut b = serve.connect();
+    let t0 = Instant::now();
+    let shed = roundtrip(&mut b, &quick_request(2));
+    assert!(
+        shed.contains("\"kind\":\"overloaded\""),
+        "second client is shed: {shed}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shedding is immediate, not queued ({:?})",
+        t0.elapsed()
+    );
+    // Drain: the in-flight search is canceled and still answered.
+    let code = serve.terminate();
+    assert_eq!(code, 0);
+    let response = read_final_response(&mut a);
+    assert!(
+        response.contains("\"status\":\"ok\""),
+        "in-flight request answered during drain: {response}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: oversized request lines are rejected, connection survives
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_line_gets_invalid_request_and_connection_continues() {
+    let serve = spawn_serve("oversize", &["--max-line-bytes", "512"], &[]);
+    let mut c = serve.connect();
+    let huge = format!("{{\"id\": 1, \"junk\": \"{}\"}}", "x".repeat(4096));
+    let rejected = roundtrip(&mut c, &huge);
+    assert!(
+        rejected.contains("\"kind\":\"invalid_request\""),
+        "oversized line structurally rejected: {rejected}"
+    );
+    // Same connection keeps working (the reader resynced at the newline).
+    let ok = roundtrip(&mut c, &quick_request(2));
+    assert!(ok.contains("\"status\":\"ok\""), "got: {ok}");
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: concurrent clients get exactly the serial answers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_clients_match_serial_responses() {
+    let serve = spawn_serve("concurrent", &[], &[]);
+    let ids = [1usize, 2, 3];
+
+    // Serial baseline over one connection.
+    let mut serial = Vec::new();
+    let mut c = serve.connect();
+    for &id in &ids {
+        serial.push(roundtrip(&mut c, &quick_request(id)));
+    }
+
+    // The same three requests, one connection each, all at once.
+    let handles: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let mut c = serve.connect();
+            std::thread::spawn(move || roundtrip(&mut c, &quick_request(id)))
+        })
+        .collect();
+    let concurrent: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (serial, concurrent) in serial.iter().zip(&concurrent) {
+        // Timings differ run to run; every deterministic field must not.
+        for key in ["solutions", "solved", "rank", "timed_out"] {
+            assert_eq!(
+                field(serial, key),
+                field(concurrent, key),
+                "{key} diverged between serial and concurrent runs"
+            );
+        }
+        for key in ["visited", "pruned"] {
+            assert_eq!(
+                stat(serial, key),
+                stat(concurrent, key),
+                "stats.{key} diverged"
+            );
+        }
+    }
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: graceful drain answers in-flight work and exits 0
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sigterm_drains_in_flight_request_and_exits_zero() {
+    let serve = spawn_serve("drain", &[], &[]);
+    let mut c = serve.connect();
+    c.write_all(format!("{LONG_REQUEST}\n").as_bytes())
+        .expect("send request");
+    std::thread::sleep(Duration::from_millis(300));
+    let code = serve.terminate();
+    assert_eq!(code, 0, "graceful drain exits 0");
+    let response = read_final_response(&mut c);
+    assert!(
+        response.contains("\"status\":\"ok\""),
+        "the in-flight search was canceled, not dropped: {response}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: sharded suite == single shard, even with a dying shard
+// ---------------------------------------------------------------------------
+
+fn run_shard(shards: usize, faults: &[(usize, &str)]) -> Output {
+    let mut cmd = Command::new(SHARD);
+    cmd.args(["--shards", &shards.to_string()])
+        .args(["--serve-bin", SERVE])
+        .env("SICKLE_ONLY", "1,2,3,5")
+        .env("SICKLE_MAX_VISITED", "3000")
+        .env("SICKLE_JSON", "") // dump equality is what's under test
+        .env_remove("SICKLE_FAULT");
+    for (i, spec) in faults {
+        cmd.env(format!("SICKLE_SHARD_FAULT_{i}"), spec);
+    }
+    cmd.output().expect("run sickle-shard")
+}
+
+#[test]
+fn sharded_merge_is_byte_identical_even_with_a_dead_shard() {
+    let oracle = run_shard(1, &[]);
+    assert!(
+        oracle.status.success(),
+        "single shard run: {}",
+        String::from_utf8_lossy(&oracle.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&oracle.stdout).contains("## "),
+        "oracle produced task blocks"
+    );
+
+    let two = run_shard(2, &[]);
+    assert!(two.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&oracle.stdout),
+        String::from_utf8_lossy(&two.stdout),
+        "2-shard merge is byte-identical to the single-shard dump"
+    );
+
+    // Shard 0 dies on its very first request: detection + requeue +
+    // reassignment must keep the merged output byte-identical.
+    let dead = run_shard(2, &[(0, "exit@request:1")]);
+    assert!(
+        dead.status.success(),
+        "dead-shard run still covers every task: {}",
+        String::from_utf8_lossy(&dead.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&oracle.stdout),
+        String::from_utf8_lossy(&dead.stdout),
+        "merge with a dead shard is byte-identical to the oracle"
+    );
+    let stderr = String::from_utf8_lossy(&dead.stderr);
+    assert!(
+        stderr.contains("requeueing task"),
+        "the death was detected and the task requeued: {stderr}"
+    );
+}

@@ -47,12 +47,43 @@ pub enum SickleError {
         /// Human-readable description.
         message: String,
     },
+    /// The service shed this request under load: the in-flight limit was
+    /// reached and the admission queue was full. The request itself is
+    /// fine — retrying (with backoff) is the expected client response,
+    /// and the shard driver does exactly that.
+    Overloaded {
+        /// Human-readable description of the capacity that was exhausted.
+        message: String,
+    },
+    /// The request was terminated before completing: an external
+    /// [`crate::CancelToken`], a server-side watchdog deadline, or a
+    /// service shutdown drain. Unlike [`SickleError::Overloaded`] this is
+    /// not an automatic-retry signal — the same request may simply be too
+    /// expensive for the service's per-request deadline.
+    Canceled {
+        /// Human-readable description of what ended the request.
+        message: String,
+    },
 }
 
 impl SickleError {
     /// Shorthand constructor for [`SickleError::InvalidRequest`].
     pub fn invalid(message: impl Into<String>) -> SickleError {
         SickleError::InvalidRequest {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`SickleError::Overloaded`].
+    pub fn overloaded(message: impl Into<String>) -> SickleError {
+        SickleError::Overloaded {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`SickleError::Canceled`].
+    pub fn canceled(message: impl Into<String>) -> SickleError {
+        SickleError::Canceled {
             message: message.into(),
         }
     }
@@ -66,6 +97,8 @@ impl SickleError {
             SickleError::Eval(_) => "eval",
             SickleError::InvalidRequest { .. } => "invalid_request",
             SickleError::Internal { .. } => "internal",
+            SickleError::Overloaded { .. } => "overloaded",
+            SickleError::Canceled { .. } => "canceled",
         }
     }
 }
@@ -78,6 +111,8 @@ impl fmt::Display for SickleError {
             SickleError::Eval(e) => write!(f, "query evaluation failed: {e}"),
             SickleError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
             SickleError::Internal { message } => write!(f, "internal error: {message}"),
+            SickleError::Overloaded { message } => write!(f, "overloaded: {message}"),
+            SickleError::Canceled { message } => write!(f, "canceled: {message}"),
         }
     }
 }
@@ -88,7 +123,10 @@ impl std::error::Error for SickleError {
             SickleError::Table(e) => Some(e),
             SickleError::Parse(e) => Some(e),
             SickleError::Eval(e) => Some(e),
-            SickleError::InvalidRequest { .. } | SickleError::Internal { .. } => None,
+            SickleError::InvalidRequest { .. }
+            | SickleError::Internal { .. }
+            | SickleError::Overloaded { .. }
+            | SickleError::Canceled { .. } => None,
         }
     }
 }
@@ -129,5 +167,18 @@ mod tests {
         let inv = SickleError::invalid("no inputs");
         assert_eq!(inv.kind(), "invalid_request");
         assert!(std::error::Error::source(&inv).is_none());
+    }
+
+    #[test]
+    fn service_kinds_are_wire_stable() {
+        let over = SickleError::overloaded("3 in flight, queue of 2 full");
+        assert_eq!(over.kind(), "overloaded");
+        assert!(over.to_string().starts_with("overloaded: "));
+        assert!(std::error::Error::source(&over).is_none());
+
+        let cancel = SickleError::canceled("watchdog deadline (10s) exceeded");
+        assert_eq!(cancel.kind(), "canceled");
+        assert!(cancel.to_string().contains("watchdog"));
+        assert!(std::error::Error::source(&cancel).is_none());
     }
 }

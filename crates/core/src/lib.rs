@@ -78,6 +78,7 @@ mod error;
 mod eval;
 mod prov_eval;
 mod session;
+mod session_pool;
 mod synth;
 
 pub use abstract_eval::{
@@ -93,8 +94,9 @@ pub use eval::{evaluate, EvalError};
 pub use prov_eval::{concretize, expand_arith, prov_evaluate, ProvTable};
 pub use session::{
     AnalyzerChoice, Budget, CancelToken, ProgressSnapshot, Session, SolutionEvent, SolutionStream,
-    SynthRequest,
+    StreamWait, SynthRequest,
 };
+pub use session_pool::{demo_fingerprint, SessionPool, SessionPoolConfig};
 pub use synth::{
     construct_skeletons, expand, Analyzer, JoinKey, NoPruneAnalyzer, OpKind, ProvenanceAnalyzer,
     SearchStats, SharedStats, SynthConfig, SynthResult, SynthTask, TaskContext, BULK_COL_ROWS,

@@ -609,6 +609,44 @@ impl SolutionStream {
         })
     }
 
+    /// Like `Iterator::next`, but gives up after `timeout`. Lets a
+    /// caller interleave waiting on events with its own bookkeeping — a
+    /// server's watchdog checks its per-request deadline between polls
+    /// and arms [`SolutionStream::cancel`] when it passes.
+    pub fn next_timeout(&mut self, timeout: Duration) -> StreamWait {
+        if self.finished {
+            return StreamWait::Ended;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(event) => {
+                if matches!(event, SolutionEvent::Done(_) | SolutionEvent::Failed(_)) {
+                    self.finished = true;
+                    self.join_worker();
+                }
+                StreamWait::Event(event)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => StreamWait::TimedOut,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Worker died without a Done event.
+                self.finished = true;
+                self.join_worker();
+                StreamWait::Ended
+            }
+        }
+    }
+
+    /// Abandons the worker: cancellation is requested, but dropping the
+    /// stream will no longer join the worker thread. This is the watchdog
+    /// escalation path — a search that ignored its [`CancelToken`] past
+    /// the grace period must not wedge the serving thread on join. The
+    /// leaked worker exits on its own (or with the process); its channel
+    /// sends go nowhere once the stream is dropped.
+    pub fn detach(&mut self) {
+        self.cancel.cancel();
+        self.finished = true;
+        drop(self.handle.take());
+    }
+
     fn join_worker(&mut self) {
         if let Some(handle) = self.handle.take() {
             // A panicking worker already ends the stream (sender dropped);
@@ -617,6 +655,21 @@ impl SolutionStream {
             let _ = handle.join();
         }
     }
+}
+
+/// Outcome of one [`SolutionStream::next_timeout`] poll.
+// Not boxed: the value is matched and consumed immediately at every call
+// site, never stored, so the size skew has nowhere to hurt.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum StreamWait {
+    /// An event arrived within the timeout.
+    Event(SolutionEvent),
+    /// No event arrived within the timeout; the search is still running.
+    TimedOut,
+    /// The stream is over: a terminal event was already delivered, or the
+    /// worker died without one.
+    Ended,
 }
 
 impl Iterator for SolutionStream {
