@@ -1,0 +1,254 @@
+//! `sickle-corpus` — generate, admit, freeze and run task corpora.
+//!
+//! ```text
+//! sickle-corpus generate --seed 42 --count 64 [--out corpus/v1]
+//!                        [--max-visited N] [--max-solutions N]
+//! sickle-corpus run [--dir corpus/v1] [--categories a,b] [--task-ids i,j]
+//!                   [--formats csv,json] [--seed-range LO..HI] [--json PATH]
+//! ```
+//!
+//! `generate` derives candidate tasks from the seed-addressed generator
+//! (candidate seeds `seed..seed+count`), runs the admission gates on a
+//! warm session, and freezes the admitted bundles under `--out`.
+//! Rejections are tallied by reason on stderr. Exits 1 if nothing was
+//! admitted.
+//!
+//! `run` loads a frozen corpus (verifying every bundle's content hash),
+//! applies the filters, executes the slice through the wire path on one
+//! warm in-process session, and prints the deterministic dump + digest
+//! on stdout — two invocations over the same corpus are byte-identical,
+//! so CI can `cmp` them. Timings go to stderr; `BENCH_corpus.json` is
+//! written to `--json`, else `SICKLE_JSON`, else `BENCH_corpus.json`
+//! (empty string disables). Exits 1 on any mismatch or error.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sickle_bench::corpus::{
+    admit, default_corpus_dir, freeze_corpus, load_corpus, render_dump, results_json, run_corpus,
+    CorpusBudget, CorpusFilters, REJECT_REASONS,
+};
+use sickle_benchmarks::generate_candidate;
+use sickle_core::Session;
+
+const USAGE: &str = "\
+sickle-corpus: generated task corpora with admission gates
+
+USAGE:
+
+    sickle-corpus generate --seed N --count N [--out DIR]
+                           [--max-visited N] [--max-solutions N]
+        Generate candidates (seeds N..N+count), admit them on a warm
+        session, freeze admitted bundles under DIR (default corpus/v1).
+
+    sickle-corpus run [--dir DIR] [--categories a,b] [--task-ids i,j]
+                      [--formats csv,json] [--seed-range LO..HI]
+                      [--json PATH]
+        Run a frozen corpus slice through the wire path; prints the
+        deterministic dump + digest on stdout, writes BENCH_corpus.json
+        (--json overrides SICKLE_JSON; empty disables).
+";
+
+fn log(msg: std::fmt::Arguments<'_>) {
+    eprintln!("sickle-corpus: {msg}");
+}
+
+fn need_value(args: &mut std::env::Args, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        log(format_args!("{flag} needs a value"));
+        std::process::exit(2);
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        log(format_args!("{flag}: cannot parse {v:?}"));
+        std::process::exit(2);
+    })
+}
+
+fn comma_set(v: &str) -> BTreeSet<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args();
+    args.next();
+    match args.next().as_deref() {
+        Some("generate") => generate_cmd(args),
+        Some("run") => run_cmd(args),
+        Some("-h") | Some("--help") => print!("{USAGE}"),
+        other => {
+            log(format_args!(
+                "expected a subcommand (generate | run), got {other:?}"
+            ));
+            std::process::exit(2);
+        }
+    }
+}
+
+fn generate_cmd(mut args: std::env::Args) {
+    let mut seed = 42u64;
+    let mut count = 64usize;
+    let mut out = default_corpus_dir();
+    let mut budget = CorpusBudget::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = parse_num("--seed", &need_value(&mut args, "--seed")),
+            "--count" => count = parse_num("--count", &need_value(&mut args, "--count")),
+            "--out" => out = PathBuf::from(need_value(&mut args, "--out")),
+            "--max-visited" => {
+                budget.max_visited =
+                    parse_num("--max-visited", &need_value(&mut args, "--max-visited"));
+            }
+            "--max-solutions" => {
+                budget.max_solutions =
+                    parse_num("--max-solutions", &need_value(&mut args, "--max-solutions"));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                log(format_args!("unknown argument {other:?} (try --help)"));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let session = Session::new();
+    let mut admitted = Vec::new();
+    let mut tally: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for offset in 0..count {
+        let task_seed = seed + offset as u64;
+        let cand = generate_candidate(task_seed);
+        match admit(&cand, &budget, &session) {
+            Ok(bundle) => {
+                log(format_args!(
+                    "admit {} ({} solution(s), visited {})",
+                    bundle.id,
+                    bundle.expected.len(),
+                    bundle.visited
+                ));
+                admitted.push(bundle);
+            }
+            Err(r) => {
+                log(format_args!(
+                    "reject seed {task_seed} ({}) [{}]: {}",
+                    cand.category.label(),
+                    r.reason,
+                    r.detail
+                ));
+                *tally.entry(r.reason).or_default() += 1;
+            }
+        }
+    }
+
+    log(format_args!(
+        "admitted {}/{count} in {:.1}s",
+        admitted.len(),
+        started.elapsed().as_secs_f64()
+    ));
+    for reason in REJECT_REASONS {
+        if let Some(n) = tally.get(reason) {
+            log(format_args!("  rejected {reason}: {n}"));
+        }
+    }
+    if admitted.is_empty() {
+        log(format_args!("nothing admitted; not freezing"));
+        std::process::exit(1);
+    }
+    if let Err(e) = freeze_corpus(&out, seed, count, &budget, &admitted, &tally) {
+        log(format_args!("freeze failed: {e}"));
+        std::process::exit(1);
+    }
+    log(format_args!(
+        "froze {} task(s) under {}",
+        admitted.len(),
+        out.display()
+    ));
+}
+
+fn run_cmd(mut args: std::env::Args) {
+    let mut dir = default_corpus_dir();
+    let mut filters = CorpusFilters::default();
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = PathBuf::from(need_value(&mut args, "--dir")),
+            "--categories" => {
+                filters.categories = Some(comma_set(&need_value(&mut args, "--categories")));
+            }
+            "--task-ids" => {
+                filters.task_ids = Some(comma_set(&need_value(&mut args, "--task-ids")));
+            }
+            "--formats" => {
+                filters.formats = Some(comma_set(&need_value(&mut args, "--formats")));
+            }
+            "--seed-range" => {
+                let v = need_value(&mut args, "--seed-range");
+                filters.seed_range =
+                    Some(CorpusFilters::parse_seed_range(&v).unwrap_or_else(|| {
+                        log(format_args!(
+                            "--seed-range wants LO..HI (inclusive), got {v:?}"
+                        ));
+                        std::process::exit(2);
+                    }));
+            }
+            "--json" => json_path = Some(need_value(&mut args, "--json")),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                log(format_args!("unknown argument {other:?} (try --help)"));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let tasks = match load_corpus(&dir, &filters) {
+        Ok(tasks) => tasks,
+        Err(e) => {
+            log(format_args!("cannot load corpus: {e}"));
+            std::process::exit(1);
+        }
+    };
+    if tasks.is_empty() {
+        log(format_args!(
+            "no tasks selected from {} (filters too narrow?)",
+            dir.display()
+        ));
+        std::process::exit(1);
+    }
+
+    let started = Instant::now();
+    let outcomes = run_corpus(&tasks);
+    print!("{}", render_dump(&outcomes));
+    let ok = outcomes.iter().filter(|o| o.status == "ok").count();
+    log(format_args!(
+        "{ok}/{} ok in {:.1}s",
+        outcomes.len(),
+        started.elapsed().as_secs_f64()
+    ));
+
+    let path = json_path
+        .or_else(|| std::env::var("SICKLE_JSON").ok())
+        .unwrap_or_else(|| "BENCH_corpus.json".to_string());
+    if !path.is_empty() {
+        let payload = results_json(&dir.display().to_string(), &outcomes);
+        match std::fs::write(&path, payload) {
+            Ok(()) => log(format_args!("wrote {path}")),
+            Err(e) => log(format_args!("warning: could not write {path}: {e}")),
+        }
+    }
+    if ok != outcomes.len() {
+        std::process::exit(1);
+    }
+}

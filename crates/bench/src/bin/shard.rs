@@ -32,6 +32,10 @@ use std::process::{Child, Command};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use sickle_bench::corpus::{
+    default_corpus_dir, load_corpus, outcome_from_response, render_dump, results_json, wire_line,
+    CorpusFilters,
+};
 use sickle_bench::runner::HarnessConfig;
 use sickle_bench::{write_bench_json, Json, RunRecord, SuiteResults, Technique};
 use sickle_benchmarks::all_benchmarks;
@@ -40,7 +44,7 @@ const USAGE: &str = "\
 sickle-shard: run the benchmark suite across N sickle-serve processes
 
 USAGE:
-    sickle-shard [--shards N] [--serve-bin PATH]
+    sickle-shard [--shards N] [--serve-bin PATH] [--corpus DIR]
 
 Prints the deterministic solution dump (byte-identical to the
 single-process `solutions` bin) on stdout and writes the merged
@@ -49,6 +53,12 @@ SICKLE_ONLY and SICKLE_JSON like `solutions` does. The serve binary
 defaults to the sickle-serve next to this executable (override with
 --serve-bin or SICKLE_SERVE_BIN). SICKLE_SHARD_FAULT_<i> injects a
 SICKLE_FAULT spec into shard i for robustness tests.
+
+With --corpus DIR the work source is a frozen corpus instead of the
+built-in suite: every bundle is shipped as a self-contained wire
+request, and the merged output is the corpus dump + digest,
+byte-identical to `sickle-corpus run --dir DIR` (BENCH_corpus.json is
+written instead of BENCH_synthesis.json).
 ";
 
 /// How a task ended on some shard.
@@ -145,6 +155,7 @@ fn log(msg: std::fmt::Arguments<'_>) {
 fn main() {
     let mut shards = 2usize;
     let mut serve_bin: Option<PathBuf> = None;
+    let mut corpus_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -168,6 +179,12 @@ fn main() {
                     std::process::exit(2);
                 })));
             }
+            "--corpus" => {
+                corpus_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("sickle-shard: --corpus needs a directory (e.g. corpus/v1)");
+                    std::process::exit(2);
+                })));
+            }
             other => {
                 eprintln!("sickle-shard: unknown argument {other:?} (try --help)");
                 std::process::exit(2);
@@ -184,11 +201,57 @@ fn main() {
         .or_else(|| std::env::var("SICKLE_SERVE_BIN").ok().map(PathBuf::from))
         .unwrap_or_else(default_serve_bin);
 
-    let tasks: Vec<usize> = all_benchmarks()
-        .iter()
-        .filter(|b| hc.only.is_empty() || hc.only.contains(&b.id))
-        .map(|b| b.id)
-        .collect();
+    // The corpus bundles (corpus mode only), indexed by wire id.
+    let bundles = corpus_dir.as_ref().map(|dir| {
+        let dir = if dir.as_os_str().is_empty() {
+            default_corpus_dir()
+        } else {
+            dir.clone()
+        };
+        match load_corpus(&dir, &CorpusFilters::default()) {
+            Ok(bundles) if bundles.is_empty() => {
+                log(format_args!("corpus {} is empty", dir.display()));
+                std::process::exit(1);
+            }
+            Ok(bundles) => (dir, bundles),
+            Err(e) => {
+                log(format_args!("cannot load corpus: {e}"));
+                std::process::exit(1);
+            }
+        }
+    });
+
+    // Every task's request line is prebuilt so drive_shard is agnostic to
+    // the work source (suite benchmarks vs corpus bundles).
+    let lines: HashMap<usize, String> = match &bundles {
+        Some((_, bundles)) => bundles
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let line = wire_line(b, &Json::num(i as f64)).unwrap_or_else(|e| {
+                    log(format_args!("cannot encode bundle {}: {e}", b.id));
+                    std::process::exit(1);
+                });
+                (i, line)
+            })
+            .collect(),
+        None => all_benchmarks()
+            .iter()
+            .filter(|b| hc.only.is_empty() || hc.only.contains(&b.id))
+            .map(|b| {
+                let id = b.id;
+                let seed = hc.seed;
+                let line = format!(
+                    "{{\"id\": {id}, \"benchmark\": {id}, \"seed\": {seed}, \
+                     \"budget\": {{\"timeout_secs\": null, \"max_visited\": {budget}, \
+                     \"max_solutions\": 10}}}}"
+                );
+                (id, line)
+            })
+            .collect(),
+    };
+    let mut tasks: Vec<usize> = lines.keys().copied().collect();
+    tasks.sort_unstable();
     if tasks.is_empty() {
         log(format_args!(
             "no tasks selected (SICKLE_ONLY filtered everything)"
@@ -240,15 +303,16 @@ fn main() {
         failed: Vec::new(),
     }));
 
+    let lines = Arc::new(lines);
     let workers: Vec<_> = children
         .iter()
         .map(|s| {
             let queue = Arc::clone(&queue);
             let merged = Arc::clone(&merged);
+            let lines = Arc::clone(&lines);
             let sock = s.sock.clone();
             let index = s.index;
-            let seed = hc.seed;
-            std::thread::spawn(move || drive_shard(index, &sock, &queue, &merged, budget, seed))
+            std::thread::spawn(move || drive_shard(index, &sock, &queue, &merged, &lines))
         })
         .collect();
     let mut completed = 0usize;
@@ -276,6 +340,40 @@ fn main() {
     ));
     for (id, msg) in &merged.failed {
         log(format_args!("task {id} failed: {msg}"));
+    }
+
+    // Corpus mode: merge into the corpus dump + digest, byte-identical
+    // to `sickle-corpus run` over the same directory.
+    if let Some((dir, bundles)) = bundles {
+        let error_response = Json::Obj(vec![("status".into(), Json::str("error"))]);
+        let outcomes: Vec<_> = bundles
+            .iter()
+            .enumerate()
+            .map(|(i, bundle)| {
+                let response = merged
+                    .outcomes
+                    .get(&i)
+                    .map(|o| &o.response)
+                    .unwrap_or(&error_response);
+                outcome_from_response(bundle, response, 0.0)
+            })
+            .collect();
+        print!("{}", render_dump(&outcomes));
+        let json_path =
+            std::env::var("SICKLE_JSON").unwrap_or_else(|_| "BENCH_corpus.json".to_string());
+        if !json_path.is_empty() {
+            let payload = results_json(&dir.display().to_string(), &outcomes);
+            match std::fs::write(&json_path, payload) {
+                Ok(()) => log(format_args!("wrote {json_path}")),
+                Err(e) => log(format_args!("warning: could not write {json_path}: {e}")),
+            }
+        }
+        let bad = outcomes.iter().filter(|o| o.status != "ok").count();
+        if bad > 0 || leftover > 0 {
+            log(format_args!("incomplete corpus run: {bad} not ok"));
+            std::process::exit(1);
+        }
+        return;
     }
 
     // The merged dump, byte-identical to the single-process `solutions`
@@ -442,8 +540,7 @@ fn drive_shard(
     sock: &std::path::Path,
     queue: &WorkQueue,
     merged: &Mutex<Merged>,
-    budget: usize,
-    seed: u64,
+    lines: &HashMap<usize, String>,
 ) -> usize {
     let mut conn = match connect(sock, CONNECT_ATTEMPTS) {
         Some(conn) => conn,
@@ -454,14 +551,10 @@ fn drive_shard(
     };
     let mut done = 0usize;
     'tasks: while let Some(id) = queue.claim() {
-        let line = format!(
-            "{{\"id\": {id}, \"benchmark\": {id}, \"seed\": {seed}, \
-             \"budget\": {{\"timeout_secs\": null, \"max_visited\": {budget}, \
-             \"max_solutions\": 10}}}}"
-        );
+        let line = &lines[&id];
         let mut overload_delay = Duration::from_millis(100);
         loop {
-            match exchange(&mut conn, id, &line) {
+            match exchange(&mut conn, id, line) {
                 Ok(response) => {
                     let status = response.get("status").and_then(Json::as_str);
                     if status == Some("ok") {

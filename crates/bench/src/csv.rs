@@ -1,0 +1,402 @@
+//! A strict, value-preserving CSV codec for corpus bundles and the wire
+//! format's `"format": "csv"` table ingestion.
+//!
+//! The codec is RFC-4180-shaped (quoted fields with `""` escapes, LF or
+//! CRLF record separators, a mandatory header row) with one addition: the
+//! **storage representation** of every [`Value`] survives a round trip,
+//! which plain CSV cannot promise:
+//!
+//! * `Null` renders as an *unquoted* empty field; a *quoted* empty field
+//!   (`""`) is the empty string;
+//! * `Int(2)` renders as `2`, `Float(2.0)` as `2.0` — distinct on disk
+//!   even though they compare equal in the engine's value order;
+//! * `-0.0` keeps its sign (`-0.0`), `0.0` stays `0.0`;
+//! * strings that *look* like numbers, booleans or empties are quoted, so
+//!   `Str("2")` comes back as a string, not an integer;
+//! * booleans render bare as `true` / `false`.
+//!
+//! Parsing is strict: ragged rows, unbalanced quotes, trailing garbage
+//! after a closing quote and non-finite floats are structured
+//! [`CsvError`]s (surfaced as `invalid_request` on the wire), never
+//! silent coercions.
+
+use sickle_table::{Table, Value};
+
+/// A structured CSV codec failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based record number (0 for header/structural problems).
+    pub row: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.row == 0 {
+            write!(f, "csv: {}", self.msg)
+        } else {
+            write!(f, "csv row {}: {}", self.row, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(row: usize, msg: impl Into<String>) -> CsvError {
+    CsvError {
+        row,
+        msg: msg.into(),
+    }
+}
+
+/// True when a bare (unquoted) field would parse back as something other
+/// than the string itself.
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s == "true"
+        || s == "false"
+        || s.parse::<i64>().is_ok()
+        || s.parse::<f64>().is_ok()
+        || s.contains([',', '"', '\n', '\r'])
+        || s.starts_with(' ')
+        || s.ends_with(' ')
+}
+
+fn render_field(out: &mut String, s: &str, quote: bool) {
+    if quote {
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+fn render_value(out: &mut String, v: &Value, row: usize) -> Result<(), CsvError> {
+    match v {
+        Value::Null => {} // unquoted empty field
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(err(
+                    row,
+                    format!("non-finite float {x} is not representable"),
+                ));
+            }
+            // Always keep a decimal point so the field re-parses as a
+            // float (preserving the Int/Float storage distinction and
+            // the sign of -0.0, whose Display form is "-0").
+            let s = x.to_string();
+            let whole = s.parse::<i64>().is_ok();
+            out.push_str(&s);
+            if whole {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => render_field(out, s, needs_quoting(s)),
+    }
+    Ok(())
+}
+
+/// Renders a table as CSV text (header row + one record per row, LF
+/// separators, trailing newline).
+///
+/// # Errors
+///
+/// Returns [`CsvError`] if a cell holds a non-finite float.
+pub fn render_table(t: &Table) -> Result<String, CsvError> {
+    let mut out = String::new();
+    for (i, name) in t.names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_field(&mut out, name, needs_quoting(name));
+    }
+    out.push('\n');
+    for r in 0..t.n_rows() {
+        let row = t.row(r);
+        for (c, v) in row.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            render_value(&mut out, v, r + 1)?;
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// One parsed field: its text and whether it was quoted.
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+/// Splits one logical CSV text into records of fields, honoring quotes
+/// (including embedded newlines inside quoted fields).
+fn parse_records(src: &str) -> Result<Vec<Vec<Field>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<Field> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let row_no = |records: &Vec<Vec<Field>>| records.len() + 1;
+
+    macro_rules! end_field {
+        () => {{
+            record.push(Field {
+                text: std::mem::take(&mut field),
+                quoted,
+            });
+            quoted = false;
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_quotes {
+            match b {
+                b'"' if bytes.get(i + 1) == Some(&b'"') => {
+                    field.push('"');
+                    i += 2;
+                }
+                b'"' => {
+                    in_quotes = false;
+                    i += 1;
+                    // Only a separator or end-of-record may follow.
+                    match bytes.get(i) {
+                        None | Some(b',') | Some(b'\n') | Some(b'\r') => {}
+                        _ => {
+                            return Err(err(
+                                row_no(&records),
+                                "unexpected character after closing quote",
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte chars are copied byte-wise via the str slice.
+                    let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                    field.push_str(&src[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+            continue;
+        }
+        match b {
+            b'"' if field.is_empty() && !quoted => {
+                in_quotes = true;
+                quoted = true;
+                i += 1;
+            }
+            b'"' => return Err(err(row_no(&records), "quote inside unquoted field")),
+            b',' => {
+                end_field!();
+                i += 1;
+            }
+            b'\r' if bytes.get(i + 1) == Some(&b'\n') => {
+                end_field!();
+                records.push(std::mem::take(&mut record));
+                i += 2;
+            }
+            b'\n' => {
+                end_field!();
+                records.push(std::mem::take(&mut record));
+                i += 1;
+            }
+            _ => {
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                field.push_str(&src[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(err(row_no(&records), "unterminated quoted field"));
+    }
+    // A final record without a trailing newline still counts.
+    if !field.is_empty() || !record.is_empty() || quoted {
+        record.push(Field {
+            text: field,
+            quoted,
+        });
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn parse_value(f: &Field) -> Value {
+    if f.quoted {
+        return Value::Str(f.text.as_str().into());
+    }
+    let s = f.text.as_str();
+    if s.is_empty() {
+        return Value::Null;
+    }
+    if s == "true" {
+        return Value::Bool(true);
+    }
+    if s == "false" {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        if x.is_finite() {
+            return Value::Float(x);
+        }
+    }
+    Value::Str(s.into())
+}
+
+/// Parses CSV text into a [`Table`]: the first record is the header, every
+/// later record one row.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] for an empty input, an empty or blank header
+/// name, a ragged row (wrong field count, with the 1-based record
+/// number), or malformed quoting.
+pub fn parse_table(src: &str) -> Result<Table, CsvError> {
+    let records = parse_records(src)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or_else(|| err(0, "missing header row"))?;
+    if header.is_empty() {
+        return Err(err(0, "missing header row"));
+    }
+    let names: Vec<String> = header
+        .iter()
+        .map(|f| {
+            if f.text.trim().is_empty() {
+                Err(err(0, "empty column name in header"))
+            } else {
+                Ok(f.text.clone())
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let mut rows = Vec::new();
+    for (i, record) in it.enumerate() {
+        if record.len() != names.len() {
+            return Err(err(
+                i + 1,
+                format!(
+                    "ragged row: {} field(s), header has {}",
+                    record.len(),
+                    names.len()
+                ),
+            ));
+        }
+        rows.push(record.iter().map(parse_value).collect::<Vec<Value>>());
+    }
+    Table::new(names, rows).map_err(|e| err(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact storage equality: variant AND bit pattern (the engine's
+    /// `PartialEq` treats `Int(2) == Float(2.0)` and `0.0 == -0.0`, which
+    /// is precisely what this must NOT do).
+    fn same_repr(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(x), Value::Bool(y)) => x == y,
+            (Value::Int(x), Value::Int(y)) => x == y,
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            (Value::Str(x), Value::Str(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_storage_representation() {
+        let t = Table::new(
+            ["name", "x", "note"],
+            vec![
+                vec![Value::Str("alice".into()), Value::Int(2), Value::Null],
+                vec![
+                    Value::Str("2".into()),
+                    Value::Float(2.0),
+                    Value::Str("".into()),
+                ],
+                vec![
+                    Value::Str("true".into()),
+                    Value::Float(0.0),
+                    Value::Bool(true),
+                ],
+                vec![
+                    Value::Str("a,b\nc\"d".into()),
+                    Value::Float(-0.0),
+                    Value::Bool(false),
+                ],
+                vec![
+                    Value::Str(" pad ".into()),
+                    Value::Float(0.5),
+                    Value::Int(-7),
+                ],
+            ],
+        )
+        .unwrap();
+        let text = render_table(&t).unwrap();
+        let back = parse_table(&text).unwrap();
+        assert_eq!(back.names(), t.names());
+        assert_eq!(back.n_rows(), t.n_rows());
+        for r in 0..t.n_rows() {
+            for c in 0..t.n_cols() {
+                assert!(
+                    same_repr(&t.row(r)[c], &back.row(r)[c]),
+                    "({r},{c}): {:?} vs {:?}\n{text}",
+                    t.row(r)[c],
+                    back.row(r)[c],
+                );
+            }
+        }
+        // And the re-render is byte-identical (canonical form).
+        assert_eq!(render_table(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn structural_errors_are_reported_with_rows() {
+        let ragged = parse_table("a,b\n1,2\n3\n").unwrap_err();
+        assert_eq!(ragged.row, 2);
+        assert!(ragged.msg.contains("ragged"), "{ragged}");
+        assert!(parse_table("").unwrap_err().msg.contains("header"));
+        assert!(parse_table("a,,b\n")
+            .unwrap_err()
+            .msg
+            .contains("column name"));
+        assert!(parse_table("a\n\"open")
+            .unwrap_err()
+            .msg
+            .contains("unterminated"));
+        assert!(parse_table("a\n\"x\"y\n")
+            .unwrap_err()
+            .msg
+            .contains("closing quote"));
+        assert!(parse_table("a\nx\"y\n").unwrap_err().msg.contains("quote"));
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline_parse() {
+        let t = parse_table("a,b\r\n1,west\r\n2,east").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.row(1)[1], Value::Str("east".into()));
+    }
+
+    #[test]
+    fn non_finite_floats_do_not_render() {
+        let t = Table::new(["x"], vec![vec![Value::Float(f64::INFINITY)]]).unwrap();
+        assert!(render_table(&t).is_err());
+    }
+}

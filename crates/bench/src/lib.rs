@@ -24,8 +24,14 @@
 //! Unix-socket/TCP server (`--listen`) with a bounded session pool,
 //! admission control, watchdog deadlines, panic isolation and graceful
 //! shutdown (schema in `README.md`, codec in [`wire`], envelope in
-//! [`server`]). `sickle-shard` partitions the benchmark suite across
-//! several such servers and deterministically merges the results.
+//! [`server`]). `sickle-shard` partitions the benchmark suite — or a
+//! frozen corpus (`--corpus DIR`) — across several such servers and
+//! deterministically merges the results. `sickle-corpus` grows the
+//! benchmark surface beyond the hand-ported suite: it generates
+//! seed-addressed candidate tasks, admits only the solvable and
+//! unambiguous ones, freezes them as versioned CSV/JSON bundles and runs
+//! arbitrary corpus slices through the wire path (module docs in
+//! [`corpus`], CSV codec in [`csv`]).
 //!
 //! Environment knobs: `SICKLE_TIMEOUT_SECS` (per-run timeout, default 15),
 //! `SICKLE_MAX_VISITED` (visit budget, default 1,000,000), `SICKLE_SEED`
@@ -34,12 +40,20 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
+pub mod csv;
 pub mod effort;
 pub mod json;
 pub mod runner;
 pub mod server;
 pub mod wire;
 
+pub use corpus::{
+    admit, bundle_hash, corpus_digest, freeze_corpus, load_corpus, outcome_from_response,
+    render_dump, results_json, run_corpus, wire_line, CorpusBudget, CorpusFilters, Rejection,
+    RunOutcome, TableFormat, TaskBundle,
+};
+pub use csv::{parse_table as parse_csv_table, render_table as render_csv_table, CsvError};
 pub use json::{Json, JsonError};
 pub use runner::{
     benchmark_request, render_fig12, render_fig13, render_obs1, render_ranking, run_one,

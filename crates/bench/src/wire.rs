@@ -140,7 +140,38 @@ fn decode_value(v: &Json) -> Result<Value, SickleError> {
     }
 }
 
-fn decode_table(t: &Json, index: usize) -> Result<Table, SickleError> {
+/// Decodes one wire table. Two encodings are accepted, selected by the
+/// optional `"format"` field:
+///
+/// * `"json"` (default): `"columns"` (array of names) + `"rows"` (array
+///   of cell arrays);
+/// * `"csv"`: `"data"` holding the full CSV text ([`crate::csv`] codec —
+///   header row, quoted strings, value-preserving numbers). Ragged rows,
+///   bad headers and malformed quoting surface as `invalid_request`.
+pub(crate) fn decode_table(t: &Json, index: usize) -> Result<Table, SickleError> {
+    match t.get("format").map(|f| (f, f.as_str())) {
+        None => {}
+        Some((_, Some("json"))) => {}
+        Some((_, Some("csv"))) => {
+            let data = t.get("data").and_then(Json::as_str).ok_or_else(|| {
+                invalid(format!("csv table {} needs a \"data\" string", index + 1))
+            })?;
+            if t.get("columns").is_some() || t.get("rows").is_some() {
+                return Err(invalid(format!(
+                    "csv table {} must not also carry \"columns\"/\"rows\"",
+                    index + 1
+                )));
+            }
+            return crate::csv::parse_table(data)
+                .map_err(|e| invalid(format!("table {}: {e}", index + 1)));
+        }
+        Some(_) => {
+            return Err(invalid(format!(
+                "table {}: \"format\" must be \"json\" or \"csv\"",
+                index + 1
+            )))
+        }
+    }
     let columns = t
         .get("columns")
         .and_then(Json::as_array)
@@ -878,6 +909,67 @@ mod tests {
         assert_eq!(inline.get("status").and_then(Json::as_str), Some("ok"));
         assert!(inline.get("solved").is_none());
         assert!(inline.get("rank").is_none());
+    }
+
+    #[test]
+    fn csv_tables_decode_like_json_tables() {
+        let session = Session::new();
+        let csv_line = concat!(
+            r#"{"id": "c1", "#,
+            r#""tables": [{"format": "csv", "data": "region,revenue\nwest,10\nwest,20\neast,5\n"}], "#,
+            r#""demo": [["T[1,1]", "sum(T[1,2], T[2,2])"], ["T[3,1]", "sum(T[3,2])"]], "#,
+            r#""max_depth": 1, "#,
+            r#""budget": {"max_solutions": 3, "max_visited": 50000}}"#
+        );
+        let from_csv = handle_line(&session, csv_line);
+        let from_json = handle_line(&session, &inline_request_line());
+        assert_eq!(
+            from_csv.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}",
+            from_csv.render()
+        );
+        // Identical tables + demo ⇒ identical solutions, either encoding.
+        assert_eq!(
+            from_csv.get("solutions").map(Json::render),
+            from_json.get("solutions").map(Json::render)
+        );
+        // Quoted numerics stay strings: "10" is not summable, so the
+        // same demo over a quoted column must fail to find solutions
+        // rather than silently coercing.
+        let quoted = decode_table(
+            &Json::parse(r#"{"format": "csv", "data": "a,b\nx,\"10\"\n"}"#).unwrap(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(quoted.get(0, 1), Some(&Value::Str("10".into())));
+    }
+
+    #[test]
+    fn csv_table_errors_are_invalid_request() {
+        let session = Session::new();
+        let cases = [
+            // Ragged CSV row.
+            r#"{"tables": [{"format": "csv", "data": "a,b\n1,2\n3\n"}], "demo": [["T[1,1]"]]}"#,
+            // Empty header name.
+            r#"{"tables": [{"format": "csv", "data": "a,,b\n1,2,3\n"}], "demo": [["T[1,1]"]]}"#,
+            // Unterminated quote.
+            r#"{"tables": [{"format": "csv", "data": "a\n\"open\n"}], "demo": [["T[1,1]"]]}"#,
+            // Missing data payload.
+            r#"{"tables": [{"format": "csv"}], "demo": [["T[1,1]"]]}"#,
+            // Both encodings at once.
+            r#"{"tables": [{"format": "csv", "data": "a\n1\n", "rows": []}], "demo": [["T[1,1]"]]}"#,
+            // Unknown format.
+            r#"{"tables": [{"format": "tsv", "data": "a\n1\n"}], "demo": [["T[1,1]"]]}"#,
+        ];
+        for line in cases {
+            let response = handle_line(&session, line);
+            let kind = response
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str);
+            assert_eq!(kind, Some("invalid_request"), "{line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Integration tests for the corpus subsystem: admission determinism,
+//! the extensional-ambiguity gate, and the frozen-bundle round trip.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use sickle_bench::corpus::{
+    admit, bundle_hash, corpus_digest, freeze_corpus, load_corpus, render_dump, run_corpus,
+    CorpusBudget, CorpusFilters,
+};
+use sickle_benchmarks::{generate_candidate, CandidateTask, CorpusCategory};
+use sickle_core::{Query, Session};
+use sickle_table::{AggFunc, Table, Value};
+
+/// A throwaway directory under the system temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("sickle-corpus-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Small debug-friendly budget (tests run unoptimized).
+fn test_budget() -> CorpusBudget {
+    CorpusBudget {
+        max_visited: 20_000,
+        max_solutions: 10,
+    }
+}
+
+/// Admits a window of seeds on a warm session, tallying rejections.
+fn admit_window(
+    lo: u64,
+    n: u64,
+) -> (
+    Vec<sickle_bench::corpus::TaskBundle>,
+    BTreeMap<&'static str, usize>,
+) {
+    let session = Session::new();
+    let budget = test_budget();
+    let mut admitted = Vec::new();
+    let mut tally = BTreeMap::new();
+    for seed in lo..lo + n {
+        match admit(&generate_candidate(seed), &budget, &session) {
+            Ok(bundle) => admitted.push(bundle),
+            Err(r) => *tally.entry(r.reason).or_insert(0) += 1,
+        }
+    }
+    (admitted, tally)
+}
+
+/// Every file in `dir`, relative path → contents.
+fn read_tree(dir: &std::path::Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &std::path::Path, dir: &std::path::Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).expect("read_dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).expect("read file"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+#[test]
+fn same_seed_produces_identical_bundle_bytes_and_verdict() {
+    // Two fully independent admission passes over the same seed window …
+    let (first, tally_a) = admit_window(42, 8);
+    let (second, tally_b) = admit_window(42, 8);
+    assert!(!first.is_empty(), "window admitted nothing");
+    assert_eq!(tally_a, tally_b, "rejection verdicts must be deterministic");
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.expected, b.expected, "{}: solution lists differ", a.id);
+        assert_eq!(
+            bundle_hash(a).unwrap(),
+            bundle_hash(b).unwrap(),
+            "{}: content hashes differ",
+            a.id
+        );
+    }
+
+    // … and two independent freezes are byte-identical trees.
+    let dir_a = TempDir::new("freeze-a");
+    let dir_b = TempDir::new("freeze-b");
+    let budget = test_budget();
+    freeze_corpus(&dir_a.0, 42, 8, &budget, &first, &tally_a).unwrap();
+    freeze_corpus(&dir_b.0, 42, 8, &budget, &second, &tally_b).unwrap();
+    assert_eq!(read_tree(&dir_a.0), read_tree(&dir_b.0));
+}
+
+#[test]
+fn known_ambiguous_task_is_rejected_as_ambiguous_top() {
+    // Two string keys in 1:1 correspondence, and a demo that shows ONLY
+    // the aggregate column: group-by-region and group-by-city are then
+    // both demo-consistent, tie at the same query size, and genuinely
+    // disagree extensionally (different key columns) — the definition of
+    // an inadmissible task.
+    let rows = vec![
+        vec![
+            Value::Str("west".into()),
+            Value::Str("akron".into()),
+            Value::Int(10),
+        ],
+        vec![
+            Value::Str("west".into()),
+            Value::Str("akron".into()),
+            Value::Int(20),
+        ],
+        vec![
+            Value::Str("east".into()),
+            Value::Str("boise".into()),
+            Value::Int(7),
+        ],
+        vec![
+            Value::Str("east".into()),
+            Value::Str("boise".into()),
+            Value::Int(5),
+        ],
+    ];
+    let t = Table::new(
+        [
+            "region".to_string(),
+            "city".to_string(),
+            "revenue".to_string(),
+        ],
+        rows,
+    )
+    .unwrap();
+    let q_gt = Query::Group {
+        src: Box::new(Query::Input(0)),
+        keys: vec![0],
+        agg: AggFunc::Sum,
+        target: 2,
+    };
+    let cand = CandidateTask {
+        seed: 7,
+        category: CorpusCategory::Group,
+        inputs: vec![t],
+        max_depth: q_gt.size(),
+        q_gt,
+        // Demonstrate only the sum column — the region column would have
+        // disambiguated the two keys.
+        out_cols: vec![1],
+        join_keys: Vec::new(),
+        enable_join: false,
+    };
+    let verdict = admit(&cand, &test_budget(), &Session::new());
+    let rejection = verdict.expect_err("ambiguous task must not be admitted");
+    assert_eq!(rejection.reason, "ambiguous_top", "{}", rejection.detail);
+}
+
+#[test]
+fn frozen_corpus_round_trips_and_runs_clean() {
+    let (admitted, tally) = admit_window(100, 10);
+    assert!(admitted.len() >= 3, "window admitted too little");
+    let dir = TempDir::new("roundtrip");
+    freeze_corpus(&dir.0, 100, 10, &test_budget(), &admitted, &tally).unwrap();
+
+    // Unfiltered load returns every admitted bundle, hash-verified.
+    let loaded = load_corpus(&dir.0, &CorpusFilters::default()).unwrap();
+    assert_eq!(loaded.len(), admitted.len());
+    for (a, l) in admitted.iter().zip(&loaded) {
+        assert_eq!(a.id, l.id);
+        assert_eq!(a.expected, l.expected);
+        assert_eq!(a.demo_rows, l.demo_rows);
+        assert_eq!(a.tables.len(), l.tables.len());
+    }
+
+    // The run path reproduces every frozen expectation, and the digest is
+    // stable across two runs.
+    let outcomes = run_corpus(&loaded);
+    for o in &outcomes {
+        assert_eq!(o.status, "ok", "{}: {:?}", o.id, o.solutions);
+    }
+    let again = run_corpus(&loaded);
+    assert_eq!(corpus_digest(&outcomes), corpus_digest(&again));
+    assert_eq!(render_dump(&outcomes), render_dump(&again));
+
+    // Filters select exact slices.
+    let by_id = CorpusFilters {
+        task_ids: Some([loaded[0].id.clone()].into_iter().collect()),
+        ..Default::default()
+    };
+    let one = load_corpus(&dir.0, &by_id).unwrap();
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].id, loaded[0].id);
+
+    let lo = loaded.iter().map(|b| b.seed).min().unwrap();
+    let ranged = CorpusFilters {
+        seed_range: Some((lo, lo)),
+        ..Default::default()
+    };
+    let slice = load_corpus(&dir.0, &ranged).unwrap();
+    assert!(slice.iter().all(|b| b.seed == lo));
+    assert_eq!(slice.len(), loaded.iter().filter(|b| b.seed == lo).count());
+}
+
+#[test]
+fn tampered_bundle_fails_the_hash_check() {
+    let (admitted, tally) = admit_window(200, 6);
+    assert!(!admitted.is_empty());
+    let dir = TempDir::new("tamper");
+    freeze_corpus(&dir.0, 200, 6, &test_budget(), &admitted, &tally).unwrap();
+
+    // Flip one byte in the first bundle's first table file.
+    let task_dir = dir.0.join("tasks").join(&admitted[0].id);
+    let table_file = std::fs::read_dir(&task_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("table"))
+        })
+        .expect("bundle has a table file");
+    // Change one digit so the file still parses but its bytes differ.
+    let mut bytes = std::fs::read(&table_file).unwrap();
+    let pos = bytes
+        .iter()
+        .position(|b| b.is_ascii_digit())
+        .expect("table file contains a number");
+    bytes[pos] = if bytes[pos] == b'9' {
+        b'8'
+    } else {
+        bytes[pos] + 1
+    };
+    std::fs::write(&table_file, bytes).unwrap();
+
+    let err = load_corpus(&dir.0, &CorpusFilters::default()).unwrap_err();
+    assert!(err.contains("hash mismatch"), "unexpected error: {err}");
+}

@@ -1,0 +1,428 @@
+//! Randomized candidate-task generation for the corpus subsystem.
+//!
+//! A candidate is seed-addressed: [`generate_candidate`] derives the whole
+//! task — schema, data, ground truth, demonstrated columns — from one
+//! `u64`, so a corpus task id (which embeds its seed) fully determines the
+//! bundle bytes. Schemas are drawn from small word pools, base tables are
+//! built row-by-row from the seeded [`Rng`], and the synthesis inputs are
+//! [`scale_table`]-resampled from that base (bootstrap sampling keeps the
+//! joint value distribution, so group cardinalities stay proportional).
+//!
+//! Candidates are *not* guaranteed solvable or unambiguous — that is the
+//! admission gate's job (`sickle_bench::corpus`). The generator only
+//! guarantees determinism and that every family is expressible through
+//! the wire path's default search shape (`group`/`partition`/`arith`
+//! chains, join enabled for two-table tasks).
+
+use crate::demogen::scale_table;
+use crate::rng::Rng;
+
+use sickle_core::{JoinKey, Pred, Query};
+use sickle_table::{default_arith_templates, AggFunc, AnalyticFunc, CmpOp, Table, Value};
+
+/// The task family a candidate was drawn from; becomes the corpus
+/// `category` used by the runner's `--categories` filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusCategory {
+    /// Single-key aggregation: `group(T, [k], agg(m))`.
+    Group,
+    /// Two-key aggregation: `group(T, [k1, k2], agg(m))`.
+    Group2,
+    /// Window functions: `partition(T, [k], func(m))`.
+    Partition,
+    /// Computed columns from the default template pool: `arith(T, γ, m1, m2)`.
+    Arith,
+    /// Join then aggregate: `group(left_join(T1, T2), [label], sum(m))`.
+    Join,
+}
+
+impl CorpusCategory {
+    /// All families, in the stable generation order.
+    pub const ALL: [CorpusCategory; 5] = [
+        CorpusCategory::Group,
+        CorpusCategory::Group2,
+        CorpusCategory::Partition,
+        CorpusCategory::Arith,
+        CorpusCategory::Join,
+    ];
+
+    /// The on-disk / CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorpusCategory::Group => "group",
+            CorpusCategory::Group2 => "group2",
+            CorpusCategory::Partition => "partition",
+            CorpusCategory::Arith => "arith",
+            CorpusCategory::Join => "join",
+        }
+    }
+
+    /// Inverse of [`CorpusCategory::label`].
+    pub fn from_label(s: &str) -> Option<CorpusCategory> {
+        CorpusCategory::ALL.into_iter().find(|c| c.label() == s)
+    }
+}
+
+/// A generated candidate task, before admission.
+#[derive(Debug, Clone)]
+pub struct CandidateTask {
+    /// The seed this candidate was derived from (also the demo seed).
+    pub seed: u64,
+    /// The task family.
+    pub category: CorpusCategory,
+    /// Raw synthesis inputs (demo generation samples them to ≤ 20 rows).
+    pub inputs: Vec<Table>,
+    /// The ground-truth query the demo is derived from.
+    pub q_gt: Query,
+    /// Output columns of `[[q_gt]]` the simulated user demonstrates.
+    pub out_cols: Vec<usize>,
+    /// Join-key hints shipped with the task (two-table families only).
+    pub join_keys: Vec<JoinKey>,
+    /// Search depth (= ground-truth size).
+    pub max_depth: usize,
+    /// Whether the search may start from a join (two-table families).
+    pub enable_join: bool,
+}
+
+const STR_KEY_POOLS: &[(&str, &[&str])] = &[
+    ("region", &["west", "east", "north", "south", "central"]),
+    (
+        "product",
+        &["widget", "gadget", "gizmo", "sprocket", "doohickey"],
+    ),
+    ("team", &["red", "blue", "green", "gold"]),
+    ("city", &["akron", "boise", "cairo", "dover", "essen"]),
+    ("channel", &["web", "store", "phone", "field"]),
+];
+
+const INT_KEY_POOLS: &[(&str, i64, i64)] = &[
+    ("quarter", 1, 4),
+    ("month", 1, 6),
+    ("year", 2019, 2022),
+    ("tier", 1, 3),
+];
+
+const MEASURE_NAMES: &[&str] = &["revenue", "units", "cost", "score", "hours", "clicks"];
+
+/// Picks `k` distinct values (2 ≤ k ≤ 3) from a shuffled pool.
+fn pick_str_key(rng: &mut Rng) -> (String, Vec<Value>) {
+    let (name, pool) = STR_KEY_POOLS[rng.gen_range(STR_KEY_POOLS.len())];
+    let mut vals: Vec<&str> = pool.to_vec();
+    rng.shuffle(&mut vals);
+    let k = 2 + rng.gen_range(2); // 2..=3 distinct keys
+    let vals = vals[..k].iter().map(|s| Value::Str((*s).into())).collect();
+    (name.to_string(), vals)
+}
+
+fn pick_int_key(rng: &mut Rng) -> (String, Vec<Value>) {
+    let (name, lo, hi) = INT_KEY_POOLS[rng.gen_range(INT_KEY_POOLS.len())];
+    let mut vals: Vec<i64> = (lo..=hi).collect();
+    rng.shuffle(&mut vals);
+    let k = 2 + rng.gen_range((vals.len() - 1).min(2)); // 2..=3
+    let vals = vals[..k].iter().map(|&v| Value::Int(v)).collect();
+    (name.to_string(), vals)
+}
+
+fn pick_measures(rng: &mut Rng) -> (String, String) {
+    let mut names: Vec<&str> = MEASURE_NAMES.to_vec();
+    rng.shuffle(&mut names);
+    (names[0].to_string(), names[1].to_string())
+}
+
+/// The shared single-table schema: `[str key, int key, m1, m2]`.
+///
+/// Every str/int key value appears at least twice in the base so that
+/// bootstrap-scaled groups are rarely singletons (singleton groups make
+/// single-member aggregates collapse to plain references, which the
+/// admission gate then rejects as ambiguous).
+fn base_single(rng: &mut Rng, seed: u64, small_groups: bool) -> Table {
+    let (kname, kvals) = pick_str_key(rng);
+    let (iname, ivals) = pick_int_key(rng);
+    let (m1, m2) = pick_measures(rng);
+    let n_base = kvals.len().max(ivals.len()) * 2 + 4 + rng.gen_range(4);
+    let mut rows = Vec::with_capacity(n_base);
+    for i in 0..n_base {
+        // Cycle both key pools twice before going random: guarantees every
+        // key value shows up ≥ 2 times in the base.
+        let kv = if i < kvals.len() * 2 {
+            kvals[i % kvals.len()].clone()
+        } else {
+            kvals[rng.gen_range(kvals.len())].clone()
+        };
+        let iv = if i < ivals.len() * 2 {
+            ivals[i % ivals.len()].clone()
+        } else {
+            ivals[rng.gen_range(ivals.len())].clone()
+        };
+        let a = Value::Int(10 + rng.gen_range(90) as i64);
+        let b = Value::Int(5 + rng.gen_range(45) as i64);
+        rows.push(vec![kv, iv, a, b]);
+    }
+    rng.shuffle(&mut rows);
+    let base = Table::new([kname, iname, m1, m2], rows).expect("rectangular by construction");
+    // Tasks that aggregate over the str key need small groups (≤ ~4
+    // members): §3.1 truncates >4-argument demo expressions with ♦, and a
+    // partial sum matches ANY superset — including the whole-table
+    // aggregate — which makes the demo underdetermined and the admission
+    // gate reject the task as ambiguous_top.
+    let n = if small_groups {
+        kvals.len() * 3 + rng.gen_range(4) // ~3-4 rows per key value
+    } else {
+        22 + rng.gen_range(9) // 22..=30 scaled rows
+    };
+    scale_table(&base, n, seed.wrapping_add(1))
+}
+
+/// Overwrites a column with globally distinct values (a shuffled
+/// `10, 20, …` sequence): rank and dense_rank then agree everywhere, so
+/// ranking tasks survive the admission gate's extensional-ambiguity check.
+fn distinct_column(t: &Table, col: usize, rng: &mut Rng) -> Table {
+    let mut vals: Vec<i64> = (1..=t.n_rows() as i64).map(|i| i * 10).collect();
+    rng.shuffle(&mut vals);
+    let rows: Vec<Vec<Value>> = (0..t.n_rows())
+        .map(|r| {
+            let mut row = t.row(r).to_vec();
+            row[col] = Value::Int(vals[r]);
+            row
+        })
+        .collect();
+    Table::new(t.names().to_vec(), rows).expect("rewrite preserves arity")
+}
+
+/// Derives a full candidate task from one seed.
+pub fn generate_candidate(seed: u64) -> CandidateTask {
+    let mut rng = Rng::seed_from_u64(seed);
+    let category = CorpusCategory::ALL[rng.gen_range(CorpusCategory::ALL.len())];
+    match category {
+        CorpusCategory::Group => {
+            let t = base_single(&mut rng, seed, true);
+            let aggs = [
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Max,
+                AggFunc::Min,
+                AggFunc::Count,
+            ];
+            let agg = aggs[rng.gen_range(aggs.len())];
+            let target = 2 + rng.gen_range(2);
+            let q_gt = Query::Group {
+                src: Box::new(Query::Input(0)),
+                keys: vec![0],
+                agg,
+                target,
+            };
+            CandidateTask {
+                seed,
+                category,
+                inputs: vec![t],
+                max_depth: q_gt.size(),
+                q_gt,
+                out_cols: vec![0, 1],
+                join_keys: Vec::new(),
+                enable_join: false,
+            }
+        }
+        CorpusCategory::Group2 => {
+            let t = base_single(&mut rng, seed, false);
+            let aggs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Max, AggFunc::Min];
+            let agg = aggs[rng.gen_range(aggs.len())];
+            let target = 2 + rng.gen_range(2);
+            let q_gt = Query::Group {
+                src: Box::new(Query::Input(0)),
+                keys: vec![0, 1],
+                agg,
+                target,
+            };
+            CandidateTask {
+                seed,
+                category,
+                inputs: vec![t],
+                max_depth: q_gt.size(),
+                q_gt,
+                out_cols: vec![0, 1, 2],
+                join_keys: Vec::new(),
+                enable_join: false,
+            }
+        }
+        CorpusCategory::Partition => {
+            let t = base_single(&mut rng, seed, true);
+            let funcs = [
+                AnalyticFunc::Agg(AggFunc::Sum),
+                AnalyticFunc::Agg(AggFunc::Max),
+                AnalyticFunc::CumSum,
+                AnalyticFunc::Rank,
+                AnalyticFunc::DenseRank,
+            ];
+            let func = funcs[rng.gen_range(funcs.len())];
+            let target = 2 + rng.gen_range(2);
+            let t = match func {
+                // Ties make rank/dense_rank diverge somewhere in the
+                // table — an extensional ambiguity — so ranking targets
+                // get globally distinct values.
+                AnalyticFunc::Rank | AnalyticFunc::DenseRank => {
+                    distinct_column(&t, target, &mut rng)
+                }
+                _ => t,
+            };
+            let appended = t.n_cols();
+            let q_gt = Query::Partition {
+                src: Box::new(Query::Input(0)),
+                keys: vec![0],
+                func,
+                target,
+            };
+            CandidateTask {
+                seed,
+                category,
+                inputs: vec![t],
+                max_depth: q_gt.size(),
+                q_gt,
+                out_cols: vec![0, target, appended],
+                join_keys: Vec::new(),
+                enable_join: false,
+            }
+        }
+        CorpusCategory::Arith => {
+            let t = base_single(&mut rng, seed, false);
+            let templates = default_arith_templates();
+            let func = templates[rng.gen_range(templates.len())].clone();
+            let cols = if rng.gen_range(2) == 0 {
+                vec![2, 3]
+            } else {
+                vec![3, 2]
+            };
+            let appended = t.n_cols();
+            let q_gt = Query::Arith {
+                src: Box::new(Query::Input(0)),
+                func,
+                cols,
+            };
+            CandidateTask {
+                seed,
+                category,
+                inputs: vec![t],
+                max_depth: q_gt.size(),
+                q_gt,
+                out_cols: vec![0, appended],
+                join_keys: Vec::new(),
+                enable_join: false,
+            }
+        }
+        CorpusCategory::Join => {
+            let (_, pool) = STR_KEY_POOLS[rng.gen_range(STR_KEY_POOLS.len())];
+            let mut labels: Vec<&str> = pool.to_vec();
+            rng.shuffle(&mut labels);
+            // Exactly 4 ids mapped MANY-TO-ONE onto 2 labels (2 ids each),
+            // with every id appearing exactly twice in the fact table.
+            // This shape is what makes the task admissible: the demo's
+            // per-label sum then spans the rows of two different ids
+            // (4 arguments — full, never ♦-truncated), which no cross-join
+            // grouping can reproduce. With a 1:1 id↔label dim the solver's
+            // predicate-free cross-join groupings are provenance-identical
+            // to the real join on every [label, sum] demo, outrank the
+            // ground truth, and the candidate dies at the not_top gate.
+            let k = 4usize;
+            let (m1, _) = pick_measures(&mut rng);
+            let mut fact_rows = Vec::with_capacity(2 * k);
+            for i in 0..2 * k {
+                fact_rows.push(vec![
+                    Value::Int((i % k) as i64),
+                    Value::Int(10 + rng.gen_range(90) as i64),
+                ]);
+            }
+            rng.shuffle(&mut fact_rows);
+            let fact = Table::new(vec!["id".to_string(), m1], fact_rows).expect("rectangular fact");
+            let mut id_order: Vec<usize> = (0..k).collect();
+            rng.shuffle(&mut id_order);
+            let dim_rows: Vec<Vec<Value>> = (0..k)
+                .map(|i| {
+                    let label = labels[id_order[i] / 2];
+                    vec![Value::Int(i as i64), Value::Str(label.into())]
+                })
+                .collect();
+            let dim =
+                Table::new(["id".to_string(), "label".to_string()], dim_rows).expect("dim table");
+            // Join output = fact columns then dim columns; the group key
+            // is the dim label (global column 3), the agg target m1.
+            let q_gt = Query::Group {
+                src: Box::new(Query::LeftJoin {
+                    left: Box::new(Query::Input(0)),
+                    right: Box::new(Query::Input(1)),
+                    pred: Pred::ColCmp(0, CmpOp::Eq, 2),
+                }),
+                keys: vec![3],
+                agg: AggFunc::Sum,
+                target: 1,
+            };
+            CandidateTask {
+                seed,
+                category,
+                inputs: vec![fact, dim],
+                max_depth: q_gt.size(),
+                q_gt,
+                out_cols: vec![0, 1],
+                join_keys: vec![JoinKey {
+                    left_table: 0,
+                    left_col: 0,
+                    right_table: 1,
+                    right_col: 0,
+                }],
+                enable_join: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demogen::generate_demo;
+
+    #[test]
+    fn candidates_are_seed_deterministic() {
+        for seed in 0..20 {
+            let a = generate_candidate(seed);
+            let b = generate_candidate(seed);
+            assert_eq!(a.category, b.category, "seed {seed}");
+            assert_eq!(a.inputs, b.inputs, "seed {seed}");
+            assert_eq!(format!("{}", a.q_gt), format!("{}", b.q_gt), "seed {seed}");
+            assert_eq!(a.out_cols, b.out_cols, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_families_appear_within_a_small_seed_window() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..40 {
+            seen.insert(generate_candidate(seed).category.label());
+        }
+        for c in CorpusCategory::ALL {
+            assert!(seen.contains(c.label()), "family {} missing", c.label());
+        }
+    }
+
+    #[test]
+    fn ground_truths_evaluate_and_demo_generation_succeeds() {
+        let mut ok = 0;
+        for seed in 0..40 {
+            let c = generate_candidate(seed);
+            let out = sickle_core::evaluate(&c.q_gt, &c.inputs).expect("gt evaluates");
+            assert!(out.n_rows() > 0, "seed {seed}: empty gt output");
+            for &col in &c.out_cols {
+                assert!(col < out.n_cols(), "seed {seed}: out_col {col} in range");
+            }
+            if generate_demo(&c.inputs, &c.q_gt, &c.out_cols, seed).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 36, "only {ok}/40 candidates produced demos");
+    }
+
+    #[test]
+    fn category_labels_round_trip() {
+        for c in CorpusCategory::ALL {
+            assert_eq!(CorpusCategory::from_label(c.label()), Some(c));
+        }
+        assert_eq!(CorpusCategory::from_label("nope"), None);
+    }
+}

@@ -23,11 +23,13 @@
 
 #![warn(missing_docs)]
 
+pub mod corpusgen;
 pub mod data;
 mod demogen;
 pub mod rng;
 mod suite;
 
+pub use corpusgen::{generate_candidate, CandidateTask, CorpusCategory};
 pub use demogen::{
     demo_expr_of, demo_is_consistent_with_gt, generate_demo, scale_table, scale_table_keyed,
     DemoGenError, GeneratedDemo, DEMO_ROWS, MAX_DEMO_VALUES, MAX_INPUT_ROWS,
