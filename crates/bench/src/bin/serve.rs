@@ -53,6 +53,12 @@ OPTIONS:
                           its worker is detached (default: 2000)
     --max-line-bytes N    request-line byte bound; oversized lines get a
                           structured invalid_request error (default: 8388608)
+    --max-bytes N         approximate memory budget in bytes: byte-bounds
+                          the warm session pool and arms the pressure
+                          ladder — new searches degrade their cache
+                          policy at 80% (soft watermark), searches are
+                          killed with a structured resource_exhausted
+                          error at 95% (hard watermark) (default: off)
     --pool-sessions N     warm sessions kept, one per demo family
                           (default: 8)
     --pool-sets N         global interned-set bound across all warm
@@ -60,15 +66,23 @@ OPTIONS:
                           (default: 1000000)
     -h, --help            this text
 
+EXIT CODES:
+    0  clean shutdown (drain on SIGTERM/SIGINT or stdin EOF)
+    1  runtime failure (bind race, listener I/O) — a supervisor may
+       restart
+    2  configuration error (bad flags, malformed SICKLE_FAULT,
+       unparseable --listen spec, un-unlinkable stale socket) — a
+       supervisor must NOT restart
+
 ENVIRONMENT:
     SICKLE_MAX_INFLIGHT, SICKLE_QUEUE, SICKLE_WATCHDOG_SECS,
-    SICKLE_WATCHDOG_GRACE_MS, SICKLE_MAX_LINE_BYTES,
+    SICKLE_WATCHDOG_GRACE_MS, SICKLE_MAX_LINE_BYTES, SICKLE_MAX_BYTES,
     SICKLE_POOL_SESSIONS, SICKLE_POOL_SETS
                           defaults for the flags above (flags win)
     SICKLE_FAULT          fault injection for robustness tests:
                           kind@site[:nth[:param]],... with kinds
-                          panic|stall|disconnect|exit and sites
-                          accept|request|analyze|response
+                          panic|stall|disconnect|exit|oom|slowwrite and
+                          sites accept|request|analyze|response
 ";
 
 fn parse_args(config: &mut ServerConfig) -> Result<Option<String>, String> {
@@ -110,6 +124,10 @@ fn parse_args(config: &mut ServerConfig) -> Result<Option<String>, String> {
                 let v = value("--max-line-bytes", &mut args)?;
                 config.max_line_bytes = parse_num(&arg, &v)?.max(64);
             }
+            "--max-bytes" => {
+                let v = value("--max-bytes", &mut args)?;
+                *config = config.clone().with_max_bytes(parse_num(&arg, &v)?);
+            }
             "--pool-sessions" => {
                 let v = value("--pool-sessions", &mut args)?;
                 config.pool = config.pool.with_max_sessions(parse_num(&arg, &v)?);
@@ -128,21 +146,34 @@ fn parse_num(flag: &str, v: &str) -> Result<usize, String> {
     v.parse().map_err(|_| format!("{flag}: bad value {v:?}"))
 }
 
+/// Exit code for configuration errors a supervisor must not retry (bad
+/// flags, malformed fault spec, unparseable listen spec, un-unlinkable
+/// stale socket). Runtime failures exit 1 and may be restarted.
+const EXIT_CONFIG: i32 = 2;
+
+fn config_error(msg: impl std::fmt::Display) -> ! {
+    eprintln!("sickle-serve: config error: {msg}");
+    std::process::exit(EXIT_CONFIG);
+}
+
 fn main() {
     let mut config = ServerConfig::from_env();
     let listen = match parse_args(&mut config) {
         Ok(listen) => listen,
-        Err(e) => {
-            eprintln!("sickle-serve: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => config_error(e),
     };
-    let faults = Faults::from_env();
+    let faults = match Faults::from_env() {
+        Ok(faults) => faults,
+        Err(e) => config_error(e),
+    };
     match listen {
         Some(spec) => {
             install_signal_handlers();
             let server = match Server::bind(&spec, config, faults) {
                 Ok(server) => server,
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                    config_error(format_args!("cannot listen on {spec}: {e}"))
+                }
                 Err(e) => {
                     eprintln!("sickle-serve: cannot listen on {spec}: {e}");
                     std::process::exit(1);

@@ -127,6 +127,7 @@ fn main() {
             cache_demotions: res.stats.cache_demotions,
             cache_reevals: res.stats.cache_reevals,
             cache_reeval_time: res.stats.cache_reeval_time,
+            mem_bytes: res.stats.mem_bytes,
             rank,
         });
     }

@@ -99,6 +99,9 @@ pub struct RunRecord {
     pub cache_reevals: usize,
     /// Time spent on those re-evaluations.
     pub cache_reeval_time: Duration,
+    /// Approximate peak bytes attributed to the run: pooled interned sets
+    /// and analysis memos plus live engine-cache footprint at finish.
+    pub mem_bytes: usize,
     /// 1-based rank of the correct query among returned solutions, when
     /// solved (consistent-but-incorrect queries found earlier push it down).
     pub rank: Option<usize>,
@@ -271,6 +274,7 @@ pub fn run_one_in(
         cache_demotions: result.stats.cache_demotions,
         cache_reevals: result.stats.cache_reevals,
         cache_reeval_time: result.stats.cache_reeval_time,
+        mem_bytes: result.stats.mem_bytes,
         rank,
     })
 }
@@ -383,7 +387,7 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
              \"time_match_s\": {:.6}, \"time_expand_s\": {:.6}, \"time_join_s\": {:.6}, \
              \"join_rows\": {}, \"visited\": {}, \"pruned\": {}, \
              \"cache_evictions\": {}, \"cache_demotions\": {}, \"cache_reevals\": {}, \
-             \"cache_reeval_s\": {:.6}}}{}\n",
+             \"cache_reeval_s\": {:.6}, \"mem_bytes\": {}}}{}\n",
             r.id,
             json_escape(&r.name),
             r.category.label(),
@@ -405,6 +409,7 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
             r.cache_demotions,
             r.cache_reevals,
             r.cache_reeval_time.as_secs_f64(),
+            r.mem_bytes,
             if i + 1 == res.records.len() { "" } else { "," }
         ));
     }
@@ -658,6 +663,7 @@ mod tests {
                     cache_demotions: 3,
                     cache_reevals: 5,
                     cache_reeval_time: Duration::from_millis(2),
+                    mem_bytes: 123_456,
                     rank: Some(1),
                 },
                 RunRecord {
@@ -681,6 +687,7 @@ mod tests {
                     cache_demotions: 0,
                     cache_reevals: 0,
                     cache_reeval_time: Duration::ZERO,
+                    mem_bytes: 0,
                     rank: None,
                 },
             ],
@@ -698,6 +705,7 @@ mod tests {
         assert!(json.contains("\"cache_demotions\": 3"));
         assert!(json.contains("\"cache_reevals\": 5"));
         assert!(json.contains("\"cache_reeval_s\": 0.002000"));
+        assert!(json.contains("\"mem_bytes\": 123456"));
         assert!(json.contains("\"cache_policy\": \"cost-aware\""));
         assert!(json.contains("\"rank\": null"));
         assert!(json.contains("\"technique\": \"type-abs\""));

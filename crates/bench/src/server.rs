@@ -53,7 +53,7 @@ use std::time::{Duration, Instant};
 
 use sickle_core::{
     demo_fingerprint, Analyzer, AnalyzerChoice, CancelToken, PQuery, SessionPool,
-    SessionPoolConfig, SickleError, SolutionEvent, StreamWait, TaskContext,
+    SessionPoolConfig, SickleError, SolutionEvent, StreamWait, SynthTask, TaskContext,
 };
 
 use crate::json::Json;
@@ -91,6 +91,12 @@ pub struct ServerConfig {
     pub grace: Duration,
     /// Maximum accepted request-line length in bytes.
     pub max_line_bytes: usize,
+    /// Approximate memory budget in bytes (`--max-bytes` /
+    /// `SICKLE_MAX_BYTES`). `usize::MAX` disables the pressure ladder.
+    /// When set, the warm session pool is byte-bounded to the same
+    /// budget, admission sheds requests whose projected cost cannot fit,
+    /// and the soft/hard watermarks of [`Shared`] engage.
+    pub max_bytes: usize,
     /// Bounds of the warm session pool.
     pub pool: SessionPoolConfig,
 }
@@ -106,6 +112,7 @@ impl Default for ServerConfig {
             watchdog: Duration::from_secs(600),
             grace: Duration::from_secs(2),
             max_line_bytes: 8 * 1024 * 1024,
+            max_bytes: usize::MAX,
             pool: SessionPoolConfig::default(),
         }
     }
@@ -114,8 +121,8 @@ impl Default for ServerConfig {
 impl ServerConfig {
     /// Defaults overridden by `SICKLE_MAX_INFLIGHT`, `SICKLE_QUEUE`,
     /// `SICKLE_WATCHDOG_SECS`, `SICKLE_WATCHDOG_GRACE_MS`,
-    /// `SICKLE_MAX_LINE_BYTES`, `SICKLE_POOL_SESSIONS` and
-    /// `SICKLE_POOL_SETS`.
+    /// `SICKLE_MAX_LINE_BYTES`, `SICKLE_MAX_BYTES`,
+    /// `SICKLE_POOL_SESSIONS` and `SICKLE_POOL_SETS`.
     pub fn from_env() -> ServerConfig {
         let get = |k: &str| std::env::var(k).ok();
         let mut c = ServerConfig::default();
@@ -136,6 +143,9 @@ impl ServerConfig {
         if let Some(n) = get("SICKLE_MAX_LINE_BYTES").and_then(|v| v.parse().ok()) {
             c.max_line_bytes = 64usize.max(n);
         }
+        if let Some(n) = get("SICKLE_MAX_BYTES").and_then(|v| v.parse().ok()) {
+            c = c.with_max_bytes(n);
+        }
         if let Some(n) = get("SICKLE_POOL_SESSIONS").and_then(|v| v.parse().ok()) {
             c.pool = c.pool.with_max_sessions(n);
         }
@@ -143,6 +153,15 @@ impl ServerConfig {
             c.pool = c.pool.with_max_total_sets(n);
         }
         c
+    }
+
+    /// Sets the memory budget and byte-bounds the session pool to match,
+    /// so warm state is evicted down toward the same ceiling the pressure
+    /// ladder watches.
+    pub fn with_max_bytes(mut self, n: usize) -> ServerConfig {
+        self.max_bytes = n.max(1);
+        self.pool = self.pool.with_max_total_bytes(self.max_bytes);
+        self
     }
 }
 
@@ -164,6 +183,14 @@ pub enum FaultKind {
     /// Abort the whole process with the given exit code (simulated shard
     /// death).
     Exit(i32),
+    /// At site `analyze`: pretend the memory budget's hard watermark
+    /// tripped for this request, deterministically exercising the
+    /// `resource_exhausted` kill path without actually allocating.
+    Oom,
+    /// At site `response`: write the final response in two halves with
+    /// the given stall between them — a wedged/slow client-facing write
+    /// exercising write timeouts and hangup handling under pressure.
+    SlowWrite(Duration),
 }
 
 struct FaultSite {
@@ -179,10 +206,13 @@ struct FaultSite {
 ///
 /// Spec syntax: comma-separated `kind@site[:nth[:param]]` entries.
 /// Kinds: `panic`, `stall` (param = milliseconds, default 60000),
-/// `disconnect`, `exit` (param = exit code, default 42). Sites consulted
-/// by the server: `accept` (per accepted connection), `request` (per
-/// request, before admission), `analyze` (arms a stalling analyzer
-/// inside the search), `response` (before the final response write).
+/// `disconnect`, `exit` (param = exit code, default 42), `oom` (forces
+/// the hard-watermark `resource_exhausted` path; only meaningful at
+/// `analyze`), `slowwrite` (param = stall milliseconds, default 1000;
+/// only meaningful at `response`). Sites consulted by the server:
+/// `accept` (per accepted connection), `request` (per request, before
+/// admission), `analyze` (arms a stalling analyzer inside the search),
+/// `response` (before the final response write).
 pub struct Faults {
     sites: Vec<FaultSite>,
 }
@@ -226,6 +256,8 @@ impl Faults {
                 "stall" => FaultKind::Stall(Duration::from_millis(param.unwrap_or(60_000))),
                 "disconnect" => FaultKind::Disconnect,
                 "exit" => FaultKind::Exit(param.unwrap_or(42) as i32),
+                "oom" => FaultKind::Oom,
+                "slowwrite" => FaultKind::SlowWrite(Duration::from_millis(param.unwrap_or(1_000))),
                 other => return Err(format!("unknown fault kind {other:?}")),
             };
             sites.push(FaultSite {
@@ -240,18 +272,17 @@ impl Faults {
 
     /// Parses `SICKLE_FAULT`; a malformed spec is a startup error worth
     /// dying for (a silently-ignored fault would make a failing test pass
-    /// vacuously).
+    /// vacuously), but it is a *configuration* error, not a crash — the
+    /// binaries report it as a structured one-line error with the
+    /// config-error exit code so a supervisor knows not to restart.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a malformed spec.
-    pub fn from_env() -> Faults {
+    /// Returns a human-readable description of the malformed spec.
+    pub fn from_env() -> Result<Faults, String> {
         match std::env::var("SICKLE_FAULT") {
-            Ok(spec) => match Faults::parse(&spec) {
-                Ok(f) => f,
-                Err(e) => panic!("invalid SICKLE_FAULT: {e}"),
-            },
-            Err(_) => Faults::none(),
+            Ok(spec) => Faults::parse(&spec).map_err(|e| format!("invalid SICKLE_FAULT: {e}")),
+            Err(_) => Ok(Faults::none()),
         }
     }
 
@@ -415,10 +446,19 @@ impl Listener {
     /// Binds a listen spec. `tcp:127.0.0.1:0` picks an ephemeral port —
     /// the resolved address comes back in the second tuple slot (and in
     /// the server's `listening on` banner). A stale Unix socket file is
-    /// replaced.
+    /// replaced; failure to unlink it is reported as
+    /// [`io::ErrorKind::InvalidInput`] (a deployment/configuration
+    /// problem — wrong path or permissions — that restarting cannot fix).
     pub fn bind(spec: &str) -> io::Result<(Listener, String)> {
         if let Some(path) = spec.strip_prefix("unix:") {
-            let _ = std::fs::remove_file(path);
+            if let Err(e) = std::fs::remove_file(path) {
+                if e.kind() != io::ErrorKind::NotFound {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("cannot replace stale socket {path:?}: {e}"),
+                    ));
+                }
+            }
             let l = UnixListener::bind(path)?;
             Ok((Listener::Unix(l, path.to_string()), format!("unix:{path}")))
         } else if let Some(addr) = spec.strip_prefix("tcp:") {
@@ -634,6 +674,38 @@ impl TokenRegistry {
     }
 }
 
+/// Memory-pressure levels of the watermark ladder (see
+/// [`Shared::update_pressure`]).
+pub const PRESSURE_OK: usize = 0;
+/// Soft watermark: new searches run with a degraded (retention/spill,
+/// shrunk-cap) engine-cache policy. Answers are unchanged — only the
+/// speed/memory trade-off moves.
+pub const PRESSURE_SOFT: usize = 1;
+/// Hard watermark: in-flight searches are canceled and answered with a
+/// structured `resource_exhausted` error; admission sheds new work while
+/// other requests are still draining.
+pub const PRESSURE_HARD: usize = 2;
+
+/// Fixed per-request envelope of the projected-cost admission estimate:
+/// parse/validate state, session bookkeeping, response buffers.
+const REQUEST_BASE_BYTES: usize = 64 * 1024;
+/// Per input cell of the projected-cost estimate (mirrors the engine
+/// cache's `CELL_MEM_BYTES`: a tagged value plus container overhead).
+const REQUEST_CELL_BYTES: usize = 56;
+
+/// Projected working-set cost of a request before it runs: the input
+/// cells it will materialize plus a fixed envelope for search state.
+/// Deliberately coarse — admission only answers "does this obviously not
+/// fit right now"; the watermark ladder governs the search mid-flight.
+fn estimate_request_bytes(task: &SynthTask) -> usize {
+    let cells: usize = task
+        .inputs
+        .iter()
+        .map(|t| t.n_rows().saturating_mul(t.n_cols()))
+        .sum();
+    REQUEST_BASE_BYTES.saturating_add(cells.saturating_mul(REQUEST_CELL_BYTES))
+}
+
 /// State shared by every connection of one server (or one stdio loop).
 pub struct Shared {
     config: ServerConfig,
@@ -643,6 +715,7 @@ pub struct Shared {
     tokens: TokenRegistry,
     shutdown: AtomicBool,
     served: AtomicUsize,
+    pressure: AtomicUsize,
 }
 
 impl Shared {
@@ -655,6 +728,7 @@ impl Shared {
             tokens: TokenRegistry::new(),
             shutdown: AtomicBool::new(false),
             served: AtomicUsize::new(0),
+            pressure: AtomicUsize::new(PRESSURE_OK),
         })
     }
 
@@ -670,6 +744,64 @@ impl Shared {
     /// Requests fully served (responses written or request abandoned).
     pub fn served(&self) -> usize {
         self.served.load(Ordering::Relaxed)
+    }
+
+    /// Re-reads the pooled byte footprint and moves the pressure level
+    /// along the watermark ladder, with hysteresis so the level does not
+    /// flap at a boundary: it *rises* at 80% (soft) / 95% (hard) of
+    /// [`ServerConfig::max_bytes`] but only *falls* below 70% / 85%.
+    /// Always [`PRESSURE_OK`] when no budget is configured.
+    pub fn update_pressure(&self) -> usize {
+        if self.config.max_bytes == usize::MAX {
+            return PRESSURE_OK;
+        }
+        let max = self.config.max_bytes;
+        let pct = |p: u128| ((max as u128 * p) / 100) as usize;
+        let used = self.sessions.total_bytes();
+        let prev = self.pressure.load(Ordering::Relaxed);
+        let level = match prev {
+            PRESSURE_HARD => {
+                if used < pct(70) {
+                    PRESSURE_OK
+                } else if used < pct(85) {
+                    PRESSURE_SOFT
+                } else {
+                    PRESSURE_HARD
+                }
+            }
+            PRESSURE_SOFT => {
+                if used >= pct(95) {
+                    PRESSURE_HARD
+                } else if used < pct(70) {
+                    PRESSURE_OK
+                } else {
+                    PRESSURE_SOFT
+                }
+            }
+            _ => {
+                if used >= pct(95) {
+                    PRESSURE_HARD
+                } else if used >= pct(80) {
+                    PRESSURE_SOFT
+                } else {
+                    PRESSURE_OK
+                }
+            }
+        };
+        if level != prev {
+            log(format_args!(
+                "memory pressure {} -> {} ({used} of {max} bytes pooled)",
+                prev, level
+            ));
+        }
+        self.pressure.store(level, Ordering::Relaxed);
+        level
+    }
+
+    /// The last computed pressure level (diagnostics; see
+    /// [`Shared::update_pressure`]).
+    pub fn pressure(&self) -> usize {
+        self.pressure.load(Ordering::Relaxed)
     }
 }
 
@@ -753,7 +885,36 @@ fn serve_line_inner(
         }
         Some(FaultKind::Stall(d)) => std::thread::sleep(d),
         Some(FaultKind::Disconnect) => return Outcome::Close,
-        None => {}
+        // oom/slowwrite are analyze-/response-site faults; inert here.
+        Some(FaultKind::Oom) | Some(FaultKind::SlowWrite(_)) | None => {}
+    }
+
+    // Projected-cost admission: under a byte budget, a request whose
+    // projected working set cannot fit on top of the current pooled
+    // footprint — or any request while the hard watermark is tripped —
+    // is shed *before* the search starts, with a server-computed retry
+    // hint. Only shed while other work is in flight: draining requests
+    // will release memory, so the retry can succeed. An idle-but-full
+    // server admits instead (denial would be permanent) and lets the
+    // mid-flight ladder govern the request.
+    if shared.config.max_bytes != usize::MAX && shared.admission.active() > 0 {
+        let used = shared.sessions.total_bytes();
+        let projected = used.saturating_add(estimate_request_bytes(&wire.request.task));
+        if shared.update_pressure() >= PRESSURE_HARD || projected > shared.config.max_bytes {
+            let retry_ms = 250 * (1 + shared.admission.active() as u64);
+            let e = SickleError::overloaded_retry(
+                format!(
+                    "projected memory {projected} bytes exceeds the {} byte budget \
+                     ({used} bytes pooled); retry after in-flight work drains",
+                    shared.config.max_bytes
+                ),
+                retry_ms,
+            );
+            log(format_args!("shed request (memory pressure)"));
+            let _ = write_line(out, &error_response(&wire.id, &e));
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            return Outcome::KeepOpen;
+        }
     }
 
     let _guard = match shared.admission.acquire() {
@@ -781,6 +942,23 @@ fn serve_line_inner(
     outcome
 }
 
+/// The structured error answered for a request killed at the hard
+/// watermark (naturally or via an injected `oom@analyze` fault).
+fn resource_exhausted_error(shared: &Shared, forced: bool) -> SickleError {
+    if forced {
+        SickleError::resource_exhausted(
+            "injected fault: oom@analyze tripped the hard watermark; retry with jittered backoff",
+        )
+    } else {
+        SickleError::resource_exhausted(format!(
+            "memory hard watermark: {} of {} bytes pooled; search terminated, \
+             retry after pressure subsides",
+            shared.sessions.total_bytes(),
+            shared.config.max_bytes
+        ))
+    }
+}
+
 /// The watchdogged search of one admitted request.
 fn run_admitted(
     shared: &Shared,
@@ -791,9 +969,36 @@ fn run_admitted(
     let t0 = Instant::now();
     let mut request = wire.request.clone();
     let cancel = request.cancel.get_or_insert_with(CancelToken::new).clone();
-    if let Some(FaultKind::Stall(d)) = shared.faults.fire("analyze") {
-        log(format_args!("injected fault: stall@analyze armed"));
-        request.analyzer = stalling_choice(request.analyzer.clone(), d);
+
+    // Soft watermark: degrade the engine-cache policy before the search
+    // starts — retention/spill mode with a shrunk cap trades recompute
+    // time for memory. Answers are unchanged by construction (the cache
+    // is a pure memoization layer), so pressured runs stay byte-identical.
+    if shared.update_pressure() >= PRESSURE_SOFT {
+        let cap = request.search.cache.cap.max(4) / 4;
+        request.search.cache = request
+            .search
+            .cache
+            .with_cap(cap)
+            .with_low_water(cap.saturating_mul(3) / 4)
+            .with_cost_aware(true)
+            .with_spill(true);
+        log(format_args!(
+            "soft watermark: engine cache degraded to retention/spill mode (cap {cap})"
+        ));
+    }
+
+    let mut forced_oom = false;
+    match shared.faults.fire("analyze") {
+        Some(FaultKind::Stall(d)) => {
+            log(format_args!("injected fault: stall@analyze armed"));
+            request.analyzer = stalling_choice(request.analyzer.clone(), d);
+        }
+        Some(FaultKind::Oom) => {
+            log(format_args!("injected fault: oom@analyze armed"));
+            forced_oom = true;
+        }
+        _ => {}
     }
     let token_id = shared.tokens.register(cancel.clone());
     let session = shared.sessions.session_for(demo_fingerprint(&request.task));
@@ -810,8 +1015,31 @@ fn run_admitted(
     let mut canceled_at: Option<Instant> = None;
     let mut cancel_reason = "canceled";
     let mut client_gone = false;
+    let mut mem_killed = false;
+    let mut next_pressure_check = t0;
     let outcome = loop {
         let now = Instant::now();
+        // Hard watermark (or an injected oom@analyze): cancel the search
+        // and answer `resource_exhausted` — this request is shed so the
+        // server stays alive. Checked at most once per poll tick, so the
+        // pool-footprint sum is off the per-event hot path.
+        if !mem_killed && canceled_at.is_none() && now >= next_pressure_check {
+            next_pressure_check = now + POLL;
+            if forced_oom
+                || (shared.config.max_bytes != usize::MAX
+                    && shared.update_pressure() >= PRESSURE_HARD)
+            {
+                stream.cancel();
+                mem_killed = true;
+                canceled_at = Some(now);
+                cancel_reason = "memory hard watermark";
+                log(format_args!(
+                    "hard watermark: search canceled ({} bytes pooled)",
+                    shared.sessions.total_bytes()
+                ));
+                continue;
+            }
+        }
         let until = match canceled_at {
             None => deadline,
             Some(t) => t + shared.config.grace,
@@ -834,10 +1062,15 @@ fn run_admitted(
                 "search ignored cancellation for {:.1}s; worker detached",
                 shared.config.grace.as_secs_f64()
             ));
-            let e = SickleError::canceled(format!(
+            let detail = format!(
                 "{cancel_reason}; the search did not stop within the {:.1}s grace period and was abandoned",
                 shared.config.grace.as_secs_f64()
-            ));
+            );
+            let e = if mem_killed {
+                SickleError::resource_exhausted(detail)
+            } else {
+                SickleError::canceled(detail)
+            };
             if !client_gone {
                 let _ = write_line(out, &error_response(&wire.id, &e));
             }
@@ -884,6 +1117,16 @@ fn run_admitted(
                 if client_gone {
                     break Outcome::Close;
                 }
+                if mem_killed {
+                    // The canceled search wound down in time; the client
+                    // still gets the structured budget error, never a
+                    // partial "ok" that would differ run-to-run.
+                    let e = resource_exhausted_error(shared, forced_oom);
+                    break match write_line(out, &error_response(&wire.id, &e)) {
+                        Ok(()) => Outcome::KeepOpen,
+                        Err(_) => Outcome::Close,
+                    };
+                }
                 match shared.faults.fire("response") {
                     Some(FaultKind::Panic) => panic!("injected fault: panic@response"),
                     Some(FaultKind::Exit(code)) => {
@@ -892,7 +1135,29 @@ fn run_admitted(
                     }
                     Some(FaultKind::Disconnect) => break Outcome::Close,
                     Some(FaultKind::Stall(d)) => std::thread::sleep(d),
-                    None => {}
+                    Some(FaultKind::SlowWrite(d)) => {
+                        log(format_args!(
+                            "injected fault: slowwrite@response ({}ms mid-line stall)",
+                            d.as_millis()
+                        ));
+                        let mut line = finish_response(wire, &result).render();
+                        line.push('\n');
+                        let bytes = line.as_bytes();
+                        let mid = bytes.len() / 2;
+                        let wrote = out
+                            .write_all(&bytes[..mid])
+                            .and_then(|()| out.flush())
+                            .and_then(|()| {
+                                std::thread::sleep(d);
+                                out.write_all(&bytes[mid..])
+                            })
+                            .and_then(|()| out.flush());
+                        break match wrote {
+                            Ok(()) => Outcome::KeepOpen,
+                            Err(_) => Outcome::Close,
+                        };
+                    }
+                    Some(FaultKind::Oom) | None => {}
                 }
                 break match write_line(out, &finish_response(wire, &result)) {
                     Ok(()) => Outcome::KeepOpen,
@@ -900,6 +1165,11 @@ fn run_admitted(
                 };
             }
             StreamWait::Event(SolutionEvent::Failed(e)) => {
+                let e = if mem_killed && matches!(e, SickleError::Canceled { .. }) {
+                    resource_exhausted_error(shared, forced_oom)
+                } else {
+                    e
+                };
                 if !client_gone {
                     let _ = write_line(out, &error_response(&wire.id, &e));
                 }
@@ -970,11 +1240,12 @@ fn connection_loop<R: BufRead>(
                     serve_line(shared, trimmed, out, &mut hangup)
                 };
                 log(format_args!(
-                    "request {} answered in {:.3}s (sessions={}, sets={})",
+                    "request {} answered in {:.3}s (sessions={}, sets={}, bytes={})",
                     shared.served(),
                     t0.elapsed().as_secs_f64(),
                     shared.sessions.len(),
                     shared.sessions.total_sets(),
+                    shared.sessions.total_bytes(),
                 ));
                 match outcome {
                     Outcome::KeepOpen => {}
@@ -1213,6 +1484,13 @@ mod tests {
         assert_eq!(f.fire("response"), Some(FaultKind::Exit(42)));
         assert_eq!(f.fire("accept"), Some(FaultKind::Disconnect));
         assert_eq!(f.fire("nowhere"), None);
+
+        let f = Faults::parse("oom@analyze,slowwrite@response:1:50").unwrap();
+        assert_eq!(f.fire("analyze"), Some(FaultKind::Oom));
+        assert_eq!(
+            f.fire("response"),
+            Some(FaultKind::SlowWrite(Duration::from_millis(50)))
+        );
 
         assert!(Faults::parse("panic").is_err());
         assert!(Faults::parse("warp@request").is_err());

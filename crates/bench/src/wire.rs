@@ -487,6 +487,7 @@ pub fn response_ok(id: &Json, result: &SynthResult) -> Json {
                     "cache_reeval_s".into(),
                     Json::num(stats.cache_reeval_time.as_secs_f64()),
                 ),
+                ("mem_bytes".into(), Json::num(stats.mem_bytes as f64)),
             ]),
         ),
     ])
@@ -532,6 +533,7 @@ pub fn progress_json(p: &ProgressSnapshot) -> Json {
             "cache_reeval_s".into(),
             Json::num(p.cache_reeval_time.as_secs_f64()),
         ),
+        ("mem_bytes".into(), Json::num(p.mem_bytes as f64)),
     ])
 }
 
@@ -551,9 +553,28 @@ pub fn response_error(id: &Json, kind: &str, message: &str) -> Json {
 }
 
 /// Encodes a [`SickleError`] as the structured error response line
-/// (`error.kind` = [`SickleError::kind`]).
+/// (`error.kind` = [`SickleError::kind`]). An [`SickleError::Overloaded`]
+/// carrying a server-computed retry hint additionally gets an
+/// `error.retry_after_ms` field so clients can pace their retry exactly
+/// instead of guessing with exponential backoff.
 pub fn error_response(id: &Json, e: &SickleError) -> Json {
-    response_error(id, e.kind(), &e.to_string())
+    let mut response = response_error(id, e.kind(), &e.to_string());
+    if let SickleError::Overloaded {
+        retry_after_ms: Some(ms),
+        ..
+    } = e
+    {
+        if let Json::Obj(fields) = &mut response {
+            for (name, value) in fields.iter_mut() {
+                if name == "error" {
+                    if let Json::Obj(err_fields) = value {
+                        err_fields.push(("retry_after_ms".into(), Json::num(*ms as f64)));
+                    }
+                }
+            }
+        }
+    }
+    response
 }
 
 /// Encodes a line-level JSON parse failure (no decoded id to echo).

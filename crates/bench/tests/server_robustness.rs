@@ -424,6 +424,251 @@ fn sigterm_drains_in_flight_request_and_exits_zero() {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario: the soft memory watermark degrades, never changes answers
+// ---------------------------------------------------------------------------
+
+/// [`roundtrip`] that honors `overloaded` shedding like the shard driver:
+/// waits out the server's `retry_after_ms` hint and retries.
+fn roundtrip_with_retry(stream: &mut UnixStream, line: &str) -> String {
+    for _ in 0..40 {
+        let response = roundtrip(stream, line);
+        if !response.contains("\"kind\":\"overloaded\"") {
+            return response;
+        }
+        let hint = sickle_bench::Json::parse(&response)
+            .ok()
+            .and_then(|j| j.get("error")?.get("retry_after_ms")?.as_f64())
+            .unwrap_or(250.0);
+        std::thread::sleep(Duration::from_millis((hint as u64).min(2_000)));
+    }
+    panic!("request was shed on every retry");
+}
+
+/// Parses the last `bytes=N)` marker from the serve log: the exact pooled
+/// byte footprint after the last answered request.
+fn last_pooled_bytes(serve: &ServeProc) -> usize {
+    let log = std::fs::read_to_string(&serve.stderr_path).expect("read serve log");
+    log.lines()
+        .rev()
+        .find_map(|l| {
+            let (_, rest) = l.split_once("bytes=")?;
+            rest.trim_end_matches(')').parse().ok()
+        })
+        .expect("no bytes= marker in serve log")
+}
+
+#[test]
+fn soft_watermark_degrades_cache_policy_but_answers_stay_identical() {
+    let ids = [1usize, 2, 3];
+
+    // Baseline: no memory budget. The log's bytes= marker then tells us
+    // the exact pooled footprint of this workload (the accounting is
+    // deterministic byte arithmetic, not real allocator state).
+    let baseline_serve = spawn_serve("soft-base", &[], &[]);
+    let mut c = baseline_serve.connect();
+    let baseline: Vec<String> = ids
+        .iter()
+        .map(|&id| roundtrip(&mut c, &quick_request(id)))
+        .collect();
+    assert!(baseline_serve.wait_for_stderr("bytes=", Duration::from_secs(5)));
+    let pooled = last_pooled_bytes(&baseline_serve);
+    assert!(pooled > 0, "memory accounting reported an empty pool");
+    assert_eq!(baseline_serve.terminate(), 0);
+
+    // Rerun with a budget placing that footprint at ~88% — inside the
+    // soft band (>=80%) but below the hard watermark (95%).
+    let budget = (pooled * 100 / 88).to_string();
+    let serve = spawn_serve("soft", &["--max-bytes", &budget], &[]);
+    let mut warm = serve.connect();
+    for &id in &ids {
+        // Warm-up round fills the pool up to the soft band.
+        roundtrip_with_retry(&mut warm, &quick_request(id));
+    }
+    assert!(
+        serve.wait_for_stderr("memory pressure 0 -> 1", Duration::from_secs(10)),
+        "the pool never crossed the soft watermark"
+    );
+
+    // Concurrent clients under soft pressure: degraded cache policy and
+    // admission shedding may delay answers, never change them.
+    let handles: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let mut c = serve.connect();
+            std::thread::spawn(move || roundtrip_with_retry(&mut c, &quick_request(id)))
+        })
+        .collect();
+    let pressured: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        serve.stderr_contains("soft watermark: engine cache degraded"),
+        "pressured round ran without the degraded cache policy"
+    );
+    for (base, pressured) in baseline.iter().zip(&pressured) {
+        for key in ["solutions", "solved", "rank", "timed_out"] {
+            assert_eq!(
+                field(base, key),
+                field(pressured, key),
+                "{key} diverged under the soft watermark"
+            );
+        }
+        for key in ["visited", "pruned"] {
+            assert_eq!(
+                stat(base, key),
+                stat(pressured, key),
+                "stats.{key} diverged"
+            );
+        }
+    }
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: the hard watermark sheds the search, the server survives
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hard_watermark_answers_resource_exhausted_and_server_survives() {
+    // A budget below what this search provably pools (the deep request
+    // interns ~2.6 KiB of reference sets): a watchdog poll crosses the
+    // hard watermark mid-search and must shed with a structured error
+    // instead of growing without bound.
+    let serve = spawn_serve("hard", &["--max-bytes", "2048"], &[]);
+    let mut c = serve.connect();
+    let killed = roundtrip(&mut c, LONG_REQUEST);
+    assert!(
+        killed.contains("\"kind\":\"resource_exhausted\""),
+        "hard watermark sheds with resource_exhausted: {killed}"
+    );
+    assert!(serve.wait_for_stderr("hard watermark: search canceled", Duration::from_secs(5)));
+
+    // The server survived and still answers — structurally, on the same
+    // connection and on a fresh one.
+    let again = roundtrip(&mut c, LONG_REQUEST);
+    assert!(
+        again.contains("\"status\":\"error\""),
+        "same connection still answered: {again}"
+    );
+    let mut b = serve.connect();
+    let fresh = roundtrip(&mut b, LONG_REQUEST);
+    assert!(
+        fresh.contains("\"status\":\"error\""),
+        "fresh connection still answered: {fresh}"
+    );
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: injected oom@analyze == hard watermark, server keeps serving
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oom_fault_forces_resource_exhausted_then_serving_continues() {
+    let serve = spawn_serve("oom", &[], &[("SICKLE_FAULT", "oom@analyze:1")]);
+    let mut c = serve.connect();
+    let killed = roundtrip(&mut c, &quick_request(1));
+    assert!(
+        killed.contains("\"kind\":\"resource_exhausted\""),
+        "oom@analyze answers resource_exhausted: {killed}"
+    );
+    assert!(
+        killed.contains("injected fault"),
+        "the forced kill is attributed to the fault: {killed}"
+    );
+
+    // One-shot fault: the next request succeeds and reports a nonzero
+    // memory footprint in its wire stats.
+    let ok = roundtrip(&mut c, &quick_request(2));
+    assert!(
+        ok.contains("\"status\":\"ok\""),
+        "server kept serving: {ok}"
+    );
+    let mem: f64 = stat(&ok, "mem_bytes").parse().expect("numeric mem_bytes");
+    assert!(mem > 0.0, "mem_bytes must be nonzero: {ok}");
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: slowwrite@response stalls mid-line but delivers intact JSON
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slowwrite_fault_delivers_an_intact_response() {
+    let serve = spawn_serve(
+        "slowwrite",
+        &[],
+        &[("SICKLE_FAULT", "slowwrite@response:1:300")],
+    );
+    let mut c = serve.connect();
+    let t0 = Instant::now();
+    let slow = roundtrip(&mut c, &quick_request(1));
+    assert!(
+        t0.elapsed() >= Duration::from_millis(300),
+        "the mid-line stall was injected"
+    );
+    assert!(slow.contains("\"status\":\"ok\""), "got: {slow}");
+    sickle_bench::Json::parse(&slow).expect("the split write reassembled into valid JSON");
+    assert!(serve.stderr_contains("injected fault: slowwrite@response"));
+
+    // The torn write did not desync the connection.
+    let ok = roundtrip(&mut c, &quick_request(2));
+    assert!(ok.contains("\"status\":\"ok\""), "got: {ok}");
+    assert_eq!(serve.terminate(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: startup configuration errors exit 2 (never restart), runtime
+// crashes exit nonzero-but-restartable
+// ---------------------------------------------------------------------------
+
+#[test]
+fn startup_config_errors_exit_with_the_config_code() {
+    // Malformed fault spec.
+    let out = Command::new(SERVE)
+        .env("SICKLE_FAULT", "warp@request")
+        .stdin(Stdio::null())
+        .output()
+        .expect("run sickle-serve");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed SICKLE_FAULT is a config error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.trim().lines().count(),
+        1,
+        "config errors are one structured line: {stderr}"
+    );
+    assert!(stderr.contains("config error"), "got: {stderr}");
+    assert!(stderr.contains("SICKLE_FAULT"), "got: {stderr}");
+
+    // Unparseable --listen spec.
+    let out = Command::new(SERVE)
+        .args(["--listen", "carrier-pigeon:coop"])
+        .env_remove("SICKLE_FAULT")
+        .stdin(Stdio::null())
+        .output()
+        .expect("run sickle-serve");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bad --listen spec is a config error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("config error"));
+
+    // Unknown flag.
+    let out = Command::new(SERVE)
+        .arg("--warp-speed")
+        .env_remove("SICKLE_FAULT")
+        .stdin(Stdio::null())
+        .output()
+        .expect("run sickle-serve");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+// ---------------------------------------------------------------------------
 // Scenario: sharded suite == single shard, even with a dying shard
 // ---------------------------------------------------------------------------
 
@@ -479,5 +724,115 @@ fn sharded_merge_is_byte_identical_even_with_a_dead_shard() {
     assert!(
         stderr.contains("requeueing task"),
         "the death was detected and the task requeued: {stderr}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: SIGKILL mid-run, then --resume completes byte-identically
+// ---------------------------------------------------------------------------
+
+/// SIGKILLs any `sickle-serve` orphaned by killing shard driver `pid`
+/// (matched by the driver-unique socket directory in its command line, so
+/// servers of concurrently running tests are never touched).
+fn kill_orphan_serves(driver_pid: u32) {
+    let token = format!("sickle-shard-{driver_pid}");
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let cmdline = entry.path().join("cmdline");
+        if std::fs::read(&cmdline)
+            .map(|bytes| String::from_utf8_lossy(&bytes).contains(&token))
+            .unwrap_or(false)
+        {
+            let _ = Command::new("kill")
+                .args(["-KILL", &pid.to_string()])
+                .status();
+        }
+    }
+}
+
+#[test]
+fn journal_resume_after_sigkill_is_byte_identical() {
+    let oracle = run_shard(1, &[]);
+    assert!(
+        oracle.status.success(),
+        "oracle run: {}",
+        String::from_utf8_lossy(&oracle.stderr)
+    );
+
+    // Run with a work journal and SIGKILL the driver as soon as the
+    // journal records a completed task — no drain, no cleanup.
+    let dir = tempdir::TempDir::new("journal");
+    let journal = dir.path().join("work.journal");
+    let mut child = Command::new(SHARD)
+        .args(["--shards", "1", "--journal"])
+        .arg(&journal)
+        .args(["--serve-bin", SERVE])
+        .env("SICKLE_ONLY", "1,2,3,5")
+        .env("SICKLE_MAX_VISITED", "3000")
+        .env("SICKLE_JSON", "")
+        .env_remove("SICKLE_FAULT")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sickle-shard");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut finished_early = false;
+    loop {
+        if std::fs::read_to_string(&journal)
+            .map(|s| s.contains("\"event\": \"done\"") || s.contains("\"event\":\"done\""))
+            .unwrap_or(false)
+        {
+            break;
+        }
+        if child.try_wait().expect("poll driver").is_some() {
+            // The whole mini-suite finished before we could kill it;
+            // resuming a complete journal must still reproduce the dump.
+            finished_early = true;
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never recorded a completed task"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if !finished_early {
+        let driver_pid = child.id();
+        let _ = Command::new("kill")
+            .args(["-KILL", &driver_pid.to_string()])
+            .status();
+        let _ = child.wait();
+        kill_orphan_serves(driver_pid);
+    }
+
+    // Resume from the journal: finished tasks are seeded from their
+    // recorded responses, the rest re-run, and the merged dump is
+    // byte-identical to the oracle.
+    let resumed = Command::new(SHARD)
+        .args(["--shards", "1", "--resume"])
+        .arg(&journal)
+        .args(["--serve-bin", SERVE])
+        .env("SICKLE_ONLY", "1,2,3,5")
+        .env("SICKLE_MAX_VISITED", "3000")
+        .env("SICKLE_JSON", "")
+        .env_remove("SICKLE_FAULT")
+        .output()
+        .expect("run sickle-shard --resume");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(resumed.status.success(), "resume run: {stderr}");
+    assert!(
+        stderr.contains("resuming:"),
+        "the resume was journal-seeded: {stderr}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&oracle.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed merge is byte-identical to the oracle"
     );
 }

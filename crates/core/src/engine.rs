@@ -1087,6 +1087,11 @@ struct ExecSlot {
     /// channels nobody consumed — the sweep frees them regardless of the
     /// hot bit.
     probes: Cell<u32>,
+    /// Approximate bytes charged against this slot (value + star
+    /// channels, per cell, plus a fixed per-entry overhead). Released in
+    /// full on eviction and partially on demotion, so cumulative releases
+    /// never exceed cumulative charges.
+    bytes: Cell<u64>,
 }
 
 /// Column-union memo: column `Arc` address → (pinned column, union id).
@@ -1135,6 +1140,20 @@ const ABS_CACHE_CAP: usize = 8_000;
 /// estimate (rebuilding values + star columns costs on the order of tens
 /// of nanoseconds per cell).
 const CELL_COST_NS: u64 = 32;
+
+/// Approximate resident bytes per cached cell: one `Value` plus one star
+/// `Expr` (both small enum headers; string/aggregate payloads are
+/// amortized into the weight rather than measured).
+const CELL_MEM_BYTES: u64 = 56;
+
+/// Approximate fixed bytes per cache entry (query key, slot, hash
+/// bucket, table headers).
+const ENTRY_MEM_BYTES: u64 = 256;
+
+/// Fraction (denominator) of a slot's bytes attributed to the derived
+/// ref-set channels a demotion frees: demotion releases `bytes / 2`,
+/// keeping the value + star half charged.
+const DEMOTE_RELEASE_DIV: u64 = 2;
 
 /// Bound on the evicted-query fingerprint set behind the re-evaluation
 /// counter.
@@ -1284,6 +1303,14 @@ pub struct CacheStats {
     pub join_rows: u64,
     /// Nanoseconds spent in fused join steps.
     pub join_ns: u64,
+    /// Approximate bytes charged for inserted entries, cumulative. The
+    /// counter is monotone (like every other field) so the parallel
+    /// search can publish unsigned deltas; live residency is
+    /// `mem_charged - mem_released`.
+    pub mem_charged: u64,
+    /// Approximate bytes released by evictions and demotions, cumulative.
+    /// Never exceeds [`CacheStats::mem_charged`].
+    pub mem_released: u64,
 }
 
 /// A cache entry with a second-chance bit: set on every hit (and on
@@ -1458,6 +1485,7 @@ impl EvalCache {
                     quota -= 1;
                 } else {
                     stats.evictions += 1;
+                    stats.mem_released = stats.mem_released.saturating_add(slot.bytes.get());
                     self.note_evicted(q);
                 }
                 keep
@@ -1495,6 +1523,7 @@ impl EvalCache {
                     });
                 if evict {
                     stats.evictions += 1;
+                    stats.mem_released = stats.mem_released.saturating_add(slot.bytes.get());
                     self.note_evicted(q);
                 }
                 !evict
@@ -1519,6 +1548,12 @@ impl EvalCache {
                 && self.demote_slot(slot, &mut purge)
             {
                 stats.demotions += 1;
+                // The freed derived channels are roughly half the slot's
+                // footprint; decrement the slot so a later eviction (or
+                // repeat demotion) cannot release more than was charged.
+                let freed = slot.bytes.get() / DEMOTE_RELEASE_DIV;
+                slot.bytes.set(slot.bytes.get() - freed);
+                stats.mem_released = stats.mem_released.saturating_add(freed);
             }
             slot.hot.set(false);
             slot.probes.set(probes / 2);
@@ -2023,6 +2058,9 @@ impl EvalCache {
             stats.reeval_ns = stats.reeval_ns.saturating_add(step_ns);
             self.stats.set(stats);
         }
+        let cells =
+            (computed.values.n_rows() as u64).saturating_mul(computed.values.n_cols() as u64);
+        let mem = ENTRY_MEM_BYTES.saturating_add(cells.saturating_mul(CELL_MEM_BYTES));
         let rc = Rc::new(computed);
         let mut map = self.map.borrow_mut();
         if map.len() >= self.policy.cap {
@@ -2032,6 +2070,10 @@ impl EvalCache {
         slot.value[actual as usize] = Some(Rc::clone(&rc));
         slot.hot.set(true);
         slot.cost.set(slot.cost.get().max(cost));
+        slot.bytes.set(slot.bytes.get().saturating_add(mem));
+        let mut stats = self.stats.get();
+        stats.mem_charged = stats.mem_charged.saturating_add(mem);
+        self.stats.set(stats);
         Ok(rc)
     }
 

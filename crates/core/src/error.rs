@@ -54,6 +54,10 @@ pub enum SickleError {
     Overloaded {
         /// Human-readable description of the capacity that was exhausted.
         message: String,
+        /// Server-computed retry hint: how long (milliseconds) the client
+        /// should wait before retrying. `None` when the server has no
+        /// estimate; clients fall back to their own backoff.
+        retry_after_ms: Option<u64>,
     },
     /// The request was terminated before completing: an external
     /// [`crate::CancelToken`], a server-side watchdog deadline, or a
@@ -62,6 +66,15 @@ pub enum SickleError {
     /// expensive for the service's per-request deadline.
     Canceled {
         /// Human-readable description of what ended the request.
+        message: String,
+    },
+    /// The service hit its memory budget's hard watermark while running
+    /// this request and terminated it to stay alive. Structurally like
+    /// [`SickleError::Canceled`] (the search was stopped cooperatively),
+    /// but retryable *after pressure subsides* — clients must back off
+    /// with jittered delay, never retry immediately.
+    ResourceExhausted {
+        /// Human-readable description of the exhausted budget.
         message: String,
     },
 }
@@ -74,16 +87,33 @@ impl SickleError {
         }
     }
 
-    /// Shorthand constructor for [`SickleError::Overloaded`].
+    /// Shorthand constructor for [`SickleError::Overloaded`] without a
+    /// retry hint.
     pub fn overloaded(message: impl Into<String>) -> SickleError {
         SickleError::Overloaded {
             message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// [`SickleError::Overloaded`] carrying a server-computed retry hint.
+    pub fn overloaded_retry(message: impl Into<String>, retry_after_ms: u64) -> SickleError {
+        SickleError::Overloaded {
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
         }
     }
 
     /// Shorthand constructor for [`SickleError::Canceled`].
     pub fn canceled(message: impl Into<String>) -> SickleError {
         SickleError::Canceled {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`SickleError::ResourceExhausted`].
+    pub fn resource_exhausted(message: impl Into<String>) -> SickleError {
+        SickleError::ResourceExhausted {
             message: message.into(),
         }
     }
@@ -99,6 +129,7 @@ impl SickleError {
             SickleError::Internal { .. } => "internal",
             SickleError::Overloaded { .. } => "overloaded",
             SickleError::Canceled { .. } => "canceled",
+            SickleError::ResourceExhausted { .. } => "resource_exhausted",
         }
     }
 }
@@ -111,8 +142,11 @@ impl fmt::Display for SickleError {
             SickleError::Eval(e) => write!(f, "query evaluation failed: {e}"),
             SickleError::InvalidRequest { message } => write!(f, "invalid request: {message}"),
             SickleError::Internal { message } => write!(f, "internal error: {message}"),
-            SickleError::Overloaded { message } => write!(f, "overloaded: {message}"),
+            SickleError::Overloaded { message, .. } => write!(f, "overloaded: {message}"),
             SickleError::Canceled { message } => write!(f, "canceled: {message}"),
+            SickleError::ResourceExhausted { message } => {
+                write!(f, "resource exhausted: {message}")
+            }
         }
     }
 }
@@ -126,7 +160,8 @@ impl std::error::Error for SickleError {
             SickleError::InvalidRequest { .. }
             | SickleError::Internal { .. }
             | SickleError::Overloaded { .. }
-            | SickleError::Canceled { .. } => None,
+            | SickleError::Canceled { .. }
+            | SickleError::ResourceExhausted { .. } => None,
         }
     }
 }
@@ -180,5 +215,17 @@ mod tests {
         assert_eq!(cancel.kind(), "canceled");
         assert!(cancel.to_string().contains("watchdog"));
         assert!(std::error::Error::source(&cancel).is_none());
+
+        let hinted = SickleError::overloaded_retry("byte budget exceeded", 250);
+        assert_eq!(hinted.kind(), "overloaded");
+        let SickleError::Overloaded { retry_after_ms, .. } = &hinted else {
+            panic!("wrong variant");
+        };
+        assert_eq!(*retry_after_ms, Some(250));
+
+        let oom = SickleError::resource_exhausted("hard watermark (95% of 64 MiB)");
+        assert_eq!(oom.kind(), "resource_exhausted");
+        assert!(oom.to_string().starts_with("resource exhausted: "));
+        assert!(std::error::Error::source(&oom).is_none());
     }
 }

@@ -501,6 +501,10 @@ pub struct ProgressSnapshot {
     pub cache_reevals: usize,
     /// Time spent on those re-evaluations so far, across workers.
     pub cache_reeval_time: Duration,
+    /// Approximate resident bytes of the request so far: the shared pool
+    /// and analysis-cache footprint (high-water gauge) plus the workers'
+    /// live engine-cache bytes (charged − released).
+    pub mem_bytes: usize,
 }
 
 impl ProgressSnapshot {
@@ -521,6 +525,14 @@ impl ProgressSnapshot {
             cache_demotions: shared.cache_demotions.load(Ordering::Relaxed),
             cache_reevals: shared.cache_reevals.load(Ordering::Relaxed),
             cache_reeval_time: ns(&shared.cache_reeval_ns),
+            mem_bytes: {
+                let live = shared
+                    .mem_charged
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(shared.mem_released.load(Ordering::Relaxed));
+                let pooled = shared.mem_pool_bytes.load(Ordering::Relaxed);
+                usize::try_from(pooled.saturating_add(live)).unwrap_or(usize::MAX)
+            },
         }
     }
 }
@@ -762,6 +774,24 @@ impl Session {
     /// is the number of distinct reference sets interned so far).
     pub fn pool(&self) -> &Arc<RefSetPool> {
         &self.pool
+    }
+
+    /// Approximate resident bytes of the session's warm state: the
+    /// hash-consing pool (interned sets + operation memos) plus every
+    /// per-demonstration analysis cache. This is the per-session rollup
+    /// the service tier's byte-bounded [`crate::SessionPool`] and the
+    /// server's pressure ladder read; per-request engine caches are
+    /// thread-local and short-lived, so they are accounted in the request
+    /// stats instead.
+    pub fn mem_bytes(&self) -> usize {
+        let analyses: usize = self
+            .analyses
+            .lock()
+            .expect("session analysis lock")
+            .values()
+            .map(|c| c.approx_bytes())
+            .sum();
+        self.pool.approx_bytes() + analyses
     }
 
     /// Aggregated hit/miss counters over the session's warm analysis

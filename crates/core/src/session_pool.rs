@@ -42,6 +42,12 @@ pub struct SessionPoolConfig {
     /// exceeds this, LRU sessions are evicted (the most recently used
     /// session always survives, even if it alone exceeds the bound).
     pub max_total_sets: usize,
+    /// Global bound on the approximate *bytes* held by pooled sessions
+    /// ([`Session::mem_bytes`]: interned sets, pool memos and analysis
+    /// caches). The byte-accurate counterpart of `max_total_sets`; the
+    /// most recently used session always survives, even if it alone
+    /// exceeds the bound.
+    pub max_total_bytes: usize,
 }
 
 impl Default for SessionPoolConfig {
@@ -49,6 +55,9 @@ impl Default for SessionPoolConfig {
         SessionPoolConfig {
             max_sessions: 8,
             max_total_sets: 1_000_000,
+            // Effectively unbounded by default; the server wires this to
+            // --max-bytes / SICKLE_MAX_BYTES when a budget is configured.
+            max_total_bytes: usize::MAX,
         }
     }
 }
@@ -65,6 +74,13 @@ impl SessionPoolConfig {
     #[must_use]
     pub fn with_max_total_sets(mut self, n: usize) -> SessionPoolConfig {
         self.max_total_sets = n.max(1);
+        self
+    }
+
+    /// Sets the global byte bound (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_total_bytes(mut self, n: usize) -> SessionPoolConfig {
+        self.max_total_bytes = n.max(1);
         self
     }
 }
@@ -180,7 +196,13 @@ impl SessionPool {
                 .map(|e| e.session.pool().size())
                 .sum::<usize>()
                 > self.config.max_total_sets;
-            if !over_count && !over_sets {
+            let over_bytes = inner
+                .entries
+                .iter()
+                .map(|e| e.session.mem_bytes())
+                .sum::<usize>()
+                > self.config.max_total_bytes;
+            if !over_count && !over_sets && !over_bytes {
                 break;
             }
             let Some(victim) = inner
@@ -229,6 +251,20 @@ impl SessionPool {
             .entries
             .iter()
             .map(|e| e.session.pool().size())
+            .sum()
+    }
+
+    /// Current approximate bytes held by pooled sessions (the quantity
+    /// bounded by [`SessionPoolConfig::max_total_bytes`] and watched by
+    /// the server's pressure ladder). Relaxed atomic reads per session —
+    /// cheap enough to poll per request.
+    pub fn total_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("session pool lock")
+            .entries
+            .iter()
+            .map(|e| e.session.mem_bytes())
             .sum()
     }
 }
@@ -329,6 +365,35 @@ mod tests {
         // An evicted session still in use elsewhere keeps working.
         a.solve(&request).unwrap();
         assert_eq!(a.served(), 2);
+    }
+
+    #[test]
+    fn byte_bound_evicts_cold_sessions_but_keeps_the_hot_one() {
+        // A one-byte global budget: any warm session exceeds it, so every
+        // touch of a *different* key must evict the cold session while
+        // the just-touched one survives.
+        let pool = SessionPool::new(
+            SessionPoolConfig::default()
+                .with_max_sessions(8)
+                .with_max_total_bytes(1),
+        );
+        let t = task(&[("A", 10), ("A", 20), ("B", 5)]);
+        let request = SynthRequest::from_task(t)
+            .with_max_depth(1)
+            .with_budget(Budget::default().with_max_solutions(1));
+        let a = pool.session_for(1);
+        a.solve(&request).unwrap();
+        assert!(a.mem_bytes() > 0, "a served session reports bytes");
+        assert!(pool.total_bytes() > 0);
+        let b = pool.session_for(2);
+        b.solve(&request).unwrap();
+        pool.session_for(2);
+        assert_eq!(pool.len(), 1, "byte bound must evict the cold session");
+        assert!(pool.evictions() >= 1);
+        let b2 = pool.session_for(2);
+        assert!(Arc::ptr_eq(&b, &b2), "the hot session survives");
+        // Total-bytes rollup is consistent with the per-session rollup.
+        assert_eq!(pool.total_bytes(), b.mem_bytes());
     }
 
     #[test]

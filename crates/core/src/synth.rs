@@ -557,6 +557,11 @@ pub struct SearchStats {
     /// The cost-aware policy re-evaluates cheap entries instead of
     /// expensive join children, so this drops even when the count holds.
     pub cache_reeval_time: Duration,
+    /// Approximate resident bytes attributable to the run at its end: the
+    /// shared pool and analysis-cache footprint plus this worker's live
+    /// engine-cache bytes (charged − released). Workers share the pool,
+    /// so the parallel merge takes the max, not the sum.
+    pub mem_bytes: usize,
     /// True when the run hit its timeout or visit budget.
     pub timed_out: bool,
 }
@@ -612,6 +617,17 @@ pub struct SharedStats {
     pub cache_reevals: AtomicUsize,
     /// Nanoseconds spent re-evaluating evicted queries across workers.
     pub cache_reeval_ns: AtomicU64,
+    /// Approximate engine-cache bytes charged across workers, cumulative
+    /// (published as unsigned deltas, like the other cache counters).
+    pub mem_charged: AtomicU64,
+    /// Approximate engine-cache bytes released (evictions + demotions)
+    /// across workers, cumulative. Never exceeds `mem_charged`.
+    pub mem_released: AtomicU64,
+    /// Latest observed shared footprint gauge: the set pool plus the
+    /// analysis cache, in bytes (`fetch_max`-maintained — the structures
+    /// are shared across workers, so the latest high-water observation is
+    /// the right aggregate, not a sum).
+    pub mem_pool_bytes: AtomicU64,
     /// Set when the pooled solution count satisfied the target (or a
     /// worker's stop predicate fired): peers stop without reporting a
     /// timeout. Distinct from `SynthConfig::cancel`, which is the
@@ -743,6 +759,15 @@ pub(crate) fn run_search(
                 .fetch_add(now.join_ns - seen.join_ns, Ordering::Relaxed);
             s.join_rows
                 .fetch_add((now.join_rows - seen.join_rows) as usize, Ordering::Relaxed);
+            s.mem_charged
+                .fetch_add(now.mem_charged - seen.mem_charged, Ordering::Relaxed);
+            s.mem_released
+                .fetch_add(now.mem_released - seen.mem_released, Ordering::Relaxed);
+            // The shared-footprint gauge rides the same slow path: it
+            // only moves when the engine cache churned, which is exactly
+            // when the pool was growing too.
+            let pool_bytes = (ctx.pool().approx_bytes() + ctx.analysis.approx_bytes()) as u64;
+            s.mem_pool_bytes.fetch_max(pool_bytes, Ordering::Relaxed);
         }
         *seen = now;
     };
@@ -997,6 +1022,22 @@ pub(crate) fn run_search(
     stats.cache_reeval_time = Duration::from_nanos(cache_seen.reeval_ns - cache_base.reeval_ns);
     stats.time_join = Duration::from_nanos(cache_seen.join_ns - cache_base.join_ns);
     stats.join_rows = (cache_seen.join_rows - cache_base.join_rows) as usize;
+    // Resident bytes at run end: shared structures (pool + analysis
+    // memos) plus this worker's live engine-cache footprint. The cache
+    // is fresh per request, so its lifetime charges/releases are exactly
+    // this run's.
+    let cache_live = cache_seen
+        .mem_charged
+        .saturating_sub(cache_seen.mem_released);
+    stats.mem_bytes = ctx.pool().approx_bytes()
+        + ctx.analysis.approx_bytes()
+        + usize::try_from(cache_live).unwrap_or(usize::MAX);
+    if let Some(s) = shared {
+        s.mem_pool_bytes.fetch_max(
+            (ctx.pool().approx_bytes() + ctx.analysis.approx_bytes()) as u64,
+            Ordering::Relaxed,
+        );
+    }
     // Rank by query size (stable: discovery order breaks ties), matching
     // the paper's size-based ranking of consistent queries.
     solutions.sort_by_key(Query::size);
@@ -1174,6 +1215,9 @@ pub(crate) fn run_parallel(
         merged.stats.cache_demotions += r.stats.cache_demotions;
         merged.stats.cache_reevals += r.stats.cache_reevals;
         merged.stats.cache_reeval_time += r.stats.cache_reeval_time;
+        // Workers share the pool and analysis cache (the dominant term),
+        // so the run's footprint is the max observation, not the sum.
+        merged.stats.mem_bytes = merged.stats.mem_bytes.max(r.stats.mem_bytes);
         // Workers stopped by pool satisfaction break quietly (no timeout
         // flag); a budget expiry racing the winning worker is still not a
         // timeout for the run as a whole. External cancellation

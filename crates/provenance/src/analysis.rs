@@ -52,6 +52,15 @@ const SHARD_CAP: usize = 1 << 14;
 /// construction would cost more than the matcher itself.
 const MEMO_MIN_CELLS: usize = 64;
 
+/// Approximate fixed bytes of one memo entry beyond its id payload
+/// (boxed-slice header, verdict, hash bucket).
+const ENTRY_OVERHEAD_BYTES: usize = 32;
+
+/// Approximate bytes of one entry whose key carries `n_ids` interned ids.
+fn entry_bytes(n_ids: usize) -> usize {
+    n_ids * std::mem::size_of::<SetId>() + ENTRY_OVERHEAD_BYTES
+}
+
 /// Key of the verdict layer: the abstract table's interned contents.
 /// (`n_cols` is implied by `ids.len() / n_rows`.)
 #[derive(PartialEq, Eq, Hash)]
@@ -72,6 +81,9 @@ pub struct AnalysisCache {
     verdicts: Vec<Mutex<FxMap<GridKey, bool>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Approximate bytes held by both memo layers, maintained at insert
+    /// and shard-clear sites.
+    bytes: AtomicUsize,
     hasher: FxBuild,
 }
 
@@ -92,8 +104,15 @@ impl AnalysisCache {
             verdicts: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
             hasher: FxBuild::default(),
         }
+    }
+
+    /// Approximate bytes held by the memo layers (keys, verdicts, hash
+    /// buckets). One relaxed load — pollable per request.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// Hit/miss counters so far.
@@ -156,9 +175,14 @@ impl AnalysisCache {
         let verdict = self.check(dims, demo, abs, pool, true);
         let mut map = self.verdicts[shard].lock().expect("analysis verdict lock");
         if map.len() >= SHARD_CAP {
+            let freed: usize = map.keys().map(|k| entry_bytes(k.ids.len())).sum();
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
             map.clear();
         }
-        map.insert(key, verdict);
+        let added = entry_bytes(key.ids.len());
+        if map.insert(key, verdict).is_none() {
+            self.bytes.fetch_add(added, Ordering::Relaxed);
+        }
         verdict
     }
 
@@ -250,9 +274,14 @@ impl AnalysisCache {
         let v = compute();
         let mut map = self.columns[shard].lock().expect("analysis column lock");
         if map.len() >= SHARD_CAP {
+            let freed: usize = map.keys().map(|(_, ids)| entry_bytes(ids.len())).sum();
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
             map.clear();
         }
-        map.insert(key, v);
+        let added = entry_bytes(key.1.len());
+        if map.insert(key, v).is_none() {
+            self.bytes.fetch_add(added, Ordering::Relaxed);
+        }
         v
     }
 }
@@ -367,6 +396,31 @@ mod tests {
         assert!(cache.consistent(&demo, &abs, &pool));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn memoized_verdicts_are_byte_accounted() {
+        let (u, pool) = setup();
+        let cache = AnalysisCache::new();
+        assert_eq!(cache.approx_bytes(), 0);
+        let r = |i: usize, j: usize| CellRef::new(0, i, j);
+        let demo = grid(&pool, &u, &[&[&[r(0, 0)]]]);
+        let abs: Grid<SetId> = Grid::from_rows(
+            (0..16)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| pool.intern_refs(&u, [r(i % 4, j % 3), r(0, 0)]))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert!(cache.consistent(&demo, &abs, &pool));
+        let after_miss = cache.approx_bytes();
+        assert!(after_miss > 0, "verdict memo must charge bytes");
+        // A cache hit charges nothing further.
+        assert!(cache.consistent(&demo, &abs, &pool));
+        assert_eq!(cache.approx_bytes(), after_miss);
     }
 
     #[test]

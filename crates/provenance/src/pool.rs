@@ -25,6 +25,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use crate::expr::CellRef;
@@ -115,6 +116,14 @@ const SHARDS: usize = 16;
 /// (memo entries are cheap to recompute, the bound only caps memory).
 const MEMO_SHARD_CAP: usize = 1 << 16;
 
+/// Approximate bytes of one interned entry beyond the set's own heap
+/// words: the store slot, the intern-map key copy and a hash bucket.
+const INTERN_ENTRY_BYTES: usize = 2 * std::mem::size_of::<RefSet>() + 16;
+
+/// Approximate bytes of one memo-table entry (id-pair key, value, hash
+/// bucket).
+const MEMO_ENTRY_BYTES: usize = 24;
+
 #[inline]
 fn pair_shard(a: SetId, b: SetId) -> usize {
     // Cheap mix of both ids; shard selection only needs spread, not
@@ -135,6 +144,10 @@ pub struct RefSetPool {
     unions: Vec<Mutex<FxMap<(SetId, SetId), SetId>>>,
     /// Memoized `subset` verdicts for non-inline operands.
     subsets: Vec<Mutex<FxMap<(SetId, SetId), bool>>>,
+    /// Approximate bytes held by the pool (interned sets + memo tables),
+    /// maintained at intern/memo-insert/memo-clear sites. Monotone except
+    /// for memo-shard clears, which release their entries.
+    bytes: AtomicUsize,
     hasher: FxBuild,
 }
 
@@ -146,6 +159,7 @@ impl RefSetPool {
             intern: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
             unions: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
             subsets: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
+            bytes: AtomicUsize::new(0),
             hasher: FxBuild::default(),
         };
         let empty = pool.intern(RefSet::empty());
@@ -164,6 +178,10 @@ impl RefSetPool {
         let id = SetId(u32::try_from(sets.len()).expect("RefSetPool overflow"));
         sets.push(set.clone());
         drop(sets);
+        // The store clone aliases the map key's heap words (Arc bump), so
+        // the shared buffer is charged once per distinct set.
+        self.bytes
+            .fetch_add(INTERN_ENTRY_BYTES + set.heap_bytes(), Ordering::Relaxed);
         map.insert(set, id);
         id
     }
@@ -225,6 +243,14 @@ impl RefSetPool {
         self.sets.read().expect("pool store lock").len()
     }
 
+    /// Approximate bytes held by the pool: interned sets (struct slots,
+    /// map keys, shared word buffers) plus the union/subset memo tables.
+    /// Cheap (one relaxed load) — safe to poll from admission control on
+    /// every request.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
     /// `a ⊆ b` as a pool operation: id fast paths, direct word test for
     /// inline operands, memoized verdicts for shared-storage operands.
     pub fn subset(&self, a: SetId, b: SetId) -> bool {
@@ -252,9 +278,13 @@ impl RefSetPool {
         let v = sa.is_subset_of(&sb);
         let mut memo = self.subsets[shard].lock().expect("pool subset lock");
         if memo.len() >= MEMO_SHARD_CAP {
+            self.bytes
+                .fetch_sub(memo.len() * MEMO_ENTRY_BYTES, Ordering::Relaxed);
             memo.clear();
         }
-        memo.insert((a, b), v);
+        if memo.insert((a, b), v).is_none() {
+            self.bytes.fetch_add(MEMO_ENTRY_BYTES, Ordering::Relaxed);
+        }
         v
     }
 
@@ -281,9 +311,13 @@ impl RefSetPool {
         let id = self.intern(out);
         let mut memo = self.unions[shard].lock().expect("pool union lock");
         if memo.len() >= MEMO_SHARD_CAP {
+            self.bytes
+                .fetch_sub(memo.len() * MEMO_ENTRY_BYTES, Ordering::Relaxed);
             memo.clear();
         }
-        memo.insert((lo, hi), id);
+        if memo.insert((lo, hi), id).is_none() {
+            self.bytes.fetch_add(MEMO_ENTRY_BYTES, Ordering::Relaxed);
+        }
         id
     }
 
@@ -421,6 +455,25 @@ mod tests {
         assert_eq!(pool.union(SetId::EMPTY, a), a);
         assert_eq!(pool.union(a, SetId::EMPTY), a);
         assert_eq!(pool.union_all(std::iter::empty()), SetId::EMPTY);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_interning_and_memos() {
+        let u = universe();
+        let pool = RefSetPool::new();
+        let after_empty = pool.approx_bytes();
+        assert!(after_empty > 0, "the empty set is itself accounted");
+        let a = pool.intern_refs(&u, [CellRef::new(0, 0, 0)]);
+        let grown = pool.approx_bytes();
+        assert!(grown > after_empty, "interning must charge bytes");
+        // Re-interning identical content charges nothing.
+        let _ = pool.intern_refs(&u, [CellRef::new(0, 0, 0)]);
+        assert_eq!(pool.approx_bytes(), grown);
+        // A union interns the result (and, for non-inline operands, may
+        // memoize): bytes never decrease outside memo clears.
+        let b = pool.intern_refs(&u, [CellRef::new(0, 1, 1)]);
+        let _ = pool.union(a, b);
+        assert!(pool.approx_bytes() >= grown);
     }
 
     #[test]

@@ -183,6 +183,19 @@ impl RefSet {
         matches!(self.repr, Words::Inline { .. })
     }
 
+    /// Approximate heap bytes owned by this set beyond its struct size:
+    /// zero for inline storage, the shared word buffer (plus `Arc`/`Vec`
+    /// headers) otherwise. Clones of a shared set alias one buffer, so
+    /// accounting that charges each *distinct* set once (the pool) stays
+    /// honest.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Words::Inline { .. } => 0,
+            // Word payload + Arc control block (2 counts) + Vec header.
+            Words::Shared(v) => v.len() * 8 + 16 + 24,
+        }
+    }
+
     /// Builds a set from raw words, canonicalizing.
     fn from_words(mut v: Vec<u64>) -> RefSet {
         while v.last() == Some(&0) {

@@ -180,6 +180,31 @@ fn warm_session_rerun_is_byte_identical_to_cold_run() {
     };
     assert_eq!(warm_session.pool().size(), after_first_round);
     assert!(warm_session.served() == 4);
+
+    // Pressure rerun: the degraded cache policy the server forces at its
+    // soft memory watermark (quartered cap, retention low-water, spill)
+    // changes performance only — the answers stay byte-identical.
+    for (&id, cold_render) in ids.iter().zip(&cold) {
+        let default_cache = sickle_core::CachePolicy::default();
+        let cap = default_cache.cap.max(4) / 4;
+        let degraded = default_cache
+            .with_cap(cap)
+            .with_low_water(cap.saturating_mul(3) / 4)
+            .with_cost_aware(true)
+            .with_spill(true);
+        let result = Session::new()
+            .solve(&oracle_request(id, budget).with_cache_policy(degraded))
+            .expect("request validates");
+        assert_eq!(
+            &oracle_render(&result),
+            cold_render,
+            "degraded cache policy changed answers on benchmark {id}"
+        );
+        assert!(
+            result.stats.mem_bytes > 0,
+            "memory accounting reported zero bytes on benchmark {id}"
+        );
+    }
 }
 
 #[test]
