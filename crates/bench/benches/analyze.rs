@@ -459,6 +459,7 @@ fn main() {
                 .collect(),
         )
         .unwrap();
+        let demo_token = cache.register_demo(&demo_ids);
 
         // Abstract tables: per-column singletons plus one union column —
         // large enough to engage the verdict memo; `sweeps` re-presents
@@ -536,7 +537,7 @@ fn main() {
             let mut yes = 0usize;
             for _ in 0..sweeps {
                 for table in &abs_ids {
-                    yes += usize::from(cache.consistent(&demo_ids, table, &pool));
+                    yes += usize::from(cache.consistent(&demo_token, &demo_ids, table, &pool));
                 }
             }
             yes
@@ -549,7 +550,7 @@ fn main() {
             .is_some();
             assert_eq!(
                 l,
-                cache.consistent(&demo_ids, table_p, &pool),
+                cache.consistent(&demo_token, &demo_ids, table_p, &pool),
                 "Def. 3 verdicts must agree"
             );
         }

@@ -1,0 +1,133 @@
+//! Warm-edit scenario driver: scripted demonstration edits on suite
+//! tasks, each solved cold (fresh session) and as a warm edit (retained
+//! prior on a warm session). Prints a per-edit latency table, writes
+//! `BENCH_edit.json` (`SICKLE_JSON` overrides the path, the empty string
+//! disables it) and, with `--dump-dir DIR`, one `<label>.cold.txt` /
+//! `<label>.warm.txt` solution dump per edit so CI can `cmp` the pair.
+//!
+//! Exits nonzero if any warm solution list diverges from its cold
+//! oracle.
+//!
+//! ```text
+//! sickle-edit [--quick] [--ids 1,8,44] [--max-visited N] [--dump-dir DIR]
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use sickle_bench::{edit_results_json, run_edit_scenario};
+
+fn main() {
+    let mut ids: Vec<usize> = vec![1, 2, 3, 8, 44];
+    let mut budget = 20_000;
+    let mut dump_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                ids = vec![1, 44];
+                budget = 8_000;
+            }
+            "--ids" => {
+                let v = args.next().unwrap_or_default();
+                ids = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                if ids.is_empty() {
+                    eprintln!("sickle-edit: --ids needs a comma-separated id list");
+                    std::process::exit(2);
+                }
+            }
+            "--max-visited" => {
+                budget = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("sickle-edit: --max-visited needs an integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--dump-dir" => {
+                dump_dir = Some(PathBuf::from(args.next().unwrap_or_default()));
+            }
+            other => {
+                eprintln!("sickle-edit: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let seed = std::env::var("SICKLE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2022);
+
+    println!("edit scenario: ids={ids:?} max_visited={budget} seed={seed}");
+    let res = match run_edit_scenario(&ids, budget, seed) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("sickle-edit: scenario failed [{}]: {e}", e.kind());
+            std::process::exit(1);
+        }
+    };
+    for r in &res.records {
+        println!(
+            "## {:2} {:<28} {:<14} cold={:.3}s warm={:.3}s reused={} invalidated={} \
+             solutions={}{}",
+            r.id,
+            r.name,
+            r.edit,
+            r.cold_s,
+            r.warm_s,
+            r.reused_verdicts,
+            r.invalidated_verdicts,
+            r.solutions,
+            if r.matched { "" } else { "  MISMATCH" }
+        );
+    }
+    let (geo_cold, geo_warm) = res.geo_means();
+    println!(
+        "geo-mean cold={geo_cold:.3}s warm={geo_warm:.3}s speedup={:.2}x over {} edits",
+        if geo_warm > 0.0 {
+            geo_cold / geo_warm
+        } else {
+            0.0
+        },
+        res.records.len()
+    );
+
+    if let Some(dir) = &dump_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("sickle-edit: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        for (label, cold, warm) in &res.dumps {
+            for (kind, text) in [("cold", cold), ("warm", warm)] {
+                let path = dir.join(format!("{label}.{kind}.txt"));
+                if let Err(e) =
+                    std::fs::File::create(&path).and_then(|mut f| f.write_all(text.as_bytes()))
+                {
+                    eprintln!("sickle-edit: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!("wrote {} dump pairs to {}", res.dumps.len(), dir.display());
+    }
+
+    // SICKLE_JSON: explicit path, empty string disables, default
+    // BENCH_edit.json (same convention as the synthesis harness).
+    let json_path = match std::env::var("SICKLE_JSON") {
+        Ok(p) if p.is_empty() => None,
+        Ok(p) => Some(PathBuf::from(p)),
+        Err(_) => Some(PathBuf::from("BENCH_edit.json")),
+    };
+    if let Some(path) = json_path {
+        match std::fs::write(&path, edit_results_json(&res, budget, seed)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    if !res.all_matched() {
+        eprintln!("sickle-edit: warm-edit solutions diverged from the cold oracle");
+        std::process::exit(1);
+    }
+}

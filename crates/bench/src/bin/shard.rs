@@ -696,6 +696,8 @@ fn main() {
             cache_reevals: count(&stats, "cache_reevals"),
             cache_reeval_time: secs("cache_reeval_s"),
             mem_bytes: count(&stats, "mem_bytes"),
+            reused_verdicts: count(&stats, "reused_verdicts"),
+            invalidated_verdicts: count(&stats, "invalidated_verdicts"),
             rank,
         });
     }

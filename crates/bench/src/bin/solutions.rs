@@ -128,6 +128,8 @@ fn main() {
             cache_reevals: res.stats.cache_reevals,
             cache_reeval_time: res.stats.cache_reeval_time,
             mem_bytes: res.stats.mem_bytes,
+            reused_verdicts: res.stats.reused_verdicts,
+            invalidated_verdicts: res.stats.invalidated_verdicts,
             rank,
         });
     }

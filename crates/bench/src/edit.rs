@@ -1,0 +1,289 @@
+//! The warm-edit bench scenario behind `sickle-edit`.
+//!
+//! Measures incremental re-synthesis: for each selected suite task, a
+//! script of demonstration edits (row removal, a single-cell change, a
+//! full re-demonstration) is solved twice —
+//!
+//! * **cold** — a fresh [`Session`] solves the edited task from nothing;
+//! * **warm** — one session solves the *base* task with retention
+//!   enabled, then re-solves the edited task as a warm edit
+//!   ([`SynthRequest::with_prior`] naming the base demo's fingerprint),
+//!   so unchanged columns keep their analysis memos and surviving prior
+//!   solutions are re-verified instead of rediscovered.
+//!
+//! The two solution lists must be byte-identical for every edit (the
+//! analysis cache is a pure memoization layer; [`EditRecord::matched`]
+//! records the comparison and the binary exits nonzero on a mismatch).
+//! The latency comparison is the point: `BENCH_edit.json` carries
+//! per-edit cold/warm wall times plus suite geo-means.
+
+use std::time::Instant;
+
+use sickle_benchmarks::{all_benchmarks, Benchmark};
+use sickle_core::{demo_fingerprint, Budget, Session, SickleError, SynthRequest, SynthTask};
+use sickle_provenance::{Demo, DemoExpr};
+
+/// One scripted edit of one suite task, solved cold and warm.
+#[derive(Debug, Clone)]
+pub struct EditRecord {
+    /// Benchmark id.
+    pub id: usize,
+    /// Benchmark name.
+    pub name: String,
+    /// Edit script step (`drop-last-row`, `edit-cell`, `reseed`).
+    pub edit: &'static str,
+    /// Wall seconds of the cold solve (fresh session, edited task).
+    pub cold_s: f64,
+    /// Wall seconds of the warm-edit re-solve only (the base solve that
+    /// warmed the session is not counted).
+    pub warm_s: f64,
+    /// Verdicts the warm re-solve served from the session cache.
+    pub reused_verdicts: usize,
+    /// Memo entries the warm edit invalidated via its demo delta.
+    pub invalidated_verdicts: usize,
+    /// Solutions found (identical cold and warm when `matched`).
+    pub solutions: usize,
+    /// Whether warm and cold solution lists were byte-identical.
+    pub matched: bool,
+}
+
+/// All records of one scenario run plus the rendered solution lists
+/// (cold and warm, per edit) so callers can dump them for external
+/// comparison.
+#[derive(Debug, Clone, Default)]
+pub struct EditResults {
+    /// One record per (task × edit).
+    pub records: Vec<EditRecord>,
+    /// `(label, cold dump, warm dump)` per record, same order. The label
+    /// is `"{id}-{edit}"`, unique within a run.
+    pub dumps: Vec<(String, String, String)>,
+}
+
+impl EditResults {
+    /// True when every edit's warm solution list matched its cold one.
+    pub fn all_matched(&self) -> bool {
+        self.records.iter().all(|r| r.matched)
+    }
+
+    /// Geometric means `(cold_s, warm_s)` over all records (0.0 when
+    /// empty). Wall times are floored at 1µs so an instant solve cannot
+    /// zero the product.
+    pub fn geo_means(&self) -> (f64, f64) {
+        if self.records.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.records.len() as f64;
+        let geo = |f: &dyn Fn(&EditRecord) -> f64| {
+            (self
+                .records
+                .iter()
+                .map(|r| f(r).max(1e-6).ln())
+                .sum::<f64>()
+                / n)
+                .exp()
+        };
+        (geo(&|r| r.cold_s), geo(&|r| r.warm_s))
+    }
+}
+
+/// The edits scripted for one task: deterministic functions of the base
+/// demonstration (and the generator's `seed + 1` re-demonstration), so
+/// every run of the scenario replays the same script.
+///
+/// Not every edit needs to stay solvable — `edit-cell` splices a cell
+/// from a *different* demonstration, modelling a user mid-correction —
+/// because the invariant under test is warm/cold agreement, not success.
+fn scripted_edits(b: &Benchmark, base: &SynthTask, seed: u64) -> Vec<(&'static str, SynthTask)> {
+    let mut edits: Vec<(&'static str, SynthTask)> = Vec::new();
+    let demo = &base.demo;
+    let cells = |d: &Demo| -> Vec<Vec<DemoExpr>> {
+        (0..d.n_rows())
+            .map(|r| (0..d.n_cols()).map(|c| d.cell(r, c).clone()).collect())
+            .collect()
+    };
+    if demo.n_rows() >= 2 {
+        let mut rows = cells(demo);
+        rows.pop();
+        if let Ok(d) = Demo::new(rows) {
+            let mut t = base.clone();
+            t.demo = d;
+            edits.push(("drop-last-row", t));
+        }
+    }
+    if let Ok((reseeded, _)) = b.task(seed + 1) {
+        let other = &reseeded.demo;
+        if other.n_rows() == demo.n_rows() && other.n_cols() == demo.n_cols() {
+            let (r, c) = (demo.n_rows() - 1, demo.n_cols() - 1);
+            if other.cell(r, c) != demo.cell(r, c) {
+                let mut rows = cells(demo);
+                rows[r][c] = other.cell(r, c).clone();
+                if let Ok(d) = Demo::new(rows) {
+                    let mut t = base.clone();
+                    t.demo = d;
+                    edits.push(("edit-cell", t));
+                }
+            }
+        }
+        if reseeded.demo != base.demo {
+            edits.push(("reseed", reseeded));
+        }
+    }
+    edits
+}
+
+fn render_solutions(result: &sickle_core::SynthResult) -> String {
+    let mut out = String::new();
+    for (i, q) in result.solutions.iter().enumerate() {
+        out.push_str(&format!("{:2}. {q}\n", i + 1));
+    }
+    out
+}
+
+fn request_for(task: SynthTask, b: &Benchmark, budget: usize) -> SynthRequest {
+    SynthRequest::from_task(task)
+        .with_search(b.config())
+        .with_budget(
+            Budget::unbounded()
+                .with_max_visited(Some(budget))
+                .with_max_solutions(10),
+        )
+}
+
+/// Runs the scenario over the given benchmark ids (every id with a
+/// generable task; unknown ids are skipped) under a visited-query
+/// budget.
+///
+/// # Errors
+///
+/// Propagates the first solve failure — the scripted tasks are all
+/// well-formed, so an error here is an engine bug, not bad input.
+pub fn run_edit_scenario(
+    ids: &[usize],
+    budget: usize,
+    seed: u64,
+) -> Result<EditResults, SickleError> {
+    let mut results = EditResults::default();
+    for b in all_benchmarks() {
+        if !ids.contains(&b.id) {
+            continue;
+        }
+        let Ok((base, _)) = b.task(seed) else {
+            continue;
+        };
+        for (edit, edited) in scripted_edits(&b, &base, seed) {
+            // Cold: a fresh session sees only the edited task.
+            let cold_session = Session::new();
+            let t0 = Instant::now();
+            let cold = cold_session.solve(&request_for(edited.clone(), &b, budget))?;
+            let cold_s = t0.elapsed().as_secs_f64();
+
+            // Warm: solve the base with retention, then re-solve the
+            // edit against the retained prior. Only the re-solve is
+            // timed — the base solve models work the user already paid
+            // for before editing.
+            let warm_session = Session::new();
+            warm_session.solve(&request_for(base.clone(), &b, budget).with_retain(true))?;
+            let prior_fp = demo_fingerprint(&base);
+            let t0 = Instant::now();
+            let warm = warm_session
+                .solve(&request_for(edited.clone(), &b, budget).with_prior(prior_fp))?;
+            let warm_s = t0.elapsed().as_secs_f64();
+
+            let cold_dump = render_solutions(&cold);
+            let warm_dump = render_solutions(&warm);
+            results.records.push(EditRecord {
+                id: b.id,
+                name: b.name.to_string(),
+                edit,
+                cold_s,
+                warm_s,
+                reused_verdicts: warm.stats.reused_verdicts,
+                invalidated_verdicts: warm.stats.invalidated_verdicts,
+                solutions: warm.solutions.len(),
+                matched: cold_dump == warm_dump,
+            });
+            results
+                .dumps
+                .push((format!("{}-{edit}", b.id), cold_dump, warm_dump));
+        }
+    }
+    Ok(results)
+}
+
+/// Renders `BENCH_edit.json` (schema `sickle-bench/edit/v1`): run
+/// parameters, suite geo-means, one record per (task × edit).
+pub fn edit_results_json(res: &EditResults, budget: usize, seed: u64) -> String {
+    let (geo_cold, geo_warm) = res.geo_means();
+    let mut out = String::from("{\n  \"schema\": \"sickle-bench/edit/v1\",\n");
+    out.push_str(&format!(
+        "  \"max_visited\": {budget},\n  \"seed\": {seed},\n  \
+         \"geo_mean_cold_s\": {geo_cold:.6},\n  \"geo_mean_warm_s\": {geo_warm:.6},\n  \
+         \"geo_mean_speedup\": {:.6},\n",
+        if geo_warm > 0.0 {
+            geo_cold / geo_warm
+        } else {
+            0.0
+        }
+    ));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in res.records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"name\": \"{}\", \"edit\": \"{}\", \"cold_s\": {:.6}, \
+             \"warm_s\": {:.6}, \"reused_verdicts\": {}, \"invalidated_verdicts\": {}, \
+             \"solutions\": {}, \"matched\": {}}}{}\n",
+            r.id,
+            crate::json::escape(&r.name),
+            r.edit,
+            r.cold_s,
+            r.warm_s,
+            r.reused_verdicts,
+            r.invalidated_verdicts,
+            r.solutions,
+            r.matched,
+            if i + 1 == res.records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_edits_match_cold_solves_on_a_small_task() {
+        let res = run_edit_scenario(&[1], 5_000, 2022).expect("scenario runs");
+        assert!(!res.records.is_empty(), "task 1 scripted no edits");
+        assert!(
+            res.all_matched(),
+            "warm/cold divergence: {:?}",
+            res.records
+                .iter()
+                .filter(|r| !r.matched)
+                .collect::<Vec<_>>()
+        );
+        for r in &res.records {
+            assert!(r.reused_verdicts > 0, "no verdict reuse on {:?}", r);
+        }
+        let json = edit_results_json(&res, 5_000, 2022);
+        assert!(json.contains("\"schema\": \"sickle-bench/edit/v1\""));
+        assert!(json.contains("\"matched\": true"));
+        assert!(json.contains("\"geo_mean_speedup\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn edit_script_is_deterministic() {
+        let b = all_benchmarks().into_iter().find(|b| b.id == 1).unwrap();
+        let (base, _) = b.task(2022).unwrap();
+        let a = scripted_edits(&b, &base, 2022);
+        let again = scripted_edits(&b, &base, 2022);
+        assert_eq!(a.len(), again.len());
+        for ((n1, t1), (n2, t2)) in a.iter().zip(&again) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.demo, t2.demo);
+            assert_ne!(t1.demo, base.demo, "an edit must change the demo");
+        }
+    }
+}

@@ -102,6 +102,13 @@ pub struct RunRecord {
     /// Approximate peak bytes attributed to the run: pooled interned sets
     /// and analysis memos plus live engine-cache footprint at finish.
     pub mem_bytes: usize,
+    /// Def. 3 verdicts served from the session-wide analysis cache
+    /// instead of recomputed (hits over the whole run; higher on warm
+    /// sessions and warm edits).
+    pub reused_verdicts: usize,
+    /// Memo entries invalidated on behalf of this run by a warm edit
+    /// superseding its prior demo; zero on cold solves.
+    pub invalidated_verdicts: usize,
     /// 1-based rank of the correct query among returned solutions, when
     /// solved (consistent-but-incorrect queries found earlier push it down).
     pub rank: Option<usize>,
@@ -275,6 +282,8 @@ pub fn run_one_in(
         cache_reevals: result.stats.cache_reevals,
         cache_reeval_time: result.stats.cache_reeval_time,
         mem_bytes: result.stats.mem_bytes,
+        reused_verdicts: result.stats.reused_verdicts,
+        invalidated_verdicts: result.stats.invalidated_verdicts,
         rank,
     })
 }
@@ -387,7 +396,8 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
              \"time_match_s\": {:.6}, \"time_expand_s\": {:.6}, \"time_join_s\": {:.6}, \
              \"join_rows\": {}, \"visited\": {}, \"pruned\": {}, \
              \"cache_evictions\": {}, \"cache_demotions\": {}, \"cache_reevals\": {}, \
-             \"cache_reeval_s\": {:.6}, \"mem_bytes\": {}}}{}\n",
+             \"cache_reeval_s\": {:.6}, \"reused_verdicts\": {}, \
+             \"invalidated_verdicts\": {}, \"mem_bytes\": {}}}{}\n",
             r.id,
             json_escape(&r.name),
             r.category.label(),
@@ -409,6 +419,8 @@ pub fn suite_results_json(res: &SuiteResults, hc: &HarnessConfig) -> String {
             r.cache_demotions,
             r.cache_reevals,
             r.cache_reeval_time.as_secs_f64(),
+            r.reused_verdicts,
+            r.invalidated_verdicts,
             r.mem_bytes,
             if i + 1 == res.records.len() { "" } else { "," }
         ));
@@ -664,6 +676,8 @@ mod tests {
                     cache_reevals: 5,
                     cache_reeval_time: Duration::from_millis(2),
                     mem_bytes: 123_456,
+                    reused_verdicts: 17,
+                    invalidated_verdicts: 4,
                     rank: Some(1),
                 },
                 RunRecord {
@@ -688,6 +702,8 @@ mod tests {
                     cache_reevals: 0,
                     cache_reeval_time: Duration::ZERO,
                     mem_bytes: 0,
+                    reused_verdicts: 0,
+                    invalidated_verdicts: 0,
                     rank: None,
                 },
             ],
@@ -705,6 +721,8 @@ mod tests {
         assert!(json.contains("\"cache_demotions\": 3"));
         assert!(json.contains("\"cache_reevals\": 5"));
         assert!(json.contains("\"cache_reeval_s\": 0.002000"));
+        assert!(json.contains("\"reused_verdicts\": 17"));
+        assert!(json.contains("\"invalidated_verdicts\": 4"));
         assert!(json.contains("\"mem_bytes\": 123456"));
         assert!(json.contains("\"cache_policy\": \"cost-aware\""));
         assert!(json.contains("\"rank\": null"));

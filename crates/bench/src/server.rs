@@ -674,6 +674,61 @@ impl TokenRegistry {
     }
 }
 
+/// Where a retained request's solutions live: the pooled session that
+/// holds them and the demo fingerprint they are keyed under. The wire
+/// `"prior"` field resolves to one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PriorRoute {
+    /// Session-pool key of the warm session retaining the solutions.
+    /// Stable across a whole edit chain, so every edit reuses the same
+    /// analysis cache no matter how the demo fingerprint drifts.
+    session_key: u64,
+    /// The retained demo's fingerprint (the session-level retention key).
+    demo_fp: u64,
+}
+
+/// Retained-request ids a client may name as `"prior"`. Bounded FIFO so
+/// abandoned chains cannot grow the map; entries are also consumed when
+/// superseded by the next edit in their chain. Keys are the rendered
+/// request ids (any JSON value renders to a stable string).
+struct PriorRegistry {
+    entries: Mutex<Vec<(String, PriorRoute)>>,
+}
+
+/// Upper bound on registered prior ids: each entry is a short string +
+/// 16 bytes, so 256 bounds the registry to a few KiB while comfortably
+/// covering every concurrently-live edit chain.
+const MAX_PRIOR_IDS: usize = 256;
+
+impl PriorRegistry {
+    fn new() -> PriorRegistry {
+        PriorRegistry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Looks up a prior id without consuming it (a failed edit may be
+    /// retried against the same prior).
+    fn resolve(&self, id: &str) -> Option<PriorRoute> {
+        let entries = self.entries.lock().expect("prior lock");
+        entries.iter().find(|(k, _)| k == id).map(|(_, r)| *r)
+    }
+
+    /// Records a finished retained request, consuming the prior id it
+    /// superseded (its retained state was purged by the session).
+    fn record(&self, superseded: Option<&str>, id: String, route: PriorRoute) {
+        let mut entries = self.entries.lock().expect("prior lock");
+        if let Some(old) = superseded {
+            entries.retain(|(k, _)| k != old);
+        }
+        entries.retain(|(k, _)| *k != id);
+        if entries.len() >= MAX_PRIOR_IDS {
+            entries.remove(0);
+        }
+        entries.push((id, route));
+    }
+}
+
 /// Memory-pressure levels of the watermark ladder (see
 /// [`Shared::update_pressure`]).
 pub const PRESSURE_OK: usize = 0;
@@ -713,6 +768,7 @@ pub struct Shared {
     admission: Arc<Admission>,
     faults: Faults,
     tokens: TokenRegistry,
+    priors: PriorRegistry,
     shutdown: AtomicBool,
     served: AtomicUsize,
     pressure: AtomicUsize,
@@ -726,6 +782,7 @@ impl Shared {
             config,
             faults,
             tokens: TokenRegistry::new(),
+            priors: PriorRegistry::new(),
             shutdown: AtomicBool::new(false),
             served: AtomicUsize::new(0),
             pressure: AtomicUsize::new(PRESSURE_OK),
@@ -827,9 +884,10 @@ fn serve_line(
     line: &str,
     out: &mut dyn Write,
     hangup: &mut dyn FnMut() -> bool,
+    prior_note: &mut Option<String>,
 ) -> Outcome {
     match catch_unwind(AssertUnwindSafe(|| {
-        serve_line_inner(shared, line, out, hangup)
+        serve_line_inner(shared, line, out, hangup, prior_note)
     })) {
         Ok(outcome) => outcome,
         Err(_) => {
@@ -857,6 +915,7 @@ fn serve_line_inner(
     line: &str,
     out: &mut dyn Write,
     hangup: &mut dyn FnMut() -> bool,
+    prior_note: &mut Option<String>,
 ) -> Outcome {
     let json = match Json::parse(line) {
         Ok(json) => json,
@@ -888,6 +947,40 @@ fn serve_line_inner(
         // oom/slowwrite are analyze-/response-site faults; inert here.
         Some(FaultKind::Oom) | Some(FaultKind::SlowWrite(_)) | None => {}
     }
+
+    // Warm-edit plumbing: a retained request must be nameable (its id is
+    // the registry key), and a "prior" id must resolve before any work
+    // is admitted. Resolution touches the chain's session in the pool so
+    // unrelated requests admitted between two edits of one chain cannot
+    // make the actively-edited session the LRU victim.
+    if wire.request.retain && matches!(wire.id, Json::Null) {
+        let e = SickleError::invalid("retained requests (\"retain\"/\"prior\") need an \"id\"");
+        let _ = write_line(out, &error_response(&wire.id, &e));
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        return Outcome::KeepOpen;
+    }
+    let prior = match &wire.prior {
+        None => None,
+        Some(prior_id) => {
+            let key = prior_id.render();
+            match shared.priors.resolve(&key) {
+                Some(route) => {
+                    shared.sessions.touch(route.session_key);
+                    *prior_note = Some(key.clone());
+                    Some((key, route))
+                }
+                None => {
+                    let e = SickleError::invalid(format!(
+                        "unknown prior: no retained request with id {key} \
+                         (it may have been superseded or evicted)"
+                    ));
+                    let _ = write_line(out, &error_response(&wire.id, &e));
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    return Outcome::KeepOpen;
+                }
+            }
+        }
+    };
 
     // Projected-cost admission: under a byte budget, a request whose
     // projected working set cannot fit on top of the current pooled
@@ -937,7 +1030,7 @@ fn serve_line_inner(
         }
     };
 
-    let outcome = run_admitted(shared, &wire, out, hangup);
+    let outcome = run_admitted(shared, &wire, prior, out, hangup);
     shared.served.fetch_add(1, Ordering::Relaxed);
     outcome
 }
@@ -963,11 +1056,21 @@ fn resource_exhausted_error(shared: &Shared, forced: bool) -> SickleError {
 fn run_admitted(
     shared: &Shared,
     wire: &WireRequest,
+    prior: Option<(String, PriorRoute)>,
     out: &mut dyn Write,
     hangup: &mut dyn FnMut() -> bool,
 ) -> Outcome {
     let t0 = Instant::now();
     let mut request = wire.request.clone();
+    // An edit rides its chain's session (same analysis cache across the
+    // whole chain); everything else routes by demo family as before.
+    let session_key = match &prior {
+        Some((_, route)) => {
+            request = request.with_prior(route.demo_fp);
+            route.session_key
+        }
+        None => demo_fingerprint(&request.task),
+    };
     let cancel = request.cancel.get_or_insert_with(CancelToken::new).clone();
 
     // Soft watermark: degrade the engine-cache policy before the search
@@ -1001,7 +1104,7 @@ fn run_admitted(
         _ => {}
     }
     let token_id = shared.tokens.register(cancel.clone());
-    let session = shared.sessions.session_for(demo_fingerprint(&request.task));
+    let session = shared.sessions.session_for(session_key);
     let mut stream = match session.submit(request) {
         Ok(stream) => stream,
         Err(e) => {
@@ -1127,6 +1230,19 @@ fn run_admitted(
                         Err(_) => Outcome::Close,
                     };
                 }
+                if wire.request.retain {
+                    // The session retained this result; make its id
+                    // nameable as the next edit's "prior" and consume
+                    // the id it superseded (that retained state is gone).
+                    shared.priors.record(
+                        prior.as_ref().map(|(k, _)| k.as_str()),
+                        wire.id.render(),
+                        PriorRoute {
+                            session_key,
+                            demo_fp: demo_fingerprint(&wire.request.task),
+                        },
+                    );
+                }
                 match shared.faults.fire("response") {
                     Some(FaultKind::Panic) => panic!("injected fault: panic@response"),
                     Some(FaultKind::Exit(code)) => {
@@ -1235,17 +1351,21 @@ fn connection_loop<R: BufRead>(
                     continue;
                 }
                 let t0 = Instant::now();
+                let mut prior_note = None;
                 let outcome = {
                     let mut hangup = || hangup_probe(reader);
-                    serve_line(shared, trimmed, out, &mut hangup)
+                    serve_line(shared, trimmed, out, &mut hangup, &mut prior_note)
                 };
                 log(format_args!(
-                    "request {} answered in {:.3}s (sessions={}, sets={}, bytes={})",
+                    "request {} answered in {:.3}s (sessions={}, sets={}, bytes={}{})",
                     shared.served(),
                     t0.elapsed().as_secs_f64(),
                     shared.sessions.len(),
                     shared.sessions.total_sets(),
                     shared.sessions.total_bytes(),
+                    prior_note
+                        .map(|p| format!(", prior={p}"))
+                        .unwrap_or_default(),
                 ));
                 match outcome {
                     Outcome::KeepOpen => {}
@@ -1576,7 +1696,7 @@ mod tests {
             r#""max_depth": 1, "budget": {"max_solutions": 3, "max_visited": 50000}}"#
         );
         let mut out = Vec::new();
-        let outcome = serve_line(&shared, line, &mut out, &mut || false);
+        let outcome = serve_line(&shared, line, &mut out, &mut || false, &mut None);
         assert!(matches!(outcome, Outcome::KeepOpen));
         let response = Json::parse(String::from_utf8_lossy(&out).lines().next().unwrap()).unwrap();
         assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
@@ -1585,7 +1705,7 @@ mod tests {
         // Second request trips the injected panic: structured internal
         // error, connection closes, state survives for a third request.
         let mut out2 = Vec::new();
-        let outcome = serve_line(&shared, line, &mut out2, &mut || false);
+        let outcome = serve_line(&shared, line, &mut out2, &mut || false, &mut None);
         assert!(matches!(outcome, Outcome::Close));
         let response = Json::parse(String::from_utf8_lossy(&out2).lines().next().unwrap()).unwrap();
         assert_eq!(response.get("status").and_then(Json::as_str), Some("error"));
@@ -1598,11 +1718,126 @@ mod tests {
         );
 
         let mut out3 = Vec::new();
-        let outcome = serve_line(&shared, line, &mut out3, &mut || false);
+        let outcome = serve_line(&shared, line, &mut out3, &mut || false, &mut None);
         assert!(matches!(outcome, Outcome::KeepOpen));
         let response = Json::parse(String::from_utf8_lossy(&out3).lines().next().unwrap()).unwrap();
         assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(shared.served(), 3);
+    }
+
+    #[test]
+    fn edit_chain_resolves_priors_and_matches_cold_solve() {
+        let shared = Shared::new(
+            ServerConfig {
+                watchdog: Duration::from_secs(60),
+                ..ServerConfig::default()
+            },
+            Faults::none(),
+        );
+        let base = concat!(
+            r#"{"id": "e1", "retain": true, "#,
+            r#""tables": [{"columns": ["region", "revenue"], "#,
+            r#""rows": [["west", 10], ["west", 20], ["east", 5]]}], "#,
+            r#""demo": [["T[1,1]", "sum(T[1,2], T[2,2])"], ["T[3,1]", "sum(T[3,2])"]], "#,
+            r#""max_depth": 1, "budget": {"max_solutions": 3, "max_visited": 50000}}"#
+        );
+        let answer = |shared: &Arc<Shared>, line: &str, note: &mut Option<String>| {
+            let mut out = Vec::new();
+            let outcome = serve_line(shared, line, &mut out, &mut || false, note);
+            assert!(matches!(outcome, Outcome::KeepOpen));
+            Json::parse(String::from_utf8_lossy(&out).lines().next().unwrap()).unwrap()
+        };
+        let r1 = answer(&shared, base, &mut None);
+        assert_eq!(
+            r1.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}",
+            r1.render()
+        );
+
+        // The edit drops the second demo row and names r1 as its prior.
+        let edited = concat!(
+            r#"{"id": "e2", "prior": "e1", "#,
+            r#""tables": [{"columns": ["region", "revenue"], "#,
+            r#""rows": [["west", 10], ["west", 20], ["east", 5]]}], "#,
+            r#""demo": [["T[1,1]", "sum(T[1,2], T[2,2])"]], "#,
+            r#""max_depth": 1, "budget": {"max_solutions": 3, "max_visited": 50000}}"#
+        );
+        let mut note = None;
+        let warm = answer(&shared, edited, &mut note);
+        assert_eq!(
+            warm.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}",
+            warm.render()
+        );
+        assert_eq!(note.as_deref(), Some("\"e1\""), "log line notes the prior");
+
+        // Byte-identical to a cold solve of the edited demo on a fresh
+        // server (warm-edit reuse is a pure speedup, never an answer
+        // change).
+        let cold_shared = Shared::new(ServerConfig::default(), Faults::none());
+        let cold = answer(
+            &cold_shared,
+            &edited.replace(r#""prior": "e1", "#, ""),
+            &mut None,
+        );
+        assert_eq!(
+            warm.get("solutions").map(Json::render),
+            cold.get("solutions").map(Json::render)
+        );
+
+        // r1 was superseded by e2; only the chain head stays nameable.
+        let stale = answer(
+            &shared,
+            &edited.replace(r#""id": "e2""#, r#""id": "e3""#),
+            &mut None,
+        );
+        assert_eq!(
+            stale
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("invalid_request"),
+            "{}",
+            stale.render()
+        );
+        let chained = answer(
+            &shared,
+            &edited
+                .replace(r#""id": "e2""#, r#""id": "e3""#)
+                .replace(r#""prior": "e1""#, r#""prior": "e2""#),
+            &mut None,
+        );
+        assert_eq!(chained.get("status").and_then(Json::as_str), Some("ok"));
+
+        // Unknown priors and unnameable retained requests are rejected
+        // before any work is admitted.
+        let unknown = answer(
+            &shared,
+            &base.replace(r#""retain": true"#, r#""prior": "nope""#),
+            &mut None,
+        );
+        assert!(
+            unknown
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("unknown prior"),
+            "{}",
+            unknown.render()
+        );
+        let anonymous = answer(&shared, &base.replace(r#""id": "e1", "#, ""), &mut None);
+        assert_eq!(
+            anonymous
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("invalid_request"),
+            "{}",
+            anonymous.render()
+        );
     }
 
     #[test]
@@ -1626,7 +1861,7 @@ mod tests {
         );
         let t0 = Instant::now();
         let mut out = Vec::new();
-        let outcome = serve_line(&shared, line, &mut out, &mut || false);
+        let outcome = serve_line(&shared, line, &mut out, &mut || false, &mut None);
         assert!(matches!(outcome, Outcome::KeepOpen));
         assert!(
             t0.elapsed() < Duration::from_secs(8),
@@ -1653,7 +1888,7 @@ mod tests {
         );
         let t0 = Instant::now();
         let mut out = Vec::new();
-        let outcome = serve_line(&shared, line, &mut out, &mut || false);
+        let outcome = serve_line(&shared, line, &mut out, &mut || false, &mut None);
         assert!(matches!(outcome, Outcome::KeepOpen));
         assert!(
             t0.elapsed() < Duration::from_secs(5),
@@ -1708,7 +1943,7 @@ mod tests {
         );
         let t0 = Instant::now();
         let mut out = FailAfter { ok_writes: 1 };
-        let outcome = serve_line(&shared, line, &mut out, &mut || false);
+        let outcome = serve_line(&shared, line, &mut out, &mut || false, &mut None);
         assert!(matches!(outcome, Outcome::Close), "hung-up client closes");
         assert!(
             t0.elapsed() < Duration::from_secs(30),

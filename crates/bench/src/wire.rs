@@ -42,6 +42,11 @@ pub struct WireRequest {
     /// ground truth, so a remote client (the shard driver) can assemble
     /// `BENCH_synthesis.json` records without re-parsing solutions.
     pub benchmark: Option<usize>,
+    /// The raw `"prior"` field: the id of an earlier retained request
+    /// this one edits. Only `sickle-serve` keeps the id → fingerprint
+    /// registry needed to resolve it; the plain stdio pipeline rejects
+    /// requests carrying it.
+    pub prior: Option<Json>,
 }
 
 /// Looks up an analyzer by its wire name.
@@ -404,12 +409,29 @@ impl WireRequest {
                 .as_bool()
                 .ok_or_else(|| invalid("\"progress\" must be a boolean"))?,
         };
+        if let Some(r) = json.get("retain") {
+            request = request.with_retain(
+                r.as_bool()
+                    .ok_or_else(|| invalid("\"retain\" must be a boolean"))?,
+            );
+        }
+        let prior = match json.get("prior") {
+            None => None,
+            Some(Json::Null) => return Err(invalid("\"prior\" must not be null")),
+            Some(p) => {
+                // An edit chain continues: the edited result is retained
+                // so the *next* edit can name this request as its prior.
+                request = request.with_retain(true);
+                Some(p.clone())
+            }
+        };
 
         Ok(WireRequest {
             id,
             request,
             progress,
             benchmark,
+            prior,
         })
     }
 }
@@ -487,6 +509,14 @@ pub fn response_ok(id: &Json, result: &SynthResult) -> Json {
                     "cache_reeval_s".into(),
                     Json::num(stats.cache_reeval_time.as_secs_f64()),
                 ),
+                (
+                    "reused_verdicts".into(),
+                    Json::num(stats.reused_verdicts as f64),
+                ),
+                (
+                    "invalidated_verdicts".into(),
+                    Json::num(stats.invalidated_verdicts as f64),
+                ),
                 ("mem_bytes".into(), Json::num(stats.mem_bytes as f64)),
             ]),
         ),
@@ -532,6 +562,14 @@ pub fn progress_json(p: &ProgressSnapshot) -> Json {
         (
             "cache_reeval_s".into(),
             Json::num(p.cache_reeval_time.as_secs_f64()),
+        ),
+        (
+            "reused_verdicts".into(),
+            Json::num(p.reused_verdicts as f64),
+        ),
+        (
+            "invalidated_verdicts".into(),
+            Json::num(p.invalidated_verdicts as f64),
         ),
         ("mem_bytes".into(), Json::num(p.mem_bytes as f64)),
     ])
@@ -650,6 +688,14 @@ pub fn handle_line_with(session: &Session, line: &str, emit: &mut dyn FnMut(Json
         Ok(wire) => wire,
         Err(e) => return sickle_error_response(json.get("id").unwrap_or(&Json::Null), &e),
     };
+    if wire.prior.is_some() {
+        // Resolving a prior id needs the per-server request registry;
+        // only `sickle-serve` keeps one across lines.
+        return sickle_error_response(
+            &wire.id,
+            &invalid("\"prior\" requires sickle-serve (no prior-request registry on this path)"),
+        );
+    }
     if !wire.progress {
         return match session.solve(&wire.request) {
             Ok(result) => finish_response(&wire, &result),
@@ -736,6 +782,26 @@ mod tests {
     }
 
     #[test]
+    fn prior_and_retain_decode() {
+        // "retain" alone: opt into retention, no prior.
+        let wire =
+            WireRequest::from_json(&Json::parse(r#"{"benchmark": 1, "retain": true}"#).unwrap())
+                .unwrap();
+        assert!(wire.request.retain);
+        assert!(wire.prior.is_none());
+        // "prior" carries the raw id and implies retention (so the next
+        // edit in the chain can name *this* request).
+        let wire =
+            WireRequest::from_json(&Json::parse(r#"{"benchmark": 1, "prior": "r7"}"#).unwrap())
+                .unwrap();
+        assert!(wire.request.retain);
+        assert_eq!(wire.prior.as_ref().map(Json::render), Some("\"r7\"".into()));
+        // Neither field: retention stays off (no hidden memory growth).
+        let wire = WireRequest::from_json(&Json::parse(r#"{"benchmark": 1}"#).unwrap()).unwrap();
+        assert!(!wire.request.retain);
+    }
+
+    #[test]
     fn structured_errors_for_bad_lines() {
         let session = Session::new();
         let cases = [
@@ -792,6 +858,10 @@ mod tests {
                 r#"{"benchmark": 1, "cache": {"cap": 64, "low_water": 64}}"#,
                 "invalid_request",
             ),
+            // "prior" needs the id registry only sickle-serve keeps.
+            (r#"{"benchmark": 1, "prior": "r0"}"#, "invalid_request"),
+            (r#"{"benchmark": 1, "prior": null}"#, "invalid_request"),
+            (r#"{"benchmark": 1, "retain": "yes"}"#, "invalid_request"),
         ];
         for (line, expected_kind) in cases {
             let response = handle_line(&session, line);
@@ -823,6 +893,8 @@ mod tests {
             "cache_evictions",
             "cache_demotions",
             "cache_reevals",
+            "reused_verdicts",
+            "invalidated_verdicts",
         ] {
             assert!(
                 stats.get(field).and_then(Json::as_f64).is_some(),

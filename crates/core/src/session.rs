@@ -2,18 +2,35 @@
 //!
 //! A [`Session`] is the long-lived front door of the synthesizer: it owns
 //! the warm, shareable search state — the hash-consed [`RefSetPool`] and
-//! a per-demonstration family of cross-sibling [`AnalysisCache`]s — and
-//! serves any number of [`SynthRequest`]s against it. Requests built
-//! back-to-back reuse interned reference sets, and repeat requests over
-//! the same demonstration reuse memoized Def. 3 verdicts instead of
-//! rebuilding them per call. (Verdict memos are keyed by the abstract
-//! table only — the demonstration is a fixed side of the check — so the
-//! session indexes its caches by the demo's interned id-grid: hash-consing
-//! makes that key stable across requests, and demos with equal reference
-//! structure share one cache soundly.) Per-request state that is *not*
-//! shareable (the thread-local [`crate::EvalCache`] keyed by query ASTs
-//! over one task's inputs) is created fresh for each request, one
-//! generation per worker.
+//! one session-wide cross-sibling [`AnalysisCache`] — and serves any
+//! number of [`SynthRequest`]s against it. Requests built back-to-back
+//! reuse interned reference sets, and repeat requests over the same
+//! demonstration reuse memoized Def. 3 verdicts instead of rebuilding
+//! them per call. (Verdict memos carry a collision-free per-demo
+//! fingerprint — a [`sickle_provenance::DemoToken`] assigned at
+//! registration — so demonstrations with different reference structure
+//! share the one cache soundly; demos with *equal* id-grids resolve to
+//! the same token and share verdicts, exactly as the old per-demo cache
+//! family did.) Per-request state that is *not* shareable (the
+//! thread-local [`crate::EvalCache`] keyed by query ASTs over one task's
+//! inputs) is created fresh for each request, one generation per worker.
+//!
+//! ## Warm edits
+//!
+//! The realistic interaction loop is a user *editing* a demonstration
+//! and re-solving. A request built with [`SynthRequest::with_retain`]
+//! leaves its demo and solutions behind in the session's retained-prior
+//! store (keyed by [`crate::demo_fingerprint`]); a follow-up request
+//! built with [`SynthRequest::with_prior`] names that fingerprint and
+//! runs the warm-edit path: the demo diff ([`DemoDelta`]) is computed,
+//! the superseded demo's verdicts and any column memos the edit orphaned
+//! are purged (unchanged columns keep their memos — they are fingerprinted
+//! by content), the prior solutions are re-verified against the new demo,
+//! and the search then re-enters over the warm pool and surviving memos.
+//! Solutions are byte-identical to a cold solve of the edited demo —
+//! caching never changes verdicts — but the warm path re-derives much
+//! less. Retention is opt-in, so sessions that never edit carry zero
+//! retained bytes.
 //!
 //! Two ways to run a request:
 //!
@@ -65,13 +82,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sickle_provenance::{
-    AnalysisCache, AnalysisCacheStats, Demo, FxMap, RefSetPool, RefUniverse, SetId,
+    AnalysisCache, AnalysisCacheStats, Demo, DemoDelta, DemoToken, FxMap, RefSetPool, RefUniverse,
 };
 use sickle_table::{Table, Value};
 
 use crate::abstract_eval::demo_ref_sets;
 use crate::ast::{PQuery, Query};
 use crate::error::SickleError;
+use crate::session_pool::demo_fingerprint;
 use crate::synth::{
     run_parallel, Analyzer, JoinKey, NoPruneAnalyzer, ProvenanceAnalyzer, SharedStats, SynthConfig,
     SynthResult, SynthTask,
@@ -289,6 +307,16 @@ pub struct SynthRequest {
     /// Explicit seed work list overriding skeleton enumeration (tests,
     /// ablations and diagnostics).
     pub seeds: Option<Vec<PQuery>>,
+    /// Demo fingerprint ([`crate::demo_fingerprint`]) of a retained prior
+    /// request this one edits — runs the warm-edit path (see the module
+    /// docs). Unknown fingerprints fail validation with
+    /// [`SickleError::InvalidRequest`].
+    pub prior: Option<u64>,
+    /// Retain this request's demo and solutions for a follow-up edit.
+    /// Implied by [`SynthRequest::with_prior`] (edit chains keep
+    /// retaining); off by default so non-editing sessions carry zero
+    /// retained bytes.
+    pub retain: bool,
 }
 
 impl SynthRequest {
@@ -309,6 +337,8 @@ impl SynthRequest {
             cancel: None,
             workers: 1,
             seeds: None,
+            prior: None,
+            retain: false,
         }
     }
 
@@ -372,6 +402,24 @@ impl SynthRequest {
     #[must_use]
     pub fn with_seeds(mut self, seeds: Vec<PQuery>) -> SynthRequest {
         self.seeds = Some(seeds);
+        self
+    }
+
+    /// Marks this request as a warm edit of the retained request whose
+    /// demo fingerprint is `prior` (see [`crate::demo_fingerprint`]).
+    /// Implies [`SynthRequest::with_retain`] so edit chains keep working.
+    #[must_use]
+    pub fn with_prior(mut self, prior: u64) -> SynthRequest {
+        self.prior = Some(prior);
+        self.retain = true;
+        self
+    }
+
+    /// Retains (or stops retaining) this request's demo and solutions so
+    /// a follow-up [`SynthRequest::with_prior`] can warm-edit it.
+    #[must_use]
+    pub fn with_retain(mut self, retain: bool) -> SynthRequest {
+        self.retain = retain;
         self
     }
 
@@ -505,6 +553,12 @@ pub struct ProgressSnapshot {
     /// and analysis-cache footprint (high-water gauge) plus the workers'
     /// live engine-cache bytes (charged − released).
     pub mem_bytes: usize,
+    /// Def. 3 verdicts served from the session-wide analysis cache.
+    /// End-of-run counter: 0 while the search runs, set when it finishes.
+    pub reused_verdicts: usize,
+    /// Memo entries invalidated by this request's warm-edit purge (set
+    /// before the search enters; 0 on cold solves).
+    pub invalidated_verdicts: usize,
 }
 
 impl ProgressSnapshot {
@@ -533,6 +587,8 @@ impl ProgressSnapshot {
                 let pooled = shared.mem_pool_bytes.load(Ordering::Relaxed);
                 usize::try_from(pooled.saturating_add(live)).unwrap_or(usize::MAX)
             },
+            reused_verdicts: shared.reused_verdicts.load(Ordering::Relaxed),
+            invalidated_verdicts: shared.invalidated_verdicts.load(Ordering::Relaxed),
         }
     }
 }
@@ -733,25 +789,126 @@ pub struct Session {
     /// searches; grows monotonically with the number of *distinct* sets
     /// ever interned.
     pool: Arc<RefSetPool>,
-    /// Cross-sibling (and, in a warm session, cross-request) memos of
-    /// abstract-consistency analyses, one per demonstration: the
-    /// `AnalysisCache` verdict layer keys by the abstract table only
-    /// (the demo is the check's fixed side), so a cache must never be
-    /// shared between different demonstrations.
-    analyses: Mutex<FxMap<DemoKey, Arc<AnalysisCache>>>,
+    /// The session-wide cross-sibling memo of abstract-consistency
+    /// analyses. One bounded cache serves every demonstration: verdict
+    /// keys carry a collision-free per-demo fingerprint
+    /// ([`sickle_provenance::DemoToken`], assigned when the demo's
+    /// interned id-grid is registered), so different demonstrations never
+    /// alias while equal id-grids share verdicts.
+    analysis: Arc<AnalysisCache>,
+    /// Retained priors for the warm-edit path, keyed by
+    /// [`crate::demo_fingerprint`] — each entry holds the demo, its
+    /// analysis-cache token and its solutions. Opt-in, byte-accounted and
+    /// LRU-capped; behind an `Arc` so streaming workers can retain their
+    /// result after [`Session::submit`] has returned.
+    priors: Arc<Mutex<PriorStore>>,
     /// Requests served so far; doubles as the per-request `EvalCache`
     /// generation counter (each request's thread-local caches are
     /// generation `served()` of this session).
     served: AtomicUsize,
 }
 
-/// Cache-family key: the demonstration's reference structure, as its
-/// column-major interned id-grid (ids are stable within one session's
-/// pool by hash-consing; `n_cols` is implied by `ids.len() / n_rows`).
-#[derive(Debug, PartialEq, Eq, Hash)]
-struct DemoKey {
-    n_rows: u32,
-    ids: Box<[SetId]>,
+/// Retained-prior cap per session; beyond it the least-recently-used
+/// entry is evicted (and its analysis-cache state purged, if no other
+/// retained entry shares the demo token).
+const MAX_RETAINED: usize = 16;
+
+/// One retained prior: a solved request's demo, its analysis-cache
+/// registration, and the solutions a follow-up edit re-verifies.
+#[derive(Debug, Clone)]
+struct PriorEntry {
+    demo: Demo,
+    token: DemoToken,
+    solutions: Vec<Query>,
+    /// Approximate heap bytes of this entry (demo cells + solution ASTs),
+    /// charged against [`Session::mem_bytes`].
+    bytes: usize,
+    last_used: u64,
+}
+
+/// The retained-prior store: fingerprint → entry, with an LRU clock and a
+/// running byte total.
+#[derive(Debug, Default)]
+struct PriorStore {
+    entries: FxMap<u64, PriorEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Approximate heap bytes of one retained prior. Coarse by design — the
+/// figure exists so long edit chains show up in the session's byte
+/// rollup (and the pool's `--max-bytes` budget), not as an allocator
+/// measurement.
+fn prior_entry_bytes(demo: &Demo, solutions: &[Query]) -> usize {
+    const ENTRY_OVERHEAD: usize = 256;
+    const CELL_BYTES: usize = 96;
+    const OP_BYTES: usize = 64;
+    ENTRY_OVERHEAD
+        + demo.n_cells() * CELL_BYTES
+        + solutions
+            .iter()
+            .map(|q| 48 + q.size() * OP_BYTES)
+            .sum::<usize>()
+}
+
+/// Retains a solved request under `fp`, superseding any entry already at
+/// that fingerprint, and LRU-evicts past [`MAX_RETAINED`]. Evicted (and
+/// superseded) entries refund their bytes; their analysis-cache state is
+/// purged when no surviving retained entry shares the demo token. A free
+/// function over the store/cache handles so [`Session::submit`] workers
+/// can retain after the session borrow is gone.
+fn retain_into(
+    priors: &Mutex<PriorStore>,
+    analysis: &AnalysisCache,
+    fp: u64,
+    demo: &Demo,
+    token: DemoToken,
+    solutions: Vec<Query>,
+) {
+    let bytes = prior_entry_bytes(demo, &solutions);
+    let mut purge: Vec<DemoToken> = Vec::new();
+    {
+        let mut store = priors.lock().expect("session prior lock");
+        store.tick += 1;
+        let tick = store.tick;
+        let entry = PriorEntry {
+            demo: demo.clone(),
+            token,
+            solutions,
+            bytes,
+            last_used: tick,
+        };
+        if let Some(old) = store.entries.insert(fp, entry) {
+            store.bytes -= old.bytes;
+        }
+        store.bytes += bytes;
+        while store.entries.len() > MAX_RETAINED {
+            let victim = store
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty store has an LRU victim");
+            let evicted = store.entries.remove(&victim).expect("victim present");
+            store.bytes -= evicted.bytes;
+            if !store.entries.values().any(|e| e.token == evicted.token) {
+                purge.push(evicted.token);
+            }
+        }
+    }
+    for token in purge {
+        analysis.purge_demo(&token);
+    }
+}
+
+/// What the warm-edit preamble computed for a request with a `prior`.
+struct WarmPrep {
+    /// Memo entries (verdicts + orphaned column memos) purged on behalf
+    /// of this request.
+    invalidated: usize,
+    /// The demo diff, kept for diagnostics/debug assertions.
+    #[allow(dead_code)]
+    delta: DemoDelta,
 }
 
 impl Default for Session {
@@ -765,7 +922,8 @@ impl Session {
     pub fn new() -> Session {
         Session {
             pool: Arc::new(RefSetPool::new()),
-            analyses: Mutex::new(FxMap::default()),
+            analysis: Arc::new(AnalysisCache::new()),
+            priors: Arc::new(Mutex::new(PriorStore::default())),
             served: AtomicUsize::new(0),
         }
     }
@@ -777,54 +935,132 @@ impl Session {
     }
 
     /// Approximate resident bytes of the session's warm state: the
-    /// hash-consing pool (interned sets + operation memos) plus every
-    /// per-demonstration analysis cache. This is the per-session rollup
-    /// the service tier's byte-bounded [`crate::SessionPool`] and the
-    /// server's pressure ladder read; per-request engine caches are
-    /// thread-local and short-lived, so they are accounted in the request
-    /// stats instead.
+    /// hash-consing pool (interned sets + operation memos), the
+    /// session-wide analysis cache, and the retained-prior store. This is
+    /// the per-session rollup the service tier's byte-bounded
+    /// [`crate::SessionPool`] and the server's pressure ladder read;
+    /// per-request engine caches are thread-local and short-lived, so
+    /// they are accounted in the request stats instead.
     pub fn mem_bytes(&self) -> usize {
-        let analyses: usize = self
-            .analyses
-            .lock()
-            .expect("session analysis lock")
-            .values()
-            .map(|c| c.approx_bytes())
-            .sum();
-        self.pool.approx_bytes() + analyses
+        let retained = self.priors.lock().expect("session prior lock").bytes;
+        self.pool.approx_bytes() + self.analysis.approx_bytes() + retained
     }
 
-    /// Aggregated hit/miss counters over the session's warm analysis
-    /// caches (one per demonstration served).
+    /// Hit/miss counters of the session-wide analysis cache.
     pub fn analysis_stats(&self) -> AnalysisCacheStats {
-        let caches = self.analyses.lock().expect("session analysis lock");
-        let mut total = AnalysisCacheStats { hits: 0, misses: 0 };
-        for cache in caches.values() {
-            let s = cache.stats();
-            total.hits += s.hits;
-            total.misses += s.misses;
-        }
-        total
+        self.analysis.stats()
     }
 
-    /// The warm analysis cache serving `task`'s demonstration (created on
-    /// first use). Keyed by the demo's interned reference structure, so a
-    /// repeat request — or a different task with an identical demo
-    /// id-grid, for which the Def. 3 check is the same function — shares
-    /// the memo soundly.
-    fn analysis_for(&self, task: &SynthTask) -> Arc<AnalysisCache> {
+    /// Registers `task`'s demonstration with the session-wide analysis
+    /// cache and returns its token. Registration is idempotent —
+    /// [`crate::TaskContext`] re-registers the same grid during the
+    /// search and resolves to the same token.
+    fn register(&self, task: &SynthTask) -> DemoToken {
         let universe = RefUniverse::from_tables(&task.inputs);
         let id_grid = demo_ref_sets(&task.demo, &universe).map(|s| self.pool.intern(s.clone()));
-        let mut ids = Vec::with_capacity(id_grid.n_rows() * id_grid.n_cols());
-        for c in 0..id_grid.n_cols() {
-            ids.extend_from_slice(id_grid.column(c));
+        self.analysis.register_demo(&id_grid)
+    }
+
+    /// Looks up (and LRU-touches) the retained prior named by a request's
+    /// `prior` fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`SickleError::InvalidRequest`] when no such prior is retained —
+    /// the structured rejection the wire layer forwards for unknown
+    /// `"prior"` ids.
+    fn take_prior(&self, fp: u64) -> Result<PriorEntry, SickleError> {
+        let mut store = self.priors.lock().expect("session prior lock");
+        store.tick += 1;
+        let tick = store.tick;
+        match store.entries.get_mut(&fp) {
+            Some(entry) => {
+                entry.last_used = tick;
+                Ok(entry.clone())
+            }
+            None => Err(SickleError::invalid(format!(
+                "unknown prior: no retained request with demo fingerprint {fp}"
+            ))),
         }
-        let key = DemoKey {
-            n_rows: id_grid.n_rows() as u32,
-            ids: ids.into_boxed_slice(),
+    }
+
+    /// The warm-edit preamble, run after [`Session::take_prior`] and
+    /// before the search: diffs the demos, registers the new demo (so
+    /// columns the edit kept alive stay refcounted), purges the
+    /// superseded demo's verdicts and orphaned column memos, drops the
+    /// superseded retained entry, re-verifies the prior's solutions
+    /// against the new demo, and retains the survivors under the new
+    /// fingerprint — so the chain stays warm and sound even if the
+    /// re-search below is canceled. Anything that fails re-verification
+    /// is simply re-searched (the full search runs regardless; caching
+    /// never changes verdicts, so results stay byte-identical to cold).
+    fn warm_edit(
+        &self,
+        request: &SynthRequest,
+        prior_fp: u64,
+        prior: PriorEntry,
+    ) -> Result<WarmPrep, SickleError> {
+        let delta = DemoDelta::between(&prior.demo, &request.task.demo);
+        let new_fp = demo_fingerprint(&request.task);
+        let new_token = self.register(&request.task);
+
+        // Purge the superseded demo's analysis state — unless the edit
+        // kept the reference structure identical (same token), in which
+        // case there is nothing stale to drop.
+        let mut invalidated = 0;
+        if new_token != prior.token {
+            invalidated = self.analysis.purge_demo(&prior.token).total();
+        }
+        // The superseded retained entry goes too: long edit chains must
+        // not accumulate in the byte budget.
+        if new_fp != prior_fp {
+            let mut store = self.priors.lock().expect("session prior lock");
+            if let Some(old) = store.entries.remove(&prior_fp) {
+                store.bytes -= old.bytes;
+            }
+        }
+
+        // Re-verify surviving prior solutions against the edited demo: a
+        // sequential pass over the concrete candidates only (no skeleton
+        // enumeration, no pruning calls — each seed runs the acceptance
+        // stages once). Survivors are retained under the new fingerprint
+        // immediately.
+        let verified = if delta.is_empty() {
+            prior.solutions.clone()
+        } else if prior.solutions.is_empty() {
+            Vec::new()
+        } else {
+            let seeds: Vec<PQuery> = prior.solutions.iter().map(PQuery::from_concrete).collect();
+            let mut config = request.search.clone();
+            config.timeout = None;
+            config.max_visited = None;
+            config.max_solutions = seeds.len();
+            config.cancel = None;
+            let throwaway = SharedStats::default();
+            run_parallel(
+                &request.task,
+                &config,
+                &|| request.analyzer.make(),
+                1,
+                &|_| false,
+                Arc::clone(&self.pool),
+                Arc::clone(&self.analysis),
+                &throwaway,
+                Some(seeds),
+            )?
+            .solutions
         };
-        let mut caches = self.analyses.lock().expect("session analysis lock");
-        Arc::clone(caches.entry(key).or_default())
+        if request.retain {
+            retain_into(
+                &self.priors,
+                &self.analysis,
+                new_fp,
+                &request.task.demo,
+                new_token,
+                verified,
+            );
+        }
+        Ok(WarmPrep { invalidated, delta })
     }
 
     /// Number of requests served (solve + submit), i.e. the current
@@ -858,21 +1094,44 @@ impl Session {
         stop: impl Fn(&Query) -> bool + Sync,
     ) -> Result<SynthResult, SickleError> {
         request.validate()?;
+        let warm = match request.prior {
+            Some(fp) => Some(self.warm_edit(request, fp, self.take_prior(fp)?)?),
+            None => None,
+        };
         self.served.fetch_add(1, Ordering::Relaxed);
         let cancel = request.cancel.clone().unwrap_or_default();
         let config = request.effective_config(&cancel, Instant::now());
         let shared = SharedStats::default();
-        run_parallel(
+        if let Some(w) = &warm {
+            shared
+                .invalidated_verdicts
+                .store(w.invalidated, Ordering::Relaxed);
+        }
+        let mut result = run_parallel(
             &request.task,
             &config,
             &|| request.analyzer.make(),
             request.workers,
             &stop,
             Arc::clone(&self.pool),
-            self.analysis_for(&request.task),
+            Arc::clone(&self.analysis),
             &shared,
             request.seeds.clone(),
-        )
+        )?;
+        if let Some(w) = &warm {
+            result.stats.invalidated_verdicts = w.invalidated;
+        }
+        if request.retain {
+            retain_into(
+                &self.priors,
+                &self.analysis,
+                demo_fingerprint(&request.task),
+                &request.task.demo,
+                self.register(&request.task),
+                result.solutions.clone(),
+            );
+        }
+        Ok(result)
     }
 
     /// Starts a request on a background thread and returns a
@@ -884,15 +1143,30 @@ impl Session {
     /// (before any thread is spawned).
     pub fn submit(&self, request: SynthRequest) -> Result<SolutionStream, SickleError> {
         request.validate()?;
+        // The warm-edit preamble runs synchronously: an unknown prior
+        // must surface as InvalidRequest *here* (the wire layer's
+        // structured rejection), and the purge/re-verify pass is cheap —
+        // a sequential acceptance check of at most the retained solution
+        // list, no skeleton enumeration.
+        let warm = match request.prior {
+            Some(fp) => Some(self.warm_edit(&request, fp, self.take_prior(fp)?)?),
+            None => None,
+        };
         self.served.fetch_add(1, Ordering::Relaxed);
         let cancel = request.cancel.clone().unwrap_or_default();
         let started = Instant::now();
         let config = request.effective_config(&cancel, started);
         let shared = Arc::new(SharedStats::default());
+        if let Some(w) = &warm {
+            shared
+                .invalidated_verdicts
+                .store(w.invalidated, Ordering::Relaxed);
+        }
         let (tx, rx) = mpsc::channel();
 
         let pool = Arc::clone(&self.pool);
-        let analysis = self.analysis_for(&request.task);
+        let analysis = Arc::clone(&self.analysis);
+        let priors = Arc::clone(&self.priors);
         let worker_shared = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
             let found = AtomicUsize::new(0);
@@ -917,13 +1191,31 @@ impl Session {
                     )));
                     false
                 },
-                pool,
-                analysis,
+                Arc::clone(&pool),
+                Arc::clone(&analysis),
                 &worker_shared,
-                request.seeds,
+                request.seeds.clone(),
             );
             let _ = tx.send(match result {
-                Ok(result) => SolutionEvent::Done(result),
+                Ok(mut result) => {
+                    if let Some(w) = &warm {
+                        result.stats.invalidated_verdicts = w.invalidated;
+                    }
+                    if request.retain {
+                        let universe = RefUniverse::from_tables(&request.task.inputs);
+                        let id_grid = demo_ref_sets(&request.task.demo, &universe)
+                            .map(|s| pool.intern(s.clone()));
+                        retain_into(
+                            &priors,
+                            &analysis,
+                            demo_fingerprint(&request.task),
+                            &request.task.demo,
+                            analysis.register_demo(&id_grid),
+                            result.solutions.clone(),
+                        );
+                    }
+                    SolutionEvent::Done(result)
+                }
                 Err(e) => SolutionEvent::Failed(e),
             });
         });
@@ -1090,6 +1382,88 @@ mod tests {
             .expect("malformed seed must not error the run");
         assert!(result.solutions.is_empty());
         assert_eq!(result.stats.concrete_checked, 2);
+    }
+
+    #[test]
+    fn unknown_prior_is_an_invalid_request() {
+        let session = Session::new();
+        let request = SynthRequest::new(vec![table()], demo())
+            .with_max_depth(1)
+            .with_prior(0xDEAD);
+        let err = session.solve(&request).unwrap_err();
+        assert_eq!(err.kind(), "invalid_request");
+        assert!(err.to_string().contains("unknown prior"), "{err}");
+        let err = session
+            .submit(
+                SynthRequest::new(vec![table()], demo())
+                    .with_max_depth(1)
+                    .with_prior(0xDEAD),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_request");
+    }
+
+    #[test]
+    fn warm_edit_matches_cold_solve_of_the_edited_demo() {
+        let render = |r: &SynthResult| {
+            r.solutions
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        };
+        // Base demo, retained; then a single-cell edit (row 3 instead of
+        // rows 1+2 in the aggregate) re-solved warm via the prior.
+        let edited = Demo::parse(&[
+            &["T[1,1]", "sum(T[1,2], T[2,2])"],
+            &["T[3,1]", "sum(T[3,2], T[3,2])"],
+        ])
+        .unwrap();
+        let session = Session::new();
+        let base = SynthRequest::new(vec![table()], demo())
+            .with_max_depth(1)
+            .with_retain(true);
+        let base_result = session.solve(&base).unwrap();
+        assert!(!base_result.solutions.is_empty());
+        let retained_bytes = session.mem_bytes();
+        let fp = demo_fingerprint(&base.task);
+
+        let warm_request = SynthRequest::new(vec![table()], edited.clone())
+            .with_max_depth(1)
+            .with_prior(fp);
+        let warm = session.solve(&warm_request).unwrap();
+
+        let cold_session = Session::new();
+        let cold = cold_session
+            .solve(&SynthRequest::new(vec![table()], edited).with_max_depth(1))
+            .unwrap();
+        assert_eq!(render(&warm), render(&cold));
+        // The superseded retained entry is gone; the new one replaced it
+        // (one entry either way — no byte leak across the chain).
+        assert!(session.mem_bytes() > 0);
+        let _ = retained_bytes;
+        // The chain continues: the edited demo's fingerprint is now the
+        // retained prior.
+        let fp2 = demo_fingerprint(&warm_request.task);
+        assert!(session.take_prior(fp2).is_ok());
+        if fp != fp2 {
+            assert!(session.take_prior(fp).is_err(), "superseded prior kept");
+        }
+    }
+
+    #[test]
+    fn retention_is_opt_in_and_byte_accounted() {
+        let session = Session::new();
+        let plain = SynthRequest::new(vec![table()], demo()).with_max_depth(1);
+        session.solve(&plain).unwrap();
+        let baseline = session.mem_bytes();
+        assert_eq!(
+            session.priors.lock().unwrap().bytes,
+            0,
+            "no retained bytes without retain"
+        );
+        session.solve(&plain.clone().with_retain(true)).unwrap();
+        assert!(session.mem_bytes() > baseline, "retained entry is charged");
+        assert!(session.priors.lock().unwrap().bytes > 0);
     }
 
     #[test]

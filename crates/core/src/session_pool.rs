@@ -227,6 +227,28 @@ impl SessionPool {
         self.session_for(demo_fingerprint(task))
     }
 
+    /// Touches `key`'s LRU slot without creating a session; returns
+    /// whether a warm session is pooled under the key.
+    ///
+    /// This is the edit-chain guard of the warm-edit path: the server
+    /// calls it the moment a request *names* a prior (at `"prior"` id
+    /// resolution, before admission or any other pool traffic for the
+    /// request), so a session that is actively being edited is never the
+    /// LRU victim between two requests of one chain just because other
+    /// demos churned the pool in the gap.
+    pub fn touch(&self, key: u64) -> bool {
+        let mut inner = self.inner.lock().expect("session pool lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.iter_mut().find(|e| e.key == key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of warm sessions currently pooled.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("session pool lock").entries.len()
@@ -394,6 +416,31 @@ mod tests {
         assert!(Arc::ptr_eq(&b, &b2), "the hot session survives");
         // Total-bytes rollup is consistent with the per-session rollup.
         assert_eq!(pool.total_bytes(), b.mem_bytes());
+    }
+
+    #[test]
+    fn touch_on_prior_lookup_shields_an_edit_chain_from_eviction() {
+        let pool = SessionPool::new(SessionPoolConfig::default().with_max_sessions(2));
+        // The edit chain's session (key 1) is created first, then other
+        // demos churn the pool: without the prior-resolution touch, key 1
+        // would be the LRU victim when the next distinct demo arrives.
+        let chain = pool.session_for(1);
+        let _other = pool.session_for(2);
+        assert!(pool.touch(1), "warm chain session is pooled");
+        // A third demo arrives between the chain's two requests: key 2
+        // (now the coldest) is evicted, not the just-touched chain.
+        pool.session_for(3);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.evictions(), 1);
+        let chain2 = pool.session_for(1);
+        assert!(
+            Arc::ptr_eq(&chain, &chain2),
+            "the edit-chain session survived the churn"
+        );
+        // Touching an unknown key reports the miss without creating a
+        // session (the server then rejects the unknown prior id).
+        assert!(!pool.touch(99));
+        assert_eq!(pool.len(), 2);
     }
 
     #[test]

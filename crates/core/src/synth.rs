@@ -29,7 +29,7 @@ use sickle_table::{
 
 use sickle_provenance::{
     demo_consistent_with_candidates, find_table_match_with_candidates, match_seed_rows,
-    AnalysisCache, Demo, MatchDims, MatchSeed, RefSetPool, RefUniverse,
+    AnalysisCache, Demo, DemoToken, MatchDims, MatchSeed, RefSetPool, RefUniverse,
 };
 
 use crate::abstract_eval::{abstract_evaluate_rc, demo_ref_sets};
@@ -261,8 +261,13 @@ pub struct TaskContext {
     /// search's [`RefSetPool`]).
     pub eval_cache: EvalCache,
     /// Cross-sibling memo of abstract-consistency analyses, shared across
-    /// parallel workers.
+    /// parallel workers (and, through [`crate::Session`], across the
+    /// session's requests).
     pub analysis: Arc<AnalysisCache>,
+    /// This task's demonstration registered with `analysis`: the
+    /// collision-free fingerprint component of every Def. 3 verdict key,
+    /// keeping demos that share the session-wide cache apart.
+    pub demo_token: DemoToken,
     /// Cross-candidate memo of the acceptance prefilter's per-column
     /// feasibility: (demo column, star column identity) → can the star
     /// column host the demo column (every demo row embeds into some cell
@@ -431,6 +436,7 @@ impl TaskContext {
         constants.extend(task.extra_constants.iter().cloned());
         constants.sort();
         constants.dedup();
+        let demo_token = analysis.register_demo(&demo_ref_ids);
         TaskContext {
             task,
             input_arities,
@@ -440,6 +446,7 @@ impl TaskContext {
             constants,
             eval_cache: EvalCache::with_pool_and_policy(pool, policy),
             analysis,
+            demo_token,
             col_hosts: std::cell::RefCell::new(sickle_provenance::FxMap::default()),
         }
     }
@@ -486,9 +493,10 @@ impl Analyzer for ProvenanceAnalyzer {
         match abstract_evaluate_rc(pq, ctx.inputs(), &ctx.universe, &ctx.eval_cache) {
             // Def. 3 through the cross-sibling cache: sibling expansions
             // that abstract to the same id-grid share one verdict.
-            Ok(abs) => ctx
-                .analysis
-                .consistent(&ctx.demo_ref_ids, &abs.sets, ctx.pool()),
+            Ok(abs) => {
+                ctx.analysis
+                    .consistent(&ctx.demo_token, &ctx.demo_ref_ids, &abs.sets, ctx.pool())
+            }
             // Ill-formed parameters can never evaluate: prune.
             Err(_) => false,
         }
@@ -562,6 +570,14 @@ pub struct SearchStats {
     /// engine-cache bytes (charged − released). Workers share the pool,
     /// so the parallel merge takes the max, not the sum.
     pub mem_bytes: usize,
+    /// Def. 3 verdicts this run served from the session-wide analysis
+    /// cache instead of recomputing (hits delta over the whole run) —
+    /// nonzero on warm reruns and warm edits.
+    pub reused_verdicts: usize,
+    /// Memo entries (verdicts + orphaned column memos) invalidated on
+    /// behalf of this request by a warm edit superseding its prior demo;
+    /// zero on cold solves.
+    pub invalidated_verdicts: usize,
     /// True when the run hit its timeout or visit budget.
     pub timed_out: bool,
 }
@@ -628,6 +644,12 @@ pub struct SharedStats {
     /// are shared across workers, so the latest high-water observation is
     /// the right aggregate, not a sum).
     pub mem_pool_bytes: AtomicU64,
+    /// Def. 3 verdicts served from the session-wide analysis cache during
+    /// this run (set once at run end — an end-of-run counter, not live).
+    pub reused_verdicts: AtomicUsize,
+    /// Memo entries invalidated by the warm-edit purge that preceded this
+    /// run (set by the session before the search enters).
+    pub invalidated_verdicts: AtomicUsize,
     /// Set when the pooled solution count satisfied the target (or a
     /// worker's stop predicate fired): peers stop without reporting a
     /// timeout. Distinct from `SynthConfig::cancel`, which is the
@@ -1116,6 +1138,15 @@ pub(crate) fn run_parallel(
     seeds: Option<Vec<PQuery>>,
 ) -> Result<SynthResult, SickleError> {
     let workers = workers.max(1);
+    // Baseline for the run-wide reuse counter: hits accrued by this run
+    // over the session-shared cache (measured once around the whole run
+    // so parallel workers are not double counted).
+    let hits_base = analysis.stats().hits;
+    let publish_reuse = |stats: &mut SearchStats| {
+        let reused = analysis.stats().hits.saturating_sub(hits_base);
+        stats.reused_verdicts = reused;
+        shared.reused_verdicts.fetch_add(reused, Ordering::Relaxed);
+    };
     let seed_ctx = TaskContext::with_shared_policy(
         task.clone(),
         Arc::clone(&pool),
@@ -1133,6 +1164,7 @@ pub(crate) fn run_parallel(
             Some(shared),
         )?;
         result.solutions.sort_by_key(Query::size);
+        publish_reuse(&mut result.stats);
         return Ok(result);
     }
 
@@ -1227,6 +1259,7 @@ pub(crate) fn run_parallel(
     }
     merged.solutions.sort_by_key(Query::size);
     merged.solutions.truncate(config.max_solutions);
+    publish_reuse(&mut merged.stats);
     Ok(merged)
 }
 

@@ -18,15 +18,25 @@
 //!   id-grid), shared across all partial queries that abstract to the
 //!   same table.
 //!
-//! One cache serves one demonstration (the demo's id-grid is fixed per
-//! synthesis task); a cache is `Sync` and is shared across the parallel
-//! search workers — every map is sharded behind short-lived locks, so
-//! there is no global mutex on the hot path.
+//! One cache serves one *session*: demonstrations are registered up front
+//! ([`AnalysisCache::register_demo`]) and each distinct demo id-grid gets
+//! a collision-free [`DemoToken`] that becomes the demo-fingerprint
+//! component of every verdict key, so verdicts for different
+//! demonstrations never alias. Demo *columns* are fingerprinted by
+//! content, not position: two registered demos that share an unchanged
+//! column share its column-layer memos, which is what lets a warm edit
+//! keep the memos an edit did not touch. [`AnalysisCache::purge_demo`]
+//! drops a superseded demo's verdicts and any column memos no remaining
+//! demo can reach, refunding their bytes.
+//!
+//! A cache is `Sync` and is shared across the parallel search workers —
+//! every map is sharded behind short-lived locks, so there is no global
+//! mutex on the hot path.
 
 use std::fmt;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sickle_table::Grid;
 
@@ -61,24 +71,107 @@ fn entry_bytes(n_ids: usize) -> usize {
     n_ids * std::mem::size_of::<SetId>() + ENTRY_OVERHEAD_BYTES
 }
 
-/// Key of the verdict layer: the abstract table's interned contents.
-/// (`n_cols` is implied by `ids.len() / n_rows`.)
+/// Key of the verdict layer: the demo fingerprint plus the abstract
+/// table's interned contents. (`n_cols` is implied by
+/// `ids.len() / n_rows`.)
 #[derive(PartialEq, Eq, Hash)]
 struct GridKey {
+    /// Fingerprint of the demonstration the verdict was computed against.
+    demo: u64,
     n_rows: u32,
     /// Column-major flattening of the id grid.
     ids: Box<[SetId]>,
 }
 
-/// Key of the column layer: (demo column, abstract column contents).
-type ColKey = (u32, Box<[SetId]>);
+/// Key of the column layer: (demo-column content token, abstract column
+/// contents).
+type ColKey = (u64, Box<[SetId]>);
+
+/// Handle to a demonstration registered with an [`AnalysisCache`].
+///
+/// The token is the demo-fingerprint component of every Def. 3 verdict
+/// key: within one cache, equal tokens mean *identical* demo id-grids
+/// (tokens are assigned by lookup, not hashing, so they cannot collide).
+/// Cloning is cheap (`Arc` bump).
+#[derive(Clone)]
+pub struct DemoToken {
+    demo: u64,
+    /// Content token per demo column; shared between registered demos
+    /// whose columns are identical.
+    cols: Arc<[u64]>,
+}
+
+impl DemoToken {
+    /// The collision-free fingerprint of the registered demo id-grid.
+    pub fn id(&self) -> u64 {
+        self.demo
+    }
+}
+
+impl PartialEq for DemoToken {
+    fn eq(&self, other: &DemoToken) -> bool {
+        self.demo == other.demo
+    }
+}
+
+impl Eq for DemoToken {}
+
+impl fmt::Debug for DemoToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DemoToken")
+            .field("demo", &self.demo)
+            .field("cols", &self.cols)
+            .finish()
+    }
+}
+
+/// Registered demonstrations and the content tokens behind them.
+struct Registry {
+    /// Demo id-grid (`n_rows`, column-major ids) → its token handle.
+    demos: FxMap<(u32, Box<[SetId]>), DemoToken>,
+    /// Demo-column contents → content token.
+    cols: FxMap<Box<[SetId]>, u64>,
+    /// Content token → number of registered demos carrying the column.
+    col_refs: FxMap<u64, usize>,
+    next_demo: u64,
+    next_col: u64,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            demos: FxMap::default(),
+            cols: FxMap::default(),
+            col_refs: FxMap::default(),
+            next_demo: 0,
+            next_col: 0,
+        }
+    }
+}
+
+/// What [`AnalysisCache::purge_demo`] removed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PurgeStats {
+    /// Verdict-layer entries dropped (keyed by the purged fingerprint).
+    pub verdicts: usize,
+    /// Column-layer entries dropped (content token now unreachable).
+    pub columns: usize,
+}
+
+impl PurgeStats {
+    /// Total memo entries invalidated by the purge.
+    pub fn total(&self) -> usize {
+        self.verdicts + self.columns
+    }
+}
 
 /// Sharded cross-sibling memo of Def. 3 analyses. See the module docs.
 pub struct AnalysisCache {
-    /// (demo column, abstract column ids) → column feasible.
+    /// (demo-column content token, abstract column ids) → column feasible.
     columns: Vec<Mutex<FxMap<ColKey, bool>>>,
-    /// Abstract id-grid → consistency verdict.
+    /// (demo fingerprint, abstract id-grid) → consistency verdict.
     verdicts: Vec<Mutex<FxMap<GridKey, bool>>>,
+    registry: Mutex<Registry>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     /// Approximate bytes held by both memo layers, maintained at insert
@@ -102,6 +195,7 @@ impl AnalysisCache {
         AnalysisCache {
             columns: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
             verdicts: (0..SHARDS).map(|_| Mutex::new(FxMap::default())).collect(),
+            registry: Mutex::new(Registry::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             bytes: AtomicUsize::new(0),
@@ -123,6 +217,117 @@ impl AnalysisCache {
         }
     }
 
+    /// Registers a demonstration id-grid and returns its token; the same
+    /// grid registers to the same token, a different grid always gets a
+    /// fresh one. Columns are tokenized by content so unchanged columns
+    /// of an edited demo keep their column-layer memos.
+    pub fn register_demo(&self, demo: &Grid<SetId>) -> DemoToken {
+        let key: (u32, Box<[SetId]>) = (
+            demo.n_rows() as u32,
+            (0..demo.n_cols())
+                .flat_map(|c| demo.column(c).iter().copied())
+                .collect(),
+        );
+        let mut reg = self.registry.lock().expect("analysis registry lock");
+        if let Some(token) = reg.demos.get(&key) {
+            return token.clone();
+        }
+        let id = reg.next_demo;
+        reg.next_demo += 1;
+        let mut cols = Vec::with_capacity(demo.n_cols());
+        for c in 0..demo.n_cols() {
+            let content: Box<[SetId]> = demo.column(c).into();
+            let tok = match reg.cols.get(&content) {
+                Some(&tok) => tok,
+                None => {
+                    let tok = reg.next_col;
+                    reg.next_col += 1;
+                    reg.cols.insert(content, tok);
+                    tok
+                }
+            };
+            *reg.col_refs.entry(tok).or_insert(0) += 1;
+            cols.push(tok);
+        }
+        let token = DemoToken {
+            demo: id,
+            cols: cols.into(),
+        };
+        reg.demos.insert(key, token.clone());
+        token
+    }
+
+    /// Unregisters a demonstration and drops the memo entries only it
+    /// could reach: its verdicts, and the column memos of any column
+    /// content no remaining registered demo carries. Bytes are refunded;
+    /// the counts feed the `invalidated_verdicts` observability counter.
+    ///
+    /// Purging a token that was never registered (or already purged) is a
+    /// no-op.
+    pub fn purge_demo(&self, token: &DemoToken) -> PurgeStats {
+        let orphaned: Vec<u64> = {
+            let mut reg = self.registry.lock().expect("analysis registry lock");
+            let key = reg
+                .demos
+                .iter()
+                .find(|(_, t)| t.demo == token.demo)
+                .map(|(k, _)| (k.0, k.1.clone()));
+            let Some(key) = key else {
+                return PurgeStats::default();
+            };
+            reg.demos.remove(&key);
+            let mut orphaned = Vec::new();
+            for &tok in token.cols.iter() {
+                let refs = reg
+                    .col_refs
+                    .get_mut(&tok)
+                    .expect("registered column token has a refcount");
+                *refs -= 1;
+                if *refs == 0 {
+                    reg.col_refs.remove(&tok);
+                    orphaned.push(tok);
+                }
+            }
+            reg.cols.retain(|_, tok| !orphaned.contains(tok));
+            orphaned
+        };
+
+        let mut purged = PurgeStats::default();
+        for shard in &self.verdicts {
+            let mut map = shard.lock().expect("analysis verdict lock");
+            let before = map.len();
+            let mut freed = 0usize;
+            map.retain(|k, _| {
+                if k.demo == token.demo {
+                    freed += entry_bytes(k.ids.len());
+                    false
+                } else {
+                    true
+                }
+            });
+            purged.verdicts += before - map.len();
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+        if !orphaned.is_empty() {
+            for shard in &self.columns {
+                let mut map = shard.lock().expect("analysis column lock");
+                let before = map.len();
+                let mut freed = 0usize;
+                map.retain(|(tok, ids), _| {
+                    if orphaned.contains(tok) {
+                        freed += entry_bytes(ids.len());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                purged.columns += before - map.len();
+                self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            }
+        }
+        purged
+    }
+
     fn shard_of<K: Hash>(&self, key: &K) -> usize {
         (self.hasher.hash_one(key) as usize) & (SHARDS - 1)
     }
@@ -133,9 +338,16 @@ impl AnalysisCache {
     /// references are contained in the abstract cell?
     ///
     /// Equivalent to running [`crate::find_table_match`] over
-    /// `pool.subset` cell tests; `demo` must be the one demonstration this
-    /// cache was created for.
-    pub fn consistent(&self, demo: &Grid<SetId>, abs: &Grid<SetId>, pool: &RefSetPool) -> bool {
+    /// `pool.subset` cell tests; `token` must be the
+    /// [`AnalysisCache::register_demo`] handle for `demo` — it keys the
+    /// memo layers so verdicts of different demonstrations never alias.
+    pub fn consistent(
+        &self,
+        token: &DemoToken,
+        demo: &Grid<SetId>,
+        abs: &Grid<SetId>,
+        pool: &RefSetPool,
+    ) -> bool {
         let dims = MatchDims {
             demo_rows: demo.n_rows(),
             demo_cols: demo.n_cols(),
@@ -153,9 +365,10 @@ impl AnalysisCache {
         // cheaper than building and probing grid-content keys: the memo
         // layers only engage where matching is genuinely expensive.
         if no_cache() || dims.table_rows * dims.table_cols < MEMO_MIN_CELLS {
-            return self.check(dims, demo, abs, pool, false);
+            return self.check(dims, token, demo, abs, pool, false);
         }
         let key = GridKey {
+            demo: token.demo,
             n_rows: abs.n_rows() as u32,
             ids: (0..abs.n_cols())
                 .flat_map(|c| abs.column(c).iter().copied())
@@ -172,7 +385,7 @@ impl AnalysisCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
 
-        let verdict = self.check(dims, demo, abs, pool, true);
+        let verdict = self.check(dims, token, demo, abs, pool, true);
         let mut map = self.verdicts[shard].lock().expect("analysis verdict lock");
         if map.len() >= SHARD_CAP {
             let freed: usize = map.keys().map(|k| entry_bytes(k.ids.len())).sum();
@@ -189,6 +402,7 @@ impl AnalysisCache {
     fn check(
         &self,
         dims: MatchDims,
+        token: &DemoToken,
         demo: &Grid<SetId>,
         abs: &Grid<SetId>,
         pool: &RefSetPool,
@@ -219,9 +433,9 @@ impl AnalysisCache {
             &abs_sets[tj * dims.table_rows..(tj + 1) * dims.table_rows]
         };
 
-        // Column candidates, each (dj, column-contents) memoized across
-        // sibling tables that share the column (for tables large enough
-        // that the key pays for itself).
+        // Column candidates, each (demo column content, column-contents)
+        // memoized across sibling tables that share the column (for
+        // tables large enough that the key pays for itself).
         let mut col_candidates: Vec<Vec<usize>> = Vec::with_capacity(dims.demo_cols);
         for dj in 0..dims.demo_cols {
             let mut cands = Vec::new();
@@ -230,8 +444,8 @@ impl AnalysisCache {
                     (0..dims.demo_rows)
                         .all(|di| acol(tj).iter().any(|t| dset(di, dj).is_subset_of(t)))
                 };
-                let feasible = if memo_columns {
-                    self.column_feasible(dj, abs.column(tj), direct)
+                let feasible = if memo_columns && dj < token.cols.len() {
+                    self.column_feasible(token.cols[dj], abs.column(tj), direct)
                 } else {
                     direct()
                 };
@@ -250,19 +464,20 @@ impl AnalysisCache {
         .is_some()
     }
 
-    /// Memoized "can abstract column host demo column `dj`" test: every
-    /// demo row must find at least one table row whose set contains it
-    /// (`compute` decides that on a miss).
+    /// Memoized "can abstract column host this demo column" test, keyed
+    /// by the demo column's content token: every demo row must find at
+    /// least one table row whose set contains it (`compute` decides that
+    /// on a miss).
     fn column_feasible(
         &self,
-        dj: usize,
+        col_token: u64,
         abs_ids: &[SetId],
         compute: impl FnOnce() -> bool,
     ) -> bool {
         if no_cache() {
             return compute();
         }
-        let key = (dj as u32, abs_ids.to_vec().into_boxed_slice());
+        let key = (col_token, abs_ids.to_vec().into_boxed_slice());
         let shard = self.shard_of(&key);
         if let Some(&v) = self.columns[shard]
             .lock()
@@ -341,6 +556,7 @@ mod tests {
         let cache = AnalysisCache::new();
         let r = |i: usize, j: usize| CellRef::new(0, i, j);
         let demo = grid(&pool, &u, &[&[&[r(0, 0)], &[r(0, 1), r(1, 1)]]]);
+        let token = cache.register_demo(&demo);
         let yes = grid(
             &pool,
             &u,
@@ -365,9 +581,9 @@ mod tests {
                 &mut |di, dj, ti, tj| pool.subset(demo[(di, dj)], abs[(ti, tj)]),
             )
             .is_some();
-            assert_eq!(cache.consistent(&demo, abs, &pool), direct);
+            assert_eq!(cache.consistent(&token, &demo, abs, &pool), direct);
             // Repeat query returns the same answer.
-            assert_eq!(cache.consistent(&demo, abs, &pool), direct);
+            assert_eq!(cache.consistent(&token, &demo, abs, &pool), direct);
         }
         // These tables are below the memo size gate: matched directly.
         let stats = cache.stats();
@@ -381,6 +597,7 @@ mod tests {
         let cache = AnalysisCache::new();
         let r = |i: usize, j: usize| CellRef::new(0, i, j);
         let demo = grid(&pool, &u, &[&[&[r(0, 0)]]]);
+        let token = cache.register_demo(&demo);
         // 16 × 4 = 64 cells ≥ MEMO_MIN_CELLS; row 0 hosts the demo cell.
         let abs: Grid<SetId> = Grid::from_rows(
             (0..16)
@@ -392,8 +609,8 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        assert!(cache.consistent(&demo, &abs, &pool));
-        assert!(cache.consistent(&demo, &abs, &pool));
+        assert!(cache.consistent(&token, &demo, &abs, &pool));
+        assert!(cache.consistent(&token, &demo, &abs, &pool));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
     }
@@ -405,6 +622,7 @@ mod tests {
         assert_eq!(cache.approx_bytes(), 0);
         let r = |i: usize, j: usize| CellRef::new(0, i, j);
         let demo = grid(&pool, &u, &[&[&[r(0, 0)]]]);
+        let token = cache.register_demo(&demo);
         let abs: Grid<SetId> = Grid::from_rows(
             (0..16)
                 .map(|i| {
@@ -415,11 +633,11 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        assert!(cache.consistent(&demo, &abs, &pool));
+        assert!(cache.consistent(&token, &demo, &abs, &pool));
         let after_miss = cache.approx_bytes();
         assert!(after_miss > 0, "verdict memo must charge bytes");
         // A cache hit charges nothing further.
-        assert!(cache.consistent(&demo, &abs, &pool));
+        assert!(cache.consistent(&token, &demo, &abs, &pool));
         assert_eq!(cache.approx_bytes(), after_miss);
     }
 
@@ -429,8 +647,9 @@ mod tests {
         let cache = AnalysisCache::new();
         let r = |i: usize, j: usize| CellRef::new(0, i, j);
         let demo = grid(&pool, &u, &[&[&[r(0, 0)]], &[&[r(1, 0)]]]);
+        let token = cache.register_demo(&demo);
         let abs = grid(&pool, &u, &[&[&[r(0, 0), r(1, 0)]]]);
-        assert!(!cache.consistent(&demo, &abs, &pool));
+        assert!(!cache.consistent(&token, &demo, &abs, &pool));
         assert_eq!(cache.stats().misses, 0);
     }
 
@@ -439,7 +658,117 @@ mod tests {
         let (_, pool) = setup();
         let cache = AnalysisCache::new();
         let demo: Grid<SetId> = Grid::empty(0);
+        let token = cache.register_demo(&demo);
         let abs: Grid<SetId> = Grid::empty(2);
-        assert!(cache.consistent(&demo, &abs, &pool));
+        assert!(cache.consistent(&token, &demo, &abs, &pool));
+    }
+
+    /// The fingerprint correctness gate: two demonstrations sharing one
+    /// cache must never read each other's verdicts, even when the same
+    /// abstract table is consistent with one and not the other.
+    #[test]
+    fn shared_cache_keeps_divergent_demos_apart() {
+        let (u, pool) = setup();
+        let cache = AnalysisCache::new();
+        let r = |i: usize, j: usize| CellRef::new(0, i, j);
+        // Every abstract cell below is {r(i%4, j%3), r(0,0)}: demo A's
+        // single reference is hosted everywhere, while no cell contains
+        // demo B's *pair* of references.
+        let demo_a = grid(&pool, &u, &[&[&[r(0, 0)]]]);
+        let demo_b = grid(&pool, &u, &[&[&[r(1, 0), r(2, 1)]]]);
+        let tok_a = cache.register_demo(&demo_a);
+        let tok_b = cache.register_demo(&demo_b);
+        assert_ne!(tok_a.id(), tok_b.id());
+        let abs: Grid<SetId> = Grid::from_rows(
+            (0..16)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| pool.intern_refs(&u, [r(i % 4, j % 3), r(0, 0)]))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        // Warm the cache with A's verdict, then query B on the *same*
+        // abstract grid: a naive shared key would replay A's `true`.
+        assert!(cache.consistent(&tok_a, &demo_a, &abs, &pool));
+        assert!(!cache.consistent(&tok_b, &demo_b, &abs, &pool));
+        // And the reverse order on a fresh cache.
+        let cache2 = AnalysisCache::new();
+        let tok_a2 = cache2.register_demo(&demo_a);
+        let tok_b2 = cache2.register_demo(&demo_b);
+        assert!(!cache2.consistent(&tok_b2, &demo_b, &abs, &pool));
+        assert!(cache2.consistent(&tok_a2, &demo_a, &abs, &pool));
+    }
+
+    /// Registering the same grid twice returns the same token; a purge
+    /// then drops its verdicts and refunds their bytes.
+    #[test]
+    fn purge_drops_verdicts_and_refunds_bytes() {
+        let (u, pool) = setup();
+        let cache = AnalysisCache::new();
+        let r = |i: usize, j: usize| CellRef::new(0, i, j);
+        let demo = grid(&pool, &u, &[&[&[r(0, 0)]]]);
+        let token = cache.register_demo(&demo);
+        assert_eq!(cache.register_demo(&demo), token);
+        let abs: Grid<SetId> = Grid::from_rows(
+            (0..16)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| pool.intern_refs(&u, [r(i % 4, j % 3), r(0, 0)]))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert!(cache.consistent(&token, &demo, &abs, &pool));
+        assert!(cache.approx_bytes() > 0);
+        let purged = cache.purge_demo(&token);
+        assert!(purged.verdicts >= 1, "verdict entry must be purged");
+        assert!(purged.columns >= 1, "orphaned column memo must be purged");
+        assert_eq!(cache.approx_bytes(), 0);
+        // Double purge is a no-op.
+        assert_eq!(cache.purge_demo(&token), PurgeStats::default());
+        // The grid can be re-registered and gets a fresh fingerprint.
+        let again = cache.register_demo(&demo);
+        assert_ne!(again.id(), token.id());
+    }
+
+    /// A purge keeps column memos whose content another registered demo
+    /// still carries — the survival that makes warm edits cheap.
+    #[test]
+    fn purge_keeps_columns_shared_with_surviving_demos() {
+        let (u, pool) = setup();
+        let cache = AnalysisCache::new();
+        let r = |i: usize, j: usize| CellRef::new(0, i, j);
+        // Same first column, different second column.
+        let old = grid(&pool, &u, &[&[&[r(0, 0)], &[r(1, 1)]]]);
+        let new = grid(&pool, &u, &[&[&[r(0, 0)], &[r(2, 1)]]]);
+        let tok_old = cache.register_demo(&old);
+        let tok_new = cache.register_demo(&new);
+        // The shared column content resolves to the same content token.
+        assert_eq!(tok_old.cols[0], tok_new.cols[0]);
+        assert_ne!(tok_old.cols[1], tok_new.cols[1]);
+        let abs: Grid<SetId> = Grid::from_rows(
+            (0..16)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| pool.intern_refs(&u, [r(i % 4, j % 3), r(0, 0), r(1, 1), r(2, 1)]))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert!(cache.consistent(&tok_old, &old, &abs, &pool));
+        let bytes_before = cache.approx_bytes();
+        let purged = cache.purge_demo(&tok_old);
+        assert_eq!(purged.verdicts, 1);
+        // Column 1's memos are orphaned; column 0's survive (shared), so
+        // the cache is smaller but not empty.
+        assert!(purged.columns >= 1);
+        assert!(cache.approx_bytes() < bytes_before);
+        assert!(cache.approx_bytes() > 0, "shared column memos survive");
+        // The surviving demo still answers correctly after the purge.
+        assert!(cache.consistent(&tok_new, &new, &abs, &pool));
     }
 }
